@@ -1,0 +1,84 @@
+//! Figure 2 reproduction: multi-fidelity posterior together with the EI
+//! acquisition profile, demonstrating the near-zero EI gradient around the
+//! incumbent that motivates the paper's biased MSP start distribution
+//! (§4.1).
+//!
+//! The printed table is the data behind the paper's two stacked panels:
+//! the fusion posterior over the pedagogical function and EI(x) below it.
+//! The final section quantifies the "flat EI at the incumbent" effect.
+
+use mfbo::acquisition::expected_improvement;
+use mfbo::{MfGp, MfGpConfig};
+use mfbo_bench::print_table;
+use mfbo_circuits::testfns;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Same training setup as Figure 1 but with fewer high-fidelity points
+    // so the EI surface retains structure.
+    let n_low = 50;
+    let n_high = 8;
+    let xl: Vec<Vec<f64>> = (0..n_low)
+        .map(|i| vec![i as f64 / (n_low - 1) as f64])
+        .collect();
+    let yl: Vec<f64> = xl.iter().map(|x| testfns::pedagogical_low(x[0])).collect();
+    let xh: Vec<Vec<f64>> = (0..n_high)
+        .map(|i| vec![i as f64 / (n_high - 1) as f64])
+        .collect();
+    let yh: Vec<f64> = xh
+        .iter()
+        .map(|x| testfns::pedagogical_high(x[0]))
+        .collect();
+
+    let tau = yh.iter().cloned().fold(f64::INFINITY, f64::min);
+    let tau_x = xh[yh
+        .iter()
+        .enumerate()
+        .min_by(|a, b| a.1.partial_cmp(b.1).expect("non-NaN"))
+        .map(|(i, _)| i)
+        .expect("non-empty")][0];
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let mf = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng)
+        .expect("fusion model trains");
+
+    let n = 201;
+    let mut rows = Vec::new();
+    let mut ei_max = 0.0f64;
+    let ei_at = |x: f64| {
+        let p = mf.predict(&[x]);
+        expected_improvement(p.mean, p.std_dev(), tau)
+    };
+    for i in 0..n {
+        let x = i as f64 / (n - 1) as f64;
+        let p = mf.predict(&[x]);
+        let ei = ei_at(x);
+        ei_max = ei_max.max(ei);
+        if i % 10 == 0 {
+            rows.push(vec![
+                format!("{x:.2}"),
+                format!("{:.4}", testfns::pedagogical_high(x)),
+                format!("{:.4}", p.mean),
+                format!("{:.4}", 3.0 * p.std_dev()),
+                format!("{ei:.5}"),
+            ]);
+        }
+    }
+    print_table(
+        "Figure 2 — multi-fidelity posterior and the EI profile",
+        &["x", "f_h(x)", "MF mean", "MF 3σ", "EI"],
+        &rows,
+    );
+
+    // The paper's §4.1 argument: EI and its gradient vanish at the
+    // incumbent, so uniformly scattered starts cannot exploit the incumbent
+    // basin; a fraction of starts must be planted there.
+    println!("\nincumbent: τ = {tau:.4} at x = {tau_x:.3}");
+    let h = 1e-4;
+    let g = (ei_at(tau_x + h) - ei_at(tau_x - h)) / (2.0 * h);
+    println!("EI at incumbent          = {:.3e}", ei_at(tau_x));
+    println!("|dEI/dx| at incumbent    = {:.3e}", g.abs());
+    println!("max EI over the domain   = {ei_max:.3e}");
+    println!("\npaper shape check: EI at the incumbent is orders of magnitude\nbelow the domain maximum — uniform restarts rarely land in that basin.");
+}

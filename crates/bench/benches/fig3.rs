@@ -1,0 +1,67 @@
+//! Figure 3 reproduction: nonlinear correlation between the low- and
+//! high-fidelity power-amplifier simulations.
+//!
+//! The paper fixes four of the five PA design variables and sweeps the gate
+//! bias `Vb`, plotting efficiency from the cheap (short/coarse transient)
+//! and the expensive (long/fine transient) simulation. The two curves are
+//! clearly related but *not* by any linear map — the property that breaks
+//! linear co-kriging and motivates the NARGP fusion model.
+
+use mfbo_bench::print_table;
+use mfbo_circuits::pa::{PaFidelity, PowerAmplifier};
+
+fn main() {
+    let pa = PowerAmplifier::new();
+    // Fixed (Cs, Cp, W, Vdd) — a mid-range matched design; Vb sweeps.
+    let (cs, cp, w, vdd) = (1.2, 0.44, 5000.0, 1.9);
+
+    let n = 21;
+    let mut rows = Vec::new();
+    let mut lows = Vec::new();
+    let mut highs = Vec::new();
+    for i in 0..n {
+        let vb = 0.3 + 0.7 * i as f64 / (n - 1) as f64;
+        let x = [cs, cp, w, vb, vdd];
+        let lo = pa
+            .simulate(&x, &PaFidelity::low())
+            .map(|m| m.eff_percent)
+            .unwrap_or(f64::NAN);
+        let hi = pa
+            .simulate(&x, &PaFidelity::high())
+            .map(|m| m.eff_percent)
+            .unwrap_or(f64::NAN);
+        lows.push(lo);
+        highs.push(hi);
+        rows.push(vec![
+            format!("{vb:.3}"),
+            format!("{lo:.2}"),
+            format!("{hi:.2}"),
+        ]);
+    }
+    print_table(
+        "Figure 3 — PA efficiency vs gate bias at both fidelities",
+        &["Vb (V)", "Eff low-fid (%)", "Eff high-fid (%)"],
+        &rows,
+    );
+
+    // Quantify the nonlinearity: residual of the best *linear* map
+    // low → high vs total variance explained.
+    let ml = mfbo_linalg::mean(&lows);
+    let mh = mfbo_linalg::mean(&highs);
+    let mut sxx = 0.0;
+    let mut sxy = 0.0;
+    let mut syy = 0.0;
+    for (l, h) in lows.iter().zip(&highs) {
+        sxx += (l - ml) * (l - ml);
+        sxy += (l - ml) * (h - mh);
+        syy += (h - mh) * (h - mh);
+    }
+    let slope = sxy / sxx;
+    let mut resid = 0.0;
+    for (l, h) in lows.iter().zip(&highs) {
+        let pred = mh + slope * (l - ml);
+        resid += (h - pred) * (h - pred);
+    }
+    let r2 = 1.0 - resid / syy;
+    println!("\ncorrelation: best linear map explains R² = {r2:.3} of the high-fidelity\nvariance; the remaining {:.1} % is the nonlinear component the NARGP\nkernel k1(f_l, f_l')·k2(x, x') captures (paper eq. 9).", 100.0 * (1.0 - r2));
+}

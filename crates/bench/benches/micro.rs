@@ -1,0 +1,112 @@
+//! Criterion microbenchmarks of the computational kernels: Cholesky
+//! factorization, GP training and prediction, fusion-model prediction, and
+//! one transient PA simulation / one charge-pump corner solve.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mfbo::{MfGp, MfGpConfig};
+use mfbo_circuits::charge_pump::ChargePump;
+use mfbo_circuits::pa::{PaFidelity, PowerAmplifier};
+use mfbo_circuits::pvt::PvtCorner;
+use mfbo_circuits::testfns;
+use mfbo_gp::kernel::SquaredExponential;
+use mfbo_gp::{Gp, GpConfig};
+use mfbo_linalg::{Cholesky, Matrix};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_cholesky(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cholesky");
+    for &n in &[32usize, 128, 256] {
+        // SPD matrix: B Bᵀ + n I.
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
+        let mut a = b.matmul(&b.transpose());
+        a.add_diag(n as f64);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bch, a| {
+            bch.iter(|| Cholesky::new(black_box(a)).expect("spd"))
+        });
+    }
+    group.finish();
+}
+
+fn gp_training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (7.0 * x[0]).sin()).collect();
+    (xs, ys)
+}
+
+fn bench_gp(c: &mut Criterion) {
+    let mut group = c.benchmark_group("gp");
+    group.sample_size(10);
+    for &n in &[25usize, 100] {
+        let (xs, ys) = gp_training_data(n);
+        group.bench_with_input(BenchmarkId::new("fit", n), &n, |bch, _| {
+            bch.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                Gp::fit(
+                    SquaredExponential::new(1),
+                    xs.clone(),
+                    ys.clone(),
+                    &GpConfig::fast(),
+                    &mut rng,
+                )
+                .expect("fit")
+            })
+        });
+        let mut rng = StdRng::seed_from_u64(0);
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs.clone(),
+            ys.clone(),
+            &GpConfig::fast(),
+            &mut rng,
+        )
+        .expect("fit");
+        group.bench_with_input(BenchmarkId::new("predict", n), &gp, |bch, gp| {
+            bch.iter(|| gp.predict(black_box(&[0.37])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_mfgp_predict(c: &mut Criterion) {
+    let (xl, yl) = gp_training_data(40);
+    let xh: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+    let yh: Vec<f64> = xh
+        .iter()
+        .map(|x| testfns::pedagogical_high(x[0]))
+        .collect();
+    let mut rng = StdRng::seed_from_u64(0);
+    let model = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).expect("fit");
+    c.bench_function("mfgp_predict_mc20", |b| {
+        b.iter(|| model.predict(black_box(&[0.61])))
+    });
+}
+
+fn bench_circuits(c: &mut Criterion) {
+    let mut group = c.benchmark_group("circuits");
+    group.sample_size(10);
+    let pa = PowerAmplifier::new();
+    let design = [1.2, 0.44, 5000.0, 0.9, 1.9];
+    group.bench_function("pa_low_fidelity", |b| {
+        b.iter(|| pa.simulate(black_box(&design), &PaFidelity::low()).expect("sim"))
+    });
+    group.bench_function("pa_high_fidelity", |b| {
+        b.iter(|| pa.simulate(black_box(&design), &PaFidelity::high()).expect("sim"))
+    });
+    let cp = ChargePump::new();
+    let x = ChargePump::reference_design();
+    group.bench_function("charge_pump_typical_corner", |b| {
+        b.iter(|| cp.measure(black_box(&x), &[PvtCorner::typical()]).expect("solve"))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_cholesky,
+    bench_gp,
+    bench_mfgp_predict,
+    bench_circuits
+);
+criterion_main!(benches);

@@ -1,0 +1,173 @@
+//! Table 1 reproduction: power-amplifier optimization, four algorithms.
+//!
+//! Columns: the proposed multi-fidelity BO ("Ours"), WEIBO, GASPAD, DE.
+//! Rows: THD and Pout of the best design, efficiency statistics over the
+//! repeated runs, average number of (equivalent high-fidelity) simulations
+//! to reach each run's best design, and the success count.
+//!
+//! `MFBO_BENCH_SCALE=paper` runs the paper's exact budgets (12 repetitions,
+//! 150-simulation budgets, 300 for GASPAD/DE — expect hours);
+//! `mid` uses intermediate budgets; the default `ci` scale uses reduced
+//! budgets and 3 repetitions.
+
+use mfbo::problem::{Fidelity, MultiFidelityProblem};
+use mfbo::{MfBayesOpt, MfBoConfig, Outcome};
+use mfbo_baselines::{
+    DeBaselineConfig, DifferentialEvolutionBaseline, Gaspad, GaspadConfig, Weibo, WeiboConfig,
+};
+use mfbo_bench::{print_table, AlgoSummary, Scale};
+use mfbo_circuits::pa::PowerAmplifier;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let scale = Scale::from_env();
+    let pa = PowerAmplifier::new();
+    let runs = scale.pick3(3, 5, 12);
+
+    let eff = |o: &Outcome| -o.best_objective; // objective is −Eff
+
+    println!("Table 1 — power amplifier ({runs} runs per algorithm, scale = {scale:?})");
+
+    // --- Ours: multi-fidelity BO. ---
+    let mut ours_outcomes = Vec::new();
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(1000 + r as u64);
+        let config = MfBoConfig {
+            initial_low: 10,
+            initial_high: 5,
+            budget: scale.pick3(30.0, 60.0, 150.0),
+            refit_every: scale.pick3(3, 2, 1),
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config)
+            .run(&pa, &mut rng)
+            .expect("mf-bo run succeeds");
+        eprintln!(
+            "ours run {r}: eff = {:.2} %, feasible = {}",
+            eff(&out),
+            out.feasible
+        );
+        ours_outcomes.push(out);
+    }
+    let ours = AlgoSummary::from_outcomes("Ours", ours_outcomes, eff);
+
+    // --- WEIBO. ---
+    let mut weibo_outcomes = Vec::new();
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(2000 + r as u64);
+        let config = WeiboConfig {
+            initial_points: scale.pick3(10, 20, 40),
+            budget: scale.pick3(30, 60, 150),
+            refit_every: scale.pick3(3, 2, 1),
+            ..WeiboConfig::default()
+        };
+        let out = Weibo::new(config)
+            .run(&pa, &mut rng)
+            .expect("weibo run succeeds");
+        eprintln!(
+            "weibo run {r}: eff = {:.2} %, feasible = {}",
+            eff(&out),
+            out.feasible
+        );
+        weibo_outcomes.push(out);
+    }
+    let weibo = AlgoSummary::from_outcomes("WEIBO", weibo_outcomes, eff);
+
+    // --- GASPAD. ---
+    let mut gaspad_outcomes = Vec::new();
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(3000 + r as u64);
+        let config = GaspadConfig {
+            initial_points: scale.pick3(15, 25, 40),
+            budget: scale.pick3(60, 120, 300),
+            population: scale.pick3(15, 25, 40),
+            refit_every: scale.pick3(3, 2, 1),
+            ..GaspadConfig::default()
+        };
+        let out = Gaspad::new(config)
+            .run(&pa, &mut rng)
+            .expect("gaspad run succeeds");
+        eprintln!(
+            "gaspad run {r}: eff = {:.2} %, feasible = {}",
+            eff(&out),
+            out.feasible
+        );
+        gaspad_outcomes.push(out);
+    }
+    let gaspad = AlgoSummary::from_outcomes("GASPAD", gaspad_outcomes, eff);
+
+    // --- DE. ---
+    let mut de_outcomes = Vec::new();
+    for r in 0..runs {
+        let mut rng = StdRng::seed_from_u64(4000 + r as u64);
+        let config = DeBaselineConfig {
+            population: scale.pick3(15, 25, 50),
+            budget: scale.pick3(90, 200, 300),
+            ..DeBaselineConfig::default()
+        };
+        let out = DifferentialEvolutionBaseline::new(config)
+            .run(&pa, &mut rng)
+            .expect("de run succeeds");
+        eprintln!(
+            "de run {r}: eff = {:.2} %, feasible = {}",
+            eff(&out),
+            out.feasible
+        );
+        de_outcomes.push(out);
+    }
+    let de = AlgoSummary::from_outcomes("DE", de_outcomes, eff);
+
+    // --- Assemble the paper's row layout. ---
+    let algos = [&ours, &weibo, &gaspad, &de];
+    // THD and Pout of each algorithm's best design, re-derived from the
+    // constraint values (c1 = spec_pout − pout, c2 = thd − spec_thd).
+    let spec_pout = pa.pout_spec_dbm();
+    let spec_thd = pa.thd_spec_db();
+    let header = ["row", "Ours", "WEIBO", "GASPAD", "DE"];
+    let row = |label: &str, f: &dyn Fn(&AlgoSummary) -> String| {
+        let mut cells = vec![label.to_string()];
+        cells.extend(algos.iter().map(|a| f(a)));
+        cells
+    };
+    let rows = vec![
+        row("thd/dB", &|a| {
+            format!(
+                "{:.2}",
+                a.best_outcome.best_evaluation.constraints[1] + spec_thd
+            )
+        }),
+        row("Pout/dBm", &|a| {
+            format!(
+                "{:.2}",
+                spec_pout - a.best_outcome.best_evaluation.constraints[0]
+            )
+        }),
+        row("Eff(mean)/%", &|a| format!("{:.2}", a.mean())),
+        row("Eff(median)/%", &|a| format!("{:.2}", a.median())),
+        row("Eff(best)/%", &|a| format!("{:.2}", a.best())),
+        row("Eff(worst)/%", &|a| format!("{:.2}", a.worst())),
+        row("Avg. # Sim", &|a| format!("{:.0}", a.avg_sims)),
+        row("# Success", &|a| format!("{}/{}", a.successes, a.runs)),
+    ];
+    print_table(
+        "Table 1 — optimization results of the power amplifier",
+        &header,
+        &rows,
+    );
+
+    // Simulation-mix detail for the multi-fidelity column (the paper quotes
+    // "252 coarse + 46 fine ≈ 59 equivalent").
+    println!(
+        "\nOurs, best run: {} low + {} high simulations, equivalent cost {:.1} \
+         (low-fidelity cost {}).",
+        ours.best_outcome.n_low,
+        ours.best_outcome.n_high,
+        ours.best_outcome.total_cost,
+        pa.cost(Fidelity::Low),
+    );
+    println!(
+        "paper shape check: Ours ≥ WEIBO on efficiency at materially fewer\n\
+         equivalent simulations; GASPAD/DE need several times more simulations."
+    );
+}

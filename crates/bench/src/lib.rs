@@ -1,0 +1,258 @@
+//! Shared harness utilities for the table/figure reproduction benches.
+//!
+//! Every `[[bench]]` target in this crate is a plain binary
+//! (`harness = false`) that regenerates one table or figure of the DAC'19
+//! paper and prints it in the paper's row layout. Three scales are
+//! supported via the `MFBO_BENCH_SCALE` environment variable:
+//!
+//! * `ci` (default) — reduced budgets and repetition counts so the whole
+//!   suite finishes in minutes on a laptop;
+//! * `mid` — intermediate budgets (tens of minutes) at which the algorithm
+//!   rankings on the circuit problems stabilize;
+//! * `paper` — the paper's exact budgets and repetition counts (12 runs on
+//!   the power amplifier, 10 on the charge pump; expect hours).
+
+#![deny(missing_docs)]
+
+use mfbo::Outcome;
+
+/// Benchmark scale selected by `MFBO_BENCH_SCALE`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Reduced budgets/repetitions (minutes).
+    Ci,
+    /// Intermediate budgets (tens of minutes) — enough for the algorithm
+    /// rankings to stabilize on the circuit problems.
+    Mid,
+    /// The paper's full settings (hours).
+    Paper,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (default [`Scale::Ci`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("MFBO_BENCH_SCALE").as_deref() {
+            Ok("paper") => Scale::Paper,
+            Ok("mid") => Scale::Mid,
+            _ => Scale::Ci,
+        }
+    }
+
+    /// Picks `ci` or `paper` depending on the scale (`mid` takes the
+    /// `paper` value; benches that distinguish all three use
+    /// [`Scale::pick3`]).
+    pub fn pick<T>(self, ci: T, paper: T) -> T {
+        match self {
+            Scale::Ci => ci,
+            Scale::Mid | Scale::Paper => paper,
+        }
+    }
+
+    /// Picks between three explicit settings.
+    pub fn pick3<T>(self, ci: T, mid: T, paper: T) -> T {
+        match self {
+            Scale::Ci => ci,
+            Scale::Mid => mid,
+            Scale::Paper => paper,
+        }
+    }
+}
+
+/// Summary statistics of one algorithm over repeated optimization runs —
+/// the row block of the paper's Tables 1 and 2.
+#[derive(Debug, Clone)]
+pub struct AlgoSummary {
+    /// Algorithm label.
+    pub name: String,
+    /// Objective values (one per run, in the table's reporting convention).
+    pub objectives: Vec<f64>,
+    /// Mean cost (equivalent high-fidelity simulations) to reach each run's
+    /// best design.
+    pub avg_sims: f64,
+    /// Number of runs that produced a feasible design.
+    pub successes: usize,
+    /// Total runs.
+    pub runs: usize,
+    /// The best run's outcome (by the table's objective convention:
+    /// the minimum stored objective).
+    pub best_outcome: Outcome,
+}
+
+impl AlgoSummary {
+    /// Builds a summary from per-run outcomes. `report` maps an outcome to
+    /// the scalar the table reports (e.g. `-best_objective` when the paper
+    /// reports efficiency as a maximization).
+    pub fn from_outcomes<F: Fn(&Outcome) -> f64>(
+        name: &str,
+        outcomes: Vec<Outcome>,
+        report: F,
+    ) -> AlgoSummary {
+        assert!(!outcomes.is_empty(), "need at least one run");
+        let objectives: Vec<f64> = outcomes.iter().map(&report).collect();
+        let avg_sims =
+            outcomes.iter().map(|o| o.cost_to_best).sum::<f64>() / outcomes.len() as f64;
+        let successes = outcomes.iter().filter(|o| o.feasible).count();
+        let runs = outcomes.len();
+        // Best outcome = the run whose *stored* objective is minimal among
+        // feasible runs (all-infeasible falls back to overall minimum).
+        let best_idx = outcomes
+            .iter()
+            .enumerate()
+            .filter(|(_, o)| o.feasible)
+            .min_by(|a, b| {
+                a.1.best_objective
+                    .partial_cmp(&b.1.best_objective)
+                    .expect("non-NaN objective")
+            })
+            .map(|(i, _)| i)
+            .unwrap_or_else(|| {
+                outcomes
+                    .iter()
+                    .enumerate()
+                    .min_by(|a, b| {
+                        a.1.best_objective
+                            .partial_cmp(&b.1.best_objective)
+                            .expect("non-NaN objective")
+                    })
+                    .map(|(i, _)| i)
+                    .expect("non-empty outcomes")
+            });
+        AlgoSummary {
+            name: name.to_string(),
+            objectives,
+            avg_sims,
+            successes,
+            runs,
+            best_outcome: outcomes.into_iter().nth(best_idx).expect("index valid"),
+        }
+    }
+
+    /// Mean of the reported objective.
+    pub fn mean(&self) -> f64 {
+        mfbo_linalg::mean(&self.objectives)
+    }
+
+    /// Median of the reported objective.
+    pub fn median(&self) -> f64 {
+        mfbo_linalg::median(&self.objectives)
+    }
+
+    /// Best (maximum) reported objective — the paper reports "best" in the
+    /// direction of improvement, which for both tables is handled by the
+    /// caller's `report` mapping (larger = better).
+    pub fn best(&self) -> f64 {
+        self.objectives
+            .iter()
+            .cloned()
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Worst (minimum) reported objective.
+    pub fn worst(&self) -> f64 {
+        self.objectives.iter().cloned().fold(f64::INFINITY, f64::min)
+    }
+}
+
+/// Prints a Markdown-ish table: header row then aligned value rows.
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n### {title}\n");
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (w, cell) in widths.iter_mut().zip(row) {
+            *w = (*w).max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        let mut line = String::from("|");
+        for (w, cell) in widths.iter().zip(cells) {
+            line.push_str(&format!(" {cell:>w$} |"));
+        }
+        line
+    };
+    let header_cells: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&header_cells));
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("{}", fmt_row(&sep));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfbo::problem::{Evaluation, Fidelity};
+    use mfbo::EvaluationRecord;
+
+    fn outcome(obj: f64, feasible: bool, cost: f64) -> Outcome {
+        let cons = if feasible { vec![-1.0] } else { vec![1.0] };
+        let mut high = mfbo::FidelityData::new(1);
+        high.push(
+            vec![0.0],
+            &Evaluation {
+                objective: obj,
+                constraints: cons.clone(),
+            },
+        );
+        Outcome::from_data(
+            high,
+            mfbo::FidelityData::new(1),
+            vec![EvaluationRecord {
+                iteration: 0,
+                x: vec![0.0],
+                fidelity: Fidelity::High,
+                evaluation: Evaluation {
+                    objective: obj,
+                    constraints: cons,
+                },
+                cost_so_far: cost,
+            }],
+        )
+    }
+
+    #[test]
+    fn scale_pick() {
+        assert_eq!(Scale::Ci.pick(1, 2), 1);
+        assert_eq!(Scale::Paper.pick(1, 2), 2);
+        assert_eq!(Scale::Mid.pick(1, 2), 2);
+        assert_eq!(Scale::Ci.pick3(1, 2, 3), 1);
+        assert_eq!(Scale::Mid.pick3(1, 2, 3), 2);
+        assert_eq!(Scale::Paper.pick3(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn summary_statistics() {
+        let outcomes = vec![
+            outcome(-60.0, true, 50.0),
+            outcome(-50.0, true, 70.0),
+            outcome(-40.0, false, 90.0),
+        ];
+        let s = AlgoSummary::from_outcomes("test", outcomes, |o| -o.best_objective);
+        assert_eq!(s.runs, 3);
+        assert_eq!(s.successes, 2);
+        assert!((s.mean() - 50.0).abs() < 1e-12);
+        assert!((s.median() - 50.0).abs() < 1e-12);
+        assert_eq!(s.best(), 60.0);
+        assert_eq!(s.worst(), 40.0);
+        assert!((s.avg_sims - 70.0).abs() < 1e-12);
+        // Best outcome is the feasible -60 run.
+        assert_eq!(s.best_outcome.best_objective, -60.0);
+    }
+
+    #[test]
+    fn summary_all_infeasible_falls_back() {
+        let outcomes = vec![outcome(-10.0, false, 5.0), outcome(-20.0, false, 6.0)];
+        let s = AlgoSummary::from_outcomes("t", outcomes, |o| -o.best_objective);
+        assert_eq!(s.successes, 0);
+        assert_eq!(s.best_outcome.best_objective, -20.0);
+    }
+
+    #[test]
+    fn print_table_does_not_panic() {
+        print_table(
+            "demo",
+            &["a", "b"],
+            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+        );
+    }
+}

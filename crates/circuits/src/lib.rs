@@ -1,0 +1,37 @@
+//! Analog-circuit evaluation substrate for the `analog-mfbo` workspace.
+//!
+//! The DAC'19 paper evaluates its optimizer on two real circuits simulated
+//! with a commercial SPICE engine and foundry PDKs — neither of which is
+//! available here. This crate rebuilds the whole evaluation path from
+//! scratch:
+//!
+//! * [`spice`] — a modified-nodal-analysis (MNA) circuit engine: netlists of
+//!   R/C/L, independent sources, diodes, and level-1 MOSFETs; Newton DC
+//!   operating-point solves with g-min/source stepping; trapezoidal or
+//!   backward-Euler transient analysis; and waveform post-processing (DFT,
+//!   harmonics, THD, average power).
+//! * [`pvt`] — process/voltage/temperature corner modelling (the 3×3×3 =
+//!   27-corner grid of the paper's charge-pump experiment) with physically
+//!   conventional parameter shifts (±Vth per process corner, mobility
+//!   temperature scaling, supply steps).
+//! * [`pa`] — the paper's §5.1 power amplifier as a 5-variable testbench
+//!   whose two fidelities differ exactly the way the paper's do: simulation
+//!   length and timestep (10 ns vs 200 ns per-transistor budget in the
+//!   paper; short/coarse vs long/fine transient here).
+//! * [`charge_pump`] — the paper's §5.2 charge pump as a 36-variable,
+//!   5-constraint current-matching problem over the PVT grid; low fidelity
+//!   evaluates the typical corner only, high fidelity all 27 corners.
+//! * [`testfns`] — analytic multi-fidelity pairs (the Perdikaris pedagogical
+//!   pair used by the paper's Figures 1–2, Forrester, Branin, Park) used by
+//!   unit tests, examples, and ablation benches.
+//!
+//! Both testbenches implement [`mfbo::problem::MultiFidelityProblem`], so
+//! they plug directly into the optimizers in `mfbo` and `mfbo-baselines`.
+
+#![deny(missing_docs)]
+
+pub mod charge_pump;
+pub mod pa;
+pub mod pvt;
+pub mod spice;
+pub mod testfns;

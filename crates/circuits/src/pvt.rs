@@ -1,0 +1,184 @@
+//! Process / voltage / temperature (PVT) corner modelling.
+//!
+//! The paper's charge-pump experiment simulates every candidate design over
+//! **27 PVT corners** (the full 3×3×3 grid) at high fidelity and a single
+//! typical corner at low fidelity. This module provides that grid together
+//! with conventional first-order device-parameter shifts:
+//!
+//! * **Process** (SS / TT / FF): threshold voltages shift by ∓/0/± and
+//!   transconductance by ±; slow silicon has higher `|Vth|` and lower
+//!   mobility.
+//! * **Voltage**: supply at 90 % / 100 % / 110 % of nominal.
+//! * **Temperature** (−40 / 27 / 125 °C): mobility follows the standard
+//!   `(T/T₀)^−1.5` power law; `Vth` drops ~2 mV/K with temperature.
+
+use crate::spice::MosModel;
+
+/// Process corner of a CMOS run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ProcessCorner {
+    /// Slow NMOS, slow PMOS.
+    Ss,
+    /// Typical.
+    Tt,
+    /// Fast NMOS, fast PMOS.
+    Ff,
+}
+
+impl ProcessCorner {
+    /// All three corners in conventional order.
+    pub const ALL: [ProcessCorner; 3] = [ProcessCorner::Ss, ProcessCorner::Tt, ProcessCorner::Ff];
+
+    /// Threshold-voltage shift in volts (added to `|Vth|`).
+    pub fn vth_shift(self) -> f64 {
+        match self {
+            ProcessCorner::Ss => 0.05,
+            ProcessCorner::Tt => 0.0,
+            ProcessCorner::Ff => -0.05,
+        }
+    }
+
+    /// Multiplicative transconductance (mobility) factor.
+    pub fn kp_factor(self) -> f64 {
+        match self {
+            ProcessCorner::Ss => 0.85,
+            ProcessCorner::Tt => 1.0,
+            ProcessCorner::Ff => 1.15,
+        }
+    }
+}
+
+impl std::fmt::Display for ProcessCorner {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProcessCorner::Ss => write!(f, "SS"),
+            ProcessCorner::Tt => write!(f, "TT"),
+            ProcessCorner::Ff => write!(f, "FF"),
+        }
+    }
+}
+
+/// One full PVT corner.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PvtCorner {
+    /// Process corner.
+    pub process: ProcessCorner,
+    /// Supply-voltage multiplier (e.g. 0.9 / 1.0 / 1.1).
+    pub supply_factor: f64,
+    /// Junction temperature in °C.
+    pub temperature_c: f64,
+}
+
+impl PvtCorner {
+    /// The typical corner (TT, nominal supply, 27 °C) — the paper's
+    /// low-fidelity simulation condition.
+    pub fn typical() -> Self {
+        PvtCorner {
+            process: ProcessCorner::Tt,
+            supply_factor: 1.0,
+            temperature_c: 27.0,
+        }
+    }
+
+    /// The full 3×3×3 grid of 27 corners (supply 90/100/110 %,
+    /// temperature −40/27/125 °C) — the paper's high-fidelity condition.
+    pub fn grid_27() -> Vec<PvtCorner> {
+        let mut corners = Vec::with_capacity(27);
+        for &process in &ProcessCorner::ALL {
+            for &supply_factor in &[0.9, 1.0, 1.1] {
+                for &temperature_c in &[-40.0, 27.0, 125.0] {
+                    corners.push(PvtCorner {
+                        process,
+                        supply_factor,
+                        temperature_c,
+                    });
+                }
+            }
+        }
+        corners
+    }
+
+    /// Derates a nominal (TT, 27 °C) MOSFET model card to this corner.
+    pub fn derate(&self, nominal: &MosModel) -> MosModel {
+        let t_k = self.temperature_c + 273.15;
+        let t0_k = 27.0 + 273.15;
+        // Mobility power law and Vth temperature coefficient (−2 mV/K on
+        // the magnitude).
+        let kp_temp = (t_k / t0_k).powf(-1.5);
+        let vth_temp = -2e-3 * (t_k - t0_k);
+        let vth_mag = (nominal.vth + self.process.vth_shift() + vth_temp).max(0.05);
+        MosModel {
+            polarity: nominal.polarity,
+            vth: vth_mag,
+            kp: nominal.kp * self.process.kp_factor() * kp_temp,
+            lambda: nominal.lambda,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_has_27_distinct_corners() {
+        let g = PvtCorner::grid_27();
+        assert_eq!(g.len(), 27);
+        for i in 0..g.len() {
+            for j in (i + 1)..g.len() {
+                assert_ne!(g[i], g[j]);
+            }
+        }
+        // The typical corner is in the grid.
+        assert!(g.contains(&PvtCorner::typical()));
+    }
+
+    #[test]
+    fn slow_corner_is_slower() {
+        let nominal = MosModel::nmos_default();
+        let ss = PvtCorner {
+            process: ProcessCorner::Ss,
+            supply_factor: 0.9,
+            temperature_c: 125.0,
+        }
+        .derate(&nominal);
+        assert!(ss.vth > nominal.vth - 0.2); // Vth shifted up by process...
+        assert!(ss.kp < nominal.kp); // ...and mobility reduced twice over
+        let ff = PvtCorner {
+            process: ProcessCorner::Ff,
+            supply_factor: 1.1,
+            temperature_c: -40.0,
+        }
+        .derate(&nominal);
+        assert!(ff.kp > nominal.kp);
+        assert!(ff.vth < nominal.vth + 0.2);
+    }
+
+    #[test]
+    fn typical_corner_is_identity_at_nominal() {
+        let nominal = MosModel::nmos_default();
+        let d = PvtCorner::typical().derate(&nominal);
+        assert!((d.vth - nominal.vth).abs() < 1e-12);
+        assert!((d.kp - nominal.kp).abs() / nominal.kp < 1e-12);
+    }
+
+    #[test]
+    fn temperature_lowers_vth_and_mobility() {
+        let nominal = MosModel::nmos_default();
+        let hot = PvtCorner {
+            process: ProcessCorner::Tt,
+            supply_factor: 1.0,
+            temperature_c: 125.0,
+        }
+        .derate(&nominal);
+        assert!(hot.vth < nominal.vth);
+        assert!(hot.kp < nominal.kp);
+    }
+
+    #[test]
+    fn corner_display() {
+        assert_eq!(ProcessCorner::Ss.to_string(), "SS");
+        assert_eq!(ProcessCorner::Tt.to_string(), "TT");
+        assert_eq!(ProcessCorner::Ff.to_string(), "FF");
+    }
+}

@@ -1,0 +1,395 @@
+//! AC small-signal analysis.
+//!
+//! Linearizes the circuit around its DC operating point (MOSFETs become
+//! `gm`/`gds` stamps, diodes become `gd`) and solves the complex MNA system
+//! `(G + jω C) x = b` at each requested frequency, with a unit-magnitude
+//! excitation on one designated voltage source. This is the standard
+//! `.AC` analysis of SPICE; the workspace uses it to characterize the PA
+//! matching network and in the engine's own test suite (RC poles, LC
+//! resonances).
+
+use super::dc::solve_dc;
+use super::netlist::{Circuit, Element};
+use super::stamp::{mosfet_current, MnaLayout};
+use super::SpiceError;
+use mfbo_linalg::{solve_complex, Complex};
+
+/// Frequency sweep configuration.
+#[derive(Debug, Clone)]
+pub struct Ac {
+    freqs: Vec<f64>,
+}
+
+impl Ac {
+    /// Sweep at an explicit list of frequencies (Hz).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `freqs` is empty or contains non-positive values.
+    pub fn new(freqs: Vec<f64>) -> Self {
+        assert!(!freqs.is_empty(), "at least one frequency required");
+        assert!(
+            freqs.iter().all(|&f| f > 0.0),
+            "frequencies must be positive"
+        );
+        Ac { freqs }
+    }
+
+    /// Logarithmic sweep from `f_start` to `f_stop` with
+    /// `points_per_decade` points per decade (inclusive of both ends).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty or non-positive.
+    pub fn logspace(f_start: f64, f_stop: f64, points_per_decade: usize) -> Self {
+        assert!(
+            f_start > 0.0 && f_stop > f_start,
+            "need 0 < f_start < f_stop"
+        );
+        assert!(points_per_decade > 0, "points_per_decade must be positive");
+        let decades = (f_stop / f_start).log10();
+        let n = (decades * points_per_decade as f64).ceil() as usize + 1;
+        let freqs = (0..n)
+            .map(|k| f_start * 10f64.powf(decades * k as f64 / (n - 1) as f64))
+            .collect();
+        Ac { freqs }
+    }
+
+    /// The frequency points.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Runs the sweep with a 1 V AC excitation on the voltage source with
+    /// element index `ac_source` (all other independent sources are AC
+    /// grounds, as in SPICE).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SpiceError::BadNetlist`] when `ac_source` is not a voltage
+    /// source, and propagates DC/solver failures.
+    pub fn run(&self, circuit: &Circuit, ac_source: usize) -> Result<AcResult, SpiceError> {
+        match circuit.elements().get(ac_source) {
+            Some(Element::VSource { .. }) => {}
+            _ => {
+                return Err(SpiceError::BadNetlist {
+                    reason: format!("element {ac_source} is not a voltage source"),
+                })
+            }
+        }
+
+        let layout = MnaLayout::new(circuit);
+        let op = solve_dc(circuit)?;
+        let dim = layout.dim;
+
+        let v_at = |node: usize| match layout.v_index(node) {
+            Some(i) => op.raw()[i],
+            None => 0.0,
+        };
+
+        let mut solutions = Vec::with_capacity(self.freqs.len());
+        for &f in &self.freqs {
+            let omega = 2.0 * std::f64::consts::PI * f;
+            let mut a = vec![Complex::zero(); dim * dim];
+            let mut b = vec![Complex::zero(); dim];
+            // Tiny conductance to ground keeps floating nodes solvable.
+            for i in 0..layout.n_nodes {
+                a[i * dim + i] += Complex::real(1e-12);
+            }
+            let mut add = |i: Option<usize>, j: Option<usize>, v: Complex| {
+                if let (Some(i), Some(j)) = (i, j) {
+                    a[i * dim + j] += v;
+                }
+            };
+            let stamp_g = |a: &mut dyn FnMut(Option<usize>, Option<usize>, Complex),
+                           na: usize,
+                           nb: usize,
+                           g: Complex| {
+                let i = layout.v_index(na);
+                let j = layout.v_index(nb);
+                a(i, i, g);
+                a(j, j, g);
+                a(i, j, -g);
+                a(j, i, -g);
+            };
+            for (ei, e) in circuit.elements().iter().enumerate() {
+                match *e {
+                    Element::Resistor { a: na, b: nb, r } => {
+                        stamp_g(&mut add, na, nb, Complex::real(1.0 / r));
+                    }
+                    Element::Capacitor { a: na, b: nb, c } => {
+                        stamp_g(&mut add, na, nb, Complex::new(0.0, omega * c));
+                    }
+                    Element::Inductor { a: na, b: nb, l } => {
+                        let br = layout.i_index(ei).expect("inductor branch");
+                        let i = layout.v_index(na);
+                        let j = layout.v_index(nb);
+                        add(i, Some(br), Complex::one());
+                        add(j, Some(br), -Complex::one());
+                        add(Some(br), i, Complex::one());
+                        add(Some(br), j, -Complex::one());
+                        add(Some(br), Some(br), Complex::new(0.0, -omega * l));
+                    }
+                    Element::VSource { p, n, .. } => {
+                        let br = layout.i_index(ei).expect("vsource branch");
+                        let i = layout.v_index(p);
+                        let j = layout.v_index(n);
+                        add(i, Some(br), Complex::one());
+                        add(j, Some(br), -Complex::one());
+                        add(Some(br), i, Complex::one());
+                        add(Some(br), j, -Complex::one());
+                        b[br] = if ei == ac_source {
+                            Complex::one()
+                        } else {
+                            Complex::zero()
+                        };
+                    }
+                    Element::ISource { .. } => {
+                        // AC open circuit (no AC component on I sources).
+                    }
+                    Element::Diode { a: na, k: nk, is, n } => {
+                        let vd = v_at(na) - v_at(nk);
+                        let nvt = n * 0.02585;
+                        let gd = (is / nvt * (vd / nvt).min(40.0).exp()).max(1e-12);
+                        stamp_g(&mut add, na, nk, Complex::real(gd));
+                    }
+                    Element::Vccs {
+                        a: na,
+                        b: nb,
+                        cp,
+                        cn,
+                        gm,
+                    } => {
+                        for (node, sign) in [(na, 1.0), (nb, -1.0)] {
+                            let i = layout.v_index(node);
+                            add(i, layout.v_index(cp), Complex::real(sign * gm));
+                            add(i, layout.v_index(cn), Complex::real(-sign * gm));
+                        }
+                    }
+                    Element::Vcvs {
+                        p,
+                        n,
+                        cp,
+                        cn,
+                        gain,
+                    } => {
+                        let br = layout.i_index(ei).expect("vcvs branch");
+                        let i = layout.v_index(p);
+                        let j = layout.v_index(n);
+                        add(i, Some(br), Complex::one());
+                        add(j, Some(br), -Complex::one());
+                        add(Some(br), i, Complex::one());
+                        add(Some(br), j, -Complex::one());
+                        add(Some(br), layout.v_index(cp), Complex::real(-gain));
+                        add(Some(br), layout.v_index(cn), Complex::real(gain));
+                    }
+                    Element::Mosfet {
+                        d,
+                        g,
+                        s,
+                        ref model,
+                        w_over_l,
+                    } => {
+                        let vgs = v_at(g) - v_at(s);
+                        let vds = v_at(d) - v_at(s);
+                        let (_, gm, gds) = mosfet_current(model, w_over_l, vgs, vds);
+                        // gm: current d→s controlled by v(g) − v(s).
+                        let di = layout.v_index(d);
+                        let si = layout.v_index(s);
+                        let gi = layout.v_index(g);
+                        add(di, gi, Complex::real(gm));
+                        add(di, si, Complex::real(-gm));
+                        add(si, gi, Complex::real(-gm));
+                        add(si, si, Complex::real(gm));
+                        stamp_g(&mut add, d, s, Complex::real(gds));
+                    }
+                }
+            }
+
+            let x = solve_complex(a, b).map_err(|_| SpiceError::SingularMatrix)?;
+            solutions.push(x);
+        }
+
+        Ok(AcResult {
+            layout,
+            freqs: self.freqs.clone(),
+            solutions,
+        })
+    }
+}
+
+/// Result of an AC sweep: one complex solution vector per frequency.
+#[derive(Debug, Clone)]
+pub struct AcResult {
+    layout: MnaLayout,
+    freqs: Vec<f64>,
+    solutions: Vec<Vec<Complex>>,
+}
+
+impl AcResult {
+    /// The frequency axis.
+    pub fn freqs(&self) -> &[f64] {
+        &self.freqs
+    }
+
+    /// Complex node voltage across the sweep (ground returns zeros).
+    pub fn voltage(&self, node: usize) -> Vec<Complex> {
+        match self.layout.v_index(node) {
+            Some(i) => self.solutions.iter().map(|s| s[i]).collect(),
+            None => vec![Complex::zero(); self.solutions.len()],
+        }
+    }
+
+    /// Voltage magnitude in dB (20 log₁₀ |V|).
+    pub fn magnitude_db(&self, node: usize) -> Vec<f64> {
+        self.voltage(node)
+            .iter()
+            .map(|v| 20.0 * v.abs().max(1e-300).log10())
+            .collect()
+    }
+
+    /// Voltage phase in degrees.
+    pub fn phase_deg(&self, node: usize) -> Vec<f64> {
+        self.voltage(node)
+            .iter()
+            .map(|v| v.arg().to_degrees())
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spice::{MosModel, Waveform};
+
+    #[test]
+    fn rc_lowpass_pole() {
+        // fc = 1/(2πRC); |H(fc)| = 1/√2 (−3.01 dB), phase −45°.
+        let r = 1e3;
+        let c = 1e-9;
+        let fc = 1.0 / (2.0 * std::f64::consts::PI * r * c);
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vout = ckt.node("out");
+        let src = ckt.vsource(vin, Circuit::GND, Waveform::Dc(0.0));
+        ckt.resistor(vin, vout, r);
+        ckt.capacitor(vout, Circuit::GND, c);
+        let res = Ac::new(vec![fc / 100.0, fc, fc * 100.0])
+            .run(&ckt, src)
+            .unwrap();
+        let mag = res.magnitude_db(vout);
+        let ph = res.phase_deg(vout);
+        assert!(mag[0].abs() < 0.01, "passband {mag:?}");
+        assert!((mag[1] + 3.0103).abs() < 0.01, "pole {mag:?}");
+        assert!((mag[2] + 40.0).abs() < 0.1, "rolloff {mag:?}"); // −20 dB/dec
+        assert!((ph[1] + 45.0).abs() < 0.5, "phase {ph:?}");
+    }
+
+    #[test]
+    fn series_rlc_resonance_peak() {
+        // Voltage across R in a series RLC peaks (|H| = 1) at f0.
+        let l = 1e-6;
+        let c: f64 = 1e-9;
+        let f0 = 1.0 / (2.0 * std::f64::consts::PI * (l * c).sqrt());
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let n1 = ckt.node("n1");
+        let vr = ckt.node("vr");
+        let src = ckt.vsource(vin, Circuit::GND, Waveform::Dc(0.0));
+        ckt.inductor(vin, n1, l);
+        ckt.capacitor(n1, vr, c);
+        ckt.resistor(vr, Circuit::GND, 50.0);
+        let res = Ac::new(vec![f0 / 10.0, f0, f0 * 10.0]).run(&ckt, src).unwrap();
+        let mag = res.magnitude_db(vr);
+        assert!(mag[1].abs() < 0.01, "at resonance |H| = 1: {mag:?}");
+        assert!(mag[0] < -10.0 && mag[2] < -10.0, "off resonance: {mag:?}");
+    }
+
+    #[test]
+    fn common_source_gain_matches_gm_ro_formula() {
+        // NMOS common-source with drain resistor: |A_v| = gm·(Rd ∥ ro).
+        let mut ckt = Circuit::new();
+        let vdd = ckt.node("vdd");
+        let g = ckt.node("g");
+        let d = ckt.node("d");
+        ckt.vsource(vdd, Circuit::GND, Waveform::Dc(1.8));
+        let vg = ckt.vsource(g, Circuit::GND, Waveform::Dc(0.8));
+        ckt.resistor(vdd, d, 10e3);
+        ckt.mosfet(d, g, Circuit::GND, MosModel::nmos_default(), 10.0);
+        let res = Ac::new(vec![1e3]).run(&ckt, vg).unwrap();
+        let gain = res.voltage(d)[0].abs();
+
+        // Derive gm and gds from the same operating point the solver used.
+        let op = crate::spice::dc::solve_dc(&ckt).unwrap();
+        let vd = op.voltage(d);
+        let (_, gm, gds) = mosfet_current(&MosModel::nmos_default(), 10.0, 0.8, vd);
+        let rout = 1.0 / (1.0 / 10e3 + gds);
+        let expect = gm * rout;
+        assert!(
+            (gain - expect).abs() / expect < 1e-3,
+            "gain {gain} vs gm·Rout {expect}"
+        );
+    }
+
+    #[test]
+    fn vcvs_integrator_macromodel() {
+        // Ideal inverting-integrator macromodel: VCVS with huge gain as an
+        // op-amp, R into the virtual ground, C in feedback. |H| = 1/(ωRC).
+        let r = 10e3;
+        let c = 1e-9;
+        let f = 1.0 / (2.0 * std::f64::consts::PI * r * c); // unity-gain freq
+        let mut ckt = Circuit::new();
+        let vin = ckt.node("in");
+        let vminus = ckt.node("vm");
+        let vout = ckt.node("out");
+        let src = ckt.vsource(vin, Circuit::GND, Waveform::Dc(0.0));
+        ckt.resistor(vin, vminus, r);
+        ckt.capacitor(vminus, vout, c);
+        // out = -A · v(vm) with A = 1e6.
+        ckt.vcvs(vout, Circuit::GND, Circuit::GND, vminus, 1e6);
+        let res = Ac::new(vec![f / 10.0, f, f * 10.0]).run(&ckt, src).unwrap();
+        let mag = res.magnitude_db(vout);
+        assert!((mag[0] - 20.0).abs() < 0.1, "{mag:?}"); // gain 10 a decade below
+        assert!(mag[1].abs() < 0.1, "{mag:?}"); // unity at f
+        assert!((mag[2] + 20.0).abs() < 0.1, "{mag:?}"); // −20 dB/dec above
+    }
+
+    #[test]
+    fn vccs_transconductance_ac() {
+        let mut ckt = Circuit::new();
+        let ctrl = ckt.node("ctrl");
+        let out = ckt.node("out");
+        let src = ckt.vsource(ctrl, Circuit::GND, Waveform::Dc(0.0));
+        ckt.vccs(Circuit::GND, out, ctrl, Circuit::GND, 5e-3);
+        ckt.resistor(out, Circuit::GND, 2e3);
+        let res = Ac::new(vec![1e3]).run(&ckt, src).unwrap();
+        // 1 V AC × 5 mS × 2 kΩ = 10 V/V.
+        assert!((res.voltage(out)[0].abs() - 10.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn logspace_covers_range() {
+        let ac = Ac::logspace(1e3, 1e6, 10);
+        let f = ac.freqs();
+        assert!((f[0] - 1e3).abs() < 1e-9);
+        assert!((f.last().unwrap() - 1e6).abs() < 1.0);
+        assert!(f.windows(2).all(|w| w[1] > w[0]));
+        assert!(f.len() >= 30);
+    }
+
+    #[test]
+    fn rejects_non_vsource_excitation() {
+        let mut ckt = Circuit::new();
+        let n = ckt.node("n");
+        let r = ckt.resistor(n, Circuit::GND, 1e3);
+        ckt.vsource(n, Circuit::GND, Waveform::Dc(1.0));
+        let e = Ac::new(vec![1e3]).run(&ckt, r);
+        assert!(matches!(e, Err(SpiceError::BadNetlist { .. })));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one frequency")]
+    fn rejects_empty_sweep() {
+        let _ = Ac::new(vec![]);
+    }
+}

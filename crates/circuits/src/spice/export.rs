@@ -1,0 +1,210 @@
+//! SPICE-netlist export.
+//!
+//! Serializes a [`Circuit`] into standard SPICE deck syntax so any design
+//! this workspace builds (including every optimizer-generated PA or
+//! charge-pump candidate) can be re-simulated in ngspice/HSPICE for
+//! cross-checking. Node names are preserved; element names are generated
+//! per SPICE conventions (`R1`, `C2`, `M3`, …).
+
+use super::netlist::{Circuit, Element, MosPolarity, Waveform};
+use std::fmt::Write as _;
+
+/// Renders `circuit` as a SPICE deck with the given title line.
+///
+/// MOSFETs reference per-device `.model` cards emitted at the end of the
+/// deck (level-1 parameters `VTO`, `KP`, `LAMBDA`). `W/L` ratios are
+/// emitted as `W=<ratio>u L=1u`, preserving the ratio our level-1 model
+/// actually uses.
+pub fn to_spice_deck(circuit: &Circuit, title: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "* {title}");
+
+    // Stable node naming: SPICE ground is 0; other nodes keep their index.
+    let node = |n: usize| -> String {
+        if n == Circuit::GND {
+            "0".to_string()
+        } else {
+            format!("n{n}")
+        }
+    };
+    let wave = |w: &Waveform| -> String {
+        match *w {
+            Waveform::Dc(v) => format!("DC {v}"),
+            Waveform::Sine {
+                dc,
+                ampl,
+                freq,
+                phase,
+            } => format!("SIN({dc} {ampl} {freq} 0 0 {})", phase.to_degrees()),
+            Waveform::Pulse {
+                low,
+                high,
+                delay,
+                width,
+                period,
+            } => format!("PULSE({low} {high} {delay} 0 0 {width} {period})"),
+        }
+    };
+
+    let mut models = Vec::new();
+    for (i, e) in circuit.elements().iter().enumerate() {
+        match e {
+            Element::Resistor { a, b, r } => {
+                let _ = writeln!(out, "R{i} {} {} {r}", node(*a), node(*b));
+            }
+            Element::Capacitor { a, b, c } => {
+                let _ = writeln!(out, "C{i} {} {} {c}", node(*a), node(*b));
+            }
+            Element::Inductor { a, b, l } => {
+                let _ = writeln!(out, "L{i} {} {} {l}", node(*a), node(*b));
+            }
+            Element::VSource { p, n, wave: w } => {
+                let _ = writeln!(out, "V{i} {} {} {}", node(*p), node(*n), wave(w));
+            }
+            Element::ISource { p, n, wave: w } => {
+                let _ = writeln!(out, "I{i} {} {} {}", node(*p), node(*n), wave(w));
+            }
+            Element::Diode { a, k, is, n } => {
+                let model = format!("DMOD{i}");
+                let _ = writeln!(out, "D{i} {} {} {model}", node(*a), node(*k));
+                models.push(format!(".model {model} D(IS={is} N={n})"));
+            }
+            Element::Mosfet {
+                d,
+                g,
+                s,
+                model,
+                w_over_l,
+            } => {
+                let mname = format!("MOD{i}");
+                let kind = match model.polarity {
+                    MosPolarity::Nmos => "NMOS",
+                    MosPolarity::Pmos => "PMOS",
+                };
+                // Bulk tied to source (our level-1 model has no body effect).
+                let _ = writeln!(
+                    out,
+                    "M{i} {} {} {} {} {mname} W={w_over_l}u L=1u",
+                    node(*d),
+                    node(*g),
+                    node(*s),
+                    node(*s),
+                );
+                models.push(format!(
+                    ".model {mname} {kind}(LEVEL=1 VTO={} KP={} LAMBDA={})",
+                    match model.polarity {
+                        MosPolarity::Nmos => model.vth,
+                        MosPolarity::Pmos => -model.vth,
+                    },
+                    model.kp,
+                    model.lambda
+                ));
+            }
+            Element::Vccs { a, b, cp, cn, gm } => {
+                let _ = writeln!(
+                    out,
+                    "G{i} {} {} {} {} {gm}",
+                    node(*a),
+                    node(*b),
+                    node(*cp),
+                    node(*cn)
+                );
+            }
+            Element::Vcvs { p, n, cp, cn, gain } => {
+                let _ = writeln!(
+                    out,
+                    "E{i} {} {} {} {} {gain}",
+                    node(*p),
+                    node(*n),
+                    node(*cp),
+                    node(*cn)
+                );
+            }
+        }
+    }
+    for m in models {
+        let _ = writeln!(out, "{m}");
+    }
+    let _ = writeln!(out, ".end");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spice::MosModel;
+
+    #[test]
+    fn exports_every_element_kind() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        let b = c.node("b");
+        c.vsource(a, Circuit::GND, Waveform::Dc(1.8));
+        c.resistor(a, b, 1e3);
+        c.capacitor(b, Circuit::GND, 1e-12);
+        c.inductor(a, b, 1e-9);
+        c.isource(a, b, Waveform::Dc(1e-6));
+        c.diode(b, Circuit::GND, 1e-14, 1.0);
+        c.mosfet(b, a, Circuit::GND, MosModel::nmos_default(), 10.0);
+        c.vccs(a, b, a, Circuit::GND, 1e-3);
+        c.vcvs(b, Circuit::GND, a, Circuit::GND, 2.0);
+        let deck = to_spice_deck(&c, "all elements");
+        assert!(deck.starts_with("* all elements\n"));
+        for prefix in ["V0 ", "R1 ", "C2 ", "L3 ", "I4 ", "D5 ", "M6 ", "G7 ", "E8 "] {
+            assert!(deck.contains(prefix), "missing {prefix} in:\n{deck}");
+        }
+        assert!(deck.contains(".model MOD6 NMOS(LEVEL=1 VTO=0.45"));
+        assert!(deck.contains(".model DMOD5 D(IS=0.00000000000001"));
+        assert!(deck.trim_end().ends_with(".end"));
+    }
+
+    #[test]
+    fn waveforms_use_spice_syntax() {
+        let mut c = Circuit::new();
+        let n = c.node("n");
+        c.vsource(
+            n,
+            Circuit::GND,
+            Waveform::Sine {
+                dc: 0.5,
+                ampl: 1.0,
+                freq: 2.4e9,
+                phase: 0.0,
+            },
+        );
+        c.vsource(
+            n,
+            Circuit::GND,
+            Waveform::Pulse {
+                low: 0.0,
+                high: 1.8,
+                delay: 1e-9,
+                width: 5e-9,
+                period: 10e-9,
+            },
+        );
+        let deck = to_spice_deck(&c, "waves");
+        assert!(deck.contains("SIN(0.5 1 2400000000 0 0 0)"));
+        assert!(deck.contains("PULSE(0 1.8 0.000000001 0 0 0.000000005 0.00000001)"));
+    }
+
+    #[test]
+    fn pa_testbench_exports_cleanly() {
+        let pa = crate::pa::PowerAmplifier::new();
+        let (c, _, _) = pa.build_netlist(&[1.2, 0.44, 5000.0, 0.9, 1.9]);
+        let deck = to_spice_deck(&c, "power amplifier candidate");
+        // One MOSFET, two inductors, two capacitors, a resistor, 2 sources.
+        assert_eq!(deck.matches("\nM").count(), 1);
+        assert_eq!(deck.matches("\nL").count(), 2);
+        assert!(deck.contains(".end"));
+    }
+
+    #[test]
+    fn pmos_model_gets_negative_vto() {
+        let mut c = Circuit::new();
+        let a = c.node("a");
+        c.mosfet(Circuit::GND, a, a, MosModel::pmos_default(), 5.0);
+        let deck = to_spice_deck(&c, "pmos");
+        assert!(deck.contains("PMOS(LEVEL=1 VTO=-0.45"), "{deck}");
+    }
+}

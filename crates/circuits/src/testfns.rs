@@ -1,0 +1,307 @@
+//! Analytic multi-fidelity test-function pairs.
+//!
+//! These are the standard benchmark pairs of the multi-fidelity modelling
+//! literature. [`pedagogical`] is the pair used by the paper's Figures 1–2
+//! (from Perdikaris et al. 2017): the high-fidelity function is a strongly
+//! *nonlinear* transformation of the low-fidelity one, which linear
+//! co-kriging cannot capture but the NARGP fusion model can.
+
+use mfbo::problem::FunctionProblem;
+use mfbo_opt::Bounds;
+
+const PI: f64 = std::f64::consts::PI;
+
+/// Low-fidelity pedagogical function `f_l(x) = sin(8πx)` on `[0, 1]`.
+pub fn pedagogical_low(x: f64) -> f64 {
+    (8.0 * PI * x).sin()
+}
+
+/// High-fidelity pedagogical function `f_h(x) = (x − √2) · f_l(x)²`
+/// — a nonlinear (quadratic) map of the low-fidelity output with a
+/// space-dependent scale.
+pub fn pedagogical_high(x: f64) -> f64 {
+    (x - 2f64.sqrt()) * pedagogical_low(x) * pedagogical_low(x)
+}
+
+/// The pedagogical pair as a ready-made optimization problem.
+pub fn pedagogical() -> FunctionProblem {
+    FunctionProblem::builder("pedagogical", Bounds::unit(1))
+        .high(|x: &[f64]| pedagogical_high(x[0]))
+        .low(|x: &[f64]| pedagogical_low(x[0]))
+        .low_cost(0.05)
+        .build()
+}
+
+/// High-fidelity Forrester function
+/// `f(x) = (6x − 2)² sin(12x − 4)` on `[0, 1]`; global minimum ≈ −6.0207
+/// at `x ≈ 0.7572`.
+pub fn forrester_high(x: f64) -> f64 {
+    (6.0 * x - 2.0).powi(2) * (12.0 * x - 4.0).sin()
+}
+
+/// Standard biased low-fidelity Forrester variant
+/// `0.5 f(x) + 10 (x − 0.5) − 5`.
+pub fn forrester_low(x: f64) -> f64 {
+    0.5 * forrester_high(x) + 10.0 * (x - 0.5) - 5.0
+}
+
+/// The Forrester pair as an optimization problem.
+pub fn forrester() -> FunctionProblem {
+    FunctionProblem::builder("forrester", Bounds::unit(1))
+        .high(|x: &[f64]| forrester_high(x[0]))
+        .low(|x: &[f64]| forrester_low(x[0]))
+        .low_cost(0.1)
+        .build()
+}
+
+/// High-fidelity Branin function on the conventional domain
+/// `x₀ ∈ [−5, 10], x₁ ∈ [0, 15]`; three global minima with value ≈ 0.3979.
+pub fn branin_high(x: &[f64]) -> f64 {
+    let (x1, x2) = (x[0], x[1]);
+    let a = 1.0;
+    let b = 5.1 / (4.0 * PI * PI);
+    let c = 5.0 / PI;
+    let r = 6.0;
+    let s = 10.0;
+    let t = 1.0 / (8.0 * PI);
+    a * (x2 - b * x1 * x1 + c * x1 - r).powi(2) + s * (1.0 - t) * x1.cos() + s
+}
+
+/// Low-fidelity Branin (the common multi-fidelity variant: shifted inputs
+/// and an additive linear trend).
+pub fn branin_low(x: &[f64]) -> f64 {
+    let shifted = [x[0] - 2.0, x[1] - 2.0];
+    10.0 * branin_high(&shifted).sqrt() + 2.0 * (x[0] - 0.5) - 3.0 * (3.0 * x[1] - 1.0) - 1.0
+}
+
+/// The Branin pair as an optimization problem.
+pub fn branin() -> FunctionProblem {
+    FunctionProblem::builder(
+        "branin",
+        Bounds::new(vec![-5.0, 0.0], vec![10.0, 15.0]),
+    )
+    .high(branin_high)
+    .low(branin_low)
+    .low_cost(0.1)
+    .build()
+}
+
+/// High-fidelity Park (1991) function on `[0, 1]⁴` (strictly positive
+/// inputs to avoid the singularity at x₀ = 0).
+pub fn park_high(x: &[f64]) -> f64 {
+    let x1 = x[0].max(1e-6);
+    let (x2, x3, x4) = (x[1], x[2], x[3]);
+    x1 / 2.0 * ((1.0 + (x2 + x3 * x3) * x4 / (x1 * x1)).sqrt() - 1.0)
+        + (x1 + 3.0 * x4) * (1.0 + (x3).sin()).exp()
+}
+
+/// Low-fidelity Park variant (Xiong et al.): scaled and shifted.
+pub fn park_low(x: &[f64]) -> f64 {
+    (1.0 + x[0].sin() / 10.0) * park_high(x) - 2.0 * x[0] * x[0] + x[1] * x[1] + x[2] * x[2] + 0.5
+}
+
+/// The Park pair as an optimization problem.
+pub fn park() -> FunctionProblem {
+    FunctionProblem::builder("park", Bounds::unit(4))
+        .high(park_high)
+        .low(park_low)
+        .low_cost(0.1)
+        .build()
+}
+
+/// High-fidelity Currin exponential function on `[0, 1]²` — a standard
+/// computer-experiment benchmark (Currin et al. 1988).
+pub fn currin_high(x: &[f64]) -> f64 {
+    let (x1, x2) = (x[0], x[1]);
+    let a = if x2.abs() < 1e-12 {
+        1.0
+    } else {
+        1.0 - (-1.0 / (2.0 * x2)).exp()
+    };
+    let num = 2300.0 * x1.powi(3) + 1900.0 * x1 * x1 + 2092.0 * x1 + 60.0;
+    let den = 100.0 * x1.powi(3) + 500.0 * x1 * x1 + 4.0 * x1 + 20.0;
+    a * num / den
+}
+
+/// Low-fidelity Currin variant (Xiong et al. 2013): a four-point stencil
+/// average of the high-fidelity function with perturbed `x2`.
+pub fn currin_low(x: &[f64]) -> f64 {
+    let (x1, x2) = (x[0], x[1]);
+    let p = |a: f64, b: f64| currin_high(&[a.clamp(0.0, 1.0), b.max(0.0)]);
+    0.25 * (p(x1 + 0.05, x2 + 0.05)
+        + p(x1 + 0.05, (x2 - 0.05).max(0.0))
+        + p(x1 - 0.05, x2 + 0.05)
+        + p(x1 - 0.05, (x2 - 0.05).max(0.0)))
+}
+
+/// The Currin pair as an optimization problem.
+pub fn currin() -> FunctionProblem {
+    FunctionProblem::builder("currin", Bounds::unit(2))
+        .high(currin_high)
+        .low(currin_low)
+        .low_cost(0.1)
+        .build()
+}
+
+/// High-fidelity Hartmann-3 function on `[0, 1]³`; global minimum
+/// ≈ −3.86278 at `(0.1146, 0.5556, 0.8525)`.
+pub fn hartmann3_high(x: &[f64]) -> f64 {
+    const ALPHA: [f64; 4] = [1.0, 1.2, 3.0, 3.2];
+    const A: [[f64; 3]; 4] = [
+        [3.0, 10.0, 30.0],
+        [0.1, 10.0, 35.0],
+        [3.0, 10.0, 30.0],
+        [0.1, 10.0, 35.0],
+    ];
+    const P: [[f64; 3]; 4] = [
+        [0.3689, 0.1170, 0.2673],
+        [0.4699, 0.4387, 0.7470],
+        [0.1091, 0.8732, 0.5547],
+        [0.0381, 0.5743, 0.8828],
+    ];
+    -(0..4)
+        .map(|i| {
+            let e: f64 = (0..3).map(|j| A[i][j] * (x[j] - P[i][j]).powi(2)).sum();
+            ALPHA[i] * (-e).exp()
+        })
+        .sum::<f64>()
+}
+
+/// Low-fidelity Hartmann-3 (perturbed mixture weights, the standard MF
+/// variant): `α' = α + 0.1·(3 − 2i)` style deflation.
+pub fn hartmann3_low(x: &[f64]) -> f64 {
+    const DALPHA: [f64; 4] = [0.5, -0.5, 0.5, -0.5];
+    const A: [[f64; 3]; 4] = [
+        [3.0, 10.0, 30.0],
+        [0.1, 10.0, 35.0],
+        [3.0, 10.0, 30.0],
+        [0.1, 10.0, 35.0],
+    ];
+    const P: [[f64; 3]; 4] = [
+        [0.3689, 0.1170, 0.2673],
+        [0.4699, 0.4387, 0.7470],
+        [0.1091, 0.8732, 0.5547],
+        [0.0381, 0.5743, 0.8828],
+    ];
+    const ALPHA: [f64; 4] = [1.0, 1.2, 3.0, 3.2];
+    -(0..4)
+        .map(|i| {
+            let e: f64 = (0..3).map(|j| A[i][j] * (x[j] - P[i][j]).powi(2)).sum();
+            (ALPHA[i] + DALPHA[i]) * (-e).exp()
+        })
+        .sum::<f64>()
+}
+
+/// The Hartmann-3 pair as an optimization problem.
+pub fn hartmann3() -> FunctionProblem {
+    FunctionProblem::builder("hartmann3", Bounds::unit(3))
+        .high(hartmann3_high)
+        .low(hartmann3_low)
+        .low_cost(0.1)
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfbo::problem::{Fidelity, MultiFidelityProblem};
+
+    #[test]
+    fn pedagogical_relationship_holds() {
+        for &x in &[0.05, 0.3, 0.55, 0.92] {
+            let l = pedagogical_low(x);
+            let h = pedagogical_high(x);
+            assert!((h - (x - 2f64.sqrt()) * l * l).abs() < 1e-14);
+            // (x − √2) < 0 on [0, 1] so f_h ≤ 0 everywhere.
+            assert!(h <= 1e-12);
+        }
+    }
+
+    #[test]
+    fn forrester_known_minimum() {
+        // Global minimum near x = 0.7572 with value ≈ −6.0207.
+        let v = forrester_high(0.757249);
+        assert!((v + 6.0207).abs() < 1e-3, "v = {v}");
+        // The low-fidelity minimum is displaced — that is the point of the
+        // benchmark.
+        assert!((forrester_low(0.757249) - v).abs() > 0.5);
+    }
+
+    #[test]
+    fn branin_known_minimum() {
+        // One of the three minima: (π, 2.275) with value 0.397887.
+        let v = branin_high(&[PI, 2.275]);
+        assert!((v - 0.397_887).abs() < 1e-4, "v = {v}");
+    }
+
+    #[test]
+    fn park_is_finite_on_domain_corners() {
+        for &x0 in &[0.0, 1.0] {
+            for &x1 in &[0.0, 1.0] {
+                let v = park_high(&[x0, x1, 0.5, 0.5]);
+                assert!(v.is_finite());
+                let l = park_low(&[x0, x1, 0.5, 0.5]);
+                assert!(l.is_finite());
+            }
+        }
+    }
+
+    #[test]
+    fn problems_wire_fidelities_correctly() {
+        let p = forrester();
+        let h = p.evaluate(&[0.4], Fidelity::High).objective;
+        let l = p.evaluate(&[0.4], Fidelity::Low).objective;
+        assert!((h - forrester_high(0.4)).abs() < 1e-14);
+        assert!((l - forrester_low(0.4)).abs() < 1e-14);
+        assert!(p.cost(Fidelity::Low) < p.cost(Fidelity::High));
+
+        assert_eq!(pedagogical().dim(), 1);
+        assert_eq!(branin().dim(), 2);
+        assert_eq!(park().dim(), 4);
+    }
+
+    #[test]
+    fn currin_is_finite_and_pair_correlates() {
+        for &x1 in &[0.0, 0.3, 0.7, 1.0] {
+            for &x2 in &[0.0, 0.4, 1.0] {
+                let h = currin_high(&[x1, x2]);
+                let l = currin_low(&[x1, x2]);
+                assert!(h.is_finite() && l.is_finite());
+                // The stencil average tracks the function loosely.
+                assert!((h - l).abs() < 6.0, "at ({x1},{x2}): {h} vs {l}");
+            }
+        }
+        assert_eq!(currin().dim(), 2);
+    }
+
+    #[test]
+    fn hartmann3_known_minimum() {
+        let v = hartmann3_high(&[0.114614, 0.555649, 0.852547]);
+        assert!((v + 3.86278).abs() < 1e-4, "v = {v}");
+        // Low fidelity shares the basin structure but not the values.
+        let l = hartmann3_low(&[0.114614, 0.555649, 0.852547]);
+        assert!(l < -2.0 && (l - v).abs() > 0.05);
+        assert_eq!(hartmann3().dim(), 3);
+    }
+
+    #[test]
+    fn fidelity_pairs_are_correlated_but_not_equal() {
+        // Spot-check the low model carries signal about the high model
+        // (rank correlation over a coarse grid is clearly positive).
+        let xs: Vec<f64> = (0..50).map(|i| i as f64 / 49.0).collect();
+        let h: Vec<f64> = xs.iter().map(|&x| forrester_high(x)).collect();
+        let l: Vec<f64> = xs.iter().map(|&x| forrester_low(x)).collect();
+        let mh = mfbo_linalg::mean(&h);
+        let ml = mfbo_linalg::mean(&l);
+        let cov: f64 = h
+            .iter()
+            .zip(&l)
+            .map(|(a, b)| (a - mh) * (b - ml))
+            .sum::<f64>();
+        let corr = cov
+            / (h.iter().map(|a| (a - mh) * (a - mh)).sum::<f64>().sqrt()
+                * l.iter().map(|b| (b - ml) * (b - ml)).sum::<f64>().sqrt());
+        assert!(corr > 0.5, "corr = {corr}");
+        assert!(h.iter().zip(&l).any(|(a, b)| (a - b).abs() > 1.0));
+    }
+}

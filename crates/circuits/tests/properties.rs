@@ -1,0 +1,196 @@
+//! Property-based tests of the circuit engine against circuit theory.
+
+use mfbo_circuits::spice::dc::solve_dc;
+use mfbo_circuits::spice::{Circuit, MosModel, Waveform};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn divider_chain_voltage_is_monotone(
+        rs in prop::collection::vec(10.0f64..100e3, 2..8),
+        v in 0.1f64..10.0,
+    ) {
+        // A series resistor chain from V to ground: node voltages decrease
+        // monotonically and interpolate between V and 0 per the divider
+        // rule.
+        let mut c = Circuit::new();
+        let top = c.node("top");
+        c.vsource(top, Circuit::GND, Waveform::Dc(v));
+        let mut prev = top;
+        let mut nodes = vec![top];
+        for (i, r) in rs.iter().enumerate() {
+            let n = c.node(&format!("n{i}"));
+            c.resistor(prev, n, *r);
+            nodes.push(n);
+            prev = n;
+        }
+        // Terminate to ground.
+        c.resistor(prev, Circuit::GND, 1e3);
+        let sol = solve_dc(&c).unwrap();
+        let total: f64 = rs.iter().sum::<f64>() + 1e3;
+        let mut acc = 0.0;
+        let mut last = v;
+        for (i, n) in nodes.iter().enumerate() {
+            let vn = sol.voltage(*n);
+            prop_assert!(vn <= last + 1e-9, "voltages must fall along the chain");
+            // Divider value check.
+            if i > 0 {
+                acc += rs[i - 1];
+            }
+            let expect = v * (1.0 - acc / total);
+            prop_assert!((vn - expect).abs() < 1e-6 * v.max(1.0), "node {i}: {vn} vs {expect}");
+            last = vn;
+        }
+    }
+
+    #[test]
+    fn superposition_of_current_sources(
+        i1 in 1e-6f64..1e-3,
+        i2 in 1e-6f64..1e-3,
+        r in 100.0f64..10e3,
+    ) {
+        // Linear circuit: response to both sources = sum of individual
+        // responses.
+        let build = |a: f64, b: f64| {
+            let mut c = Circuit::new();
+            let n = c.node("n");
+            if a > 0.0 {
+                c.isource(Circuit::GND, n, Waveform::Dc(a));
+            }
+            if b > 0.0 {
+                c.isource(Circuit::GND, n, Waveform::Dc(b));
+            }
+            c.resistor(n, Circuit::GND, r);
+            let sol = solve_dc(&c).unwrap();
+            sol.voltage(n)
+        };
+        let both = build(i1, i2);
+        let only1 = build(i1, 0.0);
+        let only2 = build(0.0, i2);
+        prop_assert!((both - only1 - only2).abs() < 1e-9 * both.abs().max(1.0));
+    }
+
+    #[test]
+    fn mirror_ratio_scales_current(
+        ratio in 0.5f64..4.0,
+        iref in 5e-6f64..100e-6,
+    ) {
+        // NMOS mirror output tracks W/L ratio to within the λ·Vds error.
+        let mut c = Circuit::new();
+        let vdd = c.node("vdd");
+        let nref = c.node("ref");
+        let nout = c.node("out");
+        c.vsource(vdd, Circuit::GND, Waveform::Dc(1.8));
+        c.isource(vdd, nref, Waveform::Dc(iref));
+        c.mosfet(nref, nref, Circuit::GND, MosModel::nmos_default(), 20.0);
+        c.mosfet(nout, nref, Circuit::GND, MosModel::nmos_default(), 20.0 * ratio);
+        c.resistor(vdd, nout, 1e3);
+        let sol = solve_dc(&c).unwrap();
+        let iout = (1.8 - sol.voltage(nout)) / 1e3;
+        let expect = iref * ratio;
+        // λ = 0.08 with |ΔVds| < 1.8 V bounds the mirror error ≲ 15 %.
+        prop_assert!(
+            (iout - expect).abs() / expect < 0.2,
+            "iout = {iout}, expect ≈ {expect}"
+        );
+    }
+
+    #[test]
+    fn dc_sweep_of_diode_is_monotone(steps in 2usize..8) {
+        // Increasing drive voltage never decreases the diode current.
+        let mut last = 0.0;
+        for k in 1..=steps {
+            let v = k as f64;
+            let mut c = Circuit::new();
+            let a = c.node("a");
+            let kth = c.node("k");
+            c.vsource(a, Circuit::GND, Waveform::Dc(v));
+            c.resistor(a, kth, 1e3);
+            c.diode(kth, Circuit::GND, 1e-14, 1.0);
+            let sol = solve_dc(&c).unwrap();
+            let i = (v - sol.voltage(kth)) / 1e3;
+            prop_assert!(i >= last - 1e-12);
+            last = i;
+        }
+    }
+}
+
+mod pvt_props {
+    use mfbo_circuits::pvt::PvtCorner;
+    use mfbo_circuits::spice::MosModel;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn derating_preserves_polarity_and_positivity(
+            idx in 0usize..27,
+            vth in 0.2f64..0.8,
+            kp in 50e-6f64..500e-6,
+        ) {
+            let corner = PvtCorner::grid_27()[idx];
+            let nominal = MosModel {
+                vth,
+                kp,
+                ..MosModel::nmos_default()
+            };
+            let d = corner.derate(&nominal);
+            prop_assert_eq!(d.polarity, nominal.polarity);
+            prop_assert!(d.vth > 0.0);
+            prop_assert!(d.kp > 0.0);
+            prop_assert_eq!(d.lambda, nominal.lambda);
+        }
+
+        #[test]
+        fn ss_always_slower_than_ff(vth in 0.3f64..0.6, t in -40.0f64..125.0) {
+            use mfbo_circuits::pvt::ProcessCorner;
+            let nominal = MosModel { vth, ..MosModel::nmos_default() };
+            let ss = PvtCorner { process: ProcessCorner::Ss, supply_factor: 1.0, temperature_c: t }.derate(&nominal);
+            let ff = PvtCorner { process: ProcessCorner::Ff, supply_factor: 1.0, temperature_c: t }.derate(&nominal);
+            prop_assert!(ss.kp < ff.kp);
+            prop_assert!(ss.vth > ff.vth);
+        }
+    }
+}
+
+mod waveform_props {
+    use mfbo_circuits::spice::waveform;
+    use proptest::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn harmonic_amplitude_is_linear_in_signal(a in 0.1f64..5.0, ph in 0.0f64..6.28) {
+            let n = 512;
+            let dt = 1.0 / n as f64;
+            let s: Vec<f64> = (0..n)
+                .map(|k| a * (2.0 * std::f64::consts::PI * 3.0 * k as f64 * dt + ph).sin())
+                .collect();
+            let got = waveform::harmonic_amplitude(&s, dt, 3.0, 1);
+            prop_assert!((got - a).abs() < 1e-6 * a);
+            // Doubling the waveform doubles the amplitude.
+            let s2: Vec<f64> = s.iter().map(|v| 2.0 * v).collect();
+            let got2 = waveform::harmonic_amplitude(&s2, dt, 3.0, 1);
+            prop_assert!((got2 - 2.0 * got).abs() < 1e-9 * got2.max(1.0));
+        }
+
+        #[test]
+        fn rms_bounds_average(samples in prop::collection::vec(-5.0f64..5.0, 1..50)) {
+            // |mean| <= rms (Cauchy–Schwarz).
+            let m = waveform::average(&samples).abs();
+            let r = waveform::rms(&samples);
+            prop_assert!(m <= r + 1e-12);
+        }
+
+        #[test]
+        fn dbm_round_trip(p in 1e-6f64..10.0) {
+            let dbm = waveform::to_dbm(p);
+            let back = 1e-3 * 10f64.powf(dbm / 10.0);
+            prop_assert!((back - p).abs() < 1e-9 * p);
+        }
+    }
+}

@@ -1,0 +1,266 @@
+//! Linear auto-regressive co-kriging — the model class the paper argues
+//! *against*.
+//!
+//! Kennedy & O'Hagan (2000) fuse fidelities through the linear relation of
+//! paper eq. (7):
+//!
+//! ```text
+//! f_h(x) = ρ · f_l(x) + δ(x)
+//! ```
+//!
+//! with a scalar regression coefficient ρ and an independent discrepancy
+//! GP `δ`. This works when the fidelities are linearly correlated and
+//! fails when the map is nonlinear — which is exactly the motivation for
+//! the NARGP fusion model ([`crate::MfGp`]). We implement the recursive
+//! formulation (Le Gratiet 2014): train the low GP, estimate ρ by least
+//! squares of the high-fidelity data on the low posterior mean, then train
+//! the discrepancy GP on the residuals.
+//!
+//! Provided for completeness and for the model-class ablation bench; the
+//! optimization loops use [`crate::MfGp`].
+
+use mfbo_gp::kernel::SquaredExponential;
+use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
+use rand::Rng;
+
+/// Configuration for [`Ar1Gp::fit`].
+#[derive(Debug, Clone, Default)]
+pub struct Ar1Config {
+    /// Training configuration of the low-fidelity GP.
+    pub low: GpConfig,
+    /// Training configuration of the discrepancy GP.
+    pub delta: GpConfig,
+}
+
+/// The two-fidelity linear (AR(1)) co-kriging model.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo::{Ar1Config, Ar1Gp};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), mfbo_gp::GpError> {
+/// // A linearly-correlated pair: f_h = 2 f_l − 1.
+/// let fl = |x: f64| (3.0 * x).sin();
+/// let xl: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+/// let yl: Vec<f64> = xl.iter().map(|x| fl(x[0])).collect();
+/// let xh: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+/// let yh: Vec<f64> = xh.iter().map(|x| 2.0 * fl(x[0]) - 1.0).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = Ar1Gp::fit(xl, yl, xh, yh, &Ar1Config::default(), &mut rng)?;
+/// assert!((model.rho() - 2.0).abs() < 0.1);
+/// let p = model.predict(&[0.5]);
+/// assert!((p.mean - (2.0 * fl(0.5) - 1.0)).abs() < 0.05);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Ar1Gp {
+    low: Gp<SquaredExponential>,
+    rho: f64,
+    delta: Gp<SquaredExponential>,
+}
+
+impl Ar1Gp {
+    /// Trains the co-kriging model on coarse data `(xl, yl)` and fine data
+    /// `(xh, yh)`.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpError`] from either stage, or
+    /// [`GpError::InvalidTrainingSet`] when the fine set is empty.
+    pub fn fit<R: Rng + ?Sized>(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        config: &Ar1Config,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        if xh.is_empty() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "no high-fidelity training points".into(),
+            });
+        }
+        let dim = xh[0].len();
+        let low = Gp::fit(SquaredExponential::new(dim), xl, yl, &config.low, rng)?;
+
+        // Least-squares ρ of yh on μ_l(Xh), with centering so the intercept
+        // is absorbed by the discrepancy (whose standardizer removes means).
+        let mu_l: Vec<f64> = xh.iter().map(|x| low.predict(x).mean).collect();
+        let m_mu = mfbo_linalg::mean(&mu_l);
+        let m_yh = mfbo_linalg::mean(&yh);
+        let mut sxx = 0.0;
+        let mut sxy = 0.0;
+        for (u, y) in mu_l.iter().zip(&yh) {
+            sxx += (u - m_mu) * (u - m_mu);
+            sxy += (u - m_mu) * (y - m_yh);
+        }
+        let rho = if sxx > 1e-12 { sxy / sxx } else { 0.0 };
+
+        // Discrepancy on the residuals.
+        let resid: Vec<f64> = yh
+            .iter()
+            .zip(&mu_l)
+            .map(|(y, u)| y - rho * u)
+            .collect();
+        let delta = Gp::fit(SquaredExponential::new(dim), xh, resid, &config.delta, rng)?;
+        Ok(Ar1Gp { low, rho, delta })
+    }
+
+    /// The estimated regression coefficient ρ.
+    pub fn rho(&self) -> f64 {
+        self.rho
+    }
+
+    /// The low-fidelity GP.
+    pub fn low(&self) -> &Gp<SquaredExponential> {
+        &self.low
+    }
+
+    /// The discrepancy GP.
+    pub fn delta(&self) -> &Gp<SquaredExponential> {
+        &self.delta
+    }
+
+    /// High-fidelity posterior `ρ·f_l(x) + δ(x)`; variances add because the
+    /// two GPs are independent by construction.
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        let pl = self.low.predict(x);
+        let pd = self.delta.predict(x);
+        Prediction {
+            mean: self.rho * pl.mean + pd.mean,
+            var: self.rho * self.rho * pl.var + pd.var,
+        }
+    }
+
+    /// Low-fidelity posterior at `x`.
+    pub fn predict_low(&self, x: &[f64]) -> Prediction {
+        self.low.predict(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    fn fl(x: f64) -> f64 {
+        (8.0 * PI * x).sin()
+    }
+
+    /// Nonlinear pedagogical pair (paper Figure 1).
+    fn fh_nonlinear(x: f64) -> f64 {
+        (x - 2f64.sqrt()) * fl(x) * fl(x)
+    }
+
+    /// Linear pair.
+    fn fh_linear(x: f64) -> f64 {
+        1.5 * fl(x) + 0.3 * x
+    }
+
+    fn data(
+        nl: usize,
+        nh: usize,
+        fh: impl Fn(f64) -> f64,
+    ) -> (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+        let xl: Vec<Vec<f64>> = (0..nl).map(|i| vec![i as f64 / (nl - 1) as f64]).collect();
+        let yl: Vec<f64> = xl.iter().map(|x| fl(x[0])).collect();
+        let xh: Vec<Vec<f64>> = (0..nh).map(|i| vec![i as f64 / (nh - 1) as f64]).collect();
+        let yh: Vec<f64> = xh.iter().map(|x| fh(x[0])).collect();
+        (xl, yl, xh, yh)
+    }
+
+    #[test]
+    fn recovers_rho_on_linear_pair() {
+        let (xl, yl, xh, yh) = data(50, 14, fh_linear);
+        let mut rng = StdRng::seed_from_u64(0);
+        let m = Ar1Gp::fit(xl, yl, xh, yh, &Ar1Config::default(), &mut rng).unwrap();
+        assert!((m.rho() - 1.5).abs() < 0.1, "rho = {}", m.rho());
+        // Accurate predictions off the training grid.
+        for &x in &[0.17, 0.43, 0.81] {
+            let p = m.predict(&[x]);
+            assert!(
+                (p.mean - fh_linear(x)).abs() < 0.1,
+                "at {x}: {} vs {}",
+                p.mean,
+                fh_linear(x)
+            );
+        }
+    }
+
+    #[test]
+    fn nargp_beats_ar1_on_nonlinear_pair() {
+        // The paper's core claim about model classes.
+        let (xl, yl, xh, yh) = data(50, 14, fh_nonlinear);
+        let mut rng = StdRng::seed_from_u64(1);
+        let ar1 = Ar1Gp::fit(
+            xl.clone(),
+            yl.clone(),
+            xh.clone(),
+            yh.clone(),
+            &Ar1Config::default(),
+            &mut rng,
+        )
+        .unwrap();
+        let nargp = crate::MfGp::fit(xl, yl, xh, yh, &crate::MfGpConfig::default(), &mut rng)
+            .unwrap();
+        let mut ar1_se = 0.0;
+        let mut nargp_se = 0.0;
+        for i in 0..200 {
+            let x = i as f64 / 199.0;
+            let t = fh_nonlinear(x);
+            ar1_se += (ar1.predict(&[x]).mean - t).powi(2);
+            nargp_se += (nargp.predict(&[x]).mean - t).powi(2);
+        }
+        assert!(
+            nargp_se < 0.25 * ar1_se,
+            "NARGP {nargp_se:.4} should be well below AR1 {ar1_se:.4}"
+        );
+    }
+
+    #[test]
+    fn variance_combines_both_stages() {
+        let (xl, yl, xh, yh) = data(30, 10, fh_linear);
+        let mut rng = StdRng::seed_from_u64(2);
+        let m = Ar1Gp::fit(xl, yl, xh, yh, &Ar1Config::default(), &mut rng).unwrap();
+        let p = m.predict(&[0.5]);
+        let pl = m.predict_low(&[0.5]);
+        let pd = m.delta().predict(&[0.5]);
+        let expect = m.rho() * m.rho() * pl.var + pd.var;
+        assert!((p.var - expect).abs() < 1e-12);
+        assert!(p.var >= 0.0);
+    }
+
+    #[test]
+    fn degenerate_constant_low_model_yields_zero_rho() {
+        let xl: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let yl = vec![1.0; 10];
+        let xh: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64 / 4.0]).collect();
+        let yh: Vec<f64> = xh.iter().map(|x| x[0]).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let m = Ar1Gp::fit(xl, yl, xh, yh, &Ar1Config::default(), &mut rng).unwrap();
+        assert_eq!(m.rho(), 0.0);
+        // Everything is explained by the discrepancy.
+        let p = m.predict(&[0.5]);
+        assert!((p.mean - 0.5).abs() < 0.1);
+    }
+
+    #[test]
+    fn requires_high_fidelity_data() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let e = Ar1Gp::fit(
+            vec![vec![0.0]],
+            vec![0.0],
+            vec![],
+            vec![],
+            &Ar1Config::default(),
+            &mut rng,
+        );
+        assert!(e.is_err());
+    }
+}

@@ -1,0 +1,66 @@
+//! Error type for the optimization loops.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by the Bayesian-optimization drivers.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum MfboError {
+    /// A surrogate model could not be trained.
+    Surrogate(mfbo_gp::GpError),
+    /// The configuration is inconsistent (e.g. zero initial points).
+    InvalidConfig {
+        /// Description of the problem.
+        reason: String,
+    },
+    /// The problem returned a non-finite objective or constraint value.
+    NonFiniteEvaluation {
+        /// The design point that produced the bad value.
+        x: Vec<f64>,
+    },
+}
+
+impl fmt::Display for MfboError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MfboError::Surrogate(e) => write!(f, "surrogate training failed: {e}"),
+            MfboError::InvalidConfig { reason } => write!(f, "invalid configuration: {reason}"),
+            MfboError::NonFiniteEvaluation { x } => {
+                write!(f, "problem returned a non-finite value at {x:?}")
+            }
+        }
+    }
+}
+
+impl Error for MfboError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            MfboError::Surrogate(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<mfbo_gp::GpError> for MfboError {
+    fn from(e: mfbo_gp::GpError) -> Self {
+        MfboError::Surrogate(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = MfboError::from(mfbo_gp::GpError::TrainingFailed);
+        assert!(e.to_string().contains("surrogate"));
+        assert!(Error::source(&e).is_some());
+        let c = MfboError::InvalidConfig {
+            reason: "budget is zero".into(),
+        };
+        assert!(c.to_string().contains("budget"));
+        assert!(Error::source(&c).is_none());
+    }
+}

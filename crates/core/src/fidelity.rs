@@ -1,0 +1,108 @@
+//! Fidelity-selection criterion (paper §3.4).
+//!
+//! The insight: sample the expensive high-fidelity simulator only where the
+//! cheap model has nothing left to learn. If the low-fidelity posterior
+//! variance at the chosen query point is still large, a low-fidelity sample
+//! will improve the fusion model at a fraction of the cost; once the
+//! low-fidelity model is confident (`σ_l² < γ`), only a high-fidelity sample
+//! adds information.
+
+use crate::problem::Fidelity;
+
+/// The variance-threshold fidelity selector of paper eqs. (11)–(12).
+///
+/// # Examples
+///
+/// ```
+/// use mfbo::FidelitySelector;
+/// use mfbo::problem::Fidelity;
+///
+/// let sel = FidelitySelector::default(); // γ = 0.01, as in the paper
+/// // Low-fidelity model still uncertain → sample low fidelity.
+/// assert_eq!(sel.select(0.5, 0), Fidelity::Low);
+/// // Low-fidelity model confident → pay for high fidelity.
+/// assert_eq!(sel.select(0.001, 0), Fidelity::High);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FidelitySelector {
+    gamma: f64,
+}
+
+impl FidelitySelector {
+    /// Creates a selector with threshold `gamma` (standardized-output
+    /// variance units).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `gamma` is not strictly positive.
+    pub fn new(gamma: f64) -> Self {
+        assert!(gamma > 0.0, "gamma must be positive");
+        FidelitySelector { gamma }
+    }
+
+    /// The threshold γ.
+    pub fn gamma(&self) -> f64 {
+        self.gamma
+    }
+
+    /// Chooses the evaluation fidelity given the *maximum* standardized
+    /// low-fidelity posterior variance over the objective and all
+    /// constraints, and the number of constraints.
+    ///
+    /// Unconstrained problems use eq. (11): high iff `σ_l² < γ`.
+    /// Constrained problems use eq. (12): high iff
+    /// `max_i σ_{l,i}² < (1 + Nc)·γ`.
+    pub fn select(&self, max_low_variance: f64, num_constraints: usize) -> Fidelity {
+        let threshold = (1.0 + num_constraints as f64) * self.gamma;
+        if max_low_variance < threshold {
+            Fidelity::High
+        } else {
+            Fidelity::Low
+        }
+    }
+}
+
+impl Default for FidelitySelector {
+    /// The paper's empirical setting, γ = 0.01.
+    fn default() -> Self {
+        FidelitySelector { gamma: 0.01 }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_gamma_matches_paper() {
+        assert_eq!(FidelitySelector::default().gamma(), 0.01);
+    }
+
+    #[test]
+    fn unconstrained_threshold() {
+        let s = FidelitySelector::new(0.01);
+        assert_eq!(s.select(0.009, 0), Fidelity::High);
+        assert_eq!(s.select(0.011, 0), Fidelity::Low);
+    }
+
+    #[test]
+    fn constrained_threshold_scales_with_nc() {
+        let s = FidelitySelector::new(0.01);
+        // With Nc = 4 the threshold is 0.05.
+        assert_eq!(s.select(0.04, 4), Fidelity::High);
+        assert_eq!(s.select(0.06, 4), Fidelity::Low);
+    }
+
+    #[test]
+    #[should_panic(expected = "gamma must be positive")]
+    fn rejects_non_positive_gamma() {
+        let _ = FidelitySelector::new(0.0);
+    }
+
+    #[test]
+    fn boundary_is_low_fidelity() {
+        // Strict inequality: exactly at the threshold we keep sampling low.
+        let s = FidelitySelector::new(0.01);
+        assert_eq!(s.select(0.01, 0), Fidelity::Low);
+    }
+}

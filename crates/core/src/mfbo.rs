@@ -1,0 +1,447 @@
+//! The multi-fidelity Bayesian optimization driver — paper Algorithm 1.
+//!
+//! Per iteration:
+//!
+//! 1. build/refresh the fusion surrogates (§3.1–3.2);
+//! 2. maximize the **low-fidelity** wEI with the MSP strategy → `x*_l`
+//!    (Algorithm 1, line 5);
+//! 3. maximize the **high-fidelity** wEI, seeding the MSP starts with
+//!    `x*_l` and the biased anchors of §4.1 → `x_t` (line 6);
+//! 4. choose the evaluation fidelity by the variance criterion of §3.4;
+//! 5. simulate and extend the training set (line 8).
+//!
+//! When the high-fidelity data contain no feasible point yet, step 2–3 are
+//! replaced by the first-feasible-point search of §4.2 (minimize
+//! `Σ max(0, μ_h,i(x))`, eq. 13).
+
+use crate::fidelity::FidelitySelector;
+use crate::history::{EvaluationRecord, FidelityData, Outcome};
+use crate::nargp::MfGpConfig;
+use crate::problem::{Fidelity, MultiFidelityProblem};
+use crate::surrogate::{MfBundleThetas, MfSurrogates};
+use crate::MfboError;
+use mfbo_opt::{msp::MultiStart, neldermead::NelderMead, sampling};
+use rand::Rng;
+
+/// Configuration of [`MfBayesOpt`].
+///
+/// The defaults mirror the paper's reported settings where it states them:
+/// γ = 0.01, 10 % of MSP starts around the low-fidelity incumbent, 40 %
+/// around the high-fidelity incumbent.
+#[derive(Debug, Clone)]
+pub struct MfBoConfig {
+    /// Size of the initial low-fidelity Latin-hypercube design.
+    pub initial_low: usize,
+    /// Size of the initial high-fidelity Latin-hypercube design.
+    pub initial_high: usize,
+    /// Total simulation budget in *equivalent high-fidelity simulations*
+    /// (initial design included).
+    pub budget: f64,
+    /// Hard cap on BO iterations (safety net; the budget normally stops the
+    /// loop first).
+    pub max_iterations: usize,
+    /// Number of MSP starting points per acquisition optimization.
+    pub msp_starts: usize,
+    /// Fraction of starts scattered around the low-fidelity incumbent
+    /// (paper: 0.10).
+    pub frac_around_tau_l: f64,
+    /// Fraction of starts scattered around the high-fidelity incumbent
+    /// (paper: 0.40).
+    pub frac_around_tau_h: f64,
+    /// Relative width of the anchor clouds (fraction of each bound width).
+    pub anchor_spread: f64,
+    /// Fidelity-selection threshold γ of eqs. (11)–(12).
+    pub gamma: f64,
+    /// Surrogate training configuration.
+    pub model: MfGpConfig,
+    /// Re-optimize hyperparameters every `refit_every` iterations; in
+    /// between, refresh the models with frozen hyperparameters. `1` = refit
+    /// every iteration (most faithful, most expensive).
+    pub refit_every: usize,
+    /// Optional winsorization of surrogate training targets at
+    /// `mean ± k·std` (see [`crate::FidelityData::winsorized`]). `None`
+    /// (paper-faithful) fits the raw observations; heavy-tailed problems
+    /// like the charge pump benefit from `Some(2.5)`.
+    pub winsorize_sigma: Option<f64>,
+    /// Verification safeguard: after this many *consecutive* low-fidelity
+    /// selections, the next sample is forced to high fidelity regardless of
+    /// eq. (11). In high-dimensional spaces the low-fidelity posterior
+    /// variance at fresh acquisition points never falls below any fixed γ
+    /// (the curse of dimensionality keeps every new point far from the
+    /// data), which would otherwise starve the fusion model of
+    /// high-fidelity evidence forever. The paper does not state such a
+    /// safeguard, but its reported charge-pump run (146 fine samples out of
+    /// 471) is unreachable without one.
+    pub max_low_streak: usize,
+}
+
+impl Default for MfBoConfig {
+    fn default() -> Self {
+        MfBoConfig {
+            initial_low: 10,
+            initial_high: 5,
+            budget: 50.0,
+            max_iterations: 10_000,
+            msp_starts: 24,
+            frac_around_tau_l: 0.10,
+            frac_around_tau_h: 0.40,
+            anchor_spread: 0.05,
+            gamma: 0.01,
+            model: MfGpConfig::fast(),
+            refit_every: 1,
+            winsorize_sigma: None,
+            max_low_streak: 25,
+        }
+    }
+}
+
+/// The multi-fidelity Bayesian optimizer (paper Algorithm 1).
+///
+/// See the crate-level example for usage.
+#[derive(Debug, Clone)]
+pub struct MfBayesOpt {
+    config: MfBoConfig,
+}
+
+impl MfBayesOpt {
+    /// Creates a driver with the given configuration.
+    pub fn new(config: MfBoConfig) -> Self {
+        MfBayesOpt { config }
+    }
+
+    /// Runs the optimization on `problem`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MfboError::InvalidConfig`] for inconsistent settings,
+    /// [`MfboError::NonFiniteEvaluation`] if the simulator produces NaN/inf,
+    /// and [`MfboError::Surrogate`] if model training fails irrecoverably.
+    pub fn run<P, R>(&self, problem: &P, rng: &mut R) -> Result<Outcome, MfboError>
+    where
+        P: MultiFidelityProblem + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let cfg = &self.config;
+        if cfg.initial_low == 0 || cfg.initial_high == 0 {
+            return Err(MfboError::InvalidConfig {
+                reason: "initial designs must be non-empty".into(),
+            });
+        }
+        if cfg.budget <= 0.0 {
+            return Err(MfboError::InvalidConfig {
+                reason: "budget must be positive".into(),
+            });
+        }
+        let bounds = problem.bounds();
+        let nc = problem.num_constraints();
+        let mut low = FidelityData::new(nc);
+        let mut high = FidelityData::new(nc);
+        let mut history: Vec<EvaluationRecord> = Vec::new();
+        let mut cost = 0.0;
+
+        // --- Initial design (Algorithm 1, line 1). ---
+        for x in sampling::latin_hypercube(&bounds, cfg.initial_low, rng) {
+            let eval = problem.evaluate(&x, Fidelity::Low);
+            if !eval.is_finite() {
+                return Err(MfboError::NonFiniteEvaluation { x });
+            }
+            cost += problem.cost(Fidelity::Low);
+            low.push(x.clone(), &eval);
+            history.push(EvaluationRecord {
+                iteration: 0,
+                x,
+                fidelity: Fidelity::Low,
+                evaluation: eval,
+                cost_so_far: cost,
+            });
+        }
+        for x in sampling::latin_hypercube(&bounds, cfg.initial_high, rng) {
+            let eval = problem.evaluate(&x, Fidelity::High);
+            if !eval.is_finite() {
+                return Err(MfboError::NonFiniteEvaluation { x });
+            }
+            cost += problem.cost(Fidelity::High);
+            high.push(x.clone(), &eval);
+            history.push(EvaluationRecord {
+                iteration: 0,
+                x,
+                fidelity: Fidelity::High,
+                evaluation: eval,
+                cost_so_far: cost,
+            });
+        }
+
+        let selector = FidelitySelector::new(cfg.gamma);
+        let mut low_streak = 0usize;
+        let mut thetas: Option<MfBundleThetas> = None;
+        let mut iterations_since_refit = 0usize;
+        // Surrogates and acquisition optimization operate in the unit cube;
+        // the problem is evaluated (and history recorded) in raw units.
+        let unit = mfbo_opt::Bounds::unit(bounds.dim());
+
+        // --- Main loop (Algorithm 1, lines 2–9). ---
+        for iteration in 1..=cfg.max_iterations {
+            if cost >= cfg.budget {
+                break;
+            }
+            let mut low_u = low.to_unit(&bounds);
+            let mut high_u = high.to_unit(&bounds);
+            if let Some(k) = cfg.winsorize_sigma {
+                low_u = low_u.winsorized(k);
+                high_u = high_u.winsorized(k);
+            }
+
+            // Line 3: build the multi-fidelity model. Full hyperparameter
+            // optimization every `refit_every` iterations, frozen refresh in
+            // between; a frozen-refresh failure falls back to a full refit.
+            let surrogates = match &thetas {
+                Some(t) if iterations_since_refit < cfg.refit_every => {
+                    match MfSurrogates::fit_frozen(&low_u, &high_u, t, cfg.model.mc_samples) {
+                        Ok(s) => s,
+                        Err(_) => MfSurrogates::fit(&low_u, &high_u, &cfg.model, rng)?,
+                    }
+                }
+                Some(t) => {
+                    iterations_since_refit = 0;
+                    MfSurrogates::fit_warm(&low_u, &high_u, &cfg.model, t, rng)?
+                }
+                None => {
+                    iterations_since_refit = 0;
+                    MfSurrogates::fit(&low_u, &high_u, &cfg.model, rng)?
+                }
+            };
+            iterations_since_refit += 1;
+            thetas = Some(surrogates.thetas());
+
+            // Incumbents (values and locations) at each fidelity.
+            let best_low = low.best_feasible().or_else(|| low.best_any());
+            let best_high = high.best_feasible().or_else(|| high.best_any());
+            let has_feasible_high = high.best_feasible().is_some();
+
+            let local = NelderMead::new().with_max_iters(90);
+            let xt_unit = if nc > 0 && !has_feasible_high {
+                // §4.2: no feasible point known — minimize Σ max(0, μ_h,i).
+                // A tiny objective-mean tie-break steers the search toward
+                // good designs once the drive term flattens at zero.
+                let drive = |x: &[f64]| {
+                    let d = surrogates.feasibility_drive(x);
+                    let obj = surrogates.objective().predict(x).mean;
+                    d + 1e-4 * obj
+                };
+                let ms = MultiStart::new(cfg.msp_starts).with_local_search(local.clone());
+                ms.minimize(&drive, &unit, rng).x
+            } else {
+                // Line 5: optimize the low-fidelity wEI → x*_l.
+                let tau_l = best_low.map(|(_, v)| v).unwrap_or(0.0);
+                let tau_h = best_high.map(|(_, v)| v).unwrap_or(0.0);
+                let mut ms_low = MultiStart::new(cfg.msp_starts).with_local_search(local.clone());
+                if let Some((k, _)) = best_low {
+                    ms_low = ms_low.with_anchor(
+                        low_u.xs[k].clone(),
+                        cfg.frac_around_tau_l + cfg.frac_around_tau_h,
+                        cfg.anchor_spread,
+                    );
+                }
+                let wei_l = |x: &[f64]| surrogates.wei_low(x, tau_l);
+                let xl_star = ms_low.maximize(&wei_l, &unit, rng).x;
+
+                // Line 6: optimize the high-fidelity wEI seeded with x*_l
+                // and the biased anchors of §4.1.
+                let mut ms_high = MultiStart::new(cfg.msp_starts)
+                    .with_local_search(local)
+                    .with_anchor(xl_star, 0.15, cfg.anchor_spread);
+                if let Some((k, _)) = best_high {
+                    ms_high = ms_high.with_anchor(
+                        high_u.xs[k].clone(),
+                        cfg.frac_around_tau_h,
+                        cfg.anchor_spread,
+                    );
+                }
+                if let Some((k, _)) = best_low {
+                    ms_high = ms_high.with_anchor(
+                        low_u.xs[k].clone(),
+                        cfg.frac_around_tau_l,
+                        cfg.anchor_spread,
+                    );
+                }
+                let wei_h = |x: &[f64]| surrogates.wei_high(x, tau_h);
+                ms_high.maximize(&wei_h, &unit, rng).x
+            };
+
+            // Line 7: fidelity selection (§3.4), with the verification
+            // safeguard (see MfBoConfig::max_low_streak).
+            let mut fidelity = selector.select(surrogates.max_low_variance(&xt_unit), nc);
+            if fidelity == Fidelity::Low && low_streak >= cfg.max_low_streak {
+                fidelity = Fidelity::High;
+            }
+            match fidelity {
+                Fidelity::Low => low_streak += 1,
+                Fidelity::High => low_streak = 0,
+            }
+
+            // Line 8: simulate and extend the training set.
+            let xt = bounds.from_unit(&xt_unit);
+            let eval = problem.evaluate(&xt, fidelity);
+            if !eval.is_finite() {
+                return Err(MfboError::NonFiniteEvaluation { x: xt });
+            }
+            cost += problem.cost(fidelity);
+            match fidelity {
+                Fidelity::Low => low.push(xt.clone(), &eval),
+                Fidelity::High => high.push(xt.clone(), &eval),
+            }
+            history.push(EvaluationRecord {
+                iteration,
+                x: xt,
+                fidelity,
+                evaluation: eval,
+                cost_so_far: cost,
+            });
+        }
+
+        Ok(Outcome::from_data(high, low, history))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FunctionProblem;
+    use mfbo_opt::Bounds;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Forrester function pair — the canonical multi-fidelity benchmark.
+    fn forrester() -> FunctionProblem {
+        FunctionProblem::builder("forrester", Bounds::unit(1))
+            .high(|x: &[f64]| (6.0 * x[0] - 2.0).powi(2) * (12.0 * x[0] - 4.0).sin())
+            .low(|x: &[f64]| {
+                let f = (6.0 * x[0] - 2.0).powi(2) * (12.0 * x[0] - 4.0).sin();
+                0.5 * f + 10.0 * (x[0] - 0.5) - 5.0
+            })
+            .low_cost(0.1)
+            .build()
+    }
+
+    #[test]
+    fn solves_forrester_within_budget() {
+        // Global minimum ≈ -6.0207 at x ≈ 0.7572.
+        let mut rng = StdRng::seed_from_u64(2024);
+        let config = MfBoConfig {
+            initial_low: 8,
+            initial_high: 4,
+            budget: 14.0,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        assert!(out.best_objective < -5.5, "best = {}", out.best_objective);
+        assert!((out.best_x[0] - 0.7572).abs() < 0.05, "x = {:?}", out.best_x);
+        assert!(out.total_cost <= 14.0 + 1.0); // one evaluation of overshoot allowed
+        assert!(out.n_low >= 8 && out.n_high >= 4);
+    }
+
+    #[test]
+    fn uses_cheap_fidelity_substantially() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let config = MfBoConfig {
+            initial_low: 8,
+            initial_high: 4,
+            budget: 12.0,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        // The fidelity criterion should route a meaningful share of queries
+        // to the cheap simulator.
+        assert!(out.n_low > 8, "n_low = {}", out.n_low);
+    }
+
+    #[test]
+    fn constrained_problem_finds_feasible_optimum() {
+        // min (x0-0.2)² + (x1-0.2)² s.t. x0 + x1 > 1 (c = 1 - x0 - x1 < 0).
+        // Optimum on the boundary at (0.5, 0.5), objective 0.18.
+        let p = FunctionProblem::builder("c-toy", Bounds::unit(2))
+            .high(|x: &[f64]| (x[0] - 0.2).powi(2) + (x[1] - 0.2).powi(2))
+            .low(|x: &[f64]| (x[0] - 0.23).powi(2) + (x[1] - 0.17).powi(2) + 0.02)
+            .high_constraints(1, |x: &[f64]| vec![1.0 - x[0] - x[1]])
+            .low_constraints(|x: &[f64]| vec![1.02 - x[0] - x[1]])
+            .low_cost(0.1)
+            .build();
+        let mut rng = StdRng::seed_from_u64(11);
+        let config = MfBoConfig {
+            initial_low: 10,
+            initial_high: 5,
+            budget: 20.0,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&p, &mut rng).unwrap();
+        assert!(out.feasible);
+        assert!(out.best_objective < 0.25, "best = {}", out.best_objective);
+        assert!(
+            out.best_x[0] + out.best_x[1] >= 0.99,
+            "x = {:?}",
+            out.best_x
+        );
+    }
+
+    #[test]
+    fn rejects_bad_configs() {
+        let p = forrester();
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = MfBayesOpt::new(MfBoConfig {
+            initial_low: 0,
+            ..MfBoConfig::default()
+        })
+        .run(&p, &mut rng);
+        assert!(matches!(e, Err(MfboError::InvalidConfig { .. })));
+
+        let e = MfBayesOpt::new(MfBoConfig {
+            budget: 0.0,
+            ..MfBoConfig::default()
+        })
+        .run(&p, &mut rng);
+        assert!(matches!(e, Err(MfboError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn non_finite_problem_is_reported() {
+        let p = FunctionProblem::builder("nan", Bounds::unit(1))
+            .high(|_: &[f64]| f64::NAN)
+            .build();
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = MfBayesOpt::new(MfBoConfig::default()).run(&p, &mut rng);
+        assert!(matches!(e, Err(MfboError::NonFiniteEvaluation { .. })));
+    }
+
+    #[test]
+    fn history_is_complete_and_cost_monotone() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = MfBoConfig {
+            initial_low: 6,
+            initial_high: 3,
+            budget: 8.0,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        assert_eq!(out.history.len(), out.n_low + out.n_high);
+        let mut prev = 0.0;
+        for r in &out.history {
+            assert!(r.cost_so_far > prev);
+            prev = r.cost_so_far;
+        }
+        assert!(out.cost_to_best <= out.total_cost);
+    }
+
+    #[test]
+    fn frozen_refits_dont_break_the_loop() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let config = MfBoConfig {
+            initial_low: 8,
+            initial_high: 4,
+            budget: 12.0,
+            refit_every: 5,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        assert!(out.best_objective < -5.0, "best = {}", out.best_objective);
+    }
+}

@@ -1,0 +1,508 @@
+//! The nonlinear information-fusion surrogate (paper §3.1–3.2).
+//!
+//! Two stacked GPs:
+//!
+//! 1. a **low-fidelity GP** `f_l ~ GP(0, k_SE)` trained on the coarse data
+//!    `D_l = (X_l, y_l)`;
+//! 2. a **high-fidelity GP** over *augmented* inputs `(x, μ_l(x))` with the
+//!    composite kernel of paper eq. (9), trained on `D_h = (X_h, y_h)` —
+//!    this realizes `f_h(x) = z(f_l(x)) + δ(x)` (eq. 8) with `z` and `δ`
+//!    both Gaussian processes.
+//!
+//! Because the low-fidelity value at a query point is itself uncertain, the
+//! high-fidelity posterior (eq. 10) is non-Gaussian. Following the paper we
+//! approximate it by Monte-Carlo integration: draw samples of
+//! `f_l(x*) ~ N(μ_l, σ_l²)`, push each through the high GP, and moment-match
+//! the resulting mixture. We use *stratified* (quantile) sampling rather
+//! than i.i.d. draws so the predictor is deterministic and smooth — which
+//! the downstream acquisition optimizer needs; the approximation converges
+//! to the same integral.
+
+use mfbo_gp::kernel::{NargpKernel, SquaredExponential};
+use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
+use mfbo_linalg::norm_inv_cdf;
+use rand::Rng;
+
+/// Configuration for [`MfGp::fit`].
+#[derive(Debug, Clone)]
+pub struct MfGpConfig {
+    /// Number of stratified Monte-Carlo samples used to propagate
+    /// low-fidelity uncertainty through the high GP (paper eq. 10).
+    pub mc_samples: usize,
+    /// Training configuration of the low-fidelity GP.
+    pub low: GpConfig,
+    /// Training configuration of the high-fidelity (fusion) GP.
+    pub high: GpConfig,
+}
+
+impl Default for MfGpConfig {
+    fn default() -> Self {
+        MfGpConfig {
+            mc_samples: 20,
+            low: GpConfig::default(),
+            high: GpConfig::default(),
+        }
+    }
+}
+
+impl MfGpConfig {
+    /// Cheaper settings for inner-loop refits.
+    pub fn fast() -> Self {
+        MfGpConfig {
+            mc_samples: 12,
+            low: GpConfig::fast(),
+            high: GpConfig::fast(),
+        }
+    }
+}
+
+/// The two-fidelity fusion model.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo::{MfGp, MfGpConfig};
+/// use rand::SeedableRng;
+///
+/// # fn main() -> Result<(), mfbo_gp::GpError> {
+/// // Pedagogical pair from Perdikaris et al. 2017 (paper Figures 1–2).
+/// let fl = |x: f64| (8.0 * std::f64::consts::PI * x).sin();
+/// let fh = |x: f64| (x - 2f64.sqrt()) * fl(x) * fl(x);
+/// let xl: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64 / 39.0]).collect();
+/// let yl: Vec<f64> = xl.iter().map(|x| fl(x[0])).collect();
+/// let xh: Vec<Vec<f64>> = (0..14).map(|i| vec![i as f64 / 13.0]).collect();
+/// let yh: Vec<f64> = xh.iter().map(|x| fh(x[0])).collect();
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+/// let model = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng)?;
+/// let p = model.predict(&[0.55]);
+/// assert!((p.mean - fh(0.55)).abs() < 0.2);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct MfGp {
+    low: Gp<SquaredExponential>,
+    high: Gp<NargpKernel>,
+    mc_samples: usize,
+}
+
+impl MfGp {
+    /// Trains the fusion model on coarse data `(xl, yl)` and fine data
+    /// `(xh, yh)`.
+    ///
+    /// The fidelities need not share input locations: the low GP's posterior
+    /// mean provides the augmented coordinate at every `xh` (this is the
+    /// "integrate `f_l` out" route of paper eq. 10).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpError`] from either stage.
+    pub fn fit<R: Rng + ?Sized>(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        config: &MfGpConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        if xh.is_empty() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "no high-fidelity training points".into(),
+            });
+        }
+        let dim = xh[0].len();
+        let low = Gp::fit(
+            SquaredExponential::new(dim),
+            xl,
+            yl,
+            &config.low,
+            rng,
+        )?;
+
+        // Augment the high-fidelity inputs with the low GP's standardized
+        // posterior mean.
+        let aug: Vec<Vec<f64>> = xh
+            .iter()
+            .map(|x| {
+                let (m, _) = low.predict_standardized(x);
+                let mut z = x.clone();
+                z.push(m);
+                z
+            })
+            .collect();
+        let high = Gp::fit(NargpKernel::new(dim), aug, yh, &config.high, rng)?;
+
+        Ok(MfGp {
+            low,
+            high,
+            mc_samples: config.mc_samples.max(1),
+        })
+    }
+
+    /// Posterior of the **low-fidelity** function at `x` (raw low-fidelity
+    /// units).
+    pub fn predict_low(&self, x: &[f64]) -> Prediction {
+        self.low.predict(x)
+    }
+
+    /// Posterior latent variance of the low-fidelity model in standardized
+    /// space — the quantity thresholded by the fidelity-selection criterion
+    /// (paper eq. 11).
+    pub fn low_variance_standardized(&self, x: &[f64]) -> f64 {
+        self.low.predict_standardized(x).1
+    }
+
+    /// Posterior of the **high-fidelity** function at `x` (raw units),
+    /// with low-fidelity uncertainty propagated by stratified Monte-Carlo
+    /// over eq. (10).
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        let (ml, vl) = self.low.predict_standardized(x);
+        let sl = vl.max(0.0).sqrt();
+        let s = self.mc_samples;
+
+        let mut z = x.to_vec();
+        z.push(0.0);
+        let last = z.len() - 1;
+
+        if s == 1 || sl < 1e-12 {
+            // Plug-in: low-fidelity value is effectively known.
+            z[last] = ml;
+            let (m, v) = self.high.predict_standardized(&z);
+            return self.destandardize(m, v);
+        }
+
+        // Stratified normal quantiles: fl_k = μ + σ Φ⁻¹((k+½)/S).
+        let mut means = Vec::with_capacity(s);
+        let mut mean_sum = 0.0;
+        let mut var_sum = 0.0;
+        for k in 0..s {
+            let q = (k as f64 + 0.5) / s as f64;
+            z[last] = ml + sl * norm_inv_cdf(q);
+            let (m, v) = self.high.predict_standardized(&z);
+            mean_sum += m;
+            var_sum += v;
+            means.push(m);
+        }
+        let mean = mean_sum / s as f64;
+        // Law of total variance: E[σ²] + Var[μ].
+        let var_of_means = means
+            .iter()
+            .map(|m| (m - mean) * (m - mean))
+            .sum::<f64>()
+            / s as f64;
+        let var = var_sum / s as f64 + var_of_means;
+        self.destandardize(mean, var)
+    }
+
+    fn destandardize(&self, mean_std: f64, var_std: f64) -> Prediction {
+        let st = self.high.standardizer();
+        Prediction {
+            mean: st.inverse(mean_std),
+            var: st.inverse_std(var_std.max(0.0).sqrt()).powi(2),
+        }
+    }
+
+    /// The underlying low-fidelity GP.
+    pub fn low(&self) -> &Gp<SquaredExponential> {
+        &self.low
+    }
+
+    /// The underlying high-fidelity fusion GP (inputs are augmented).
+    pub fn high(&self) -> &Gp<NargpKernel> {
+        &self.high
+    }
+
+    /// Number of Monte-Carlo propagation samples.
+    pub fn mc_samples(&self) -> usize {
+        self.mc_samples
+    }
+
+    /// Best (minimum) raw observation at each fidelity:
+    /// `(τ_l, τ_h)`.
+    pub fn incumbents(&self) -> (f64, f64) {
+        (self.low.best_observation().1, self.high.best_observation().1)
+    }
+
+    /// The trained hyperparameters of both stages — feed back into
+    /// [`MfGp::fit_warm`] or [`MfGp::fit_frozen`] on later refits.
+    pub fn thetas(&self) -> MfGpThetas {
+        MfGpThetas {
+            low: self.low.theta(),
+            high: self.high.theta(),
+        }
+    }
+
+    /// Like [`MfGp::fit`], but seeds each stage's hyperparameter search with
+    /// the supplied previous optimum (an extra restart).
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpError`] from either stage.
+    pub fn fit_warm<R: Rng + ?Sized>(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        config: &MfGpConfig,
+        warm: &MfGpThetas,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let mut cfg = config.clone();
+        cfg.low.warm_start = Some(warm.low.clone());
+        cfg.high.warm_start = Some(warm.high.clone());
+        MfGp::fit(xl, yl, xh, yh, &cfg, rng)
+    }
+
+    /// Rebuilds the model on new data with **frozen** hyperparameters — no
+    /// NLML optimization at all, just fresh Cholesky factorizations. The BO
+    /// loops use this between full refits to keep per-iteration cost low.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpError`] if the data is invalid or a kernel matrix
+    /// cannot be factorized.
+    pub fn fit_frozen(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        thetas: &MfGpThetas,
+        mc_samples: usize,
+    ) -> Result<Self, GpError> {
+        if xh.is_empty() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "no high-fidelity training points".into(),
+            });
+        }
+        let dim = xh[0].len();
+        let (lp, ln) = split_theta(&thetas.low);
+        let low = Gp::with_params(SquaredExponential::new(dim), xl, yl, lp, ln, true)?;
+        let aug: Vec<Vec<f64>> = xh
+            .iter()
+            .map(|x| {
+                let (m, _) = low.predict_standardized(x);
+                let mut z = x.clone();
+                z.push(m);
+                z
+            })
+            .collect();
+        let (hp, hn) = split_theta(&thetas.high);
+        let high = Gp::with_params(NargpKernel::new(dim), aug, yh, hp, hn, true)?;
+        Ok(MfGp {
+            low,
+            high,
+            mc_samples: mc_samples.max(1),
+        })
+    }
+}
+
+/// Splits a packed `[kernel params…, log σ_n]` vector.
+fn split_theta(theta: &[f64]) -> (Vec<f64>, f64) {
+    let (kp, ln) = theta.split_at(theta.len() - 1);
+    (kp.to_vec(), ln[0])
+}
+
+/// Trained hyperparameters of both fusion stages.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfGpThetas {
+    /// Low-fidelity GP hyperparameters `[kernel…, log σ_n]`.
+    pub low: Vec<f64>,
+    /// High-fidelity fusion GP hyperparameters `[kernel…, log σ_n]`.
+    pub high: Vec<f64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mfbo_gp::kernel::Kernel;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    fn fl(x: f64) -> f64 {
+        (8.0 * PI * x).sin()
+    }
+
+    fn fh(x: f64) -> f64 {
+        (x - 2f64.sqrt()) * fl(x) * fl(x)
+    }
+
+    fn pedagogical_model(nl: usize, nh: usize, seed: u64) -> MfGp {
+        let xl: Vec<Vec<f64>> = (0..nl).map(|i| vec![i as f64 / (nl - 1) as f64]).collect();
+        let yl: Vec<f64> = xl.iter().map(|x| fl(x[0])).collect();
+        let xh: Vec<Vec<f64>> = (0..nh).map(|i| vec![i as f64 / (nh - 1) as f64]).collect();
+        let yh: Vec<f64> = xh.iter().map(|x| fh(x[0])).collect();
+        let mut rng = StdRng::seed_from_u64(seed);
+        MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).unwrap()
+    }
+
+    #[test]
+    fn beats_single_fidelity_on_pedagogical_example() {
+        // Paper Figure 1: with 50 low + 14 high points the fusion model
+        // tracks the truth far better than a high-only GP.
+        let model = pedagogical_model(50, 14, 1);
+
+        let nh = 14;
+        let xh: Vec<Vec<f64>> = (0..nh).map(|i| vec![i as f64 / (nh - 1) as f64]).collect();
+        let yh: Vec<f64> = xh.iter().map(|x| fh(x[0])).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sf = Gp::fit(
+            SquaredExponential::new(1),
+            xh,
+            yh,
+            &mfbo_gp::GpConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+
+        let grid: Vec<f64> = (0..200).map(|i| i as f64 / 199.0).collect();
+        let rmse = |pred: &dyn Fn(f64) -> f64| {
+            (grid
+                .iter()
+                .map(|&x| (pred(x) - fh(x)).powi(2))
+                .sum::<f64>()
+                / grid.len() as f64)
+                .sqrt()
+        };
+        let mf_rmse = rmse(&|x| model.predict(&[x]).mean);
+        let sf_rmse = rmse(&|x| sf.predict(&[x]).mean);
+        assert!(
+            mf_rmse < 0.5 * sf_rmse,
+            "mf_rmse = {mf_rmse}, sf_rmse = {sf_rmse}"
+        );
+        assert!(mf_rmse < 0.1, "mf_rmse = {mf_rmse}");
+    }
+
+    #[test]
+    fn low_model_is_accurate() {
+        let model = pedagogical_model(50, 14, 2);
+        for &x in &[0.1, 0.35, 0.62, 0.9] {
+            let p = model.predict_low(&[x]);
+            assert!((p.mean - fl(x)).abs() < 0.05, "at {x}: {}", p.mean);
+        }
+    }
+
+    #[test]
+    fn uncertainty_propagation_increases_variance() {
+        let model = pedagogical_model(20, 8, 3);
+        // At a point far outside the low-fidelity data, σ_l is large; the
+        // propagated high-fidelity variance must exceed the plug-in variance.
+        let x = [0.137];
+        let (ml, vl) = model.low().predict_standardized(&x);
+        assert!(vl >= 0.0);
+        let mut z = x.to_vec();
+        z.push(ml);
+        let (_, v_plug) = model.high().predict_standardized(&z);
+        let p = model.predict(&x);
+        let st = model.high().standardizer();
+        let v_prop_std = (p.var.sqrt() / st.std()).powi(2);
+        assert!(v_prop_std >= v_plug - 1e-9);
+    }
+
+    #[test]
+    fn incumbents_are_minima() {
+        let model = pedagogical_model(30, 10, 4);
+        let (tl, th) = model.incumbents();
+        assert!(model.low().ys_raw().iter().all(|&y| y >= tl));
+        assert!(model.high().ys_raw().iter().all(|&y| y >= th));
+    }
+
+    #[test]
+    fn fit_requires_high_fidelity_data() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = MfGp::fit(
+            vec![vec![0.0]],
+            vec![1.0],
+            vec![],
+            vec![],
+            &MfGpConfig::default(),
+            &mut rng,
+        );
+        assert!(e.is_err());
+    }
+
+    #[test]
+    fn augmented_inputs_have_extra_dimension() {
+        let model = pedagogical_model(20, 6, 5);
+        assert_eq!(model.high().kernel().input_dim(), 2);
+        for z in model.high().xs() {
+            assert_eq!(z.len(), 2);
+        }
+        assert_eq!(model.mc_samples(), 20);
+    }
+
+    #[test]
+    fn mc_sample_count_one_equals_plug_in() {
+        let xl: Vec<Vec<f64>> = (0..25).map(|i| vec![i as f64 / 24.0]).collect();
+        let yl: Vec<f64> = xl.iter().map(|x| fl(x[0])).collect();
+        let xh: Vec<Vec<f64>> = (0..8).map(|i| vec![i as f64 / 7.0]).collect();
+        let yh: Vec<f64> = xh.iter().map(|x| fh(x[0])).collect();
+        let mut rng = StdRng::seed_from_u64(6);
+        let config = MfGpConfig {
+            mc_samples: 1,
+            ..MfGpConfig::default()
+        };
+        let model = MfGp::fit(xl, yl, xh, yh, &config, &mut rng).unwrap();
+        let p = model.predict(&[0.4]);
+        assert!(p.mean.is_finite() && p.var >= 0.0);
+    }
+
+    #[test]
+    fn frozen_refit_matches_full_model_shape() {
+        let model = pedagogical_model(30, 10, 8);
+        let thetas = model.thetas();
+        let frozen = MfGp::fit_frozen(
+            model.low().xs().to_vec(),
+            model.low().ys_raw().to_vec(),
+            model
+                .high()
+                .xs()
+                .iter()
+                .map(|z| z[..1].to_vec())
+                .collect(),
+            model.high().ys_raw().to_vec(),
+            &thetas,
+            model.mc_samples(),
+        )
+        .unwrap();
+        // Identical data + identical hyperparameters → identical posterior.
+        let a = model.predict(&[0.42]);
+        let b = frozen.predict(&[0.42]);
+        assert!((a.mean - b.mean).abs() < 1e-9);
+        assert!((a.var - b.var).abs() < 1e-9);
+    }
+
+    #[test]
+    fn warm_fit_is_at_least_as_good() {
+        let model = pedagogical_model(25, 9, 9);
+        let thetas = model.thetas();
+        let mut rng = StdRng::seed_from_u64(10);
+        let xl: Vec<Vec<f64>> = model.low().xs().to_vec();
+        let yl = model.low().ys_raw().to_vec();
+        let xh: Vec<Vec<f64>> = model.high().xs().iter().map(|z| z[..1].to_vec()).collect();
+        let yh = model.high().ys_raw().to_vec();
+        let cfg = MfGpConfig {
+            low: mfbo_gp::GpConfig {
+                restarts: 0,
+                ..mfbo_gp::GpConfig::fast()
+            },
+            high: mfbo_gp::GpConfig {
+                restarts: 0,
+                ..mfbo_gp::GpConfig::fast()
+            },
+            ..MfGpConfig::fast()
+        };
+        let warm = MfGp::fit_warm(xl, yl, xh, yh, &cfg, &thetas, &mut rng).unwrap();
+        assert!(warm.high().nlml() <= model.high().nlml() + 1e-6);
+    }
+
+    #[test]
+    fn prediction_is_deterministic() {
+        // Stratified sampling means repeated calls agree bit-for-bit.
+        let model = pedagogical_model(30, 10, 7);
+        let a = model.predict(&[0.31]);
+        let b = model.predict(&[0.31]);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,399 @@
+//! The black-box problem interface (paper §2.1).
+//!
+//! An analog-circuit sizing task is a constrained minimization
+//!
+//! ```text
+//! minimize  f(x)    subject to  c_i(x) < 0,  i = 1..Nc
+//! ```
+//!
+//! over a box of design variables, where every evaluation of `f` and the
+//! `c_i` comes from the *same* circuit simulation. The multi-fidelity twist:
+//! the simulation can be run cheaply-but-roughly (low fidelity — e.g. a
+//! shorter transient, a single PVT corner) or expensively-but-accurately
+//! (high fidelity). [`MultiFidelityProblem`] captures exactly that contract.
+
+use mfbo_opt::Bounds;
+
+/// Evaluation fidelity level. The paper restricts itself to two levels.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Fidelity {
+    /// Cheap, potentially inaccurate model.
+    Low,
+    /// Expensive, accurate model.
+    High,
+}
+
+impl std::fmt::Display for Fidelity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Fidelity::Low => write!(f, "low"),
+            Fidelity::High => write!(f, "high"),
+        }
+    }
+}
+
+/// One simulation result: the objective and all constraint values.
+///
+/// Constraints follow the paper's convention: `c_i(x) < 0` means satisfied.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Objective value (to minimize).
+    pub objective: f64,
+    /// Constraint values; negative = satisfied.
+    pub constraints: Vec<f64>,
+}
+
+impl Evaluation {
+    /// An unconstrained evaluation.
+    pub fn unconstrained(objective: f64) -> Self {
+        Evaluation {
+            objective,
+            constraints: Vec::new(),
+        }
+    }
+
+    /// Returns `true` when every constraint is satisfied.
+    pub fn is_feasible(&self) -> bool {
+        self.constraints.iter().all(|&c| c < 0.0)
+    }
+
+    /// Sum of positive constraint violations (zero when feasible).
+    pub fn total_violation(&self) -> f64 {
+        self.constraints.iter().map(|c| c.max(0.0)).sum()
+    }
+
+    /// Returns `true` when all values are finite.
+    pub fn is_finite(&self) -> bool {
+        self.objective.is_finite() && self.constraints.iter().all(|c| c.is_finite())
+    }
+}
+
+/// A constrained two-fidelity black-box minimization problem.
+pub trait MultiFidelityProblem {
+    /// Human-readable problem name (used in reports).
+    fn name(&self) -> &str;
+
+    /// The design-variable box.
+    fn bounds(&self) -> Bounds;
+
+    /// Number of inequality constraints.
+    fn num_constraints(&self) -> usize;
+
+    /// Runs the simulation at `x` with the given fidelity.
+    fn evaluate(&self, x: &[f64], fidelity: Fidelity) -> Evaluation;
+
+    /// Relative evaluation cost of a fidelity. The convention used by all
+    /// reports in this workspace: `cost(High) = 1.0`, so the total accrued
+    /// cost is directly "equivalent number of high-fidelity simulations" —
+    /// the paper's *Avg. # Sim* metric.
+    fn cost(&self, fidelity: Fidelity) -> f64;
+
+    /// Number of design variables (defaults to the bounds dimension).
+    fn dim(&self) -> usize {
+        self.bounds().dim()
+    }
+}
+
+// Allow passing `&P` wherever a problem is expected.
+impl<P: MultiFidelityProblem + ?Sized> MultiFidelityProblem for &P {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn bounds(&self) -> Bounds {
+        (**self).bounds()
+    }
+    fn num_constraints(&self) -> usize {
+        (**self).num_constraints()
+    }
+    fn evaluate(&self, x: &[f64], fidelity: Fidelity) -> Evaluation {
+        (**self).evaluate(x, fidelity)
+    }
+    fn cost(&self, fidelity: Fidelity) -> f64 {
+        (**self).cost(fidelity)
+    }
+}
+
+/// A [`MultiFidelityProblem`] assembled from closures — the quickest way to
+/// wrap analytic test functions or ad-hoc simulators.
+///
+/// Build one with [`FunctionProblem::builder`]. Constraint closures return
+/// the *vector* of constraint values.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo::problem::{Fidelity, FunctionProblem, MultiFidelityProblem};
+/// use mfbo_opt::Bounds;
+///
+/// let p = FunctionProblem::builder("forrester", Bounds::unit(1))
+///     .high(|x: &[f64]| (6.0 * x[0] - 2.0).powi(2) * (12.0 * x[0] - 4.0).sin())
+///     .low(|x: &[f64]| {
+///         let f = (6.0 * x[0] - 2.0).powi(2) * (12.0 * x[0] - 4.0).sin();
+///         0.5 * f + 10.0 * (x[0] - 0.5) - 5.0
+///     })
+///     .low_cost(0.05)
+///     .build();
+/// assert_eq!(p.num_constraints(), 0);
+/// assert!(p.evaluate(&[0.3], Fidelity::High).is_finite());
+/// ```
+pub struct FunctionProblem {
+    name: String,
+    bounds: Bounds,
+    high: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+    low: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
+    high_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    low_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    num_constraints: usize,
+    low_cost: f64,
+}
+
+impl std::fmt::Debug for FunctionProblem {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FunctionProblem")
+            .field("name", &self.name)
+            .field("dim", &self.bounds.dim())
+            .field("num_constraints", &self.num_constraints)
+            .field("low_cost", &self.low_cost)
+            .finish()
+    }
+}
+
+impl FunctionProblem {
+    /// Starts building a problem over `bounds`.
+    pub fn builder(name: impl Into<String>, bounds: Bounds) -> FunctionProblemBuilder {
+        FunctionProblemBuilder {
+            name: name.into(),
+            bounds,
+            high: None,
+            low: None,
+            high_constraints: None,
+            low_constraints: None,
+            num_constraints: 0,
+            low_cost: 0.1,
+        }
+    }
+}
+
+/// Builder for [`FunctionProblem`].
+pub struct FunctionProblemBuilder {
+    name: String,
+    bounds: Bounds,
+    high: Option<Box<dyn Fn(&[f64]) -> f64 + Send + Sync>>,
+    low: Option<Box<dyn Fn(&[f64]) -> f64 + Send + Sync>>,
+    high_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    low_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    num_constraints: usize,
+    low_cost: f64,
+}
+
+impl FunctionProblemBuilder {
+    /// Sets the high-fidelity objective.
+    pub fn high<F: Fn(&[f64]) -> f64 + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.high = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the low-fidelity objective. If never called, the high-fidelity
+    /// objective is reused (degenerate but valid).
+    pub fn low<F: Fn(&[f64]) -> f64 + Send + Sync + 'static>(mut self, f: F) -> Self {
+        self.low = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the high-fidelity constraint vector (length `n`).
+    pub fn high_constraints<F: Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static>(
+        mut self,
+        n: usize,
+        f: F,
+    ) -> Self {
+        self.high_constraints = Some(Box::new(f));
+        self.num_constraints = n;
+        self
+    }
+
+    /// Sets the low-fidelity constraint vector (defaults to the
+    /// high-fidelity one).
+    pub fn low_constraints<F: Fn(&[f64]) -> Vec<f64> + Send + Sync + 'static>(
+        mut self,
+        f: F,
+    ) -> Self {
+        self.low_constraints = Some(Box::new(f));
+        self
+    }
+
+    /// Sets the relative cost of a low-fidelity evaluation (high = 1.0).
+    pub fn low_cost(mut self, cost: f64) -> Self {
+        self.low_cost = cost;
+        self
+    }
+
+    /// Finishes the builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no high-fidelity objective was provided.
+    pub fn build(self) -> FunctionProblem {
+        let high = self.high.expect("high-fidelity objective is required");
+        FunctionProblem {
+            name: self.name,
+            bounds: self.bounds,
+            low: self.low.unwrap_or_else(|| {
+                // Without an explicit low model the problem is effectively
+                // single-fidelity; reuse nothing (can't clone the box), so
+                // flag with an impossible marker closure replaced below.
+                Box::new(|_: &[f64]| f64::NAN)
+            }),
+            high,
+            high_constraints: self.high_constraints,
+            low_constraints: self.low_constraints,
+            num_constraints: self.num_constraints,
+            low_cost: self.low_cost,
+        }
+    }
+}
+
+impl MultiFidelityProblem for FunctionProblem {
+    fn name(&self) -> &str {
+        &self.name
+    }
+
+    fn bounds(&self) -> Bounds {
+        self.bounds.clone()
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.num_constraints
+    }
+
+    fn evaluate(&self, x: &[f64], fidelity: Fidelity) -> Evaluation {
+        let objective = match fidelity {
+            Fidelity::High => (self.high)(x),
+            Fidelity::Low => {
+                let v = (self.low)(x);
+                if v.is_nan() {
+                    // No explicit low model was configured: fall back to the
+                    // high-fidelity objective.
+                    (self.high)(x)
+                } else {
+                    v
+                }
+            }
+        };
+        let constraints = match fidelity {
+            Fidelity::High => self
+                .high_constraints
+                .as_ref()
+                .map(|f| f(x))
+                .unwrap_or_default(),
+            Fidelity::Low => self
+                .low_constraints
+                .as_ref()
+                .or(self.high_constraints.as_ref())
+                .map(|f| f(x))
+                .unwrap_or_default(),
+        };
+        Evaluation {
+            objective,
+            constraints,
+        }
+    }
+
+    fn cost(&self, fidelity: Fidelity) -> f64 {
+        match fidelity {
+            Fidelity::High => 1.0,
+            Fidelity::Low => self.low_cost,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy() -> FunctionProblem {
+        FunctionProblem::builder("toy", Bounds::unit(2))
+            .high(|x: &[f64]| x[0] + x[1])
+            .low(|x: &[f64]| x[0] + x[1] + 0.5)
+            .high_constraints(1, |x: &[f64]| vec![x[0] - 0.5])
+            .low_cost(0.2)
+            .build()
+    }
+
+    #[test]
+    fn evaluation_feasibility() {
+        let feas = Evaluation {
+            objective: 1.0,
+            constraints: vec![-0.1, -2.0],
+        };
+        assert!(feas.is_feasible());
+        assert_eq!(feas.total_violation(), 0.0);
+
+        let infeas = Evaluation {
+            objective: 1.0,
+            constraints: vec![-0.1, 0.3, 0.2],
+        };
+        assert!(!infeas.is_feasible());
+        assert!((infeas.total_violation() - 0.5).abs() < 1e-12);
+
+        assert!(Evaluation::unconstrained(0.0).is_feasible());
+    }
+
+    #[test]
+    fn evaluation_finiteness() {
+        assert!(Evaluation::unconstrained(1.0).is_finite());
+        assert!(!Evaluation::unconstrained(f64::NAN).is_finite());
+        let e = Evaluation {
+            objective: 0.0,
+            constraints: vec![f64::INFINITY],
+        };
+        assert!(!e.is_finite());
+    }
+
+    #[test]
+    fn function_problem_routes_fidelities() {
+        let p = toy();
+        let h = p.evaluate(&[0.2, 0.3], Fidelity::High);
+        let l = p.evaluate(&[0.2, 0.3], Fidelity::Low);
+        assert!((h.objective - 0.5).abs() < 1e-12);
+        assert!((l.objective - 1.0).abs() < 1e-12);
+        // Low constraints default to high.
+        assert_eq!(h.constraints, l.constraints);
+        assert_eq!(p.cost(Fidelity::High), 1.0);
+        assert!((p.cost(Fidelity::Low) - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn missing_low_model_falls_back_to_high() {
+        let p = FunctionProblem::builder("sf", Bounds::unit(1))
+            .high(|x: &[f64]| x[0] * 2.0)
+            .build();
+        let l = p.evaluate(&[0.4], Fidelity::Low);
+        let h = p.evaluate(&[0.4], Fidelity::High);
+        assert_eq!(l.objective, h.objective);
+    }
+
+    #[test]
+    fn problem_trait_object_and_reference_impls() {
+        let p = toy();
+        let r: &dyn MultiFidelityProblem = &p;
+        assert_eq!(r.dim(), 2);
+        assert_eq!(r.name(), "toy");
+        // Reference blanket impl.
+        fn takes_problem<P: MultiFidelityProblem>(p: P) -> usize {
+            p.num_constraints()
+        }
+        assert_eq!(takes_problem(&p), 1);
+    }
+
+    #[test]
+    fn debug_output_mentions_name() {
+        let p = toy();
+        assert!(format!("{p:?}").contains("toy"));
+    }
+
+    #[test]
+    fn fidelity_display() {
+        assert_eq!(Fidelity::Low.to_string(), "low");
+        assert_eq!(Fidelity::High.to_string(), "high");
+    }
+}

@@ -1,0 +1,171 @@
+//! Plain-text reporting of optimization outcomes: CSV traces and summary
+//! blocks.
+//!
+//! The bench harnesses and examples use these helpers to persist run data
+//! for external plotting without pulling a serialization dependency into
+//! the workspace.
+
+use crate::history::Outcome;
+use crate::problem::Fidelity;
+use std::io::{self, Write};
+
+/// Writes the full evaluation trace as CSV:
+/// `iteration,fidelity,cost_so_far,objective,violation,feasible,x0,x1,…`.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_history_csv<W: Write>(outcome: &Outcome, mut w: W) -> io::Result<()> {
+    let dim = outcome.best_x.len();
+    write!(w, "iteration,fidelity,cost_so_far,objective,violation,feasible")?;
+    for j in 0..dim {
+        write!(w, ",x{j}")?;
+    }
+    writeln!(w)?;
+    for r in &outcome.history {
+        write!(
+            w,
+            "{},{},{},{},{},{}",
+            r.iteration,
+            r.fidelity,
+            r.cost_so_far,
+            r.evaluation.objective,
+            r.evaluation.total_violation(),
+            r.evaluation.is_feasible(),
+        )?;
+        for v in &r.x {
+            write!(w, ",{v}")?;
+        }
+        writeln!(w)?;
+    }
+    Ok(())
+}
+
+/// Writes the convergence trace (`cost,best_feasible_objective`) as CSV.
+///
+/// # Errors
+///
+/// Propagates I/O errors from the writer.
+pub fn write_convergence_csv<W: Write>(outcome: &Outcome, mut w: W) -> io::Result<()> {
+    writeln!(w, "cost,best_objective")?;
+    for (cost, best) in outcome.convergence_trace() {
+        writeln!(w, "{cost},{best}")?;
+    }
+    Ok(())
+}
+
+/// Renders a human-readable summary block.
+pub fn summary(outcome: &Outcome) -> String {
+    let mix = format!(
+        "{} low + {} high",
+        outcome.n_low, outcome.n_high
+    );
+    format!(
+        "best objective : {:.6}\nfeasible       : {}\nsimulations    : {mix} (equivalent cost {:.2})\ncost to best   : {:.2}\nbest design    : {:?}",
+        outcome.best_objective,
+        outcome.feasible,
+        outcome.total_cost,
+        outcome.cost_to_best,
+        outcome.best_x,
+    )
+}
+
+/// Counts evaluations per fidelity in the trace (sanity/reporting helper).
+pub fn fidelity_mix(outcome: &Outcome) -> (usize, usize) {
+    let low = outcome
+        .history
+        .iter()
+        .filter(|r| r.fidelity == Fidelity::Low)
+        .count();
+    let high = outcome.history.len() - low;
+    (low, high)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::history::{EvaluationRecord, FidelityData};
+    use crate::problem::Evaluation;
+
+    fn toy_outcome() -> Outcome {
+        let mut high = FidelityData::new(1);
+        high.push(
+            vec![0.25, 0.75],
+            &Evaluation {
+                objective: -3.0,
+                constraints: vec![-0.5],
+            },
+        );
+        let mut low = FidelityData::new(1);
+        low.push(
+            vec![0.1, 0.9],
+            &Evaluation {
+                objective: -1.0,
+                constraints: vec![0.2],
+            },
+        );
+        Outcome::from_data(
+            high,
+            low,
+            vec![
+                EvaluationRecord {
+                    iteration: 0,
+                    x: vec![0.1, 0.9],
+                    fidelity: Fidelity::Low,
+                    evaluation: Evaluation {
+                        objective: -1.0,
+                        constraints: vec![0.2],
+                    },
+                    cost_so_far: 0.1,
+                },
+                EvaluationRecord {
+                    iteration: 1,
+                    x: vec![0.25, 0.75],
+                    fidelity: Fidelity::High,
+                    evaluation: Evaluation {
+                        objective: -3.0,
+                        constraints: vec![-0.5],
+                    },
+                    cost_so_far: 1.1,
+                },
+            ],
+        )
+    }
+
+    #[test]
+    fn history_csv_layout() {
+        let mut buf = Vec::new();
+        write_history_csv(&toy_outcome(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert_eq!(
+            lines[0],
+            "iteration,fidelity,cost_so_far,objective,violation,feasible,x0,x1"
+        );
+        assert!(lines[1].starts_with("0,low,0.1,-1,0.2,false,0.1,0.9"));
+        assert!(lines[2].starts_with("1,high,1.1,-3,0,true,0.25,0.75"));
+    }
+
+    #[test]
+    fn convergence_csv_contains_high_improvements() {
+        let mut buf = Vec::new();
+        write_convergence_csv(&toy_outcome(), &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        assert!(s.starts_with("cost,best_objective\n"));
+        assert!(s.contains("1.1,-3"));
+    }
+
+    #[test]
+    fn summary_mentions_key_fields() {
+        let s = summary(&toy_outcome());
+        assert!(s.contains("best objective"));
+        assert!(s.contains("1 low + 1 high"));
+        assert!(s.contains("true"));
+    }
+
+    #[test]
+    fn fidelity_mix_counts() {
+        assert_eq!(fidelity_mix(&toy_outcome()), (1, 1));
+    }
+}

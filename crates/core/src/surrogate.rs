@@ -1,0 +1,540 @@
+//! Surrogate-model bundles: one model per output (objective + each
+//! constraint), at one or two fidelities.
+//!
+//! The paper models every circuit performance separately — the objective and
+//! each constraint get their own GP (single-fidelity case, §2.4) or their
+//! own fusion model (multi-fidelity case, §3). These bundles wire the
+//! per-output posteriors into the acquisition formulas of
+//! [`crate::acquisition`].
+
+use crate::acquisition;
+use crate::history::FidelityData;
+use crate::nargp::{MfGp, MfGpConfig, MfGpThetas};
+use mfbo_gp::kernel::SquaredExponential;
+use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
+use rand::Rng;
+
+/// Trained hyperparameters of a full multi-fidelity bundle, for warm or
+/// frozen refits across BO iterations.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MfBundleThetas {
+    /// Objective fusion-model hyperparameters.
+    pub objective: MfGpThetas,
+    /// Per-constraint fusion-model hyperparameters.
+    pub constraints: Vec<MfGpThetas>,
+}
+
+/// Trained hyperparameters of a single-fidelity bundle.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SfBundleThetas {
+    /// Objective GP hyperparameters `[kernel…, log σ_n]`.
+    pub objective: Vec<f64>,
+    /// Per-constraint GP hyperparameters.
+    pub constraints: Vec<Vec<f64>>,
+}
+
+/// Multi-fidelity surrogate bundle: a fusion model for the objective and one
+/// for each constraint.
+#[derive(Debug, Clone)]
+pub struct MfSurrogates {
+    objective: MfGp,
+    constraints: Vec<MfGp>,
+}
+
+impl MfSurrogates {
+    /// Fits fusion models for every output from the two fidelity data sets.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit<R: Rng + ?Sized>(
+        low: &FidelityData,
+        high: &FidelityData,
+        config: &MfGpConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let objective = MfGp::fit(
+            low.xs.clone(),
+            low.objective.clone(),
+            high.xs.clone(),
+            high.objective.clone(),
+            config,
+            rng,
+        )?;
+        let mut constraints = Vec::with_capacity(low.constraints.len());
+        for (cl, ch) in low.constraints.iter().zip(&high.constraints) {
+            constraints.push(MfGp::fit(
+                low.xs.clone(),
+                cl.clone(),
+                high.xs.clone(),
+                ch.clone(),
+                config,
+                rng,
+            )?);
+        }
+        Ok(MfSurrogates {
+            objective,
+            constraints,
+        })
+    }
+
+    /// Like [`MfSurrogates::fit`], seeding each model's hyperparameter
+    /// search with the previous optimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_warm<R: Rng + ?Sized>(
+        low: &FidelityData,
+        high: &FidelityData,
+        config: &MfGpConfig,
+        warm: &MfBundleThetas,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let objective = MfGp::fit_warm(
+            low.xs.clone(),
+            low.objective.clone(),
+            high.xs.clone(),
+            high.objective.clone(),
+            config,
+            &warm.objective,
+            rng,
+        )?;
+        let mut constraints = Vec::with_capacity(low.constraints.len());
+        for (i, (cl, ch)) in low.constraints.iter().zip(&high.constraints).enumerate() {
+            constraints.push(MfGp::fit_warm(
+                low.xs.clone(),
+                cl.clone(),
+                high.xs.clone(),
+                ch.clone(),
+                config,
+                &warm.constraints[i],
+                rng,
+            )?);
+        }
+        Ok(MfSurrogates {
+            objective,
+            constraints,
+        })
+    }
+
+    /// Rebuilds every model on new data with frozen hyperparameters (no
+    /// training) — the cheap path between full refits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_frozen(
+        low: &FidelityData,
+        high: &FidelityData,
+        thetas: &MfBundleThetas,
+        mc_samples: usize,
+    ) -> Result<Self, GpError> {
+        let objective = MfGp::fit_frozen(
+            low.xs.clone(),
+            low.objective.clone(),
+            high.xs.clone(),
+            high.objective.clone(),
+            &thetas.objective,
+            mc_samples,
+        )?;
+        let mut constraints = Vec::with_capacity(low.constraints.len());
+        for (i, (cl, ch)) in low.constraints.iter().zip(&high.constraints).enumerate() {
+            constraints.push(MfGp::fit_frozen(
+                low.xs.clone(),
+                cl.clone(),
+                high.xs.clone(),
+                ch.clone(),
+                &thetas.constraints[i],
+                mc_samples,
+            )?);
+        }
+        Ok(MfSurrogates {
+            objective,
+            constraints,
+        })
+    }
+
+    /// The trained hyperparameters of every model in the bundle.
+    pub fn thetas(&self) -> MfBundleThetas {
+        MfBundleThetas {
+            objective: self.objective.thetas(),
+            constraints: self.constraints.iter().map(MfGp::thetas).collect(),
+        }
+    }
+
+    /// The objective fusion model.
+    pub fn objective(&self) -> &MfGp {
+        &self.objective
+    }
+
+    /// The constraint fusion models.
+    pub fn constraints(&self) -> &[MfGp] {
+        &self.constraints
+    }
+
+    /// Weighted EI of the **low-fidelity** models at `x` against incumbent
+    /// `tau_l` (Algorithm 1, line 5).
+    pub fn wei_low(&self, x: &[f64], tau_l: f64) -> f64 {
+        let p = self.objective.predict_low(x);
+        let cons: Vec<(f64, f64)> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let cp = c.predict_low(x);
+                (cp.mean, cp.std_dev())
+            })
+            .collect();
+        acquisition::weighted_ei(p.mean, p.std_dev(), tau_l, &cons)
+    }
+
+    /// Weighted EI of the **high-fidelity** fusion posteriors at `x` against
+    /// incumbent `tau_h` (Algorithm 1, line 6).
+    pub fn wei_high(&self, x: &[f64], tau_h: f64) -> f64 {
+        let p = self.objective.predict(x);
+        let cons: Vec<(f64, f64)> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let cp = c.predict(x);
+                (cp.mean, cp.std_dev())
+            })
+            .collect();
+        acquisition::weighted_ei(p.mean, p.std_dev(), tau_h, &cons)
+    }
+
+    /// Maximum standardized low-fidelity posterior variance over all outputs
+    /// — the left-hand side of the fidelity-selection criterion, eq. (12).
+    pub fn max_low_variance(&self, x: &[f64]) -> f64 {
+        let mut v = self.objective.low_variance_standardized(x);
+        for c in &self.constraints {
+            v = v.max(c.low_variance_standardized(x));
+        }
+        v
+    }
+
+    /// The first-feasible-point objective of eq. (13) using high-fidelity
+    /// constraint posterior means.
+    pub fn feasibility_drive(&self, x: &[f64]) -> f64 {
+        let means: Vec<f64> = self.constraints.iter().map(|c| c.predict(x).mean).collect();
+        acquisition::feasibility_drive(&means)
+    }
+
+    /// High-fidelity posterior of every output at `x`.
+    pub fn predict_high(&self, x: &[f64]) -> (Prediction, Vec<Prediction>) {
+        (
+            self.objective.predict(x),
+            self.constraints.iter().map(|c| c.predict(x)).collect(),
+        )
+    }
+}
+
+/// Single-fidelity surrogate bundle (the substrate of the WEIBO baseline and
+/// of this paper's per-fidelity components).
+#[derive(Debug, Clone)]
+pub struct SfSurrogates {
+    objective: Gp<SquaredExponential>,
+    constraints: Vec<Gp<SquaredExponential>>,
+}
+
+impl SfSurrogates {
+    /// Fits one SE-ARD GP per output.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit<R: Rng + ?Sized>(
+        data: &FidelityData,
+        config: &GpConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let dim = data
+            .xs
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            })?;
+        let objective = Gp::fit(
+            SquaredExponential::new(dim),
+            data.xs.clone(),
+            data.objective.clone(),
+            config,
+            rng,
+        )?;
+        let mut constraints = Vec::with_capacity(data.constraints.len());
+        for c in &data.constraints {
+            constraints.push(Gp::fit(
+                SquaredExponential::new(dim),
+                data.xs.clone(),
+                c.clone(),
+                config,
+                rng,
+            )?);
+        }
+        Ok(SfSurrogates {
+            objective,
+            constraints,
+        })
+    }
+
+    /// Like [`SfSurrogates::fit`], seeding each model's search with the
+    /// previous optimum.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_warm<R: Rng + ?Sized>(
+        data: &FidelityData,
+        config: &GpConfig,
+        warm: &SfBundleThetas,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        let mut cfg = config.clone();
+        cfg.warm_start = Some(warm.objective.clone());
+        let dim = data
+            .xs
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            })?;
+        let objective = Gp::fit(
+            SquaredExponential::new(dim),
+            data.xs.clone(),
+            data.objective.clone(),
+            &cfg,
+            rng,
+        )?;
+        let mut constraints = Vec::with_capacity(data.constraints.len());
+        for (i, c) in data.constraints.iter().enumerate() {
+            let mut ccfg = config.clone();
+            ccfg.warm_start = Some(warm.constraints[i].clone());
+            constraints.push(Gp::fit(
+                SquaredExponential::new(dim),
+                data.xs.clone(),
+                c.clone(),
+                &ccfg,
+                rng,
+            )?);
+        }
+        Ok(SfSurrogates {
+            objective,
+            constraints,
+        })
+    }
+
+    /// Rebuilds every model on new data with frozen hyperparameters.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_frozen(data: &FidelityData, thetas: &SfBundleThetas) -> Result<Self, GpError> {
+        let dim = data
+            .xs
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            })?;
+        let split = |t: &[f64]| {
+            let (kp, ln) = t.split_at(t.len() - 1);
+            (kp.to_vec(), ln[0])
+        };
+        let (op, on) = split(&thetas.objective);
+        let objective = Gp::with_params(
+            SquaredExponential::new(dim),
+            data.xs.clone(),
+            data.objective.clone(),
+            op,
+            on,
+            true,
+        )?;
+        let mut constraints = Vec::with_capacity(data.constraints.len());
+        for (i, c) in data.constraints.iter().enumerate() {
+            let (cp, cn) = split(&thetas.constraints[i]);
+            constraints.push(Gp::with_params(
+                SquaredExponential::new(dim),
+                data.xs.clone(),
+                c.clone(),
+                cp,
+                cn,
+                true,
+            )?);
+        }
+        Ok(SfSurrogates {
+            objective,
+            constraints,
+        })
+    }
+
+    /// The trained hyperparameters of every model in the bundle.
+    pub fn thetas(&self) -> SfBundleThetas {
+        SfBundleThetas {
+            objective: self.objective.theta(),
+            constraints: self.constraints.iter().map(Gp::theta).collect(),
+        }
+    }
+
+    /// The objective GP.
+    pub fn objective(&self) -> &Gp<SquaredExponential> {
+        &self.objective
+    }
+
+    /// The constraint GPs.
+    pub fn constraints(&self) -> &[Gp<SquaredExponential>] {
+        &self.constraints
+    }
+
+    /// Weighted EI at `x` against incumbent `tau`.
+    pub fn wei(&self, x: &[f64], tau: f64) -> f64 {
+        let p = self.objective.predict(x);
+        let cons: Vec<(f64, f64)> = self
+            .constraints
+            .iter()
+            .map(|c| {
+                let cp = c.predict(x);
+                (cp.mean, cp.std_dev())
+            })
+            .collect();
+        acquisition::weighted_ei(p.mean, p.std_dev(), tau, &cons)
+    }
+
+    /// Lower confidence bound of the objective (used by GASPAD).
+    pub fn lcb(&self, x: &[f64], kappa: f64) -> f64 {
+        let p = self.objective.predict(x);
+        acquisition::lower_confidence_bound(p.mean, p.std_dev(), kappa)
+    }
+
+    /// Probability that all constraints are satisfied at `x`.
+    pub fn feasibility_probability(&self, x: &[f64]) -> f64 {
+        self.constraints
+            .iter()
+            .map(|c| {
+                let p = c.predict(x);
+                acquisition::probability_of_feasibility(p.mean, p.std_dev())
+            })
+            .product()
+    }
+
+    /// The first-feasible-point objective of eq. (13).
+    pub fn feasibility_drive(&self, x: &[f64]) -> f64 {
+        let means: Vec<f64> = self.constraints.iter().map(|c| c.predict(x).mean).collect();
+        acquisition::feasibility_drive(&means)
+    }
+
+    /// Posterior of every output at `x`.
+    pub fn predict(&self, x: &[f64]) -> (Prediction, Vec<Prediction>) {
+        (
+            self.objective.predict(x),
+            self.constraints.iter().map(|c| c.predict(x)).collect(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Constrained toy problem: objective x², constraint 0.3 - x < 0
+    /// (feasible for x > 0.3).
+    fn make_data(n: usize, low_bias: f64) -> FidelityData {
+        let mut d = FidelityData::new(1);
+        for i in 0..n {
+            let x = i as f64 / (n - 1) as f64;
+            d.push(
+                vec![x],
+                &Evaluation {
+                    objective: x * x + low_bias,
+                    constraints: vec![0.3 - x + low_bias * 0.1],
+                },
+            );
+        }
+        d
+    }
+
+    #[test]
+    fn sf_bundle_fits_and_predicts() {
+        let data = make_data(12, 0.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let s = SfSurrogates::fit(&data, &GpConfig::fast(), &mut rng).unwrap();
+        let (obj, cons) = s.predict(&[0.5]);
+        assert!((obj.mean - 0.25).abs() < 0.1);
+        assert_eq!(cons.len(), 1);
+        assert!((cons[0].mean - (-0.2)).abs() < 0.1);
+        // Feasibility probability should be high at x = 0.9, low at x = 0.05.
+        assert!(s.feasibility_probability(&[0.9]) > 0.8);
+        assert!(s.feasibility_probability(&[0.05]) < 0.2);
+    }
+
+    #[test]
+    fn sf_wei_prefers_feasible_improvement() {
+        let data = make_data(12, 0.0);
+        let mut rng = StdRng::seed_from_u64(1);
+        let s = SfSurrogates::fit(&data, &GpConfig::fast(), &mut rng).unwrap();
+        let tau = 0.5;
+        // x = 0.4: feasible with objective 0.16 < τ → good wEI.
+        // x = 0.1: better objective but infeasible → tiny wEI.
+        let good = s.wei(&[0.4], tau);
+        let blocked = s.wei(&[0.1], tau);
+        assert!(good > blocked * 5.0, "good {good}, blocked {blocked}");
+    }
+
+    #[test]
+    fn sf_feasibility_drive_zero_inside_feasible_region() {
+        let data = make_data(12, 0.0);
+        let mut rng = StdRng::seed_from_u64(2);
+        let s = SfSurrogates::fit(&data, &GpConfig::fast(), &mut rng).unwrap();
+        assert_eq!(s.feasibility_drive(&[0.9]), 0.0);
+        assert!(s.feasibility_drive(&[0.0]) > 0.1);
+    }
+
+    #[test]
+    fn sf_lcb_below_mean() {
+        let data = make_data(10, 0.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        let s = SfSurrogates::fit(&data, &GpConfig::fast(), &mut rng).unwrap();
+        let p = s.objective().predict(&[0.5]);
+        assert!(s.lcb(&[0.5], 2.0) <= p.mean);
+    }
+
+    #[test]
+    fn mf_bundle_fits_and_exposes_models() {
+        let low = make_data(20, 0.3);
+        let high = make_data(8, 0.0);
+        let mut rng = StdRng::seed_from_u64(4);
+        let s = MfSurrogates::fit(&low, &high, &MfGpConfig::fast(), &mut rng).unwrap();
+        assert_eq!(s.constraints().len(), 1);
+        let (obj, cons) = s.predict_high(&[0.6]);
+        assert!((obj.mean - 0.36).abs() < 0.15, "mean = {}", obj.mean);
+        assert_eq!(cons.len(), 1);
+    }
+
+    #[test]
+    fn mf_max_low_variance_shrinks_with_data() {
+        let low_sparse = make_data(4, 0.3);
+        let low_dense = make_data(40, 0.3);
+        let high = make_data(6, 0.0);
+        let mut rng = StdRng::seed_from_u64(5);
+        let sparse = MfSurrogates::fit(&low_sparse, &high, &MfGpConfig::fast(), &mut rng).unwrap();
+        let dense = MfSurrogates::fit(&low_dense, &high, &MfGpConfig::fast(), &mut rng).unwrap();
+        // Between training points, the dense model is far more certain.
+        let x = [0.513];
+        assert!(dense.max_low_variance(&x) <= sparse.max_low_variance(&x) + 1e-6);
+    }
+
+    #[test]
+    fn mf_wei_high_and_low_are_nonnegative() {
+        let low = make_data(15, 0.3);
+        let high = make_data(6, 0.0);
+        let mut rng = StdRng::seed_from_u64(6);
+        let s = MfSurrogates::fit(&low, &high, &MfGpConfig::fast(), &mut rng).unwrap();
+        for &x in &[0.1, 0.5, 0.77] {
+            assert!(s.wei_low(&[x], 0.4) >= 0.0);
+            assert!(s.wei_high(&[x], 0.4) >= 0.0);
+        }
+    }
+}

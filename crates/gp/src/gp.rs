@@ -1,0 +1,708 @@
+//! Gaussian-process regression model: training and posterior prediction.
+
+use crate::kernel::Kernel;
+use crate::nlml::{kernel_matrix, nlml_with_grad};
+use crate::GpError;
+use mfbo_linalg::{Cholesky, Standardizer};
+use mfbo_opt::{lbfgs::Lbfgs, sampling, Bounds};
+use rand::Rng;
+
+/// Posterior prediction at a single query point, in raw (de-standardized)
+/// output units.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Prediction {
+    /// Posterior mean `μ(x*)`.
+    pub mean: f64,
+    /// Posterior *latent* variance `σ²(x*)` (observation noise excluded).
+    pub var: f64,
+}
+
+impl Prediction {
+    /// Posterior standard deviation (clamped at zero for numerical safety).
+    pub fn std_dev(&self) -> f64 {
+        self.var.max(0.0).sqrt()
+    }
+}
+
+/// Training configuration for [`Gp::fit`].
+#[derive(Debug, Clone)]
+pub struct GpConfig {
+    /// Number of random hyperparameter restarts (in addition to the kernel
+    /// defaults and any warm start).
+    pub restarts: usize,
+    /// L-BFGS iteration cap per restart.
+    pub max_iters: usize,
+    /// If `false`, the observation noise is frozen at
+    /// [`GpConfig::log_noise_init`] instead of being optimized.
+    pub train_noise: bool,
+    /// Initial `log σ_n` (standardized output units).
+    pub log_noise_init: f64,
+    /// Bounds for `log σ_n` during training.
+    pub log_noise_bounds: (f64, f64),
+    /// Whether to z-score the outputs before training (recommended; all the
+    /// default kernel bounds assume standardized outputs).
+    pub standardize: bool,
+    /// Optional warm-start hyperparameters `[kernel params…, log σ_n]`,
+    /// tried as an additional restart — the BO loop passes the previous
+    /// iteration's optimum here.
+    pub warm_start: Option<Vec<f64>>,
+}
+
+impl Default for GpConfig {
+    fn default() -> Self {
+        GpConfig {
+            restarts: 4,
+            max_iters: 80,
+            train_noise: true,
+            log_noise_init: (1e-3f64).ln(),
+            log_noise_bounds: ((1e-6f64).ln(), (0.3f64).ln()),
+            standardize: true,
+            warm_start: None,
+        }
+    }
+}
+
+impl GpConfig {
+    /// A cheaper configuration for inner-loop refits (fewer restarts and
+    /// iterations); used by the BO loops which refit every iteration.
+    pub fn fast() -> Self {
+        GpConfig {
+            restarts: 2,
+            max_iters: 40,
+            ..Self::default()
+        }
+    }
+}
+
+/// A trained Gaussian-process regression model (paper §2.3).
+///
+/// See the crate-level example for typical usage.
+#[derive(Debug, Clone)]
+pub struct Gp<K: Kernel> {
+    kernel: K,
+    /// Optimized kernel log-parameters.
+    params: Vec<f64>,
+    /// Optimized `log σ_n`.
+    log_noise: f64,
+    xs: Vec<Vec<f64>>,
+    /// Raw observations.
+    ys_raw: Vec<f64>,
+    /// Standardized observations.
+    ys: Vec<f64>,
+    standardizer: Standardizer,
+    chol: Cholesky,
+    /// `K⁻¹ y` in standardized space.
+    alpha: Vec<f64>,
+    /// Final negative log marginal likelihood.
+    nlml: f64,
+}
+
+impl<K: Kernel> Gp<K> {
+    /// Trains a GP on `(xs, ys)` by multi-restart NLML minimization.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GpError::InvalidTrainingSet`] for empty or mismatched data
+    /// and [`GpError::TrainingFailed`] if no restart produced a finite NLML.
+    pub fn fit<R: Rng + ?Sized>(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        config: &GpConfig,
+        rng: &mut R,
+    ) -> Result<Self, GpError> {
+        if xs.is_empty() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            });
+        }
+        if xs.len() != ys.len() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: format!("{} inputs but {} outputs", xs.len(), ys.len()),
+            });
+        }
+        for (i, x) in xs.iter().enumerate() {
+            if x.len() != kernel.input_dim() {
+                return Err(GpError::InvalidTrainingSet {
+                    reason: format!(
+                        "input {i} has dimension {} but kernel expects {}",
+                        x.len(),
+                        kernel.input_dim()
+                    ),
+                });
+            }
+        }
+        if ys.iter().any(|y| !y.is_finite()) {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "non-finite observation".into(),
+            });
+        }
+
+        let standardizer = if config.standardize {
+            Standardizer::fit(&ys)
+        } else {
+            Standardizer::identity()
+        };
+        let ys_std = standardizer.transform_all(&ys);
+
+        // Hyperparameter search space: kernel bounds ⊕ noise bounds.
+        let (mut lo, mut hi) = kernel.param_bounds();
+        if config.train_noise {
+            lo.push(config.log_noise_bounds.0);
+            hi.push(config.log_noise_bounds.1.max(config.log_noise_bounds.0));
+        } else {
+            lo.push(config.log_noise_init);
+            hi.push(config.log_noise_init);
+        }
+        let theta_bounds = Bounds::new(lo, hi);
+
+        // Candidate starting points: kernel defaults, optional warm start,
+        // plus Latin-hypercube restarts.
+        let mut starts: Vec<Vec<f64>> = Vec::new();
+        let mut default_start = kernel.default_params();
+        default_start.push(config.log_noise_init);
+        starts.push(theta_bounds.clamp(&default_start));
+        if let Some(ws) = &config.warm_start {
+            if ws.len() == kernel.num_params() + 1 {
+                starts.push(theta_bounds.clamp(ws));
+            }
+        }
+        starts.extend(sampling::latin_hypercube(&theta_bounds, config.restarts, rng));
+
+        let objective = |theta: &[f64]| nlml_with_grad(&kernel, theta, &xs, &ys_std);
+        let optimizer = Lbfgs::new()
+            .with_max_iters(config.max_iters)
+            .with_grad_tol(1e-5);
+
+        let mut best: Option<(Vec<f64>, f64)> = None;
+        for s in &starts {
+            let r = optimizer.minimize(&objective, s, &theta_bounds);
+            if r.value.is_finite() {
+                let better = best.as_ref().map_or(true, |(_, v)| r.value < *v);
+                if better {
+                    best = Some((r.x, r.value));
+                }
+            }
+        }
+        let (theta, best_nlml) = best.ok_or(GpError::TrainingFailed)?;
+
+        let np = kernel.num_params();
+        let params = theta[..np].to_vec();
+        let log_noise = theta[np];
+        let km = kernel_matrix(&kernel, &params, log_noise, &xs);
+        let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
+        let alpha = chol.solve_vec(&ys_std);
+
+        Ok(Gp {
+            kernel,
+            params,
+            log_noise,
+            xs,
+            ys_raw: ys,
+            ys: ys_std,
+            standardizer,
+            chol,
+            alpha,
+            nlml: best_nlml,
+        })
+    }
+
+    /// Builds a GP with *fixed* hyperparameters (no training). Useful for
+    /// tests and for refitting with warm hyperparameters when new data
+    /// arrives mid-optimization.
+    ///
+    /// # Errors
+    ///
+    /// Same validation as [`Gp::fit`], plus
+    /// [`GpError::KernelNotPositiveDefinite`] if the kernel matrix cannot be
+    /// factorized.
+    pub fn with_params(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        params: Vec<f64>,
+        log_noise: f64,
+        standardize: bool,
+    ) -> Result<Self, GpError> {
+        if xs.is_empty() || xs.len() != ys.len() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "empty or mismatched training set".into(),
+            });
+        }
+        if params.len() != kernel.num_params() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "wrong number of kernel parameters".into(),
+            });
+        }
+        let standardizer = if standardize {
+            Standardizer::fit(&ys)
+        } else {
+            Standardizer::identity()
+        };
+        let ys_std = standardizer.transform_all(&ys);
+        let km = kernel_matrix(&kernel, &params, log_noise, &xs);
+        let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
+        let alpha = chol.solve_vec(&ys_std);
+        let nlml = crate::nlml(&kernel, &{
+            let mut t = params.clone();
+            t.push(log_noise);
+            t
+        }, &xs, &ys_std);
+        Ok(Gp {
+            kernel,
+            params,
+            log_noise,
+            xs,
+            ys_raw: ys,
+            ys: ys_std,
+            standardizer,
+            chol,
+            alpha,
+            nlml,
+        })
+    }
+
+    /// Posterior prediction (mean and latent variance) in raw output units.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != kernel.input_dim()`.
+    pub fn predict(&self, x: &[f64]) -> Prediction {
+        let (m, v) = self.predict_standardized(x);
+        Prediction {
+            mean: self.standardizer.inverse(m),
+            var: self.standardizer.inverse_std(v.max(0.0).sqrt()).powi(2),
+        }
+    }
+
+    /// Posterior prediction in *standardized* output space — the space the
+    /// fidelity-selection threshold `γ` (paper eq. 11) and the NARGP
+    /// augmented inputs live in.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != kernel.input_dim()`.
+    pub fn predict_standardized(&self, x: &[f64]) -> (f64, f64) {
+        assert_eq!(
+            x.len(),
+            self.kernel.input_dim(),
+            "query dimension mismatch"
+        );
+        let n = self.xs.len();
+        let mut kstar = vec![0.0; n];
+        for i in 0..n {
+            kstar[i] = self.kernel.eval(&self.params, x, &self.xs[i]);
+        }
+        let mean = mfbo_linalg::dot(&kstar, &self.alpha);
+        let kss = self.kernel.eval(&self.params, x, x);
+        let v = self.chol.forward_solve(&kstar);
+        let var = (kss - mfbo_linalg::dot(&v, &v)).max(0.0);
+        (mean, var)
+    }
+
+    /// Posterior prediction including observation noise (paper eq. 4).
+    pub fn predict_with_noise(&self, x: &[f64]) -> Prediction {
+        let (m, v) = self.predict_standardized(x);
+        let noisy = v + self.noise_var_standardized();
+        Prediction {
+            mean: self.standardizer.inverse(m),
+            var: self.standardizer.inverse_std(noisy.max(0.0).sqrt()).powi(2),
+        }
+    }
+
+    /// Observation-noise variance `σ_n²` in standardized space.
+    pub fn noise_var_standardized(&self) -> f64 {
+        (2.0 * self.log_noise).exp()
+    }
+
+    /// The training inputs.
+    pub fn xs(&self) -> &[Vec<f64>] {
+        &self.xs
+    }
+
+    /// The raw (de-standardized) training observations.
+    pub fn ys_raw(&self) -> &[f64] {
+        &self.ys_raw
+    }
+
+    /// The standardized training observations.
+    pub fn ys_standardized(&self) -> &[f64] {
+        &self.ys
+    }
+
+    /// The output standardizer fitted at training time.
+    pub fn standardizer(&self) -> &Standardizer {
+        &self.standardizer
+    }
+
+    /// The kernel.
+    pub fn kernel(&self) -> &K {
+        &self.kernel
+    }
+
+    /// Optimized kernel log-parameters.
+    pub fn params(&self) -> &[f64] {
+        &self.params
+    }
+
+    /// Optimized `log σ_n`.
+    pub fn log_noise(&self) -> f64 {
+        self.log_noise
+    }
+
+    /// The full hyperparameter vector `[kernel params…, log σ_n]` — feed
+    /// this back as [`GpConfig::warm_start`] on the next refit.
+    pub fn theta(&self) -> Vec<f64> {
+        let mut t = self.params.clone();
+        t.push(self.log_noise);
+        t
+    }
+
+    /// Final negative log marginal likelihood of the trained model.
+    pub fn nlml(&self) -> f64 {
+        self.nlml
+    }
+
+    /// Leave-one-out cross-validation residuals and predictive variances in
+    /// *standardized* space, computed in closed form from the full
+    /// factorization (Rasmussen & Williams, §5.4.2):
+    ///
+    /// `μ_{-i} = y_i − α_i / K⁻¹_ii`, `σ²_{-i} = 1 / K⁻¹_ii`.
+    ///
+    /// Returns one `(residual, variance)` pair per training point, where
+    /// `residual = y_i − μ_{-i}`. Large standardized residuals
+    /// (`residual/√variance`) flag observations the model cannot explain —
+    /// a practical diagnostic for misconverged circuit simulations entering
+    /// the training set.
+    pub fn loo_residuals(&self) -> Vec<(f64, f64)> {
+        let kinv = self.chol.inverse();
+        (0..self.len())
+            .map(|i| {
+                let kii = kinv[(i, i)].max(1e-300);
+                let var = 1.0 / kii;
+                let resid = self.alpha[i] / kii;
+                (resid, var)
+            })
+            .collect()
+    }
+
+    /// Mean negative log predictive density of the leave-one-out folds
+    /// (standardized space); lower is better. A robust model-quality score
+    /// that, unlike NLML, is comparable across different noise levels.
+    pub fn loo_nlpd(&self) -> f64 {
+        let loo = self.loo_residuals();
+        let n = loo.len() as f64;
+        loo.iter()
+            .map(|(r, v)| 0.5 * (v.ln() + r * r / v + (2.0 * std::f64::consts::PI).ln()))
+            .sum::<f64>()
+            / n
+    }
+
+    /// Index and raw value of the minimum observation.
+    pub fn best_observation(&self) -> (usize, f64) {
+        let mut bi = 0;
+        for i in 1..self.ys_raw.len() {
+            if self.ys_raw[i] < self.ys_raw[bi] {
+                bi = i;
+            }
+        }
+        (bi, self.ys_raw[bi])
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// Whether the training set is empty (never true for a constructed GP).
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{Matern52, SquaredExponential};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    fn sine_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin() + 2.0).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn interpolates_training_points() {
+        let (xs, ys) = sine_data(15);
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs.clone(),
+            ys.clone(),
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        for (x, y) in xs.iter().zip(&ys) {
+            let p = gp.predict(x);
+            assert!((p.mean - y).abs() < 0.05, "at {x:?}: {} vs {y}", p.mean);
+        }
+    }
+
+    #[test]
+    fn uncertainty_grows_away_from_data() {
+        let (xs, ys) = sine_data(10);
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs,
+            ys,
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        let near = gp.predict(&[0.5]);
+        let far = gp.predict(&[3.0]);
+        assert!(far.var > near.var * 5.0, "near {} far {}", near.var, far.var);
+    }
+
+    #[test]
+    fn predictions_are_in_raw_units() {
+        // Outputs centered at 1000 — standardization must round-trip.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| 1000.0 + 5.0 * x[0]).collect();
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs,
+            ys,
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        let p = gp.predict(&[0.5]);
+        assert!((p.mean - 1002.5).abs() < 1.0, "mean = {}", p.mean);
+    }
+
+    #[test]
+    fn with_params_skips_training() {
+        let (xs, ys) = sine_data(8);
+        let k = SquaredExponential::new(1);
+        let params = k.default_params();
+        let gp = Gp::with_params(k, xs.clone(), ys.clone(), params, -3.0, true).unwrap();
+        // Still interpolates decently with default hyperparameters.
+        let p = gp.predict(&xs[3]);
+        assert!((p.mean - ys[3]).abs() < 0.2);
+        assert!(gp.nlml().is_finite());
+    }
+
+    #[test]
+    fn rejects_bad_training_sets() {
+        let k = SquaredExponential::new(1);
+        let e = Gp::fit(
+            k.clone(),
+            vec![],
+            vec![],
+            &GpConfig::default(),
+            &mut rng(),
+        );
+        assert!(matches!(e, Err(GpError::InvalidTrainingSet { .. })));
+
+        let e = Gp::fit(
+            k.clone(),
+            vec![vec![0.0]],
+            vec![1.0, 2.0],
+            &GpConfig::default(),
+            &mut rng(),
+        );
+        assert!(matches!(e, Err(GpError::InvalidTrainingSet { .. })));
+
+        let e = Gp::fit(
+            k.clone(),
+            vec![vec![0.0, 1.0]],
+            vec![1.0],
+            &GpConfig::default(),
+            &mut rng(),
+        );
+        assert!(matches!(e, Err(GpError::InvalidTrainingSet { .. })));
+
+        let e = Gp::fit(
+            k,
+            vec![vec![0.0]],
+            vec![f64::NAN],
+            &GpConfig::default(),
+            &mut rng(),
+        );
+        assert!(matches!(e, Err(GpError::InvalidTrainingSet { .. })));
+    }
+
+    #[test]
+    fn fixed_noise_stays_fixed() {
+        let (xs, ys) = sine_data(10);
+        let config = GpConfig {
+            train_noise: false,
+            log_noise_init: -4.0,
+            ..GpConfig::default()
+        };
+        let gp = Gp::fit(SquaredExponential::new(1), xs, ys, &config, &mut rng()).unwrap();
+        assert!((gp.log_noise() - (-4.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_start_is_used_and_theta_round_trips() {
+        let (xs, ys) = sine_data(10);
+        let gp1 = Gp::fit(
+            SquaredExponential::new(1),
+            xs.clone(),
+            ys.clone(),
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        let config = GpConfig {
+            restarts: 0,
+            warm_start: Some(gp1.theta()),
+            ..GpConfig::default()
+        };
+        let gp2 = Gp::fit(SquaredExponential::new(1), xs, ys, &config, &mut rng()).unwrap();
+        // Warm-started training should be at least as good as the default
+        // start alone, and close to the original optimum.
+        assert!(gp2.nlml() <= gp1.nlml() + 1e-3);
+    }
+
+    #[test]
+    fn single_point_training_set() {
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            vec![vec![0.5]],
+            vec![2.0],
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        let p = gp.predict(&[0.5]);
+        assert!((p.mean - 2.0).abs() < 1e-3);
+        assert_eq!(gp.len(), 1);
+        assert!(!gp.is_empty());
+    }
+
+    #[test]
+    fn matern_kernel_also_trains() {
+        let (xs, ys) = sine_data(12);
+        let gp = Gp::fit(Matern52::new(1), xs.clone(), ys.clone(), &GpConfig::fast(), &mut rng())
+            .unwrap();
+        let p = gp.predict(&xs[6]);
+        assert!((p.mean - ys[6]).abs() < 0.1);
+    }
+
+    #[test]
+    fn best_observation_finds_minimum() {
+        let xs: Vec<Vec<f64>> = (0..5).map(|i| vec![i as f64]).collect();
+        let ys = vec![3.0, 1.0, 4.0, 0.5, 2.0];
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs,
+            ys,
+            &GpConfig::fast(),
+            &mut rng(),
+        )
+        .unwrap();
+        let (i, v) = gp.best_observation();
+        assert_eq!(i, 3);
+        assert_eq!(v, 0.5);
+    }
+
+    #[test]
+    fn loo_matches_brute_force_refits() {
+        let (xs, ys) = sine_data(9);
+        let k = SquaredExponential::new(1);
+        let params = vec![0.1, -1.0];
+        let log_noise = -2.0;
+        let gp = Gp::with_params(k.clone(), xs.clone(), ys.clone(), params.clone(), log_noise, false)
+            .unwrap();
+        let loo = gp.loo_residuals();
+        for i in 0..xs.len() {
+            // Brute force: refit without point i (same fixed params, no
+            // standardization so spaces coincide) and predict at x_i.
+            let mut xs2 = xs.clone();
+            let mut ys2 = ys.clone();
+            xs2.remove(i);
+            ys2.remove(i);
+            let gp2 =
+                Gp::with_params(k.clone(), xs2, ys2, params.clone(), log_noise, false).unwrap();
+            let (mu, var) = gp2.predict_standardized(&xs[i]);
+            let noise = gp2.noise_var_standardized();
+            let (resid, loo_var) = loo[i];
+            assert!(
+                (resid - (ys[i] - mu)).abs() < 1e-8,
+                "point {i}: residual {resid} vs brute {}",
+                ys[i] - mu
+            );
+            assert!(
+                (loo_var - (var + noise)).abs() < 1e-8,
+                "point {i}: var {loo_var} vs brute {}",
+                var + noise
+            );
+        }
+    }
+
+    #[test]
+    fn loo_nlpd_prefers_correct_lengthscale() {
+        let (xs, ys) = sine_data(15);
+        let k = SquaredExponential::new(1);
+        let good = Gp::with_params(k.clone(), xs.clone(), ys.clone(), vec![0.0, -1.2], -3.0, true)
+            .unwrap();
+        // Absurdly long lengthscale = underfit.
+        let bad =
+            Gp::with_params(k, xs, ys, vec![0.0, 3.0], -3.0, true).unwrap();
+        assert!(good.loo_nlpd() < bad.loo_nlpd());
+    }
+
+    #[test]
+    fn noise_prediction_is_larger() {
+        let (xs, ys) = sine_data(10);
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs,
+            ys,
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        let latent = gp.predict(&[0.33]);
+        let noisy = gp.predict_with_noise(&[0.33]);
+        assert!(noisy.var >= latent.var);
+        assert_eq!(noisy.mean, latent.mean);
+        assert!(latent.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn two_d_model_learns_anisotropy() {
+        // Function varies strongly in x0, weakly in x1: the trained ARD
+        // lengthscale for x1 should be longer.
+        let mut pts = Vec::new();
+        let mut vals = Vec::new();
+        for i in 0..7 {
+            for j in 0..7 {
+                let x0 = i as f64 / 6.0;
+                let x1 = j as f64 / 6.0;
+                pts.push(vec![x0, x1]);
+                vals.push((8.0 * x0).sin() + 0.01 * x1);
+            }
+        }
+        let gp = Gp::fit(
+            SquaredExponential::new(2),
+            pts,
+            vals,
+            &GpConfig::default(),
+            &mut rng(),
+        )
+        .unwrap();
+        let l0 = gp.params()[1];
+        let l1 = gp.params()[2];
+        assert!(l1 > l0, "l0 = {l0}, l1 = {l1}");
+    }
+}

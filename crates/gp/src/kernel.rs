@@ -1,0 +1,484 @@
+//! Covariance functions and their log-hyperparameter gradients.
+//!
+//! All kernels are parameterized in **log space**: a parameter vector `p`
+//! holds `log σ_f` followed by `log ℓ_1 … log ℓ_d` (and, for composites, the
+//! concatenation of the component layouts). Working in log space makes the
+//! positivity constraints implicit and the NLML landscape far better
+//! conditioned — the universal practice in GP software.
+//!
+//! The gradient convention: [`Kernel::eval_grad`] writes `∂k/∂p_j` (the
+//! derivative with respect to the *log* parameter) into the output slice.
+
+use std::fmt::Debug;
+
+/// A positive-definite covariance function over `R^dim`.
+///
+/// Implementors must be cheap to clone (they carry only shape information;
+/// the hyperparameters travel separately so the optimizer can own them).
+pub trait Kernel: Debug + Clone + Send + Sync {
+    /// Input dimensionality the kernel expects.
+    fn input_dim(&self) -> usize;
+
+    /// Number of hyperparameters (in log space).
+    fn num_params(&self) -> usize;
+
+    /// Evaluates `k(a, b)` under log-parameters `p`.
+    fn eval(&self, p: &[f64], a: &[f64], b: &[f64]) -> f64;
+
+    /// Evaluates `k(a, b)` and writes `∂k/∂p_j` into `grad`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `grad.len() != self.num_params()`.
+    fn eval_grad(&self, p: &[f64], a: &[f64], b: &[f64], grad: &mut [f64]) -> f64;
+
+    /// A reasonable starting point for hyperparameter optimization, assuming
+    /// inputs roughly in the unit box and standardized outputs.
+    fn default_params(&self) -> Vec<f64>;
+
+    /// Box bounds `(lower, upper)` for the log-parameters.
+    fn param_bounds(&self) -> (Vec<f64>, Vec<f64>);
+}
+
+/// Squared-exponential (RBF) kernel with automatic relevance determination:
+/// `k(a,b) = σ_f² exp(-½ Σ_i (a_i-b_i)²/ℓ_i²)` — paper eq. (2).
+///
+/// Parameter layout: `[log σ_f, log ℓ_1, …, log ℓ_d]`.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo_gp::kernel::{Kernel, SquaredExponential};
+///
+/// let k = SquaredExponential::new(2);
+/// let p = k.default_params();
+/// let same = k.eval(&p, &[0.3, 0.4], &[0.3, 0.4]);
+/// let far = k.eval(&p, &[0.3, 0.4], &[5.0, -5.0]);
+/// assert!(same > far); // covariance decays with distance
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SquaredExponential {
+    dim: usize,
+}
+
+impl SquaredExponential {
+    /// Creates an SE-ARD kernel over `dim` input dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "kernel dimension must be positive");
+        SquaredExponential { dim }
+    }
+}
+
+impl Kernel for SquaredExponential {
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_params(&self) -> usize {
+        1 + self.dim
+    }
+
+    fn eval(&self, p: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(p.len(), self.num_params());
+        debug_assert_eq!(a.len(), self.dim);
+        debug_assert_eq!(b.len(), self.dim);
+        let sf2 = (2.0 * p[0]).exp();
+        let mut q = 0.0;
+        for i in 0..self.dim {
+            let inv_l = (-p[1 + i]).exp();
+            let z = (a[i] - b[i]) * inv_l;
+            q += z * z;
+        }
+        sf2 * (-0.5 * q).exp()
+    }
+
+    fn eval_grad(&self, p: &[f64], a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
+        debug_assert_eq!(grad.len(), self.num_params());
+        let sf2 = (2.0 * p[0]).exp();
+        let mut q = 0.0;
+        let mut z2 = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            let inv_l = (-p[1 + i]).exp();
+            let z = (a[i] - b[i]) * inv_l;
+            z2[i] = z * z;
+            q += z2[i];
+        }
+        let k = sf2 * (-0.5 * q).exp();
+        // ∂k/∂log σ_f = 2k;   ∂k/∂log ℓ_i = k · z_i².
+        grad[0] = 2.0 * k;
+        for i in 0..self.dim {
+            grad[1 + i] = k * z2[i];
+        }
+        k
+    }
+
+    fn default_params(&self) -> Vec<f64> {
+        // σ_f = 1, ℓ_i = 0.3 of the unit box.
+        let mut p = vec![0.0];
+        p.extend(std::iter::repeat((0.3f64).ln()).take(self.dim));
+        p
+    }
+
+    fn param_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        // σ_f ∈ [e^-3, e^3]; ℓ ∈ [e^-5, e^3] ≈ [0.0067, 20] of the unit box.
+        let mut lo = vec![-3.0];
+        let mut hi = vec![3.0];
+        lo.extend(std::iter::repeat(-5.0).take(self.dim));
+        hi.extend(std::iter::repeat(3.0).take(self.dim));
+        (lo, hi)
+    }
+}
+
+/// Matérn-5/2 kernel with ARD lengthscales:
+/// `k = σ_f² (1 + √5 r + 5r²/3) exp(-√5 r)` with
+/// `r = sqrt(Σ (a_i-b_i)²/ℓ_i²)`.
+///
+/// Not used by the paper (which fixes the SE kernel), but provided for the
+/// ablation benches: circuit responses with sharp turn-on behaviour are
+/// often better modelled by the rougher Matérn family.
+///
+/// Parameter layout: `[log σ_f, log ℓ_1, …, log ℓ_d]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Matern52 {
+    dim: usize,
+}
+
+impl Matern52 {
+    /// Creates a Matérn-5/2 kernel over `dim` input dimensions.
+    pub fn new(dim: usize) -> Self {
+        assert!(dim > 0, "kernel dimension must be positive");
+        Matern52 { dim }
+    }
+}
+
+impl Kernel for Matern52 {
+    fn input_dim(&self) -> usize {
+        self.dim
+    }
+
+    fn num_params(&self) -> usize {
+        1 + self.dim
+    }
+
+    fn eval(&self, p: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        let sf2 = (2.0 * p[0]).exp();
+        let mut q = 0.0;
+        for i in 0..self.dim {
+            let inv_l = (-p[1 + i]).exp();
+            let z = (a[i] - b[i]) * inv_l;
+            q += z * z;
+        }
+        let r = q.sqrt();
+        let s5r = 5.0f64.sqrt() * r;
+        sf2 * (1.0 + s5r + 5.0 * q / 3.0) * (-s5r).exp()
+    }
+
+    fn eval_grad(&self, p: &[f64], a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
+        let sf2 = (2.0 * p[0]).exp();
+        let mut q = 0.0;
+        let mut z2 = vec![0.0; self.dim];
+        for i in 0..self.dim {
+            let inv_l = (-p[1 + i]).exp();
+            let z = (a[i] - b[i]) * inv_l;
+            z2[i] = z * z;
+            q += z2[i];
+        }
+        let r = q.sqrt();
+        let sqrt5 = 5.0f64.sqrt();
+        let s5r = sqrt5 * r;
+        let e = (-s5r).exp();
+        let k = sf2 * (1.0 + s5r + 5.0 * q / 3.0) * e;
+        grad[0] = 2.0 * k;
+        // dk/dr = -(5r/3)(1 + √5 r) σ_f² e^{-√5 r};
+        // ∂r/∂log ℓ_i = -z_i²/r  (for r > 0).
+        if r > 1e-300 {
+            let dk_dr = -(5.0 * r / 3.0) * (1.0 + s5r) * sf2 * e;
+            for i in 0..self.dim {
+                grad[1 + i] = dk_dr * (-z2[i] / r);
+            }
+        } else {
+            for g in grad[1..].iter_mut() {
+                *g = 0.0;
+            }
+        }
+        k
+    }
+
+    fn default_params(&self) -> Vec<f64> {
+        let mut p = vec![0.0];
+        p.extend(std::iter::repeat((0.3f64).ln()).take(self.dim));
+        p
+    }
+
+    fn param_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let mut lo = vec![-3.0];
+        let mut hi = vec![3.0];
+        lo.extend(std::iter::repeat(-5.0).take(self.dim));
+        hi.extend(std::iter::repeat(3.0).take(self.dim));
+        (lo, hi)
+    }
+}
+
+/// The nonlinear-information-fusion kernel of paper eq. (9):
+///
+/// `k_h((x, f), (x', f')) = k1(f, f') · k2(x, x') + k3(x, x')`
+///
+/// operating on *augmented* inputs `z = (x_1 … x_d, f)` where `f` is the
+/// low-fidelity posterior mean at `x`. `k1` captures the (possibly strongly
+/// nonlinear) map `z(·)` from low- to high-fidelity output; `k2` modulates
+/// that map across the design space (space-dependent correlation); `k3`
+/// models the independent discrepancy GP `δ(x)`.
+///
+/// All three components are squared-exponential. Parameter layout:
+/// `[θ1 (2: log σ_f, log ℓ_f), θ2 (1+d), θ3 (1+d)]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NargpKernel {
+    /// Design-space dimensionality `d` (the augmented input has `d + 1`).
+    design_dim: usize,
+    k1: SquaredExponential,
+    k2: SquaredExponential,
+    k3: SquaredExponential,
+}
+
+impl NargpKernel {
+    /// Creates the fusion kernel for a `design_dim`-dimensional design
+    /// space; the kernel itself operates on `design_dim + 1` inputs.
+    pub fn new(design_dim: usize) -> Self {
+        assert!(design_dim > 0, "design dimension must be positive");
+        NargpKernel {
+            design_dim,
+            k1: SquaredExponential::new(1),
+            k2: SquaredExponential::new(design_dim),
+            k3: SquaredExponential::new(design_dim),
+        }
+    }
+
+    /// The design-space dimensionality `d`.
+    pub fn design_dim(&self) -> usize {
+        self.design_dim
+    }
+
+    fn split<'a>(&self, p: &'a [f64]) -> (&'a [f64], &'a [f64], &'a [f64]) {
+        let n1 = self.k1.num_params();
+        let n2 = self.k2.num_params();
+        let n3 = self.k3.num_params();
+        debug_assert_eq!(p.len(), n1 + n2 + n3);
+        (&p[..n1], &p[n1..n1 + n2], &p[n1 + n2..])
+    }
+}
+
+impl Kernel for NargpKernel {
+    fn input_dim(&self) -> usize {
+        self.design_dim + 1
+    }
+
+    fn num_params(&self) -> usize {
+        self.k1.num_params() + self.k2.num_params() + self.k3.num_params()
+    }
+
+    fn eval(&self, p: &[f64], a: &[f64], b: &[f64]) -> f64 {
+        debug_assert_eq!(a.len(), self.input_dim());
+        debug_assert_eq!(b.len(), self.input_dim());
+        let d = self.design_dim;
+        let (p1, p2, p3) = self.split(p);
+        let fa = &a[d..];
+        let fb = &b[d..];
+        let xa = &a[..d];
+        let xb = &b[..d];
+        self.k1.eval(p1, fa, fb) * self.k2.eval(p2, xa, xb) + self.k3.eval(p3, xa, xb)
+    }
+
+    fn eval_grad(&self, p: &[f64], a: &[f64], b: &[f64], grad: &mut [f64]) -> f64 {
+        let d = self.design_dim;
+        let (p1, p2, p3) = self.split(p);
+        let n1 = self.k1.num_params();
+        let n2 = self.k2.num_params();
+        let fa = &a[d..];
+        let fb = &b[d..];
+        let xa = &a[..d];
+        let xb = &b[..d];
+
+        let (g1, rest) = grad.split_at_mut(n1);
+        let (g2, g3) = rest.split_at_mut(n2);
+        let k1v = self.k1.eval_grad(p1, fa, fb, g1);
+        let k2v = self.k2.eval_grad(p2, xa, xb, g2);
+        let k3v = self.k3.eval_grad(p3, xa, xb, g3);
+        // Product rule for the k1·k2 term; k3 is additive.
+        for g in g1.iter_mut() {
+            *g *= k2v;
+        }
+        for g in g2.iter_mut() {
+            *g *= k1v;
+        }
+        k1v * k2v + k3v
+    }
+
+    fn default_params(&self) -> Vec<f64> {
+        let mut p = self.k1.default_params();
+        p.extend(self.k2.default_params());
+        // Start the discrepancy term small: the prior belief is that the
+        // low-fidelity map explains most of the high-fidelity signal.
+        let mut p3 = self.k3.default_params();
+        p3[0] = -2.0;
+        p.extend(p3);
+        p
+    }
+
+    fn param_bounds(&self) -> (Vec<f64>, Vec<f64>) {
+        let (l1, u1) = self.k1.param_bounds();
+        let (l2, u2) = self.k2.param_bounds();
+        let (l3, u3) = self.k3.param_bounds();
+        let mut lo = l1;
+        lo.extend(l2);
+        lo.extend(l3);
+        let mut hi = u1;
+        hi.extend(u2);
+        hi.extend(u3);
+        (lo, hi)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Finite-difference check of `eval_grad` against `eval`.
+    fn check_grad<K: Kernel>(k: &K, p: &[f64], a: &[f64], b: &[f64]) {
+        let mut grad = vec![0.0; k.num_params()];
+        let v = k.eval_grad(p, a, b, &mut grad);
+        assert!((v - k.eval(p, a, b)).abs() < 1e-14);
+        let h = 1e-6;
+        for j in 0..k.num_params() {
+            let mut pp = p.to_vec();
+            pp[j] += h;
+            let fp = k.eval(&pp, a, b);
+            pp[j] -= 2.0 * h;
+            let fm = k.eval(&pp, a, b);
+            let num = (fp - fm) / (2.0 * h);
+            assert!(
+                (num - grad[j]).abs() < 1e-5 * (1.0 + num.abs()),
+                "param {j}: numeric {num} vs analytic {}",
+                grad[j]
+            );
+        }
+    }
+
+    #[test]
+    fn se_value_at_zero_distance_is_sf2() {
+        let k = SquaredExponential::new(3);
+        let p = vec![0.5, 0.0, 0.0, 0.0];
+        let x = [0.1, 0.2, 0.3];
+        assert!((k.eval(&p, &x, &x) - (1.0f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn se_symmetry() {
+        let k = SquaredExponential::new(2);
+        let p = k.default_params();
+        let a = [0.1, 0.9];
+        let b = [0.7, 0.2];
+        assert!((k.eval(&p, &a, &b) - k.eval(&p, &b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn se_gradient_matches_finite_differences() {
+        let k = SquaredExponential::new(2);
+        check_grad(&k, &[0.3, -0.5, 0.2], &[0.1, 0.9], &[0.4, 0.3]);
+        check_grad(&k, &[-1.0, 1.0, -2.0], &[0.0, 0.0], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn se_ard_lengthscales_act_per_dimension() {
+        let k = SquaredExponential::new(2);
+        // Long lengthscale on dim 0, short on dim 1.
+        let p = vec![0.0, 2.0, -2.0];
+        let base = [0.0, 0.0];
+        let move0 = k.eval(&p, &base, &[0.5, 0.0]);
+        let move1 = k.eval(&p, &base, &[0.0, 0.5]);
+        assert!(move0 > move1, "short lengthscale should decay faster");
+    }
+
+    #[test]
+    fn matern_value_and_decay() {
+        let k = Matern52::new(1);
+        let p = vec![0.0, 0.0];
+        let k0 = k.eval(&p, &[0.0], &[0.0]);
+        assert!((k0 - 1.0).abs() < 1e-12);
+        let k1 = k.eval(&p, &[0.0], &[1.0]);
+        let k2 = k.eval(&p, &[0.0], &[2.0]);
+        assert!(k0 > k1 && k1 > k2);
+    }
+
+    #[test]
+    fn matern_gradient_matches_finite_differences() {
+        let k = Matern52::new(3);
+        check_grad(
+            &k,
+            &[0.2, -0.3, 0.4, 0.0],
+            &[0.1, 0.5, 0.9],
+            &[0.3, 0.2, 0.8],
+        );
+    }
+
+    #[test]
+    fn matern_gradient_at_coincident_points_is_finite() {
+        let k = Matern52::new(2);
+        let mut g = vec![0.0; 3];
+        let v = k.eval_grad(&[0.0, 0.0, 0.0], &[0.5, 0.5], &[0.5, 0.5], &mut g);
+        assert!((v - 1.0).abs() < 1e-12);
+        assert!(g.iter().all(|x| x.is_finite()));
+    }
+
+    #[test]
+    fn nargp_layout_and_value() {
+        let k = NargpKernel::new(2);
+        assert_eq!(k.input_dim(), 3);
+        assert_eq!(k.num_params(), 2 + 3 + 3);
+        let p = k.default_params();
+        assert_eq!(p.len(), k.num_params());
+        let a = [0.1, 0.2, 0.5]; // (x1, x2, f_l)
+        let b = [0.3, 0.1, 0.4];
+        let v = k.eval(&p, &a, &b);
+        assert!(v.is_finite() && v > 0.0);
+        // Symmetry.
+        assert!((v - k.eval(&p, &b, &a)).abs() < 1e-15);
+    }
+
+    #[test]
+    fn nargp_gradient_matches_finite_differences() {
+        let k = NargpKernel::new(2);
+        let p: Vec<f64> = vec![0.1, -0.2, 0.3, 0.0, -0.4, -1.0, 0.5, -0.3];
+        check_grad(&k, &p, &[0.1, 0.9, 0.3], &[0.5, 0.2, -0.1]);
+    }
+
+    #[test]
+    fn nargp_reduces_to_discrepancy_when_k1_vanishes() {
+        let k = NargpKernel::new(1);
+        // σ_f of k1 pushed to e^-30 ≈ 0: only k3 remains.
+        let p = vec![-30.0, 0.0, 0.0, 0.0, 0.2, -0.1];
+        let a = [0.3, 5.0];
+        let b = [0.7, -5.0];
+        let direct = k.eval(&p, &a, &b);
+        let k3 = SquaredExponential::new(1);
+        let expect = k3.eval(&[0.2, -0.1], &[0.3], &[0.7]);
+        assert!((direct - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn bounds_contain_defaults() {
+        for dim in [1usize, 3, 10] {
+            let k = SquaredExponential::new(dim);
+            let p = k.default_params();
+            let (lo, hi) = k.param_bounds();
+            for j in 0..p.len() {
+                assert!(lo[j] <= p[j] && p[j] <= hi[j]);
+            }
+            let n = NargpKernel::new(dim);
+            let p = n.default_params();
+            let (lo, hi) = n.param_bounds();
+            for j in 0..p.len() {
+                assert!(lo[j] <= p[j] && p[j] <= hi[j]);
+            }
+        }
+    }
+}

@@ -1,0 +1,205 @@
+//! Negative log marginal likelihood (paper eq. 3) and its gradient.
+//!
+//! The hyperparameter vector `θ` is the kernel's log-parameters with
+//! `log σ_n` (observation-noise standard deviation) appended:
+//! `θ = [kernel params…, log σ_n]`.
+//!
+//! `NLML(θ) = ½ (yᵀ K_θ⁻¹ y + log|K_θ| + N log 2π)` with
+//! `K_θ = K(X, X) + σ_n² I`, and the gradient uses the classic identity
+//! `∂NLML/∂θ_j = ½ tr((K⁻¹ − α αᵀ) ∂K/∂θ_j)` with `α = K⁻¹ y`.
+
+use crate::kernel::Kernel;
+use mfbo_linalg::{Cholesky, Matrix};
+
+const LOG_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Assembles the noisy kernel matrix `K(X,X) + σ_n² I`.
+pub(crate) fn kernel_matrix<K: Kernel>(kernel: &K, p: &[f64], log_noise: f64, xs: &[Vec<f64>]) -> Matrix {
+    let n = xs.len();
+    let sn2 = (2.0 * log_noise).exp();
+    let mut k = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in 0..=i {
+            let v = kernel.eval(p, &xs[i], &xs[j]);
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+        k[(i, i)] += sn2;
+    }
+    k
+}
+
+/// Computes the NLML for hyperparameters `theta = [kernel params…, log σ_n]`.
+///
+/// Returns `f64::INFINITY` when the kernel matrix cannot be factorized.
+///
+/// # Panics
+///
+/// Panics if `theta.len() != kernel.num_params() + 1` or if `xs`/`ys`
+/// lengths disagree.
+pub fn nlml<K: Kernel>(kernel: &K, theta: &[f64], xs: &[Vec<f64>], ys: &[f64]) -> f64 {
+    assert_eq!(theta.len(), kernel.num_params() + 1, "theta layout mismatch");
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let (kp, log_noise) = theta.split_at(kernel.num_params());
+    let n = xs.len();
+    let km = kernel_matrix(kernel, kp, log_noise[0], xs);
+    let chol = match Cholesky::new_with_jitter(&km, 1e-10, 1e-4) {
+        Ok(c) => c,
+        Err(_) => return f64::INFINITY,
+    };
+    let quad = chol.quad_form(ys);
+    0.5 * (quad + chol.log_det() + n as f64 * LOG_2PI)
+}
+
+/// Computes the NLML and its gradient with respect to `theta`.
+///
+/// Returns `(f64::INFINITY, zeros)` when the kernel matrix cannot be
+/// factorized — the L-BFGS line search treats that as an infeasible step.
+///
+/// # Panics
+///
+/// Panics if `theta.len() != kernel.num_params() + 1` or if `xs`/`ys`
+/// lengths disagree.
+pub fn nlml_with_grad<K: Kernel>(
+    kernel: &K,
+    theta: &[f64],
+    xs: &[Vec<f64>],
+    ys: &[f64],
+) -> (f64, Vec<f64>) {
+    assert_eq!(theta.len(), kernel.num_params() + 1, "theta layout mismatch");
+    assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
+    let np = kernel.num_params();
+    let (kp, log_noise) = theta.split_at(np);
+    let n = xs.len();
+    let km = kernel_matrix(kernel, kp, log_noise[0], xs);
+    let chol = match Cholesky::new_with_jitter(&km, 1e-10, 1e-4) {
+        Ok(c) => c,
+        Err(_) => return (f64::INFINITY, vec![0.0; theta.len()]),
+    };
+    let alpha = chol.solve_vec(ys);
+    let value = 0.5
+        * (mfbo_linalg::dot(ys, &alpha) + chol.log_det() + n as f64 * LOG_2PI);
+
+    // W = K⁻¹ − α αᵀ (symmetric).
+    let kinv = chol.inverse();
+    let mut grad = vec![0.0; theta.len()];
+    let mut kg = vec![0.0; np];
+    let sn2 = (2.0 * log_noise[0]).exp();
+    for i in 0..n {
+        for j in 0..=i {
+            let w = kinv[(i, j)] - alpha[i] * alpha[j];
+            let weight = if i == j { 0.5 * w } else { w };
+            kernel.eval_grad(kp, &xs[i], &xs[j], &mut kg);
+            for (g, &dk) in grad[..np].iter_mut().zip(kg.iter()) {
+                *g += weight * dk;
+            }
+            if i == j {
+                // ∂K_ii/∂log σ_n = 2 σ_n².
+                grad[np] += weight * 2.0 * sn2;
+            }
+        }
+    }
+    (value, grad)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::{NargpKernel, SquaredExponential};
+
+    fn toy_data() -> (Vec<Vec<f64>>, Vec<f64>) {
+        let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0]).sin()).collect();
+        (xs, ys)
+    }
+
+    #[test]
+    fn value_is_finite_for_reasonable_params() {
+        let (xs, ys) = toy_data();
+        let k = SquaredExponential::new(1);
+        let mut theta = k.default_params();
+        theta.push(-2.0);
+        let v = nlml(&k, &theta, &xs, &ys);
+        assert!(v.is_finite());
+    }
+
+    #[test]
+    fn grad_matches_finite_differences_se() {
+        let (xs, ys) = toy_data();
+        let k = SquaredExponential::new(1);
+        let theta = vec![0.2, -0.8, -1.5];
+        let (v, g) = nlml_with_grad(&k, &theta, &xs, &ys);
+        assert!(v.is_finite());
+        let h = 1e-6;
+        for j in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[j] += h;
+            let fp = nlml(&k, &tp, &xs, &ys);
+            tp[j] -= 2.0 * h;
+            let fm = nlml(&k, &tp, &xs, &ys);
+            let num = (fp - fm) / (2.0 * h);
+            assert!(
+                (num - g[j]).abs() < 1e-4 * (1.0 + num.abs()),
+                "param {j}: numeric {num} vs analytic {}",
+                g[j]
+            );
+        }
+    }
+
+    #[test]
+    fn grad_matches_finite_differences_nargp() {
+        // Augmented 2-D inputs (x, f_l).
+        let xs: Vec<Vec<f64>> = (0..10)
+            .map(|i| {
+                let x = i as f64 / 9.0;
+                vec![x, (8.0 * x).sin()]
+            })
+            .collect();
+        let ys: Vec<f64> = xs.iter().map(|z| (z[0] - 0.3) * z[1] * z[1]).collect();
+        let k = NargpKernel::new(1);
+        let mut theta = k.default_params();
+        theta.push(-2.0);
+        let (v, g) = nlml_with_grad(&k, &theta, &xs, &ys);
+        assert!(v.is_finite());
+        let h = 1e-6;
+        for j in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[j] += h;
+            let fp = nlml(&k, &tp, &xs, &ys);
+            tp[j] -= 2.0 * h;
+            let fm = nlml(&k, &tp, &xs, &ys);
+            let num = (fp - fm) / (2.0 * h);
+            assert!(
+                (num - g[j]).abs() < 1e-4 * (1.0 + num.abs()),
+                "param {j}: numeric {num} vs analytic {}",
+                g[j]
+            );
+        }
+    }
+
+    #[test]
+    fn pathological_params_return_infinity_not_panic() {
+        let (xs, ys) = toy_data();
+        let k = SquaredExponential::new(1);
+        // Gigantic signal with zero noise on duplicated inputs → singular.
+        let mut dup_xs = xs.clone();
+        dup_xs.extend(xs.iter().cloned());
+        let mut dup_ys = ys.clone();
+        // Conflicting observations at identical inputs.
+        dup_ys.extend(ys.iter().map(|v| v + 3.0));
+        let theta = vec![3.0, -5.0, -30.0];
+        let v = nlml(&k, &theta, &dup_xs, &dup_ys);
+        // Either jitter rescues it (finite) or we get +inf; never NaN/panic.
+        assert!(!v.is_nan());
+    }
+
+    #[test]
+    fn good_fit_has_lower_nlml_than_bad_fit() {
+        let (xs, ys) = toy_data();
+        let k = SquaredExponential::new(1);
+        // Reasonable lengthscale vs absurdly short one with huge noise.
+        let good = nlml(&k, &[0.0, -1.0, -3.0], &xs, &ys);
+        let bad = nlml(&k, &[0.0, -5.0, 1.0], &xs, &ys);
+        assert!(good < bad);
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests of the kernel and GP layers.
+
+use mfbo_gp::kernel::{Kernel, Matern52, NargpKernel, SquaredExponential};
+use mfbo_gp::{nlml, nlml_with_grad, Gp, GpConfig};
+use mfbo_linalg::{Cholesky, Matrix};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Strategy: n points in [0,1]^dim, flattened.
+fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
+    prop::collection::vec(0.0f64..1.0, n * dim).prop_map(move |flat| {
+        flat.chunks(dim).map(|c| c.to_vec()).collect()
+    })
+}
+
+/// Builds the kernel Gram matrix.
+fn gram<K: Kernel>(k: &K, p: &[f64], xs: &[Vec<f64>]) -> Matrix {
+    Matrix::from_fn(xs.len(), xs.len(), |i, j| k.eval(p, &xs[i], &xs[j]))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn se_gram_is_psd(xs in points(8, 2), logsf in -1.0f64..1.0, logl in -2.0f64..1.0) {
+        let k = SquaredExponential::new(2);
+        let p = vec![logsf, logl, logl];
+        let g = gram(&k, &p, &xs);
+        prop_assert!(g.is_symmetric(1e-12));
+        // PSD: Cholesky with a whisker of jitter must succeed.
+        prop_assert!(Cholesky::new_with_jitter(&g, 1e-10, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn matern_gram_is_psd(xs in points(7, 3), logsf in -1.0f64..1.0) {
+        let k = Matern52::new(3);
+        let p = vec![logsf, -0.5, 0.0, -1.0];
+        let g = gram(&k, &p, &xs);
+        prop_assert!(g.is_symmetric(1e-12));
+        prop_assert!(Cholesky::new_with_jitter(&g, 1e-10, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn nargp_gram_is_psd(xs in points(7, 3)) {
+        // Augmented input: 2 design dims + 1 fidelity feature.
+        let k = NargpKernel::new(2);
+        let p = k.default_params();
+        let g = gram(&k, &p, &xs);
+        prop_assert!(g.is_symmetric(1e-12));
+        prop_assert!(Cholesky::new_with_jitter(&g, 1e-10, 1e-3).is_ok());
+    }
+
+    #[test]
+    fn kernel_cauchy_schwarz(a in points(1, 2), b in points(1, 2), logl in -1.5f64..1.0) {
+        // |k(a,b)| <= sqrt(k(a,a) k(b,b)) for any PSD kernel.
+        let k = SquaredExponential::new(2);
+        let p = vec![0.3, logl, logl];
+        let kab = k.eval(&p, &a[0], &b[0]);
+        let kaa = k.eval(&p, &a[0], &a[0]);
+        let kbb = k.eval(&p, &b[0], &b[0]);
+        prop_assert!(kab.abs() <= (kaa * kbb).sqrt() + 1e-12);
+    }
+
+    #[test]
+    fn nlml_gradient_is_consistent(
+        xs in points(9, 1),
+        theta0 in -0.5f64..0.5,
+        theta1 in -1.5f64..0.0,
+    ) {
+        let ys: Vec<f64> = xs.iter().map(|x| (5.0 * x[0]).sin()).collect();
+        let k = SquaredExponential::new(1);
+        let theta = vec![theta0, theta1, -2.0];
+        let (v, g) = nlml_with_grad(&k, &theta, &xs, &ys);
+        prop_assume!(v.is_finite());
+        let h = 1e-6;
+        for j in 0..theta.len() {
+            let mut tp = theta.clone();
+            tp[j] += h;
+            let fp = nlml(&k, &tp, &xs, &ys);
+            tp[j] -= 2.0 * h;
+            let fm = nlml(&k, &tp, &xs, &ys);
+            prop_assume!(fp.is_finite() && fm.is_finite());
+            let num = (fp - fm) / (2.0 * h);
+            prop_assert!((num - g[j]).abs() < 1e-3 * (1.0 + num.abs()),
+                "param {j}: numeric {num} vs analytic {}", g[j]);
+        }
+    }
+
+    #[test]
+    fn posterior_variance_shrinks_at_observations(xs in points(6, 1)) {
+        // Deduplicate: coincident points make the latent variance claim
+        // trivially true but can stress the jitter path.
+        let ys: Vec<f64> = xs.iter().map(|x| x[0] * 2.0 - 0.5).collect();
+        let k = SquaredExponential::new(1);
+        let gp = Gp::with_params(k, xs.clone(), ys, vec![0.0, -1.0], -4.0, true).unwrap();
+        for x in &xs {
+            let (_, var_at_obs) = gp.predict_standardized(x);
+            // Far from all data the latent variance approaches the prior
+            // variance (= 1 here); at observations it must be far below.
+            prop_assert!(var_at_obs < 0.1, "var at observation = {var_at_obs}");
+        }
+        let (_, var_far) = gp.predict_standardized(&[57.0]);
+        prop_assert!(var_far > 0.9);
+    }
+
+    #[test]
+    fn output_shift_equivariance(shift in -50.0f64..50.0) {
+        // Standardization makes the posterior mean equivariant under
+        // output shifts: predict(y + c) == predict(y) + c.
+        let xs: Vec<Vec<f64>> = (0..10).map(|i| vec![i as f64 / 9.0]).collect();
+        let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).cos()).collect();
+        let ys_shifted: Vec<f64> = ys.iter().map(|y| y + shift).collect();
+        let k = SquaredExponential::new(1);
+        let params = vec![0.0, -1.0];
+        let a = Gp::with_params(k.clone(), xs.clone(), ys, params.clone(), -3.0, true).unwrap();
+        let b = Gp::with_params(k, xs, ys_shifted, params, -3.0, true).unwrap();
+        for q in [0.05, 0.37, 0.81] {
+            let pa = a.predict(&[q]);
+            let pb = b.predict(&[q]);
+            prop_assert!((pb.mean - pa.mean - shift).abs() < 1e-9);
+            prop_assert!((pb.var - pa.var).abs() < 1e-9 * (1.0 + pa.var));
+        }
+    }
+}
+
+#[test]
+fn training_is_deterministic_given_seed() {
+    let xs: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| (6.0 * x[0]).sin()).collect();
+    let fit = || {
+        let mut rng = StdRng::seed_from_u64(5);
+        Gp::fit(
+            SquaredExponential::new(1),
+            xs.clone(),
+            ys.clone(),
+            &GpConfig::default(),
+            &mut rng,
+        )
+        .unwrap()
+    };
+    let a = fit();
+    let b = fit();
+    assert_eq!(a.theta(), b.theta());
+    assert_eq!(a.nlml(), b.nlml());
+}

@@ -1,0 +1,375 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! The Gaussian-process stack funnels every covariance operation through
+//! this module: training needs `log|K|` and `K⁻¹y`, prediction needs
+//! triangular solves against kernel cross-covariance vectors, and the
+//! Monte-Carlo posterior propagation in the multi-fidelity model needs
+//! `L z` products for sampling. Kernel matrices are only positive
+//! *semi*-definite in exact arithmetic and frequently slip below zero in
+//! floating point when inputs nearly coincide, so [`Cholesky::new_with_jitter`]
+//! retries with a geometrically growing diagonal "jitter" — the standard GP
+//! practice.
+
+use crate::{LinalgError, Matrix};
+
+/// Lower-triangular Cholesky factor `L` of an SPD matrix `A = L Lᵀ`.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo_linalg::{Matrix, Cholesky};
+///
+/// # fn main() -> Result<(), mfbo_linalg::LinalgError> {
+/// let a = Matrix::from_rows(&[&[25.0, 15.0, -5.0],
+///                             &[15.0, 18.0,  0.0],
+///                             &[-5.0,  0.0, 11.0]]);
+/// let chol = Cholesky::new(&a)?;
+/// // Known factor of this classic example.
+/// assert!((chol.factor()[(0, 0)] - 5.0).abs() < 1e-12);
+/// // det(A) = 2025 for this matrix, so log|A| = ln 2025.
+/// assert!((chol.log_det() - 2025f64.ln()).abs() < 1e-9);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cholesky {
+    l: Matrix,
+    /// Diagonal jitter that had to be added for the factorization to succeed.
+    jitter: f64,
+}
+
+impl Cholesky {
+    /// Factorizes `a` without adding jitter.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if a pivot is not
+    /// strictly positive, and [`LinalgError::ShapeMismatch`] if `a` is not
+    /// square.
+    pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch { context: "cholesky" });
+        }
+        Self::factorize(a, 0.0)
+    }
+
+    /// Factorizes `a`, retrying with a diagonal jitter that grows
+    /// geometrically from `initial` to `max` until the factorization
+    /// succeeds.
+    ///
+    /// This is the entry point used by the GP code. The jitter actually used
+    /// is available via [`Cholesky::jitter`] so callers can fold it into
+    /// their noise estimate.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] if even the maximum
+    /// jitter fails, and [`LinalgError::ShapeMismatch`] if `a` is not square.
+    pub fn new_with_jitter(a: &Matrix, initial: f64, max: f64) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch { context: "cholesky" });
+        }
+        match Self::factorize(a, 0.0) {
+            Ok(c) => Ok(c),
+            Err(_) => {
+                let mut jitter = initial.max(f64::MIN_POSITIVE);
+                loop {
+                    match Self::factorize(a, jitter) {
+                        Ok(c) => return Ok(c),
+                        Err(e) if jitter >= max => return Err(e),
+                        Err(_) => jitter = (jitter * 10.0).min(max),
+                    }
+                }
+            }
+        }
+    }
+
+    fn factorize(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            // Diagonal element.
+            let mut d = a[(j, j)] + jitter;
+            for k in 0..j {
+                d -= l[(j, k)] * l[(j, k)];
+            }
+            if !(d > 0.0) || !d.is_finite() {
+                return Err(LinalgError::NotPositiveDefinite { pivot: j });
+            }
+            let dj = d.sqrt();
+            l[(j, j)] = dj;
+            // Column below the diagonal.
+            for i in (j + 1)..n {
+                let mut s = a[(i, j)];
+                for k in 0..j {
+                    s -= l[(i, k)] * l[(j, k)];
+                }
+                l[(i, j)] = s / dj;
+            }
+        }
+        Ok(Cholesky { l, jitter })
+    }
+
+    /// The lower-triangular factor `L`.
+    pub fn factor(&self) -> &Matrix {
+        &self.l
+    }
+
+    /// Diagonal jitter added during factorization (`0.0` when none was
+    /// needed).
+    pub fn jitter(&self) -> f64 {
+        self.jitter
+    }
+
+    /// Dimension of the factored matrix.
+    pub fn dim(&self) -> usize {
+        self.l.rows()
+    }
+
+    /// `log |A| = 2 Σ log L_ii`.
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows())
+            .map(|i| self.l[(i, i)].ln())
+            .sum::<f64>()
+            * 2.0
+    }
+
+    /// Solves `L z = b` by forward substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "forward_solve length mismatch");
+        let mut z = vec![0.0; n];
+        for i in 0..n {
+            let mut s = b[i];
+            let row = self.l.row(i);
+            for k in 0..i {
+                s -= row[k] * z[k];
+            }
+            z[i] = s / row[i];
+        }
+        z
+    }
+
+    /// Solves `Lᵀ x = b` by back substitution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn back_solve(&self, b: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(b.len(), n, "back_solve length mismatch");
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut s = b[i];
+            for k in (i + 1)..n {
+                s -= self.l[(k, i)] * x[k];
+            }
+            x[i] = s / self.l[(i, i)];
+        }
+        x
+    }
+
+    /// Solves `A x = b` (both triangular solves).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
+        self.back_solve(&self.forward_solve(b))
+    }
+
+    /// Solves `A X = B` column by column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.dim()`.
+    pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
+        assert_eq!(b.rows(), self.dim(), "solve_matrix shape mismatch");
+        let mut out = Matrix::zeros(b.rows(), b.cols());
+        for j in 0..b.cols() {
+            let col = b.col(j);
+            let x = self.solve_vec(&col);
+            for i in 0..b.rows() {
+                out[(i, j)] = x[i];
+            }
+        }
+        out
+    }
+
+    /// The explicit inverse `A⁻¹`.
+    ///
+    /// Prefer the `solve_*` methods; the explicit inverse is only needed for
+    /// the trace terms in NLML gradients.
+    pub fn inverse(&self) -> Matrix {
+        self.solve_matrix(&Matrix::identity(self.dim()))
+    }
+
+    /// Quadratic form `bᵀ A⁻¹ b`, computed stably as `‖L⁻¹ b‖²`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len() != self.dim()`.
+    pub fn quad_form(&self, b: &[f64]) -> f64 {
+        let z = self.forward_solve(b);
+        crate::dot(&z, &z)
+    }
+
+    /// Returns `L z` — used to draw correlated Gaussian samples from
+    /// i.i.d. standard normals `z`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `z.len() != self.dim()`.
+    pub fn l_matvec(&self, z: &[f64]) -> Vec<f64> {
+        let n = self.dim();
+        assert_eq!(z.len(), n, "l_matvec length mismatch");
+        let mut out = vec![0.0; n];
+        for i in 0..n {
+            let row = self.l.row(i);
+            let mut s = 0.0;
+            for k in 0..=i {
+                s += row[k] * z[k];
+            }
+            out[i] = s;
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            &[25.0, 15.0, -5.0],
+            &[15.0, 18.0, 0.0],
+            &[-5.0, 0.0, 11.0],
+        ])
+    }
+
+    #[test]
+    fn factor_matches_known_result() {
+        let chol = Cholesky::new(&spd_example()).unwrap();
+        let l = chol.factor();
+        let expect = Matrix::from_rows(&[&[5.0, 0.0, 0.0], &[3.0, 3.0, 0.0], &[-1.0, 1.0, 3.0]]);
+        assert!(l.max_abs_diff(&expect) < 1e-12);
+        assert_eq!(chol.jitter(), 0.0);
+    }
+
+    #[test]
+    fn reconstruction_l_lt() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let recon = l.matmul(&l.transpose());
+        assert!(recon.max_abs_diff(&a) < 1e-12);
+    }
+
+    #[test]
+    fn log_det_matches_eigen_product() {
+        // det = 5^2 * 3^2 * 3^2 = 2025.
+        let chol = Cholesky::new(&spd_example()).unwrap();
+        assert!((chol.log_det() - 2025.0f64.ln()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solve_recovers_rhs() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = vec![1.0, -2.0, 0.5];
+        let x = chol.solve_vec(&b);
+        let back = a.matvec(&x);
+        for (bi, bb) in b.iter().zip(&back) {
+            assert!((bi - bb).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn solve_matrix_and_inverse() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let inv = chol.inverse();
+        let prod = a.matmul(&inv);
+        assert!(prod.max_abs_diff(&Matrix::identity(3)) < 1e-12);
+    }
+
+    #[test]
+    fn quad_form_matches_direct() {
+        let a = spd_example();
+        let chol = Cholesky::new(&a).unwrap();
+        let b = vec![0.3, 1.0, -0.7];
+        let x = chol.solve_vec(&b);
+        let direct = crate::dot(&b, &x);
+        assert!((chol.quad_form(&b) - direct).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_indefinite() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[2.0, 1.0]]); // eigenvalues 3, -1
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::NotPositiveDefinite { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        let a = Matrix::zeros(2, 3);
+        assert!(matches!(
+            Cholesky::new(&a),
+            Err(LinalgError::ShapeMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn jitter_rescues_semidefinite() {
+        // Rank-1 matrix: vvᵀ with v = (1, 1); singular but PSD.
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let chol = Cholesky::new_with_jitter(&a, 1e-10, 1e-2).unwrap();
+        assert!(chol.jitter() > 0.0);
+        // The solve should still approximately invert a + jitter*I.
+        let mut aj = a.clone();
+        aj.add_diag(chol.jitter());
+        let x = chol.solve_vec(&[1.0, 0.0]);
+        let back = aj.matvec(&x);
+        assert!((back[0] - 1.0).abs() < 1e-6 && back[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn jitter_gives_up_at_max() {
+        let a = Matrix::from_rows(&[&[-1.0, 0.0], &[0.0, -1.0]]);
+        assert!(Cholesky::new_with_jitter(&a, 1e-10, 1e-4).is_err());
+    }
+
+    #[test]
+    fn l_matvec_matches_dense_product() {
+        let chol = Cholesky::new(&spd_example()).unwrap();
+        let z = vec![0.5, -1.0, 2.0];
+        let got = chol.l_matvec(&z);
+        let want = chol.factor().matvec(&z);
+        for (g, w) in got.iter().zip(&want) {
+            assert!((g - w).abs() < 1e-14);
+        }
+    }
+
+    #[test]
+    fn forward_back_are_inverses_of_triangular_products() {
+        let chol = Cholesky::new(&spd_example()).unwrap();
+        let b = vec![1.0, 2.0, 3.0];
+        let z = chol.forward_solve(&b);
+        let lb = chol.l_matvec(&z);
+        for (x, y) in lb.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-12);
+        }
+        let x = chol.back_solve(&b);
+        let ltx = chol.factor().transpose().matvec(&x);
+        for (got, want) in ltx.iter().zip(&b) {
+            assert!((got - want).abs() < 1e-12);
+        }
+    }
+}

@@ -1,0 +1,348 @@
+//! Minimal complex arithmetic and a complex linear solver.
+//!
+//! The circuit engine's AC small-signal analysis assembles a complex-valued
+//! MNA system `(G + jωC) x = b` at every frequency point. Rather than pull
+//! in an external complex/num crate, this module provides the small amount
+//! of complex machinery required: a `Complex` scalar, a dense complex
+//! matrix, and LU solving with partial pivoting (a direct transliteration
+//! of the real [`crate::Lu`]).
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub};
+
+/// A complex number with `f64` components.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo_linalg::Complex;
+///
+/// let a = Complex::new(3.0, 4.0);
+/// assert_eq!(a.abs(), 5.0);
+/// let b = a * Complex::i();
+/// assert_eq!(b, Complex::new(-4.0, 3.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    /// Real part.
+    pub re: f64,
+    /// Imaginary part.
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + j·im`.
+    pub const fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    /// The imaginary unit `j`.
+    pub const fn i() -> Self {
+        Complex { re: 0.0, im: 1.0 }
+    }
+
+    /// Zero.
+    pub const fn zero() -> Self {
+        Complex { re: 0.0, im: 0.0 }
+    }
+
+    /// One.
+    pub const fn one() -> Self {
+        Complex { re: 1.0, im: 0.0 }
+    }
+
+    /// Creates a purely real value.
+    pub const fn real(re: f64) -> Self {
+        Complex { re, im: 0.0 }
+    }
+
+    /// Magnitude `|z|`.
+    pub fn abs(self) -> f64 {
+        self.re.hypot(self.im)
+    }
+
+    /// Squared magnitude `|z|²`.
+    pub fn abs_sq(self) -> f64 {
+        self.re * self.re + self.im * self.im
+    }
+
+    /// Phase in radians.
+    pub fn arg(self) -> f64 {
+        self.im.atan2(self.re)
+    }
+
+    /// Complex conjugate.
+    pub fn conj(self) -> Self {
+        Complex {
+            re: self.re,
+            im: -self.im,
+        }
+    }
+
+    /// Multiplicative inverse.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds on division by exact zero.
+    pub fn recip(self) -> Self {
+        let d = self.abs_sq();
+        debug_assert!(d > 0.0, "complex division by zero");
+        Complex {
+            re: self.re / d,
+            im: -self.im / d,
+        }
+    }
+
+    /// Returns `true` when both components are finite.
+    pub fn is_finite(self) -> bool {
+        self.re.is_finite() && self.im.is_finite()
+    }
+}
+
+impl fmt::Display for Complex {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.im >= 0.0 {
+            write!(f, "{}+{}j", self.re, self.im)
+        } else {
+            write!(f, "{}{}j", self.re, self.im)
+        }
+    }
+}
+
+impl From<f64> for Complex {
+    fn from(re: f64) -> Self {
+        Complex::real(re)
+    }
+}
+
+impl Add for Complex {
+    type Output = Complex;
+    fn add(self, o: Complex) -> Complex {
+        Complex::new(self.re + o.re, self.im + o.im)
+    }
+}
+
+impl AddAssign for Complex {
+    fn add_assign(&mut self, o: Complex) {
+        self.re += o.re;
+        self.im += o.im;
+    }
+}
+
+impl Sub for Complex {
+    type Output = Complex;
+    fn sub(self, o: Complex) -> Complex {
+        Complex::new(self.re - o.re, self.im - o.im)
+    }
+}
+
+impl Mul for Complex {
+    type Output = Complex;
+    fn mul(self, o: Complex) -> Complex {
+        Complex::new(
+            self.re * o.re - self.im * o.im,
+            self.re * o.im + self.im * o.re,
+        )
+    }
+}
+
+impl Mul<f64> for Complex {
+    type Output = Complex;
+    fn mul(self, s: f64) -> Complex {
+        Complex::new(self.re * s, self.im * s)
+    }
+}
+
+impl Div for Complex {
+    type Output = Complex;
+    fn div(self, o: Complex) -> Complex {
+        self * o.recip()
+    }
+}
+
+impl Neg for Complex {
+    type Output = Complex;
+    fn neg(self) -> Complex {
+        Complex::new(-self.re, -self.im)
+    }
+}
+
+/// Solves the dense complex system `A x = b` by LU with partial pivoting.
+///
+/// `a` is a row-major `n×n` complex matrix (consumed as working storage).
+///
+/// # Errors
+///
+/// Returns [`crate::LinalgError::Singular`] if a pivot column vanishes and
+/// [`crate::LinalgError::ShapeMismatch`] on inconsistent dimensions.
+pub fn solve_complex(
+    mut a: Vec<Complex>,
+    mut b: Vec<Complex>,
+) -> Result<Vec<Complex>, crate::LinalgError> {
+    let n = b.len();
+    if a.len() != n * n {
+        return Err(crate::LinalgError::ShapeMismatch {
+            context: "solve_complex",
+        });
+    }
+    for k in 0..n {
+        // Partial pivot on magnitude.
+        let mut p = k;
+        let mut pmax = a[k * n + k].abs();
+        for i in (k + 1)..n {
+            let m = a[i * n + k].abs();
+            if m > pmax {
+                pmax = m;
+                p = i;
+            }
+        }
+        if pmax == 0.0 || !pmax.is_finite() {
+            return Err(crate::LinalgError::Singular { pivot: k });
+        }
+        if p != k {
+            for j in 0..n {
+                a.swap(k * n + j, p * n + j);
+            }
+            b.swap(k, p);
+        }
+        let pivot = a[k * n + k];
+        for i in (k + 1)..n {
+            let m = a[i * n + k] / pivot;
+            if m.abs() != 0.0 {
+                for j in (k + 1)..n {
+                    let akj = a[k * n + j];
+                    let v = a[i * n + j] - m * akj;
+                    a[i * n + j] = v;
+                }
+                let bk = b[k];
+                b[i] = b[i] - m * bk;
+            }
+            a[i * n + k] = m;
+        }
+    }
+    // Back substitution.
+    let mut x = vec![Complex::zero(); n];
+    for i in (0..n).rev() {
+        let mut s = b[i];
+        for j in (i + 1)..n {
+            s = s - a[i * n + j] * x[j];
+        }
+        x[i] = s / a[i * n + i];
+    }
+    Ok(x)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a - b).abs() < 1e-10
+    }
+
+    #[test]
+    fn arithmetic_identities() {
+        let a = Complex::new(2.0, -3.0);
+        let b = Complex::new(-1.0, 0.5);
+        assert!(close(a + b - b, a));
+        assert!(close(a * b / b, a));
+        assert!(close(a * a.recip(), Complex::one()));
+        assert!(close(-a + a, Complex::zero()));
+        assert!(close(a.conj().conj(), a));
+        assert_eq!(Complex::from(2.5), Complex::real(2.5));
+    }
+
+    #[test]
+    fn magnitude_and_phase() {
+        let a = Complex::new(0.0, 2.0);
+        assert!((a.abs() - 2.0).abs() < 1e-15);
+        assert!((a.arg() - std::f64::consts::FRAC_PI_2).abs() < 1e-15);
+        assert_eq!(Complex::new(3.0, 4.0).abs_sq(), 25.0);
+    }
+
+    #[test]
+    fn i_squared_is_minus_one() {
+        assert!(close(Complex::i() * Complex::i(), Complex::real(-1.0)));
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(Complex::new(1.0, 2.0).to_string(), "1+2j");
+        assert_eq!(Complex::new(1.0, -2.0).to_string(), "1-2j");
+    }
+
+    #[test]
+    fn solves_known_complex_system() {
+        // (1+j) x = 2j  =>  x = 2j/(1+j) = 1 + j.
+        let a = vec![Complex::new(1.0, 1.0)];
+        let b = vec![Complex::new(0.0, 2.0)];
+        let x = solve_complex(a, b).unwrap();
+        assert!(close(x[0], Complex::new(1.0, 1.0)));
+    }
+
+    #[test]
+    fn solves_2x2_with_pivoting() {
+        // [[0, 1], [1+j, 0]] x = [3, 2]  =>  x = (2/(1+j), 3).
+        let a = vec![
+            Complex::zero(),
+            Complex::one(),
+            Complex::new(1.0, 1.0),
+            Complex::zero(),
+        ];
+        let b = vec![Complex::real(3.0), Complex::real(2.0)];
+        let x = solve_complex(a, b).unwrap();
+        assert!(close(x[0], Complex::new(1.0, -1.0)));
+        assert!(close(x[1], Complex::real(3.0)));
+    }
+
+    #[test]
+    fn random_round_trip() {
+        let n = 8;
+        let mut seed = 0x2545F4914F6CDD1Du64;
+        let mut next = move || {
+            seed ^= seed << 13;
+            seed ^= seed >> 7;
+            seed ^= seed << 17;
+            (seed >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+        };
+        let a: Vec<Complex> = (0..n * n)
+            .map(|k| {
+                let d = if k % (n + 1) == 0 { 3.0 } else { 0.0 };
+                Complex::new(next() + d, next())
+            })
+            .collect();
+        let xt: Vec<Complex> = (0..n).map(|_| Complex::new(next(), next())).collect();
+        // b = A x.
+        let mut b = vec![Complex::zero(); n];
+        for i in 0..n {
+            for j in 0..n {
+                b[i] += a[i * n + j] * xt[j];
+            }
+        }
+        let x = solve_complex(a, b).unwrap();
+        for (u, v) in x.iter().zip(&xt) {
+            assert!(close(*u, *v), "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = vec![
+            Complex::one(),
+            Complex::one(),
+            Complex::one(),
+            Complex::one(),
+        ];
+        let b = vec![Complex::one(), Complex::zero()];
+        assert!(solve_complex(a, b).is_err());
+    }
+
+    #[test]
+    fn rejects_shape_mismatch() {
+        let e = solve_complex(vec![Complex::one(); 3], vec![Complex::one(); 2]);
+        assert!(matches!(
+            e,
+            Err(crate::LinalgError::ShapeMismatch { .. })
+        ));
+    }
+}

@@ -1,0 +1,64 @@
+//! Error type shared by the factorization routines.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by linear-algebra routines in this crate.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum LinalgError {
+    /// The matrix passed to [`crate::Cholesky::new`] was not positive
+    /// definite, even after the maximum jitter was added to its diagonal.
+    NotPositiveDefinite {
+        /// Index of the pivot that first failed.
+        pivot: usize,
+    },
+    /// The matrix passed to [`crate::Lu::new`] is singular to working
+    /// precision.
+    Singular {
+        /// Index of the pivot column where elimination broke down.
+        pivot: usize,
+    },
+    /// Operand shapes do not agree (e.g. multiplying a 3x2 by a 3x3).
+    ShapeMismatch {
+        /// Human-readable description of the offending operation.
+        context: &'static str,
+    },
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::NotPositiveDefinite { pivot } => {
+                write!(f, "matrix is not positive definite (pivot {pivot})")
+            }
+            LinalgError::Singular { pivot } => {
+                write!(f, "matrix is singular to working precision (pivot {pivot})")
+            }
+            LinalgError::ShapeMismatch { context } => {
+                write!(f, "operand shapes do not agree in {context}")
+            }
+        }
+    }
+}
+
+impl Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_informative() {
+        let e = LinalgError::NotPositiveDefinite { pivot: 3 };
+        let s = e.to_string();
+        assert!(s.contains("positive definite"));
+        assert!(s.contains('3'));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<LinalgError>();
+    }
+}

@@ -1,0 +1,99 @@
+//! Property-based tests for the linear-algebra kernels.
+
+use mfbo_linalg::{Cholesky, Lu, Matrix};
+use proptest::prelude::*;
+
+/// Strategy: a random `n x n` matrix with entries in [-1, 1].
+fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    prop::collection::vec(-1.0f64..1.0, n * n)
+        .prop_map(move |data| Matrix::from_vec(n, n, data))
+}
+
+/// Strategy: a random SPD matrix built as `B Bᵀ + n·I` (guaranteed SPD).
+fn spd_matrix(n: usize) -> impl Strategy<Value = Matrix> {
+    square_matrix(n).prop_map(move |b| {
+        let mut a = b.matmul(&b.transpose());
+        a.add_diag(n as f64);
+        a
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn cholesky_reconstructs(a in spd_matrix(5)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let l = chol.factor();
+        let recon = l.matmul(&l.transpose());
+        prop_assert!(recon.max_abs_diff(&a) < 1e-9);
+    }
+
+    #[test]
+    fn cholesky_solve_inverts(a in spd_matrix(5), b in prop::collection::vec(-2.0f64..2.0, 5)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let x = chol.solve_vec(&b);
+        let back = a.matvec(&x);
+        for (u, v) in b.iter().zip(&back) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn cholesky_quad_form_nonnegative(a in spd_matrix(4), b in prop::collection::vec(-2.0f64..2.0, 4)) {
+        let chol = Cholesky::new(&a).unwrap();
+        prop_assert!(chol.quad_form(&b) >= -1e-12);
+    }
+
+    #[test]
+    fn cholesky_log_det_matches_lu_det(a in spd_matrix(4)) {
+        let chol = Cholesky::new(&a).unwrap();
+        let lu = Lu::new(&a).unwrap();
+        // det of an SPD matrix is positive, so log|A| should match.
+        prop_assert!(lu.det() > 0.0);
+        prop_assert!((chol.log_det() - lu.det().ln()).abs() < 1e-7);
+    }
+
+    #[test]
+    fn lu_solve_inverts(a in spd_matrix(6), b in prop::collection::vec(-2.0f64..2.0, 6)) {
+        // SPD matrices are well-conditioned enough for a tight round-trip.
+        let lu = Lu::new(&a).unwrap();
+        let x = lu.solve(&b);
+        let back = a.matvec(&x);
+        for (u, v) in b.iter().zip(&back) {
+            prop_assert!((u - v).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn matmul_associativity(
+        a in square_matrix(3),
+        b in square_matrix(3),
+        c in square_matrix(3),
+    ) {
+        let left = a.matmul(&b).matmul(&c);
+        let right = a.matmul(&b.matmul(&c));
+        prop_assert!(left.max_abs_diff(&right) < 1e-10);
+    }
+
+    #[test]
+    fn transpose_of_product(a in square_matrix(4), b in square_matrix(4)) {
+        let lhs = a.matmul(&b).transpose();
+        let rhs = b.transpose().matmul(&a.transpose());
+        prop_assert!(lhs.max_abs_diff(&rhs) < 1e-12);
+    }
+
+    #[test]
+    fn norm_cdf_inverse_round_trip(p in 1e-5f64..0.99999) {
+        let x = mfbo_linalg::norm_inv_cdf(p);
+        prop_assert!((mfbo_linalg::norm_cdf(x) - p).abs() < 1e-5);
+    }
+
+    #[test]
+    fn standardizer_is_affine_invertible(ys in prop::collection::vec(-100.0f64..100.0, 2..40)) {
+        let s = mfbo_linalg::Standardizer::fit(&ys);
+        for &y in &ys {
+            prop_assert!((s.inverse(s.transform(y)) - y).abs() < 1e-8);
+        }
+    }
+}

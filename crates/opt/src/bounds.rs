@@ -1,0 +1,254 @@
+//! Axis-aligned box bounds for design variables.
+
+use rand::Rng;
+
+/// Axis-aligned box constraints `lower[i] <= x[i] <= upper[i]`.
+///
+/// Every optimizer in this crate operates inside a `Bounds` box; circuit
+/// design spaces (transistor widths, bias voltages, capacitances) are always
+/// boxes in the DAC'19 formulation.
+///
+/// # Examples
+///
+/// ```
+/// use mfbo_opt::Bounds;
+///
+/// let b = Bounds::new(vec![0.0, -1.0], vec![1.0, 1.0]);
+/// assert!(b.contains(&[0.5, 0.0]));
+/// assert_eq!(b.clamp(&[2.0, -3.0]), vec![1.0, -1.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bounds {
+    lower: Vec<f64>,
+    upper: Vec<f64>,
+}
+
+impl Bounds {
+    /// Creates bounds from lower and upper vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the vectors have different lengths or if any
+    /// `lower[i] > upper[i]` or any bound is non-finite.
+    pub fn new(lower: Vec<f64>, upper: Vec<f64>) -> Self {
+        assert_eq!(lower.len(), upper.len(), "bound vectors must match");
+        for (i, (l, u)) in lower.iter().zip(&upper).enumerate() {
+            assert!(
+                l.is_finite() && u.is_finite() && l <= u,
+                "invalid bound at dimension {i}: [{l}, {u}]"
+            );
+        }
+        Bounds { lower, upper }
+    }
+
+    /// Creates the symmetric box `[-half_width, half_width]^dim`.
+    pub fn symmetric(dim: usize, half_width: f64) -> Self {
+        Bounds::new(vec![-half_width; dim], vec![half_width; dim])
+    }
+
+    /// Creates the unit box `[0, 1]^dim`.
+    pub fn unit(dim: usize) -> Self {
+        Bounds::new(vec![0.0; dim], vec![1.0; dim])
+    }
+
+    /// Number of dimensions.
+    pub fn dim(&self) -> usize {
+        self.lower.len()
+    }
+
+    /// Lower bound vector.
+    pub fn lower(&self) -> &[f64] {
+        &self.lower
+    }
+
+    /// Upper bound vector.
+    pub fn upper(&self) -> &[f64] {
+        &self.upper
+    }
+
+    /// Per-dimension widths `upper - lower`.
+    pub fn widths(&self) -> Vec<f64> {
+        self.upper
+            .iter()
+            .zip(&self.lower)
+            .map(|(u, l)| u - l)
+            .collect()
+    }
+
+    /// Returns `true` when `x` lies inside the box (inclusive).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn contains(&self, x: &[f64]) -> bool {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .all(|(v, (l, u))| *v >= *l && *v <= *u)
+    }
+
+    /// Projects `x` onto the box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn clamp(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(v, (l, u))| v.clamp(*l, *u))
+            .collect()
+    }
+
+    /// Projects `x` onto the box in place.
+    pub fn clamp_in_place(&self, x: &mut [f64]) {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        for (v, (l, u)) in x.iter_mut().zip(self.lower.iter().zip(&self.upper)) {
+            *v = v.clamp(*l, *u);
+        }
+    }
+
+    /// Draws a uniform random point inside the box.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Vec<f64> {
+        self.lower
+            .iter()
+            .zip(&self.upper)
+            .map(|(l, u)| {
+                if u > l {
+                    rng.gen_range(*l..*u)
+                } else {
+                    *l
+                }
+            })
+            .collect()
+    }
+
+    /// Draws a Gaussian perturbation of `center` with per-dimension standard
+    /// deviation `frac * width`, clamped back into the box.
+    ///
+    /// This is the "scatter a fraction of starting points around the current
+    /// best result" operation from paper §4.1.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `center.len() != self.dim()`.
+    pub fn sample_near<R: Rng + ?Sized>(&self, rng: &mut R, center: &[f64], frac: f64) -> Vec<f64> {
+        assert_eq!(center.len(), self.dim(), "dimension mismatch");
+        let mut x: Vec<f64> = center
+            .iter()
+            .zip(self.widths())
+            .map(|(c, w)| c + gauss(rng) * frac * w)
+            .collect();
+        self.clamp_in_place(&mut x);
+        x
+    }
+
+    /// Maps a point in the unit cube `[0,1]^d` into this box.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `u.len() != self.dim()`.
+    pub fn from_unit(&self, u: &[f64]) -> Vec<f64> {
+        assert_eq!(u.len(), self.dim(), "dimension mismatch");
+        u.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(t, (l, up))| l + t * (up - l))
+            .collect()
+    }
+
+    /// Maps a point in this box into the unit cube (degenerate dimensions map
+    /// to `0.5`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `x.len() != self.dim()`.
+    pub fn to_unit(&self, x: &[f64]) -> Vec<f64> {
+        assert_eq!(x.len(), self.dim(), "dimension mismatch");
+        x.iter()
+            .zip(self.lower.iter().zip(&self.upper))
+            .map(|(v, (l, u))| if u > l { (v - l) / (u - l) } else { 0.5 })
+            .collect()
+    }
+}
+
+/// One standard normal sample via Box–Muller (avoids a rand_distr
+/// dependency).
+pub(crate) fn gauss<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn construction_and_accessors() {
+        let b = Bounds::new(vec![0.0, -1.0], vec![2.0, 1.0]);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.lower(), &[0.0, -1.0]);
+        assert_eq!(b.upper(), &[2.0, 1.0]);
+        assert_eq!(b.widths(), vec![2.0, 2.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid bound")]
+    fn rejects_inverted_bounds() {
+        let _ = Bounds::new(vec![1.0], vec![0.0]);
+    }
+
+    #[test]
+    fn contains_and_clamp() {
+        let b = Bounds::unit(3);
+        assert!(b.contains(&[0.0, 0.5, 1.0]));
+        assert!(!b.contains(&[0.0, 0.5, 1.1]));
+        assert_eq!(b.clamp(&[-0.5, 0.5, 2.0]), vec![0.0, 0.5, 1.0]);
+    }
+
+    #[test]
+    fn sampling_stays_inside() {
+        let b = Bounds::new(vec![-3.0, 10.0], vec![-1.0, 20.0]);
+        let mut rng = StdRng::seed_from_u64(7);
+        for _ in 0..200 {
+            let x = b.sample_uniform(&mut rng);
+            assert!(b.contains(&x));
+            let y = b.sample_near(&mut rng, &x, 0.2);
+            assert!(b.contains(&y));
+        }
+    }
+
+    #[test]
+    fn unit_cube_round_trip() {
+        let b = Bounds::new(vec![-2.0, 5.0], vec![4.0, 6.0]);
+        let x = vec![1.0, 5.25];
+        let u = b.to_unit(&x);
+        assert!((u[0] - 0.5).abs() < 1e-12);
+        assert!((u[1] - 0.25).abs() < 1e-12);
+        let back = b.from_unit(&u);
+        for (a, c) in x.iter().zip(&back) {
+            assert!((a - c).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn degenerate_dimension() {
+        let b = Bounds::new(vec![1.0], vec![1.0]);
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(b.sample_uniform(&mut rng), vec![1.0]);
+        assert_eq!(b.to_unit(&[1.0]), vec![0.5]);
+    }
+
+    #[test]
+    fn gauss_moments_are_plausible() {
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| gauss(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.03, "mean = {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var = {var}");
+    }
+}

@@ -1,0 +1,136 @@
+//! Property-based tests for the optimizer crate.
+
+use mfbo_opt::de::{DifferentialEvolution, Fitness};
+use mfbo_opt::lbfgs::Lbfgs;
+use mfbo_opt::neldermead::NelderMead;
+use mfbo_opt::{numgrad, sampling, Bounds};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bounds_strategy(dim: usize) -> impl Strategy<Value = Bounds> {
+    prop::collection::vec((-10.0f64..0.0, 0.1f64..10.0), dim).prop_map(|pairs| {
+        let lo: Vec<f64> = pairs.iter().map(|(l, _)| *l).collect();
+        let hi: Vec<f64> = pairs.iter().map(|(l, w)| l + w).collect();
+        Bounds::new(lo, hi)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn lhs_points_stay_inside_and_stratify(b in bounds_strategy(3), n in 1usize..25, seed in 0u64..1000) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts = sampling::latin_hypercube(&b, n, &mut rng);
+        prop_assert_eq!(pts.len(), n);
+        for p in &pts {
+            prop_assert!(b.contains(p));
+        }
+        // Stratification along every axis.
+        for j in 0..3 {
+            let mut counts = vec![0usize; n];
+            for p in &pts {
+                let u = (p[j] - b.lower()[j]) / (b.upper()[j] - b.lower()[j]);
+                let k = ((u * n as f64).floor() as usize).min(n - 1);
+                counts[k] += 1;
+            }
+            prop_assert!(counts.iter().all(|&c| c == 1));
+        }
+    }
+
+    #[test]
+    fn unit_cube_round_trip(b in bounds_strategy(4), u in prop::collection::vec(0.0f64..1.0, 4)) {
+        let x = b.from_unit(&u);
+        prop_assert!(b.contains(&x));
+        let back = b.to_unit(&x);
+        for (a, c) in u.iter().zip(&back) {
+            prop_assert!((a - c).abs() < 1e-10);
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent_projection(b in bounds_strategy(3), x in prop::collection::vec(-100.0f64..100.0, 3)) {
+        let c = b.clamp(&x);
+        prop_assert!(b.contains(&c));
+        prop_assert_eq!(b.clamp(&c), c.clone());
+        // Projection never moves an interior point.
+        if b.contains(&x) {
+            prop_assert_eq!(c, x);
+        }
+    }
+
+    #[test]
+    fn lbfgs_never_increases_from_start(
+        b in bounds_strategy(2),
+        sx in 0.0f64..1.0,
+        sy in 0.0f64..1.0,
+        cx in -5.0f64..5.0,
+        cy in -5.0f64..5.0,
+    ) {
+        let fg = move |x: &[f64]| {
+            let v = (x[0] - cx).powi(2) + 3.0 * (x[1] - cy).powi(2);
+            (v, vec![2.0 * (x[0] - cx), 6.0 * (x[1] - cy)])
+        };
+        let x0 = b.from_unit(&[sx, sy]);
+        let f0 = fg(&x0).0;
+        let r = Lbfgs::new().minimize(&fg, &x0, &b);
+        prop_assert!(r.value <= f0 + 1e-12);
+        prop_assert!(b.contains(&r.x));
+        // The result matches the box-constrained optimum: the projection of
+        // the unconstrained center (separable quadratic).
+        let proj = b.clamp(&[cx, cy]);
+        let vproj = fg(&proj).0;
+        prop_assert!(
+            r.value <= vproj + 1e-3 * (1.0 + vproj.abs()),
+            "r.value = {}, vproj = {vproj}",
+            r.value
+        );
+    }
+
+    #[test]
+    fn nelder_mead_stays_in_bounds(b in bounds_strategy(3), s in prop::collection::vec(0.0f64..1.0, 3)) {
+        let f = |x: &[f64]| x.iter().map(|v| (v - 0.3).powi(2)).sum::<f64>();
+        let x0 = b.from_unit(&s);
+        let r = NelderMead::new().with_max_iters(150).minimize(&f, &x0, &b);
+        prop_assert!(b.contains(&r.x));
+        prop_assert!(r.value <= f(&x0) + 1e-12);
+    }
+
+    #[test]
+    fn de_candidates_and_result_in_bounds(b in bounds_strategy(2), seed in 0u64..500) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let b2 = b.clone();
+        let f = move |x: &[f64]| {
+            assert!(b2.contains(x), "DE evaluated out-of-bounds candidate");
+            Fitness::unconstrained(x.iter().map(|v| v * v).sum())
+        };
+        let r = DifferentialEvolution::new()
+            .with_population(8)
+            .with_max_evaluations(200)
+            .minimize(&f, &b, &mut rng);
+        prop_assert!(b.contains(&r.x));
+        prop_assert_eq!(r.evaluations, 200);
+    }
+
+    #[test]
+    fn central_gradient_matches_polynomial(a in -3.0f64..3.0, bq in -3.0f64..3.0, x in -2.0f64..2.0) {
+        let f = move |v: &[f64]| a * v[0] * v[0] + bq * v[0];
+        let g = numgrad::central_gradient(&f, &[x]);
+        let exact = 2.0 * a * x + bq;
+        prop_assert!((g[0] - exact).abs() < 1e-5 * (1.0 + exact.abs()));
+    }
+
+    #[test]
+    fn feasibility_rule_is_antisymmetric_and_irreflexive(
+        o1 in -10.0f64..10.0, v1 in 0.0f64..5.0,
+        o2 in -10.0f64..10.0, v2 in 0.0f64..5.0,
+    ) {
+        let a = Fitness { objective: o1, violation: v1 };
+        let bfit = Fitness { objective: o2, violation: v2 };
+        // Never both a beats b and b beats a.
+        prop_assert!(!(a.beats(&bfit) && bfit.beats(&a)));
+        // Irreflexive.
+        prop_assert!(!a.beats(&a));
+    }
+}

@@ -1,0 +1,76 @@
+//! Multi-fidelity regression demo (paper Figure 1).
+//!
+//! Trains the NARGP fusion model and a plain single-fidelity GP on the
+//! pedagogical function pair of Perdikaris et al. 2017 and prints both
+//! posteriors over a dense grid — the data behind the paper's Figure 1.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example mf_regression
+//! ```
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::gp::kernel::SquaredExponential;
+use analog_mfbo::gp::{Gp, GpConfig};
+use mfbo::{MfGp, MfGpConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Paper Figure 1 training setup: dense low-fidelity data, 14 high-
+    // fidelity points.
+    let n_low = 50;
+    let n_high = 14;
+    let xl: Vec<Vec<f64>> = (0..n_low)
+        .map(|i| vec![i as f64 / (n_low - 1) as f64])
+        .collect();
+    let yl: Vec<f64> = xl.iter().map(|x| testfns::pedagogical_low(x[0])).collect();
+    let xh: Vec<Vec<f64>> = (0..n_high)
+        .map(|i| vec![i as f64 / (n_high - 1) as f64])
+        .collect();
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::pedagogical_high(x[0])).collect();
+
+    let mut rng = StdRng::seed_from_u64(0);
+    let mf = MfGp::fit(
+        xl,
+        yl,
+        xh.clone(),
+        yh.clone(),
+        &MfGpConfig::default(),
+        &mut rng,
+    )?;
+    let sf = Gp::fit(
+        SquaredExponential::new(1),
+        xh,
+        yh,
+        &GpConfig::default(),
+        &mut rng,
+    )?;
+
+    println!("# x  truth  mf_mean  mf_3sigma  sf_mean  sf_3sigma");
+    let mut mf_se = 0.0;
+    let mut sf_se = 0.0;
+    let n = 101;
+    for i in 0..n {
+        let x = i as f64 / (n - 1) as f64;
+        let truth = testfns::pedagogical_high(x);
+        let pm = mf.predict(&[x]);
+        let ps = sf.predict(&[x]);
+        mf_se += (pm.mean - truth).powi(2);
+        sf_se += (ps.mean - truth).powi(2);
+        println!(
+            "{x:.3}  {truth:>8.4}  {:>8.4}  {:>8.4}  {:>8.4}  {:>8.4}",
+            pm.mean,
+            3.0 * pm.std_dev(),
+            ps.mean,
+            3.0 * ps.std_dev()
+        );
+    }
+    println!(
+        "\nRMSE: multi-fidelity = {:.4}, single-fidelity = {:.4}",
+        (mf_se / n as f64).sqrt(),
+        (sf_se / n as f64).sqrt()
+    );
+    Ok(())
+}

@@ -1,0 +1,88 @@
+//! A tour of the built-in MNA circuit engine.
+//!
+//! Demonstrates DC operating points (voltage divider, current mirror) and
+//! transient analysis (RC step, the full PA netlist) — the substrate every
+//! circuit evaluation in this workspace runs on.
+//!
+//! Run with:
+//!
+//! ```text
+//! cargo run --release --example spice_demo
+//! ```
+
+use analog_mfbo::circuits::pa::PowerAmplifier;
+use analog_mfbo::circuits::spice::dc::solve_dc;
+use analog_mfbo::circuits::spice::transient::Transient;
+use analog_mfbo::circuits::spice::{waveform, Circuit, MosModel, Waveform};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // --- 1. DC: resistive divider. ---
+    println!("== DC: voltage divider ==");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let mid = c.node("mid");
+    c.vsource(vin, Circuit::GND, Waveform::Dc(3.3));
+    c.resistor(vin, mid, 10e3);
+    c.resistor(mid, Circuit::GND, 20e3);
+    let sol = solve_dc(&c)?;
+    println!("v(mid) = {:.4} V (expect 2.2000)\n", sol.voltage(mid));
+
+    // --- 2. DC: NMOS current mirror, 2:1 ratio. ---
+    println!("== DC: NMOS current mirror ==");
+    let mut c = Circuit::new();
+    let vdd = c.node("vdd");
+    let nref = c.node("ref");
+    let nout = c.node("out");
+    c.vsource(vdd, Circuit::GND, Waveform::Dc(1.8));
+    c.isource(vdd, nref, Waveform::Dc(50e-6));
+    c.mosfet(nref, nref, Circuit::GND, MosModel::nmos_default(), 20.0);
+    c.mosfet(nout, nref, Circuit::GND, MosModel::nmos_default(), 40.0);
+    let rload = c.resistor(vdd, nout, 5e3);
+    let sol = solve_dc(&c)?;
+    let i_out = (1.8 - sol.voltage(nout)) / 5e3;
+    println!("mirror input 50 µA x2 ratio -> output {:.2} µA", i_out * 1e6);
+    let _ = rload;
+    println!();
+
+    // --- 3. Transient: RC step response. ---
+    println!("== Transient: RC step (tau = 1 ms) ==");
+    let mut c = Circuit::new();
+    let vin = c.node("in");
+    let vout = c.node("out");
+    c.vsource(
+        vin,
+        Circuit::GND,
+        Waveform::Pulse {
+            low: 0.0,
+            high: 1.0,
+            delay: 0.0,
+            width: 1.0,
+            period: 0.0,
+        },
+    );
+    c.resistor(vin, vout, 1e3);
+    c.capacitor(vout, Circuit::GND, 1e-6);
+    let r = Transient::new(5e-5, 5e-3).run(&c)?;
+    let v = r.voltage(vout);
+    for k in [0, 20, 40, 60, 80, 100] {
+        println!("t = {:>5.2} ms   v(out) = {:.4} V", r.times()[k] * 1e3, v[k]);
+    }
+    println!();
+
+    // --- 4. Transient: the power-amplifier netlist at full fidelity. ---
+    println!("== Transient: PA carrier waveform ==");
+    let pa = PowerAmplifier::new();
+    let design = [4.0, 0.44, 3000.0, 0.6, 1.8];
+    let (circuit, n_out, _) = pa.build_netlist(&design);
+    let f0 = 2.4e9;
+    let dt = 1.0 / f0 / 64.0;
+    let r = Transient::new(dt, 8.0 / f0).run(&circuit)?;
+    let vout = r.voltage(n_out);
+    let win = waveform::settled_window(&vout, dt, f0, 2);
+    println!(
+        "output fundamental amplitude = {:.3} V, THD-vs-1% = {:.2} dB",
+        waveform::harmonic_amplitude(win, dt, f0, 1),
+        waveform::thd_db(win, dt, f0, 5)
+    );
+    Ok(())
+}

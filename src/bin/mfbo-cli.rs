@@ -1,0 +1,278 @@
+//! Command-line driver: run any built-in problem with any algorithm.
+//!
+//! ```text
+//! mfbo-cli --problem pa --algo mf --budget 40 --seed 7 --csv trace.csv
+//! ```
+//!
+//! Problems: `forrester`, `pedagogical`, `branin`, `park`, `pa`,
+//! `charge-pump`. Algorithms: `mf` (the paper's method), `weibo`,
+//! `gaspad`, `de`.
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::prelude::*;
+use mfbo::problem::MultiFidelityProblem;
+use mfbo::report;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::process::ExitCode;
+
+/// Parsed command-line options.
+#[derive(Debug, Clone, PartialEq)]
+struct Options {
+    problem: String,
+    algo: String,
+    budget: f64,
+    initial_low: usize,
+    initial_high: usize,
+    seed: u64,
+    csv: Option<String>,
+    convergence: Option<String>,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            problem: "forrester".into(),
+            algo: "mf".into(),
+            budget: 20.0,
+            initial_low: 10,
+            initial_high: 5,
+            seed: 0,
+            csv: None,
+            convergence: None,
+        }
+    }
+}
+
+const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de]
+                [--budget N] [--init-low N] [--init-high N]
+                [--seed N] [--csv FILE] [--convergence FILE]
+
+problems: forrester, pedagogical, branin, park, pa, charge-pump";
+
+/// Parses arguments; returns an error message on malformed input.
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match flag.as_str() {
+            "--problem" => opts.problem = value("--problem")?,
+            "--algo" => opts.algo = value("--algo")?,
+            "--budget" => {
+                opts.budget = value("--budget")?
+                    .parse()
+                    .map_err(|_| "budget must be a number".to_string())?
+            }
+            "--init-low" => {
+                opts.initial_low = value("--init-low")?
+                    .parse()
+                    .map_err(|_| "init-low must be an integer".to_string())?
+            }
+            "--init-high" => {
+                opts.initial_high = value("--init-high")?
+                    .parse()
+                    .map_err(|_| "init-high must be an integer".to_string())?
+            }
+            "--seed" => {
+                opts.seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "seed must be an integer".to_string())?
+            }
+            "--csv" => opts.csv = Some(value("--csv")?),
+            "--convergence" => opts.convergence = Some(value("--convergence")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+/// Instantiates a built-in problem by name.
+fn make_problem(name: &str) -> Result<Box<dyn MultiFidelityProblem>, String> {
+    match name {
+        "forrester" => Ok(Box::new(testfns::forrester())),
+        "pedagogical" => Ok(Box::new(testfns::pedagogical())),
+        "branin" => Ok(Box::new(testfns::branin())),
+        "park" => Ok(Box::new(testfns::park())),
+        "pa" => Ok(Box::new(PowerAmplifier::new())),
+        "charge-pump" => Ok(Box::new(ChargePump::new())),
+        other => Err(format!("unknown problem '{other}'\n{USAGE}")),
+    }
+}
+
+/// Runs the selected algorithm.
+fn run_algo(
+    opts: &Options,
+    problem: &dyn MultiFidelityProblem,
+) -> Result<mfbo::Outcome, String> {
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let budget_int = opts.budget.round().max(2.0) as usize;
+    match opts.algo.as_str() {
+        "mf" => MfBayesOpt::new(MfBoConfig {
+            initial_low: opts.initial_low,
+            initial_high: opts.initial_high,
+            budget: opts.budget,
+            ..MfBoConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .map_err(|e| e.to_string()),
+        "weibo" => Weibo::new(WeiboConfig {
+            initial_points: opts.initial_high.max(4),
+            budget: budget_int,
+            ..WeiboConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .map_err(|e| e.to_string()),
+        "gaspad" => Gaspad::new(GaspadConfig {
+            initial_points: opts.initial_high.max(8),
+            budget: budget_int,
+            ..GaspadConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .map_err(|e| e.to_string()),
+        "de" => DifferentialEvolutionBaseline::new(DeBaselineConfig {
+            budget: budget_int,
+            ..DeBaselineConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .map_err(|e| e.to_string()),
+        other => Err(format!("unknown algorithm '{other}'\n{USAGE}")),
+    }
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let problem = match make_problem(&opts.problem) {
+        Ok(p) => p,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "running {} on {} (budget {}, seed {})",
+        opts.algo,
+        problem.name(),
+        opts.budget,
+        opts.seed
+    );
+    let outcome = match run_algo(&opts, problem.as_ref()) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("optimization failed: {msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{}", report::summary(&outcome));
+
+    if let Some(path) = &opts.csv {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                if let Err(e) = report::write_history_csv(&outcome, f) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("history written to {path}");
+            }
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    if let Some(path) = &opts.convergence {
+        match std::fs::File::create(path) {
+            Ok(f) => {
+                if let Err(e) = report::write_convergence_csv(&outcome, f) {
+                    eprintln!("failed to write {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+                println!("convergence trace written to {path}");
+            }
+            Err(e) => {
+                eprintln!("cannot create {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> Vec<String> {
+        s.split_whitespace().map(str::to_string).collect()
+    }
+
+    #[test]
+    fn parses_full_flag_set() {
+        let o = parse_args(args(
+            "--problem pa --algo weibo --budget 33.5 --init-low 7 --init-high 3 --seed 9 --csv a.csv --convergence b.csv",
+        ))
+        .unwrap();
+        assert_eq!(o.problem, "pa");
+        assert_eq!(o.algo, "weibo");
+        assert_eq!(o.budget, 33.5);
+        assert_eq!(o.initial_low, 7);
+        assert_eq!(o.initial_high, 3);
+        assert_eq!(o.seed, 9);
+        assert_eq!(o.csv.as_deref(), Some("a.csv"));
+        assert_eq!(o.convergence.as_deref(), Some("b.csv"));
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let o = parse_args(args("")).unwrap();
+        assert_eq!(o, Options::default());
+    }
+
+    #[test]
+    fn rejects_unknown_flag_and_bad_values() {
+        assert!(parse_args(args("--bogus 1")).is_err());
+        assert!(parse_args(args("--budget abc")).is_err());
+        assert!(parse_args(args("--seed")).is_err());
+    }
+
+    #[test]
+    fn help_prints_usage() {
+        let e = parse_args(args("--help")).unwrap_err();
+        assert!(e.contains("usage"));
+    }
+
+    #[test]
+    fn problems_instantiate() {
+        for name in ["forrester", "pedagogical", "branin", "park", "pa", "charge-pump"] {
+            assert!(make_problem(name).is_ok(), "{name}");
+        }
+        assert!(make_problem("nope").is_err());
+    }
+
+    #[test]
+    fn end_to_end_tiny_run() {
+        let opts = Options {
+            problem: "forrester".into(),
+            algo: "mf".into(),
+            budget: 6.0,
+            initial_low: 6,
+            initial_high: 3,
+            seed: 1,
+            csv: None,
+            convergence: None,
+        };
+        let p = make_problem(&opts.problem).unwrap();
+        let o = run_algo(&opts, p.as_ref()).unwrap();
+        assert!(o.best_objective.is_finite());
+    }
+}

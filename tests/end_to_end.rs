@@ -1,0 +1,207 @@
+//! Cross-crate integration tests: the full optimization pipelines running
+//! against the circuit substrate and the analytic benchmarks.
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+#[test]
+fn mf_bo_beats_sf_bo_on_forrester_at_equal_cost() {
+    // The headline claim, in miniature: at the same equivalent simulation
+    // budget the multi-fidelity loop should (on average over seeds) find at
+    // least as good a design as the single-fidelity loop.
+    let problem = testfns::forrester();
+    let budget = 10.0;
+    let mut mf_wins = 0;
+    let mut ties = 0;
+    let seeds = [3u64, 17, 29, 71];
+    for &seed in &seeds {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mf = MfBayesOpt::new(MfBoConfig {
+            initial_low: 8,
+            initial_high: 4,
+            budget,
+            ..MfBoConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .expect("mf run");
+        let mut rng = StdRng::seed_from_u64(seed);
+        let sf = SfBayesOpt::new(SfBoConfig {
+            initial_points: 4,
+            budget: budget as usize,
+            ..SfBoConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .expect("sf run");
+        if mf.best_objective < sf.best_objective - 1e-6 {
+            mf_wins += 1;
+        } else if (mf.best_objective - sf.best_objective).abs() <= 0.2 {
+            ties += 1;
+        }
+    }
+    assert!(
+        mf_wins + ties >= seeds.len() - 1,
+        "mf_wins = {mf_wins}, ties = {ties}"
+    );
+}
+
+#[test]
+fn all_four_algorithms_run_on_the_power_amplifier() {
+    // Smoke-level budgets: every algorithm must complete and produce a
+    // physical design on the real MNA-simulated testbench.
+    let pa = PowerAmplifier::new();
+    let bounds = mfbo::problem::MultiFidelityProblem::bounds(&pa);
+
+    let mut rng = StdRng::seed_from_u64(1);
+    let ours = MfBayesOpt::new(MfBoConfig {
+        initial_low: 8,
+        initial_high: 4,
+        budget: 8.0,
+        refit_every: 4,
+        msp_starts: 8,
+        ..MfBoConfig::default()
+    })
+    .run(&pa, &mut rng)
+    .expect("mf-bo on PA");
+    assert!(bounds.contains(&ours.best_x));
+    assert!(ours.n_low >= 8 && ours.n_high >= 4);
+
+    let mut rng = StdRng::seed_from_u64(2);
+    let weibo = Weibo::new(WeiboConfig {
+        initial_points: 6,
+        budget: 10,
+        msp_starts: 8,
+        refit_every: 4,
+        ..WeiboConfig::default()
+    })
+    .run(&pa, &mut rng)
+    .expect("weibo on PA");
+    assert!(bounds.contains(&weibo.best_x));
+    assert_eq!(weibo.n_high, 10);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let gaspad = Gaspad::new(GaspadConfig {
+        initial_points: 8,
+        budget: 14,
+        population: 8,
+        refit_every: 4,
+        ..GaspadConfig::default()
+    })
+    .run(&pa, &mut rng)
+    .expect("gaspad on PA");
+    assert!(bounds.contains(&gaspad.best_x));
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let de = DifferentialEvolutionBaseline::new(DeBaselineConfig {
+        population: 8,
+        budget: 24,
+        ..DeBaselineConfig::default()
+    })
+    .run(&pa, &mut rng)
+    .expect("de on PA");
+    assert!(bounds.contains(&de.best_x));
+    assert_eq!(de.n_high, 24);
+}
+
+#[test]
+fn charge_pump_pipeline_runs_end_to_end() {
+    let cp = ChargePump::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let out = MfBayesOpt::new(MfBoConfig {
+        initial_low: 12,
+        initial_high: 3,
+        budget: 5.0,
+        refit_every: 5,
+        msp_starts: 6,
+        ..MfBoConfig::default()
+    })
+    .run(&cp, &mut rng)
+    .expect("mf-bo on charge pump");
+    assert_eq!(out.best_x.len(), 36);
+    // FOM is a nonnegative µA-scale quantity.
+    assert!(out.best_objective >= 0.0 && out.best_objective < 1e3);
+    // Low fidelity must dominate the early exploration (1/27 cost).
+    assert!(out.n_low >= 12);
+}
+
+#[test]
+fn outcome_bookkeeping_is_consistent_across_algorithms() {
+    let problem = testfns::branin();
+    let mut rng = StdRng::seed_from_u64(6);
+    let out = MfBayesOpt::new(MfBoConfig {
+        initial_low: 8,
+        initial_high: 4,
+        budget: 9.0,
+        ..MfBoConfig::default()
+    })
+    .run(&problem, &mut rng)
+    .expect("run");
+    // History covers every simulation; costs increase monotonically.
+    assert_eq!(out.history.len(), out.n_low + out.n_high);
+    let mut prev = 0.0;
+    for r in &out.history {
+        assert!(r.cost_so_far > prev);
+        prev = r.cost_so_far;
+    }
+    assert!((prev - out.total_cost).abs() < 1e-9);
+    assert!(out.cost_to_best <= out.total_cost + 1e-9);
+    // The best design is reproducible from the problem definition.
+    let eval = problem.evaluate(&out.best_x, Fidelity::High);
+    assert!((eval.objective - out.best_objective).abs() < 1e-9);
+}
+
+#[test]
+fn fusion_model_beats_single_fidelity_gp_on_park_4d() {
+    use analog_mfbo::gp::kernel::SquaredExponential;
+    use analog_mfbo::gp::{Gp, GpConfig};
+    use mfbo::{MfGp, MfGpConfig};
+    use mfbo_opt::sampling;
+
+    let bounds = Bounds::unit(4);
+    let mut rng = StdRng::seed_from_u64(7);
+    let xl = sampling::latin_hypercube(&bounds, 100, &mut rng);
+    let yl: Vec<f64> = xl.iter().map(|x| testfns::park_low(x)).collect();
+    let xh = sampling::latin_hypercube(&bounds, 25, &mut rng);
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::park_high(x)).collect();
+
+    let mf = MfGp::fit(xl, yl, xh.clone(), yh.clone(), &MfGpConfig::default(), &mut rng)
+        .expect("fusion fit");
+    let sf = Gp::fit(SquaredExponential::new(4), xh, yh, &GpConfig::default(), &mut rng)
+        .expect("sf fit");
+
+    let test_points = sampling::latin_hypercube(&bounds, 200, &mut rng);
+    let mut mf_se = 0.0;
+    let mut sf_se = 0.0;
+    for x in &test_points {
+        let truth = testfns::park_high(x);
+        mf_se += (mf.predict(x).mean - truth).powi(2);
+        sf_se += (sf.predict(x).mean - truth).powi(2);
+    }
+    assert!(
+        mf_se < sf_se,
+        "fusion RMSE² {mf_se:.4} should beat single-fidelity {sf_se:.4}"
+    );
+}
+
+#[test]
+fn seeded_runs_are_reproducible() {
+    let problem = testfns::forrester();
+    let run = || {
+        let mut rng = StdRng::seed_from_u64(99);
+        MfBayesOpt::new(MfBoConfig {
+            initial_low: 6,
+            initial_high: 3,
+            budget: 7.0,
+            ..MfBoConfig::default()
+        })
+        .run(&problem, &mut rng)
+        .expect("run")
+    };
+    let a = run();
+    let b = run();
+    assert_eq!(a.best_x, b.best_x);
+    assert_eq!(a.n_low, b.n_low);
+    assert_eq!(a.n_high, b.n_high);
+    assert_eq!(a.best_objective, b.best_objective);
+}

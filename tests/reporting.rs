@@ -1,0 +1,87 @@
+//! Integration tests of the CSV/report pipeline on real optimizer output.
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::prelude::*;
+use mfbo::report;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn small_run() -> mfbo::Outcome {
+    let problem = testfns::forrester();
+    let mut rng = StdRng::seed_from_u64(3);
+    MfBayesOpt::new(MfBoConfig {
+        initial_low: 6,
+        initial_high: 3,
+        budget: 6.0,
+        ..MfBoConfig::default()
+    })
+    .run(&problem, &mut rng)
+    .expect("run succeeds")
+}
+
+#[test]
+fn history_csv_round_trips_through_parsing() {
+    let outcome = small_run();
+    let mut buf = Vec::new();
+    report::write_history_csv(&outcome, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut lines = text.lines();
+    let header = lines.next().unwrap();
+    assert_eq!(
+        header,
+        "iteration,fidelity,cost_so_far,objective,violation,feasible,x0"
+    );
+    let rows: Vec<&str> = lines.collect();
+    assert_eq!(rows.len(), outcome.history.len());
+
+    // Parse back and check cost monotonicity and fidelity labels.
+    let mut prev_cost = 0.0;
+    let mut lows = 0;
+    let mut highs = 0;
+    for row in rows {
+        let cells: Vec<&str> = row.split(',').collect();
+        assert_eq!(cells.len(), 7);
+        match cells[1] {
+            "low" => lows += 1,
+            "high" => highs += 1,
+            other => panic!("unexpected fidelity label {other}"),
+        }
+        let cost: f64 = cells[2].parse().unwrap();
+        assert!(cost > prev_cost);
+        prev_cost = cost;
+        let obj: f64 = cells[3].parse().unwrap();
+        assert!(obj.is_finite());
+        let x0: f64 = cells[6].parse().unwrap();
+        assert!((0.0..=1.0).contains(&x0));
+    }
+    assert_eq!(lows, outcome.n_low);
+    assert_eq!(highs, outcome.n_high);
+    assert_eq!(report::fidelity_mix(&outcome), (lows, highs));
+}
+
+#[test]
+fn convergence_csv_is_monotone_decreasing() {
+    let outcome = small_run();
+    let mut buf = Vec::new();
+    report::write_convergence_csv(&outcome, &mut buf).unwrap();
+    let text = String::from_utf8(buf).unwrap();
+    let mut best = f64::INFINITY;
+    for line in text.lines().skip(1) {
+        let cells: Vec<&str> = line.split(',').collect();
+        let v: f64 = cells[1].parse().unwrap();
+        assert!(v <= best + 1e-12, "best-so-far must never worsen");
+        best = v;
+    }
+    assert!(best < f64::INFINITY);
+}
+
+#[test]
+fn summary_is_consistent_with_outcome() {
+    let outcome = small_run();
+    let s = report::summary(&outcome);
+    assert!(s.contains(&format!(
+        "{} low + {} high",
+        outcome.n_low, outcome.n_high
+    )));
+    assert!(s.contains(&format!("{}", outcome.feasible)));
+}

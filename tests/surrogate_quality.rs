@@ -1,0 +1,142 @@
+//! Surrogate-quality integration tests: the fusion model must extract value
+//! from the low fidelity on every benchmark pair in the suite, and the
+//! acquisition machinery must behave sensibly on the resulting posteriors.
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::gp::kernel::SquaredExponential;
+use analog_mfbo::gp::{Gp, GpConfig};
+use mfbo::problem::{Fidelity, MultiFidelityProblem};
+use mfbo::{acquisition, MfGp, MfGpConfig};
+use mfbo_opt::{sampling, Bounds};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Fits MF and SF models on a problem and returns their RMSEs over a test
+/// design.
+fn rmse_pair(
+    problem: &dyn MultiFidelityProblem,
+    n_low: usize,
+    n_high: usize,
+    seed: u64,
+) -> (f64, f64) {
+    let bounds = problem.bounds();
+    let unit = Bounds::unit(bounds.dim());
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Work in the unit cube like the optimizer does.
+    let to_raw = |u: &Vec<f64>| bounds.from_unit(u);
+    let xl = sampling::latin_hypercube(&unit, n_low, &mut rng);
+    let yl: Vec<f64> = xl
+        .iter()
+        .map(|u| problem.evaluate(&to_raw(u), Fidelity::Low).objective)
+        .collect();
+    let xh = sampling::latin_hypercube(&unit, n_high, &mut rng);
+    let yh: Vec<f64> = xh
+        .iter()
+        .map(|u| problem.evaluate(&to_raw(u), Fidelity::High).objective)
+        .collect();
+
+    let mf = MfGp::fit(
+        xl,
+        yl,
+        xh.clone(),
+        yh.clone(),
+        &MfGpConfig::default(),
+        &mut rng,
+    )
+    .expect("mf fit");
+    let sf = Gp::fit(
+        SquaredExponential::new(bounds.dim()),
+        xh,
+        yh,
+        &GpConfig::default(),
+        &mut rng,
+    )
+    .expect("sf fit");
+
+    let test = sampling::latin_hypercube(&unit, 250, &mut rng);
+    let mut mf_se = 0.0;
+    let mut sf_se = 0.0;
+    for u in &test {
+        let truth = problem.evaluate(&to_raw(u), Fidelity::High).objective;
+        mf_se += (mf.predict(u).mean - truth).powi(2);
+        sf_se += (sf.predict(u).mean - truth).powi(2);
+    }
+    (
+        (mf_se / test.len() as f64).sqrt(),
+        (sf_se / test.len() as f64).sqrt(),
+    )
+}
+
+#[test]
+fn fusion_helps_on_forrester() {
+    let (mf, sf) = rmse_pair(&testfns::forrester(), 25, 6, 10);
+    assert!(mf < sf, "mf {mf} vs sf {sf}");
+}
+
+#[test]
+fn fusion_helps_on_branin() {
+    let (mf, sf) = rmse_pair(&testfns::branin(), 60, 12, 11);
+    assert!(mf < sf, "mf {mf} vs sf {sf}");
+}
+
+#[test]
+fn fusion_helps_on_hartmann3() {
+    let (mf, sf) = rmse_pair(&testfns::hartmann3(), 80, 15, 12);
+    assert!(mf < sf, "mf {mf} vs sf {sf}");
+}
+
+#[test]
+fn fusion_never_catastrophic_on_currin() {
+    // The Currin low fidelity is only loosely informative; the requirement
+    // here is robustness: the fusion model must not be *worse* than 1.5× SF.
+    let (mf, sf) = rmse_pair(&testfns::currin(), 50, 12, 13);
+    assert!(mf < 1.5 * sf, "mf {mf} vs sf {sf}");
+}
+
+#[test]
+fn acquisition_peaks_away_from_training_data_on_flat_posterior() {
+    // On a posterior trained from a constant-ish function, EI is driven by
+    // variance alone: its maximum must lie away from the training inputs.
+    let xs: Vec<Vec<f64>> = (0..6).map(|i| vec![i as f64 / 5.0]).collect();
+    let ys: Vec<f64> = xs.iter().map(|x| 0.01 * x[0]).collect();
+    let mut rng = StdRng::seed_from_u64(5);
+    let gp = Gp::fit(
+        SquaredExponential::new(1),
+        xs.clone(),
+        ys.clone(),
+        &GpConfig::default(),
+        &mut rng,
+    )
+    .unwrap();
+    let tau = ys.iter().cloned().fold(f64::INFINITY, f64::min);
+    let ei_at = |x: f64| {
+        let p = gp.predict(&[x]);
+        acquisition::expected_improvement(p.mean, p.std_dev(), tau)
+    };
+    // EI at midpoints between training samples must exceed EI at samples.
+    let at_data = ei_at(0.4);
+    let between = ei_at(0.5);
+    assert!(between >= at_data);
+}
+
+#[test]
+fn mf_variance_respects_fidelity_data_geometry() {
+    // High-fidelity variance must be small where high data exists and
+    // larger in the extrapolation region, independent of low-data coverage.
+    let mut rng = StdRng::seed_from_u64(6);
+    let xl: Vec<Vec<f64>> = (0..30).map(|i| vec![i as f64 / 29.0]).collect();
+    let yl: Vec<f64> = xl.iter().map(|x| testfns::pedagogical_low(x[0])).collect();
+    // High data only on [0, 0.5].
+    let xh: Vec<Vec<f64>> = (0..8).map(|i| vec![0.5 * i as f64 / 7.0]).collect();
+    let yh: Vec<f64> = xh
+        .iter()
+        .map(|x| testfns::pedagogical_high(x[0]))
+        .collect();
+    let mf = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).unwrap();
+    let v_covered = mf.predict(&[0.25]).var;
+    let v_uncovered = mf.predict(&[0.9]).var;
+    assert!(
+        v_uncovered > v_covered,
+        "covered {v_covered} vs uncovered {v_uncovered}"
+    );
+}
