@@ -150,7 +150,11 @@ mod tests {
             .run(&p, &mut rng)
             .unwrap();
         assert!(out.feasible);
-        assert!((out.best_objective - 1.0).abs() < 0.01, "best = {}", out.best_objective);
+        assert!(
+            (out.best_objective - 1.0).abs() < 0.01,
+            "best = {}",
+            out.best_objective
+        );
         assert_eq!(out.n_high, 2000);
         assert_eq!(out.history.len(), 2000);
         assert!((out.total_cost - 2000.0).abs() < 1e-9);

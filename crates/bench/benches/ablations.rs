@@ -126,10 +126,7 @@ fn ablate_mc_samples() {
     let xh: Vec<Vec<f64>> = (0..n_high)
         .map(|i| vec![i as f64 / (n_high - 1) as f64])
         .collect();
-    let yh: Vec<f64> = xh
-        .iter()
-        .map(|x| testfns::pedagogical_high(x[0]))
-        .collect();
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::pedagogical_high(x[0])).collect();
 
     let mut rows = Vec::new();
     for mc in [1usize, 5, 20, 100] {
@@ -173,16 +170,27 @@ fn ablate_mc_samples() {
     }
     print_table(
         "Ablation 3 — MC propagation samples (sparse low-fidelity data)",
-        &["samples", "RMSE", "mean post. var", "3σ coverage %", "predict time (ms)"],
+        &[
+            "samples",
+            "RMSE",
+            "mean post. var",
+            "3σ coverage %",
+            "predict time (ms)",
+        ],
         &rows,
     );
     println!("one sample = plug-in: no low-fidelity uncertainty reaches the output.");
 }
 
+/// Scalar high-fidelity objective used in the model-class ablation.
+type HighFn = fn(f64) -> f64;
+
 /// Model-class comparison: SF GP vs linear AR(1) vs nonlinear NARGP.
 fn ablate_model_class() {
-    let pairs: [(&str, fn(f64) -> f64); 2] = [
-        ("linear pair", |x| 1.5 * testfns::pedagogical_low(x) + 0.3 * x),
+    let pairs: [(&str, HighFn); 2] = [
+        ("linear pair", |x| {
+            1.5 * testfns::pedagogical_low(x) + 0.3 * x
+        }),
         ("nonlinear pair", testfns::pedagogical_high),
     ];
     let n_low = 50;
@@ -216,8 +224,7 @@ fn ablate_model_class() {
             &mut rng,
         )
         .expect("ar1 fit");
-        let nargp = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng)
-            .expect("nargp fit");
+        let nargp = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).expect("nargp fit");
 
         let n = 201;
         let rmse = |pred: &dyn Fn(f64) -> f64| {

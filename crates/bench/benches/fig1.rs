@@ -16,6 +16,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    mfbo_bench::init_telemetry();
     let n_low = 50;
     let n_high = 14;
     let xl: Vec<Vec<f64>> = (0..n_low)
@@ -25,14 +26,18 @@ fn main() {
     let xh: Vec<Vec<f64>> = (0..n_high)
         .map(|i| vec![i as f64 / (n_high - 1) as f64])
         .collect();
-    let yh: Vec<f64> = xh
-        .iter()
-        .map(|x| testfns::pedagogical_high(x[0]))
-        .collect();
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::pedagogical_high(x[0])).collect();
 
     let mut rng = StdRng::seed_from_u64(1);
-    let mf = MfGp::fit(xl, yl, xh.clone(), yh.clone(), &MfGpConfig::default(), &mut rng)
-        .expect("fusion model trains");
+    let mf = MfGp::fit(
+        xl,
+        yl,
+        xh.clone(),
+        yh.clone(),
+        &MfGpConfig::default(),
+        &mut rng,
+    )
+    .expect("fusion model trains");
     let sf = Gp::fit(
         SquaredExponential::new(1),
         xh,
@@ -82,6 +87,15 @@ fn main() {
         &rows,
     );
     let nn = n as f64;
+    mfbo_telemetry::event!(
+        "fig1_summary",
+        mf_rmse = (mf_se / nn).sqrt(),
+        sf_rmse = (sf_se / nn).sqrt(),
+        mf_coverage_percent = 100.0 * mf_cover as f64 / nn,
+        sf_coverage_percent = 100.0 * sf_cover as f64 / nn,
+        mf_mean_sigma = mf_band / nn,
+        sf_mean_sigma = sf_band / nn,
+    );
     println!(
         "\nRMSE          : MF = {:.4}   SF = {:.4}",
         (mf_se / nn).sqrt(),

@@ -15,6 +15,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    mfbo_bench::init_telemetry();
     // Same training setup as Figure 1 but with fewer high-fidelity points
     // so the EI surface retains structure.
     let n_low = 50;
@@ -26,10 +27,7 @@ fn main() {
     let xh: Vec<Vec<f64>> = (0..n_high)
         .map(|i| vec![i as f64 / (n_high - 1) as f64])
         .collect();
-    let yh: Vec<f64> = xh
-        .iter()
-        .map(|x| testfns::pedagogical_high(x[0]))
-        .collect();
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::pedagogical_high(x[0])).collect();
 
     let tau = yh.iter().cloned().fold(f64::INFINITY, f64::min);
     let tau_x = xh[yh
@@ -40,8 +38,8 @@ fn main() {
         .expect("non-empty")][0];
 
     let mut rng = StdRng::seed_from_u64(2);
-    let mf = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng)
-        .expect("fusion model trains");
+    let mf =
+        MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).expect("fusion model trains");
 
     let n = 201;
     let mut rows = Vec::new();
@@ -77,6 +75,14 @@ fn main() {
     println!("\nincumbent: τ = {tau:.4} at x = {tau_x:.3}");
     let h = 1e-4;
     let g = (ei_at(tau_x + h) - ei_at(tau_x - h)) / (2.0 * h);
+    mfbo_telemetry::event!(
+        "fig2_summary",
+        tau = tau,
+        tau_x = tau_x,
+        ei_at_incumbent = ei_at(tau_x),
+        ei_gradient_at_incumbent = g.abs(),
+        ei_max = ei_max,
+    );
     println!("EI at incumbent          = {:.3e}", ei_at(tau_x));
     println!("|dEI/dx| at incumbent    = {:.3e}", g.abs());
     println!("max EI over the domain   = {ei_max:.3e}");

@@ -11,6 +11,7 @@ use mfbo_bench::print_table;
 use mfbo_circuits::pa::{PaFidelity, PowerAmplifier};
 
 fn main() {
+    mfbo_bench::init_telemetry();
     let pa = PowerAmplifier::new();
     // Fixed (Cs, Cp, W, Vdd) — a mid-range matched design; Vb sweeps.
     let (cs, cp, w, vdd) = (1.2, 0.44, 5000.0, 1.9);
@@ -63,5 +64,11 @@ fn main() {
         resid += (h - pred) * (h - pred);
     }
     let r2 = 1.0 - resid / syy;
+    mfbo_telemetry::event!(
+        "fig3_summary",
+        sweep_points = n,
+        linear_r2 = r2,
+        nonlinear_percent = 100.0 * (1.0 - r2),
+    );
     println!("\ncorrelation: best linear map explains R² = {r2:.3} of the high-fidelity\nvariance; the remaining {:.1} % is the nonlinear component the NARGP\nkernel k1(f_l, f_l')·k2(x, x') captures (paper eq. 9).", 100.0 * (1.0 - r2));
 }

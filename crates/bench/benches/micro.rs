@@ -72,10 +72,7 @@ fn bench_gp(c: &mut Criterion) {
 fn bench_mfgp_predict(c: &mut Criterion) {
     let (xl, yl) = gp_training_data(40);
     let xh: Vec<Vec<f64>> = (0..12).map(|i| vec![i as f64 / 11.0]).collect();
-    let yh: Vec<f64> = xh
-        .iter()
-        .map(|x| testfns::pedagogical_high(x[0]))
-        .collect();
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::pedagogical_high(x[0])).collect();
     let mut rng = StdRng::seed_from_u64(0);
     let model = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).expect("fit");
     c.bench_function("mfgp_predict_mc20", |b| {
@@ -89,16 +86,62 @@ fn bench_circuits(c: &mut Criterion) {
     let pa = PowerAmplifier::new();
     let design = [1.2, 0.44, 5000.0, 0.9, 1.9];
     group.bench_function("pa_low_fidelity", |b| {
-        b.iter(|| pa.simulate(black_box(&design), &PaFidelity::low()).expect("sim"))
+        b.iter(|| {
+            pa.simulate(black_box(&design), &PaFidelity::low())
+                .expect("sim")
+        })
     });
     group.bench_function("pa_high_fidelity", |b| {
-        b.iter(|| pa.simulate(black_box(&design), &PaFidelity::high()).expect("sim"))
+        b.iter(|| {
+            pa.simulate(black_box(&design), &PaFidelity::high())
+                .expect("sim")
+        })
     });
     let cp = ChargePump::new();
     let x = ChargePump::reference_design();
     group.bench_function("charge_pump_typical_corner", |b| {
-        b.iter(|| cp.measure(black_box(&x), &[PvtCorner::typical()]).expect("solve"))
+        b.iter(|| {
+            cp.measure(black_box(&x), &[PvtCorner::typical()])
+                .expect("solve")
+        })
     });
+    group.finish();
+}
+
+/// Telemetry overhead on an instrumented hot path (a GP fit, which emits a
+/// `gp_fit` debug event and nested `cholesky` diagnostics). The three rows
+/// compare telemetry off entirely, a [`NullSink`](mfbo_telemetry::sinks::NullSink)
+/// installed at Info (debug emissions gated out at the `enabled` check), and
+/// a NullSink accepting every record. The acceptance bar for the subsystem
+/// is `null_sink_info` within 2 % of `disabled`.
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let mut group = c.benchmark_group("telemetry_overhead");
+    group.sample_size(10);
+    let (xs, ys) = gp_training_data(50);
+    let fit = |xs: &[Vec<f64>], ys: &[f64]| {
+        let mut rng = StdRng::seed_from_u64(0);
+        Gp::fit(
+            SquaredExponential::new(1),
+            xs.to_vec(),
+            ys.to_vec(),
+            &GpConfig::fast(),
+            &mut rng,
+        )
+        .expect("fit")
+    };
+    group.bench_function("disabled", |b| b.iter(|| fit(black_box(&xs), &ys)));
+    {
+        let _g = mfbo_telemetry::scoped_sink(std::sync::Arc::new(
+            mfbo_telemetry::sinks::NullSink::default(),
+        ));
+        group.bench_function("null_sink_info", |b| b.iter(|| fit(black_box(&xs), &ys)));
+    }
+    {
+        let _g = mfbo_telemetry::scoped_sink(std::sync::Arc::new(
+            mfbo_telemetry::sinks::NullSink::with_level(mfbo_telemetry::Level::Trace),
+        ));
+        group.bench_function("null_sink_trace", |b| b.iter(|| fit(black_box(&xs), &ys)));
+    }
     group.finish();
 }
 
@@ -107,6 +150,7 @@ criterion_group!(
     bench_cholesky,
     bench_gp,
     bench_mfgp_predict,
-    bench_circuits
+    bench_circuits,
+    bench_telemetry_overhead
 );
 criterion_main!(benches);

@@ -17,10 +17,12 @@ use mfbo_baselines::{
 };
 use mfbo_bench::{print_table, AlgoSummary, Scale};
 use mfbo_circuits::pa::PowerAmplifier;
+use mfbo_telemetry::event;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    mfbo_bench::init_telemetry();
     let scale = Scale::from_env();
     let pa = PowerAmplifier::new();
     let runs = scale.pick3(3, 5, 12);
@@ -43,10 +45,14 @@ fn main() {
         let out = MfBayesOpt::new(config)
             .run(&pa, &mut rng)
             .expect("mf-bo run succeeds");
-        eprintln!(
-            "ours run {r}: eff = {:.2} %, feasible = {}",
-            eff(&out),
-            out.feasible
+        event!(
+            "bench_run",
+            bench = "table1",
+            algo = "ours",
+            run = r,
+            eff_percent = eff(&out),
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         ours_outcomes.push(out);
     }
@@ -65,10 +71,14 @@ fn main() {
         let out = Weibo::new(config)
             .run(&pa, &mut rng)
             .expect("weibo run succeeds");
-        eprintln!(
-            "weibo run {r}: eff = {:.2} %, feasible = {}",
-            eff(&out),
-            out.feasible
+        event!(
+            "bench_run",
+            bench = "table1",
+            algo = "weibo",
+            run = r,
+            eff_percent = eff(&out),
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         weibo_outcomes.push(out);
     }
@@ -88,10 +98,14 @@ fn main() {
         let out = Gaspad::new(config)
             .run(&pa, &mut rng)
             .expect("gaspad run succeeds");
-        eprintln!(
-            "gaspad run {r}: eff = {:.2} %, feasible = {}",
-            eff(&out),
-            out.feasible
+        event!(
+            "bench_run",
+            bench = "table1",
+            algo = "gaspad",
+            run = r,
+            eff_percent = eff(&out),
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         gaspad_outcomes.push(out);
     }
@@ -109,10 +123,14 @@ fn main() {
         let out = DifferentialEvolutionBaseline::new(config)
             .run(&pa, &mut rng)
             .expect("de run succeeds");
-        eprintln!(
-            "de run {r}: eff = {:.2} %, feasible = {}",
-            eff(&out),
-            out.feasible
+        event!(
+            "bench_run",
+            bench = "table1",
+            algo = "de",
+            run = r,
+            eff_percent = eff(&out),
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         de_outcomes.push(out);
     }

@@ -18,10 +18,12 @@ use mfbo_baselines::{
 use mfbo_bench::{print_table, AlgoSummary, Scale};
 use mfbo_circuits::charge_pump::ChargePump;
 use mfbo_circuits::pvt::PvtCorner;
+use mfbo_telemetry::event;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 fn main() {
+    mfbo_bench::init_telemetry();
     let scale = Scale::from_env();
     let cp = ChargePump::new();
     let runs = scale.pick3(2, 2, 10);
@@ -59,9 +61,14 @@ fn main() {
         let out = MfBayesOpt::new(config)
             .run(&cp, &mut rng)
             .expect("mf-bo run succeeds");
-        eprintln!(
-            "ours run {r}: FOM = {:.3}, feasible = {}",
-            out.best_objective, out.feasible
+        event!(
+            "bench_run",
+            bench = "table2",
+            algo = "ours",
+            run = r,
+            fom = out.best_objective,
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         ours_outcomes.push(out);
     }
@@ -80,9 +87,14 @@ fn main() {
         let out = Weibo::new(config)
             .run(&cp, &mut rng)
             .expect("weibo run succeeds");
-        eprintln!(
-            "weibo run {r}: FOM = {:.3}, feasible = {}",
-            out.best_objective, out.feasible
+        event!(
+            "bench_run",
+            bench = "table2",
+            algo = "weibo",
+            run = r,
+            fom = out.best_objective,
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         weibo_outcomes.push(out);
     }
@@ -101,9 +113,14 @@ fn main() {
         let out = Gaspad::new(config)
             .run(&cp, &mut rng)
             .expect("gaspad run succeeds");
-        eprintln!(
-            "gaspad run {r}: FOM = {:.3}, feasible = {}",
-            out.best_objective, out.feasible
+        event!(
+            "bench_run",
+            bench = "table2",
+            algo = "gaspad",
+            run = r,
+            fom = out.best_objective,
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         gaspad_outcomes.push(out);
     }
@@ -120,9 +137,14 @@ fn main() {
         let out = DifferentialEvolutionBaseline::new(config)
             .run(&cp, &mut rng)
             .expect("de run succeeds");
-        eprintln!(
-            "de run {r}: FOM = {:.3}, feasible = {}",
-            out.best_objective, out.feasible
+        event!(
+            "bench_run",
+            bench = "table2",
+            algo = "de",
+            run = r,
+            fom = out.best_objective,
+            feasible = out.feasible,
+            cost = out.total_cost,
         );
         de_outcomes.push(out);
     }

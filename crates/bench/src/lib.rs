@@ -15,6 +15,9 @@
 #![deny(missing_docs)]
 
 use mfbo::Outcome;
+use mfbo_telemetry::sinks::{JsonlSink, MultiSink, PrettySink};
+use mfbo_telemetry::{Level, Sink};
+use std::sync::Arc;
 
 /// Benchmark scale selected by `MFBO_BENCH_SCALE`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -58,6 +61,32 @@ impl Scale {
     }
 }
 
+/// Installs the telemetry sink used by the table/figure harnesses.
+///
+/// Per-run progress goes to stderr through a [`PrettySink`] at the level
+/// named by `MFBO_BENCH_VERBOSITY` (`info` by default, `debug`/`trace` to
+/// watch solver internals). Setting `MFBO_BENCH_TRACE=<path>` additionally
+/// streams the full debug-level record stream to a JSONL file. The final
+/// tables keep going to stdout unchanged.
+pub fn init_telemetry() {
+    let level = std::env::var("MFBO_BENCH_VERBOSITY")
+        .ok()
+        .and_then(|v| Level::parse(&v))
+        .unwrap_or(Level::Info);
+    let pretty: Arc<dyn Sink> = Arc::new(PrettySink::stderr(level));
+    let sink: Arc<dyn Sink> = match std::env::var("MFBO_BENCH_TRACE") {
+        Ok(path) => match JsonlSink::create(&path, level.max(Level::Debug)) {
+            Ok(file) => Arc::new(MultiSink::new(vec![pretty, Arc::new(file)])),
+            Err(e) => {
+                eprintln!("MFBO_BENCH_TRACE: cannot create {path}: {e}");
+                pretty
+            }
+        },
+        Err(_) => pretty,
+    };
+    mfbo_telemetry::set_global_sink(sink);
+}
+
 /// Summary statistics of one algorithm over repeated optimization runs —
 /// the row block of the paper's Tables 1 and 2.
 #[derive(Debug, Clone)]
@@ -89,8 +118,7 @@ impl AlgoSummary {
     ) -> AlgoSummary {
         assert!(!outcomes.is_empty(), "need at least one run");
         let objectives: Vec<f64> = outcomes.iter().map(&report).collect();
-        let avg_sims =
-            outcomes.iter().map(|o| o.cost_to_best).sum::<f64>() / outcomes.len() as f64;
+        let avg_sims = outcomes.iter().map(|o| o.cost_to_best).sum::<f64>() / outcomes.len() as f64;
         let successes = outcomes.iter().filter(|o| o.feasible).count();
         let runs = outcomes.len();
         // Best outcome = the run whose *stored* objective is minimal among
@@ -149,7 +177,10 @@ impl AlgoSummary {
 
     /// Worst (minimum) reported objective.
     pub fn worst(&self) -> f64 {
-        self.objectives.iter().cloned().fold(f64::INFINITY, f64::min)
+        self.objectives
+            .iter()
+            .cloned()
+            .fold(f64::INFINITY, f64::min)
     }
 }
 
@@ -252,7 +283,10 @@ mod tests {
         print_table(
             "demo",
             &["a", "b"],
-            &[vec!["1".into(), "2".into()], vec!["10".into(), "200".into()]],
+            &[
+                vec!["1".into(), "2".into()],
+                vec!["10".into(), "200".into()],
+            ],
         );
     }
 }

@@ -346,6 +346,12 @@ impl ChargePump {
         x: &[f64],
         corners: &[PvtCorner],
     ) -> Result<ChargePumpMetrics, SpiceError> {
+        let _span = mfbo_telemetry::debug_span!(
+            "spice_dc_sweep",
+            circuit = "charge_pump",
+            corners = corners.len(),
+            sweep_points = self.sweep_fractions.len()
+        );
         let mut per_corner = Vec::with_capacity(corners.len());
         for corner in corners {
             per_corner.push(self.corner_stats(x, corner)?);
@@ -377,20 +383,20 @@ impl ChargePump {
         let mut x = Vec::with_capacity(2 * NUM_DEVICES);
         // (W, L) per device, µm. Index = device - 1.
         let wl: [(f64, f64); NUM_DEVICES] = [
-            (40.0, 0.5), // M1  source mirror output (4x of M5)
-            (20.0, 0.5), // M2  sink device
-            (10.0, 0.5), // M3  10µ NMOS diode
-            (10.0, 0.5), // M4  NMOS mirror
-            (10.0, 0.5), // M5  PMOS diode
-            (10.0, 0.5), // M6  spare PMOS leg
-            (10.0, 0.5), // M7  spare NMOS diode
+            (40.0, 0.5),  // M1  source mirror output (4x of M5)
+            (20.0, 0.5),  // M2  sink device
+            (10.0, 0.5),  // M3  10µ NMOS diode
+            (10.0, 0.5),  // M4  NMOS mirror
+            (10.0, 0.5),  // M5  PMOS diode
+            (10.0, 0.5),  // M6  spare PMOS leg
+            (10.0, 0.5),  // M7  spare NMOS diode
             (30.0, 0.15), // M8  UP switch
             (30.0, 0.15), // M9  DN switch
-            (10.0, 0.5), // M10 5µ NMOS diode
-            (20.0, 0.5), // M11 NMOS mirror (2x)
-            (10.0, 0.5), // M12 PMOS diode
-            (20.0, 0.5), // M13 PMOS mirror (2x)
-            (10.0, 0.5), // M14 NMOS diode → vbn2 (20µ at 2x W = 40µ in M2)
+            (10.0, 0.5),  // M10 5µ NMOS diode
+            (20.0, 0.5),  // M11 NMOS mirror (2x)
+            (10.0, 0.5),  // M12 PMOS diode
+            (20.0, 0.5),  // M13 PMOS mirror (2x)
+            (10.0, 0.5),  // M14 NMOS diode → vbn2 (20µ at 2x W = 40µ in M2)
             (30.0, 0.15), // M15 UPB dummy switch
             (30.0, 0.15), // M16 DNB dummy switch
             (40.0, 0.35), // M17 PMOS cascode
@@ -468,7 +474,11 @@ mod tests {
         );
         assert!(m.fom.is_finite() && m.fom >= 0.0);
         // Ripple over the sweep exists (λ ≠ 0) but is bounded.
-        assert!(m.max_diff1 > 0.0 && m.max_diff1 < 30.0, "d1 = {}", m.max_diff1);
+        assert!(
+            m.max_diff1 > 0.0 && m.max_diff1 < 30.0,
+            "d1 = {}",
+            m.max_diff1
+        );
     }
 
     #[test]

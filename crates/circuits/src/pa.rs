@@ -188,6 +188,12 @@ impl PowerAmplifier {
         let period = 1.0 / self.f0;
         let dt = period / fidelity.steps_per_cycle as f64;
         let t_stop = period * fidelity.cycles as f64;
+        let _span = mfbo_telemetry::debug_span!(
+            "spice_transient",
+            circuit = "pa",
+            steps_per_cycle = fidelity.steps_per_cycle,
+            cycles = fidelity.cycles
+        );
         let result = Transient::new(dt, t_stop).run(&circuit)?;
 
         let vout = result.voltage(n_out);
@@ -297,7 +303,11 @@ mod tests {
             "eff = {}",
             m.eff_percent
         );
-        assert!(m.pout_dbm > 0.0 && m.pout_dbm < 35.0, "pout = {}", m.pout_dbm);
+        assert!(
+            m.pout_dbm > 0.0 && m.pout_dbm < 35.0,
+            "pout = {}",
+            m.pout_dbm
+        );
         assert!(m.thd_db.is_finite());
     }
 
@@ -329,8 +339,7 @@ mod tests {
         // ...but not identical (the low fidelity is genuinely cheaper and
         // dirtier).
         assert!(
-            (h.eff_percent - l.eff_percent).abs() > 1e-6
-                || (h.pout_dbm - l.pout_dbm).abs() > 1e-6
+            (h.eff_percent - l.eff_percent).abs() > 1e-6 || (h.pout_dbm - l.pout_dbm).abs() > 1e-6
         );
     }
 

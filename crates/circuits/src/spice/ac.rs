@@ -147,7 +147,12 @@ impl Ac {
                     Element::ISource { .. } => {
                         // AC open circuit (no AC component on I sources).
                     }
-                    Element::Diode { a: na, k: nk, is, n } => {
+                    Element::Diode {
+                        a: na,
+                        k: nk,
+                        is,
+                        n,
+                    } => {
                         let vd = v_at(na) - v_at(nk);
                         let nvt = n * 0.02585;
                         let gd = (is / nvt * (vd / nvt).min(40.0).exp()).max(1e-12);
@@ -166,13 +171,7 @@ impl Ac {
                             add(i, layout.v_index(cn), Complex::real(-sign * gm));
                         }
                     }
-                    Element::Vcvs {
-                        p,
-                        n,
-                        cp,
-                        cn,
-                        gain,
-                    } => {
+                    Element::Vcvs { p, n, cp, cn, gain } => {
                         let br = layout.i_index(ei).expect("vcvs branch");
                         let i = layout.v_index(p);
                         let j = layout.v_index(n);
@@ -299,7 +298,9 @@ mod tests {
         ckt.inductor(vin, n1, l);
         ckt.capacitor(n1, vr, c);
         ckt.resistor(vr, Circuit::GND, 50.0);
-        let res = Ac::new(vec![f0 / 10.0, f0, f0 * 10.0]).run(&ckt, src).unwrap();
+        let res = Ac::new(vec![f0 / 10.0, f0, f0 * 10.0])
+            .run(&ckt, src)
+            .unwrap();
         let mag = res.magnitude_db(vr);
         assert!(mag[1].abs() < 0.01, "at resonance |H| = 1: {mag:?}");
         assert!(mag[0] < -10.0 && mag[2] < -10.0, "off resonance: {mag:?}");

@@ -6,7 +6,7 @@
 //! These are the same convergence aids every production SPICE uses.
 
 use super::netlist::Circuit;
-use super::stamp::{solve_newton, Mode, MnaLayout};
+use super::stamp::{solve_newton, MnaLayout, Mode};
 use super::SpiceError;
 
 /// Result of a DC operating-point solve.
@@ -215,7 +215,10 @@ mod tests {
         // Device saturated: id ≈ ½·200µ·10·(0.35)²·(1+λvd).
         let id = (1.8 - vd) / 10e3;
         let expect = 0.5 * 200e-6 * 10.0 * 0.35f64.powi(2) * (1.0 + 0.08 * vd);
-        assert!((id - expect).abs() / expect < 1e-3, "id {id} expect {expect}");
+        assert!(
+            (id - expect).abs() / expect < 1e-3,
+            "id {id} expect {expect}"
+        );
         assert!(vd > 0.35, "device should be in saturation, vd = {vd}");
     }
 
@@ -261,7 +264,11 @@ mod tests {
         c.vccs(Circuit::GND, out, ctrl, Circuit::GND, 2e-3);
         c.resistor(out, Circuit::GND, 1e3);
         let sol = solve_dc(&c).unwrap();
-        assert!((sol.voltage(out) - 1.4).abs() < 1e-6, "v = {}", sol.voltage(out));
+        assert!(
+            (sol.voltage(out) - 1.4).abs() < 1e-6,
+            "v = {}",
+            sol.voltage(out)
+        );
     }
 
     #[test]

@@ -150,7 +150,9 @@ mod tests {
         c.vcvs(b, Circuit::GND, a, Circuit::GND, 2.0);
         let deck = to_spice_deck(&c, "all elements");
         assert!(deck.starts_with("* all elements\n"));
-        for prefix in ["V0 ", "R1 ", "C2 ", "L3 ", "I4 ", "D5 ", "M6 ", "G7 ", "E8 "] {
+        for prefix in [
+            "V0 ", "R1 ", "C2 ", "L3 ", "I4 ", "D5 ", "M6 ", "G7 ", "E8 ",
+        ] {
             assert!(deck.contains(prefix), "missing {prefix} in:\n{deck}");
         }
         assert!(deck.contains(".model MOD6 NMOS(LEVEL=1 VTO=0.45"));

@@ -307,7 +307,12 @@ pub(crate) fn assemble(
                 };
                 stamp_i(&mut b, p, n, i_val);
             }
-            Element::Diode { a: na, k: nk, is, n } => {
+            Element::Diode {
+                a: na,
+                k: nk,
+                is,
+                n,
+            } => {
                 let vd = v_at(layout, x0, na) - v_at(layout, x0, nk);
                 let nvt = n * VT;
                 let arg = (vd / nvt).min(EXP_CLAMP);
@@ -318,7 +323,13 @@ pub(crate) fn assemble(
                 stamp_g(&mut a, na, nk, gd);
                 stamp_i(&mut b, na, nk, ieq);
             }
-            Element::Vccs { a: na, b: nb, cp, cn, gm } => {
+            Element::Vccs {
+                a: na,
+                b: nb,
+                cp,
+                cn,
+                gm,
+            } => {
                 // Current gm·(v_cp − v_cn) flows na → nb.
                 for (node, sign) in [(na, 1.0), (nb, -1.0)] {
                     if let Some(i) = layout.v_index(node) {
@@ -331,7 +342,13 @@ pub(crate) fn assemble(
                     }
                 }
             }
-            Element::Vcvs { p, n: nn, cp, cn, gain } => {
+            Element::Vcvs {
+                p,
+                n: nn,
+                cp,
+                cn,
+                gain,
+            } => {
                 let br = layout.i_index(ei).expect("vcvs branch");
                 if let Some(i) = layout.v_index(p) {
                     a[(i, br)] += 1.0;
@@ -389,6 +406,7 @@ pub(crate) fn assemble(
 /// Damped Newton iteration on the nonlinear MNA system.
 ///
 /// Returns the converged solution vector.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn solve_newton(
     circuit: &Circuit,
     layout: &MnaLayout,

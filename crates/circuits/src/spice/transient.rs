@@ -201,8 +201,8 @@ mod tests {
         c.vsource(vin, Circuit::GND, Waveform::Dc(1.0));
         c.resistor(vin, vout, 1e3);
         c.capacitor(vout, Circuit::GND, 1e-6); // τ = 1 ms
-        // Start the capacitor discharged by shorting the source at t<0?
-        // The DC init charges it; instead drive with a pulse that starts low.
+                                               // Start the capacitor discharged by shorting the source at t<0?
+                                               // The DC init charges it; instead drive with a pulse that starts low.
         let mut c2 = Circuit::new();
         let vin2 = c2.node("in");
         let vout2 = c2.node("out");
@@ -225,7 +225,11 @@ mod tests {
         // Compare to 1 − e^{−t/τ} at t = 1 ms (one time constant).
         let idx = t.iter().position(|&tt| (tt - 1e-3).abs() < 1e-9).unwrap();
         let expect = 1.0 - (-1.0f64).exp();
-        assert!((v[idx] - expect).abs() < 0.01, "v = {}, expect {expect}", v[idx]);
+        assert!(
+            (v[idx] - expect).abs() < 0.01,
+            "v = {}, expect {expect}",
+            v[idx]
+        );
         // Original circuit (DC init) stays settled.
         let r0 = Transient::new(1e-4, 1e-3).run(&c).unwrap();
         let v0 = r0.voltage(vout);
@@ -254,7 +258,9 @@ mod tests {
         c.resistor(vin, vout, rres);
         c.capacitor(vout, Circuit::GND, cap);
         let period = 1.0 / fc;
-        let r = Transient::new(period / 200.0, 20.0 * period).run(&c).unwrap();
+        let r = Transient::new(period / 200.0, 20.0 * period)
+            .run(&c)
+            .unwrap();
         let v = r.voltage(vout);
         // Measure amplitude over the last 5 periods (settled).
         let n = v.len();
@@ -295,7 +301,9 @@ mod tests {
         let _ind = c.inductor(n1, n2, l);
         c.capacitor(n2, Circuit::GND, cap);
         let period = 1.0 / f0;
-        let r = Transient::new(period / 256.0, 40.0 * period).run(&c).unwrap();
+        let r = Transient::new(period / 256.0, 40.0 * period)
+            .run(&c)
+            .unwrap();
         // At series resonance the LC branch is nearly a short, so the full
         // source swing drops across R: branch current amplitude ≈ V/R.
         let i = r.branch_current(_ind).unwrap();

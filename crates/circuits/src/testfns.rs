@@ -76,14 +76,11 @@ pub fn branin_low(x: &[f64]) -> f64 {
 
 /// The Branin pair as an optimization problem.
 pub fn branin() -> FunctionProblem {
-    FunctionProblem::builder(
-        "branin",
-        Bounds::new(vec![-5.0, 0.0], vec![10.0, 15.0]),
-    )
-    .high(branin_high)
-    .low(branin_low)
-    .low_cost(0.1)
-    .build()
+    FunctionProblem::builder("branin", Bounds::new(vec![-5.0, 0.0], vec![10.0, 15.0]))
+        .high(branin_high)
+        .low(branin_low)
+        .low_cost(0.1)
+        .build()
 }
 
 /// High-fidelity Park (1991) function on `[0, 1]⁴` (strictly positive

@@ -164,7 +164,10 @@ fn charge_pump_currents_scale_with_mirror_width() {
         .iter()
         .map(|(_, i1, _)| *i1)
         .sum();
-    assert!(i_big > i_base * 1.1, "I(base) = {i_base}, I(1.3x) = {i_big}");
+    assert!(
+        i_big > i_base * 1.1,
+        "I(base) = {i_base}, I(1.3x) = {i_big}"
+    );
 }
 
 /// Controlled sources must behave identically in DC and transient.

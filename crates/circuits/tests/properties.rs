@@ -164,7 +164,7 @@ mod waveform_props {
         #![proptest_config(ProptestConfig::with_cases(64))]
 
         #[test]
-        fn harmonic_amplitude_is_linear_in_signal(a in 0.1f64..5.0, ph in 0.0f64..6.28) {
+        fn harmonic_amplitude_is_linear_in_signal(a in 0.1f64..5.0, ph in 0.0f64..std::f64::consts::TAU) {
             let n = 512;
             let dt = 1.0 / n as f64;
             let s: Vec<f64> = (0..n)

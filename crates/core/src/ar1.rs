@@ -100,11 +100,7 @@ impl Ar1Gp {
         let rho = if sxx > 1e-12 { sxy / sxx } else { 0.0 };
 
         // Discrepancy on the residuals.
-        let resid: Vec<f64> = yh
-            .iter()
-            .zip(&mu_l)
-            .map(|(y, u)| y - rho * u)
-            .collect();
+        let resid: Vec<f64> = yh.iter().zip(&mu_l).map(|(y, u)| y - rho * u).collect();
         let delta = Gp::fit(SquaredExponential::new(dim), xh, resid, &config.delta, rng)?;
         Ok(Ar1Gp { low, rho, delta })
     }
@@ -163,11 +159,10 @@ mod tests {
         1.5 * fl(x) + 0.3 * x
     }
 
-    fn data(
-        nl: usize,
-        nh: usize,
-        fh: impl Fn(f64) -> f64,
-    ) -> (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>) {
+    /// Low/high training sets as `(xl, yl, xh, yh)`.
+    type TrainingData = (Vec<Vec<f64>>, Vec<f64>, Vec<Vec<f64>>, Vec<f64>);
+
+    fn data(nl: usize, nh: usize, fh: impl Fn(f64) -> f64) -> TrainingData {
         let xl: Vec<Vec<f64>> = (0..nl).map(|i| vec![i as f64 / (nl - 1) as f64]).collect();
         let yl: Vec<f64> = xl.iter().map(|x| fl(x[0])).collect();
         let xh: Vec<Vec<f64>> = (0..nh).map(|i| vec![i as f64 / (nh - 1) as f64]).collect();
@@ -207,8 +202,8 @@ mod tests {
             &mut rng,
         )
         .unwrap();
-        let nargp = crate::MfGp::fit(xl, yl, xh, yh, &crate::MfGpConfig::default(), &mut rng)
-            .unwrap();
+        let nargp =
+            crate::MfGp::fit(xl, yl, xh, yh, &crate::MfGpConfig::default(), &mut rng).unwrap();
         let mut ar1_se = 0.0;
         let mut nargp_se = 0.0;
         for i in 0..200 {

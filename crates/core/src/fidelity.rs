@@ -45,6 +45,12 @@ impl FidelitySelector {
         self.gamma
     }
 
+    /// The effective switching threshold `(1 + Nc)·γ` for a problem with
+    /// `num_constraints` constraints (eq. 12; eq. 11 is the `Nc = 0` case).
+    pub fn threshold(&self, num_constraints: usize) -> f64 {
+        (1.0 + num_constraints as f64) * self.gamma
+    }
+
     /// Chooses the evaluation fidelity given the *maximum* standardized
     /// low-fidelity posterior variance over the objective and all
     /// constraints, and the number of constraints.
@@ -53,8 +59,7 @@ impl FidelitySelector {
     /// Constrained problems use eq. (12): high iff
     /// `max_i σ_{l,i}² < (1 + Nc)·γ`.
     pub fn select(&self, max_low_variance: f64, num_constraints: usize) -> Fidelity {
-        let threshold = (1.0 + num_constraints as f64) * self.gamma;
-        if max_low_variance < threshold {
+        if max_low_variance < self.threshold(num_constraints) {
             Fidelity::High
         } else {
             Fidelity::Low
@@ -89,6 +94,7 @@ mod tests {
     fn constrained_threshold_scales_with_nc() {
         let s = FidelitySelector::new(0.01);
         // With Nc = 4 the threshold is 0.05.
+        assert!((s.threshold(4) - 0.05).abs() < 1e-15);
         assert_eq!(s.select(0.04, 4), Fidelity::High);
         assert_eq!(s.select(0.06, 4), Fidelity::Low);
     }

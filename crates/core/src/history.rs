@@ -66,7 +66,7 @@ impl FidelityData {
         let mut best: Option<(usize, f64)> = None;
         for k in 0..self.len() {
             if self.is_feasible(k) {
-                let better = best.map_or(true, |(_, v)| self.objective[k] < v);
+                let better = best.is_none_or(|(_, v)| self.objective[k] < v);
                 if better {
                     best = Some((k, self.objective[k]));
                 }
@@ -128,12 +128,10 @@ impl FidelityData {
         let clip = |v: &[f64]| -> Vec<f64> {
             let m = mfbo_linalg::mean(v);
             let s = mfbo_linalg::std_dev(v);
-            if !(s > 0.0) {
+            if s <= 0.0 || s.is_nan() {
                 return v.to_vec();
             }
-            v.iter()
-                .map(|&y| y.clamp(m - k * s, m + k * s))
-                .collect()
+            v.iter().map(|&y| y.clamp(m - k * s, m + k * s)).collect()
         };
         FidelityData {
             xs: self.xs.clone(),
@@ -190,6 +188,10 @@ pub struct Outcome {
     pub cost_to_best: f64,
     /// Complete evaluation trace.
     pub history: Vec<EvaluationRecord>,
+    /// Aggregate run telemetry: per-stage wall-clock stats and the
+    /// fidelity-decision table. Always populated by the BO loops, with or
+    /// without a telemetry sink installed.
+    pub telemetry: mfbo_telemetry::RunTelemetry,
 }
 
 impl Outcome {
@@ -231,6 +233,7 @@ impl Outcome {
             total_cost,
             cost_to_best,
             history,
+            telemetry: mfbo_telemetry::RunTelemetry::default(),
         }
     }
 
@@ -333,6 +336,7 @@ mod tests {
             n_high: 3,
             total_cost: 3.1,
             cost_to_best: 2.1,
+            telemetry: mfbo_telemetry::RunTelemetry::default(),
             history: vec![
                 EvaluationRecord {
                     iteration: 0,

@@ -21,7 +21,9 @@ use crate::problem::{Fidelity, MultiFidelityProblem};
 use crate::surrogate::{MfBundleThetas, MfSurrogates};
 use crate::MfboError;
 use mfbo_opt::{msp::MultiStart, neldermead::NelderMead, sampling};
+use mfbo_telemetry::{event, span, FidelityDecision, RunTelemetry};
 use rand::Rng;
+use std::time::Instant;
 
 /// Configuration of [`MfBayesOpt`].
 ///
@@ -138,10 +140,29 @@ impl MfBayesOpt {
         let mut high = FidelityData::new(nc);
         let mut history: Vec<EvaluationRecord> = Vec::new();
         let mut cost = 0.0;
+        let run_start = Instant::now();
+        let mut telemetry = RunTelemetry::default();
+        event!(
+            "run_start",
+            algo = "mfbo",
+            dim = bounds.dim(),
+            num_constraints = nc,
+            budget = cfg.budget,
+            gamma = cfg.gamma,
+            initial_low = cfg.initial_low,
+            initial_high = cfg.initial_high,
+        );
 
         // --- Initial design (Algorithm 1, line 1). ---
+        let init_span = span!(
+            "initial_design",
+            n_low = cfg.initial_low,
+            n_high = cfg.initial_high
+        );
         for x in sampling::latin_hypercube(&bounds, cfg.initial_low, rng) {
+            let sim_start = Instant::now();
             let eval = problem.evaluate(&x, Fidelity::Low);
+            telemetry.record_stage("simulate_low", sim_start.elapsed());
             if !eval.is_finite() {
                 return Err(MfboError::NonFiniteEvaluation { x });
             }
@@ -156,7 +177,9 @@ impl MfBayesOpt {
             });
         }
         for x in sampling::latin_hypercube(&bounds, cfg.initial_high, rng) {
+            let sim_start = Instant::now();
             let eval = problem.evaluate(&x, Fidelity::High);
+            telemetry.record_stage("simulate_high", sim_start.elapsed());
             if !eval.is_finite() {
                 return Err(MfboError::NonFiniteEvaluation { x });
             }
@@ -170,6 +193,7 @@ impl MfBayesOpt {
                 cost_so_far: cost,
             });
         }
+        drop(init_span);
 
         let selector = FidelitySelector::new(cfg.gamma);
         let mut low_streak = 0usize;
@@ -194,6 +218,12 @@ impl MfBayesOpt {
             // Line 3: build the multi-fidelity model. Full hyperparameter
             // optimization every `refit_every` iterations, frozen refresh in
             // between; a frozen-refresh failure falls back to a full refit.
+            let fit_span = span!(
+                "surrogate_fit",
+                iteration = iteration,
+                n_low = low.len(),
+                n_high = high.len()
+            );
             let surrogates = match &thetas {
                 Some(t) if iterations_since_refit < cfg.refit_every => {
                     match MfSurrogates::fit_frozen(&low_u, &high_u, t, cfg.model.mc_samples) {
@@ -212,6 +242,8 @@ impl MfBayesOpt {
             };
             iterations_since_refit += 1;
             thetas = Some(surrogates.thetas());
+            telemetry.record_stage("surrogate_fit", fit_span.elapsed());
+            drop(fit_span);
 
             // Incumbents (values and locations) at each fidelity.
             let best_low = low.best_feasible().or_else(|| low.best_any());
@@ -219,7 +251,11 @@ impl MfBayesOpt {
             let has_feasible_high = high.best_feasible().is_some();
 
             let local = NelderMead::new().with_max_iters(90);
-            let xt_unit = if nc > 0 && !has_feasible_high {
+            let tau_l_val = best_low.map(|(_, v)| v);
+            let tau_h_val = best_high.map(|(_, v)| v);
+            let acq_span = span!("acq_opt", iteration = iteration);
+            let drove_feasibility = nc > 0 && !has_feasible_high;
+            let (xt_unit, acq_value) = if drove_feasibility {
                 // §4.2: no feasible point known — minimize Σ max(0, μ_h,i).
                 // A tiny objective-mean tie-break steers the search toward
                 // good designs once the drive term flattens at zero.
@@ -229,7 +265,8 @@ impl MfBayesOpt {
                     d + 1e-4 * obj
                 };
                 let ms = MultiStart::new(cfg.msp_starts).with_local_search(local.clone());
-                ms.minimize(&drive, &unit, rng).x
+                let r = ms.minimize(&drive, &unit, rng);
+                (r.x, r.value)
             } else {
                 // Line 5: optimize the low-fidelity wEI → x*_l.
                 let tau_l = best_low.map(|(_, v)| v).unwrap_or(0.0);
@@ -265,27 +302,66 @@ impl MfBayesOpt {
                     );
                 }
                 let wei_h = |x: &[f64]| surrogates.wei_high(x, tau_h);
-                ms_high.maximize(&wei_h, &unit, rng).x
+                let r = ms_high.maximize(&wei_h, &unit, rng);
+                (r.x, r.value)
             };
+            telemetry.record_stage("acq_opt", acq_span.elapsed());
+            drop(acq_span);
 
             // Line 7: fidelity selection (§3.4), with the verification
             // safeguard (see MfBoConfig::max_low_streak).
-            let mut fidelity = selector.select(surrogates.max_low_variance(&xt_unit), nc);
+            let max_low_var = surrogates.max_low_variance(&xt_unit);
+            let threshold = selector.threshold(nc);
+            let mut fidelity = selector.select(max_low_var, nc);
+            let mut forced = false;
             if fidelity == Fidelity::Low && low_streak >= cfg.max_low_streak {
                 fidelity = Fidelity::High;
+                forced = true;
             }
             match fidelity {
                 Fidelity::Low => low_streak += 1,
                 Fidelity::High => low_streak = 0,
             }
+            event!(
+                "fidelity_decision",
+                iteration = iteration,
+                max_low_variance = max_low_var,
+                threshold = threshold,
+                chose_high = fidelity == Fidelity::High,
+                forced = forced,
+                feasibility_drive = drove_feasibility,
+                acq_value = acq_value,
+                tau_l = tau_l_val.unwrap_or(f64::NAN),
+                tau_h = tau_h_val.unwrap_or(f64::NAN),
+                cost = cost,
+            );
 
             // Line 8: simulate and extend the training set.
             let xt = bounds.from_unit(&xt_unit);
+            let sim_span = span!(
+                "simulate",
+                iteration = iteration,
+                high = fidelity == Fidelity::High
+            );
             let eval = problem.evaluate(&xt, fidelity);
+            let sim_stage = match fidelity {
+                Fidelity::Low => "simulate_low",
+                Fidelity::High => "simulate_high",
+            };
+            telemetry.record_stage(sim_stage, sim_span.elapsed());
+            drop(sim_span);
             if !eval.is_finite() {
                 return Err(MfboError::NonFiniteEvaluation { x: xt });
             }
             cost += problem.cost(fidelity);
+            telemetry.record_decision(FidelityDecision {
+                iteration,
+                max_low_variance: max_low_var,
+                threshold,
+                chose_high: fidelity == Fidelity::High,
+                forced,
+                cost_after: cost,
+            });
             match fidelity {
                 Fidelity::Low => low.push(xt.clone(), &eval),
                 Fidelity::High => high.push(xt.clone(), &eval),
@@ -299,7 +375,18 @@ impl MfBayesOpt {
             });
         }
 
-        Ok(Outcome::from_data(high, low, history))
+        telemetry.wall_us = run_start.elapsed().as_micros() as u64;
+        event!(
+            "run_end",
+            algo = "mfbo",
+            iterations = history.last().map(|r| r.iteration).unwrap_or(0),
+            cost = cost,
+            high_picks = telemetry.high_count(),
+            decisions = telemetry.decisions.len(),
+        );
+        let mut outcome = Outcome::from_data(high, low, history);
+        outcome.telemetry = telemetry;
+        Ok(outcome)
     }
 }
 
@@ -335,7 +422,11 @@ mod tests {
         };
         let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
         assert!(out.best_objective < -5.5, "best = {}", out.best_objective);
-        assert!((out.best_x[0] - 0.7572).abs() < 0.05, "x = {:?}", out.best_x);
+        assert!(
+            (out.best_x[0] - 0.7572).abs() < 0.05,
+            "x = {:?}",
+            out.best_x
+        );
         assert!(out.total_cost <= 14.0 + 1.0); // one evaluation of overshoot allowed
         assert!(out.n_low >= 8 && out.n_high >= 4);
     }
@@ -432,8 +523,57 @@ mod tests {
     }
 
     #[test]
+    fn telemetry_records_one_decision_per_bo_iteration() {
+        let sink = std::sync::Arc::new(mfbo_telemetry::sinks::CollectSink::new());
+        let guard = mfbo_telemetry::scoped_sink(sink.clone());
+        let mut rng = StdRng::seed_from_u64(2024);
+        let config = MfBoConfig {
+            initial_low: 6,
+            initial_high: 3,
+            budget: 8.0,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        drop(guard);
+
+        // One aggregate decision per BO iteration (history minus the 9
+        // initial-design records), mirrored 1:1 by streamed events.
+        let bo_iters = out.history.iter().filter(|r| r.iteration > 0).count();
+        assert!(bo_iters > 0);
+        assert_eq!(out.telemetry.decisions.len(), bo_iters);
+        assert_eq!(sink.named("fidelity_decision").len(), bo_iters);
+        for (d, r) in out
+            .telemetry
+            .decisions
+            .iter()
+            .zip(out.history.iter().filter(|r| r.iteration > 0))
+        {
+            assert_eq!(d.iteration, r.iteration);
+            assert_eq!(d.chose_high, r.fidelity == Fidelity::High);
+            assert!((d.cost_after - r.cost_so_far).abs() < 1e-12);
+            assert!(d.max_low_variance.is_finite());
+            assert!((d.threshold - 0.01).abs() < 1e-12); // (1+0)·γ, Nc = 0
+        }
+
+        // Stage timing covers the whole hot path, and the wall clock bounds
+        // the per-stage totals.
+        for stage in ["surrogate_fit", "acq_opt", "simulate_low", "simulate_high"] {
+            assert!(out.telemetry.stages.contains_key(stage), "missing {stage}");
+        }
+        assert_eq!(
+            out.telemetry.stages["surrogate_fit"].calls as usize,
+            bo_iters
+        );
+        assert_eq!(out.telemetry.stages["acq_opt"].calls as usize, bo_iters);
+        assert!(out.telemetry.wall_us >= out.telemetry.stages["surrogate_fit"].total_us);
+
+        assert_eq!(sink.named("run_start").len(), 1);
+        assert_eq!(sink.named("run_end").len(), 1);
+    }
+
+    #[test]
     fn frozen_refits_dont_break_the_loop() {
-        let mut rng = StdRng::seed_from_u64(5);
+        let mut rng = StdRng::seed_from_u64(7);
         let config = MfBoConfig {
             initial_low: 8,
             initial_high: 4,

@@ -111,13 +111,7 @@ impl MfGp {
             });
         }
         let dim = xh[0].len();
-        let low = Gp::fit(
-            SquaredExponential::new(dim),
-            xl,
-            yl,
-            &config.low,
-            rng,
-        )?;
+        let low = Gp::fit(SquaredExponential::new(dim), xl, yl, &config.low, rng)?;
 
         // Augment the high-fidelity inputs with the low GP's standardized
         // posterior mean.
@@ -185,11 +179,7 @@ impl MfGp {
         }
         let mean = mean_sum / s as f64;
         // Law of total variance: E[σ²] + Var[μ].
-        let var_of_means = means
-            .iter()
-            .map(|m| (m - mean) * (m - mean))
-            .sum::<f64>()
-            / s as f64;
+        let var_of_means = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / s as f64;
         let var = var_sum / s as f64 + var_of_means;
         self.destandardize(mean, var)
     }
@@ -220,7 +210,10 @@ impl MfGp {
     /// Best (minimum) raw observation at each fidelity:
     /// `(τ_l, τ_h)`.
     pub fn incumbents(&self) -> (f64, f64) {
-        (self.low.best_observation().1, self.high.best_observation().1)
+        (
+            self.low.best_observation().1,
+            self.high.best_observation().1,
+        )
     }
 
     /// The trained hyperparameters of both stages — feed back into
@@ -358,11 +351,7 @@ mod tests {
 
         let grid: Vec<f64> = (0..200).map(|i| i as f64 / 199.0).collect();
         let rmse = |pred: &dyn Fn(f64) -> f64| {
-            (grid
-                .iter()
-                .map(|&x| (pred(x) - fh(x)).powi(2))
-                .sum::<f64>()
-                / grid.len() as f64)
+            (grid.iter().map(|&x| (pred(x) - fh(x)).powi(2)).sum::<f64>() / grid.len() as f64)
                 .sqrt()
         };
         let mf_rmse = rmse(&|x| model.predict(&[x]).mean);
@@ -455,12 +444,7 @@ mod tests {
         let frozen = MfGp::fit_frozen(
             model.low().xs().to_vec(),
             model.low().ys_raw().to_vec(),
-            model
-                .high()
-                .xs()
-                .iter()
-                .map(|z| z[..1].to_vec())
-                .collect(),
+            model.high().xs().iter().map(|z| z[..1].to_vec()).collect(),
             model.high().ys_raw().to_vec(),
             &thetas,
             model.mc_samples(),

@@ -113,6 +113,11 @@ impl<P: MultiFidelityProblem + ?Sized> MultiFidelityProblem for &P {
     }
 }
 
+/// Boxed objective callback stored by [`FunctionProblem`].
+type ObjectiveFn = Box<dyn Fn(&[f64]) -> f64 + Send + Sync>;
+/// Boxed constraint callback returning one raw value per constraint.
+type ConstraintFn = Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>;
+
 /// A [`MultiFidelityProblem`] assembled from closures — the quickest way to
 /// wrap analytic test functions or ad-hoc simulators.
 ///
@@ -139,10 +144,10 @@ impl<P: MultiFidelityProblem + ?Sized> MultiFidelityProblem for &P {
 pub struct FunctionProblem {
     name: String,
     bounds: Bounds,
-    high: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
-    low: Box<dyn Fn(&[f64]) -> f64 + Send + Sync>,
-    high_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
-    low_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    high: ObjectiveFn,
+    low: ObjectiveFn,
+    high_constraints: Option<ConstraintFn>,
+    low_constraints: Option<ConstraintFn>,
     num_constraints: usize,
     low_cost: f64,
 }
@@ -178,10 +183,10 @@ impl FunctionProblem {
 pub struct FunctionProblemBuilder {
     name: String,
     bounds: Bounds,
-    high: Option<Box<dyn Fn(&[f64]) -> f64 + Send + Sync>>,
-    low: Option<Box<dyn Fn(&[f64]) -> f64 + Send + Sync>>,
-    high_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
-    low_constraints: Option<Box<dyn Fn(&[f64]) -> Vec<f64> + Send + Sync>>,
+    high: Option<ObjectiveFn>,
+    low: Option<ObjectiveFn>,
+    high_constraints: Option<ConstraintFn>,
+    low_constraints: Option<ConstraintFn>,
     num_constraints: usize,
     low_cost: f64,
 }

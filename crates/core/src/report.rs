@@ -9,15 +9,33 @@ use crate::history::Outcome;
 use crate::problem::Fidelity;
 use std::io::{self, Write};
 
+/// Quotes a CSV field per RFC 4180 when it contains a comma, double quote,
+/// or line break; passes everything else through unchanged.
+fn csv_field(s: &str) -> String {
+    if s.contains([',', '"', '\n', '\r']) {
+        format!("\"{}\"", s.replace('"', "\"\""))
+    } else {
+        s.to_string()
+    }
+}
+
 /// Writes the full evaluation trace as CSV:
 /// `iteration,fidelity,cost_so_far,objective,violation,feasible,x0,x1,…`.
+///
+/// The design-vector column count is derived from the history records
+/// themselves (not from `outcome.best_x`, whose dimension is unrelated to
+/// the trace when the outcome was assembled from heterogeneous data);
+/// records shorter than the widest one are padded with empty cells.
 ///
 /// # Errors
 ///
 /// Propagates I/O errors from the writer.
 pub fn write_history_csv<W: Write>(outcome: &Outcome, mut w: W) -> io::Result<()> {
-    let dim = outcome.best_x.len();
-    write!(w, "iteration,fidelity,cost_so_far,objective,violation,feasible")?;
+    let dim = outcome.history.iter().map(|r| r.x.len()).max().unwrap_or(0);
+    write!(
+        w,
+        "iteration,fidelity,cost_so_far,objective,violation,feasible"
+    )?;
     for j in 0..dim {
         write!(w, ",x{j}")?;
     }
@@ -27,14 +45,17 @@ pub fn write_history_csv<W: Write>(outcome: &Outcome, mut w: W) -> io::Result<()
             w,
             "{},{},{},{},{},{}",
             r.iteration,
-            r.fidelity,
+            csv_field(&r.fidelity.to_string()),
             r.cost_so_far,
             r.evaluation.objective,
             r.evaluation.total_violation(),
             r.evaluation.is_feasible(),
         )?;
-        for v in &r.x {
-            write!(w, ",{v}")?;
+        for j in 0..dim {
+            match r.x.get(j) {
+                Some(v) => write!(w, ",{v}")?,
+                None => write!(w, ",")?,
+            }
         }
         writeln!(w)?;
     }
@@ -56,10 +77,7 @@ pub fn write_convergence_csv<W: Write>(outcome: &Outcome, mut w: W) -> io::Resul
 
 /// Renders a human-readable summary block.
 pub fn summary(outcome: &Outcome) -> String {
-    let mix = format!(
-        "{} low + {} high",
-        outcome.n_low, outcome.n_high
-    );
+    let mix = format!("{} low + {} high", outcome.n_low, outcome.n_high);
     format!(
         "best objective : {:.6}\nfeasible       : {}\nsimulations    : {mix} (equivalent cost {:.2})\ncost to best   : {:.2}\nbest design    : {:?}",
         outcome.best_objective,
@@ -145,6 +163,41 @@ mod tests {
         );
         assert!(lines[1].starts_with("0,low,0.1,-1,0.2,false,0.1,0.9"));
         assert!(lines[2].starts_with("1,high,1.1,-3,0,true,0.25,0.75"));
+    }
+
+    #[test]
+    fn history_csv_dim_comes_from_history_not_best_x() {
+        // best_x is 2-D, but a record with a 3-D design vector must still be
+        // written in full (and the header sized to the widest record).
+        let mut o = toy_outcome();
+        o.history.push(EvaluationRecord {
+            iteration: 2,
+            x: vec![0.3, 0.4, 0.5],
+            fidelity: Fidelity::High,
+            evaluation: Evaluation {
+                objective: -2.0,
+                constraints: vec![-0.1],
+            },
+            cost_so_far: 2.1,
+        });
+        let mut buf = Vec::new();
+        write_history_csv(&o, &mut buf).unwrap();
+        let s = String::from_utf8(buf).unwrap();
+        let lines: Vec<&str> = s.lines().collect();
+        assert!(lines[0].ends_with(",x0,x1,x2"));
+        // Shorter records are padded so every row has the same arity.
+        for line in &lines[1..] {
+            assert_eq!(line.matches(',').count(), 8, "{line}");
+        }
+        assert!(lines[3].contains("0.3,0.4,0.5"));
+    }
+
+    #[test]
+    fn csv_field_escapes_per_rfc4180() {
+        assert_eq!(csv_field("high"), "high");
+        assert_eq!(csv_field("a,b"), "\"a,b\"");
+        assert_eq!(csv_field("say \"hi\""), "\"say \"\"hi\"\"\"");
+        assert_eq!(csv_field("two\nlines"), "\"two\nlines\"");
     }
 
     #[test]

@@ -13,7 +13,9 @@ use crate::surrogate::{SfBundleThetas, SfSurrogates};
 use crate::MfboError;
 use mfbo_gp::GpConfig;
 use mfbo_opt::{msp::MultiStart, neldermead::NelderMead, sampling};
+use mfbo_telemetry::{event, span, RunTelemetry};
 use rand::Rng;
+use std::time::Instant;
 
 /// Configuration of [`SfBayesOpt`].
 #[derive(Debug, Clone)]
@@ -114,9 +116,22 @@ impl SfBayesOpt {
         let mut data = FidelityData::new(nc);
         let mut history = Vec::new();
         let mut cost = 0.0;
+        let run_start = Instant::now();
+        let mut telemetry = RunTelemetry::default();
+        event!(
+            "run_start",
+            algo = "sfbo",
+            dim = bounds.dim(),
+            num_constraints = nc,
+            budget = cfg.budget,
+            initial_points = cfg.initial_points,
+        );
 
+        let init_span = span!("initial_design", n_high = cfg.initial_points);
         for x in sampling::latin_hypercube(&bounds, cfg.initial_points, rng) {
+            let sim_start = Instant::now();
             let eval = problem.evaluate(&x, Fidelity::High);
+            telemetry.record_stage("simulate_high", sim_start.elapsed());
             if !eval.is_finite() {
                 return Err(MfboError::NonFiniteEvaluation { x });
             }
@@ -130,6 +145,7 @@ impl SfBayesOpt {
                 cost_so_far: cost,
             });
         }
+        drop(init_span);
 
         let mut thetas: Option<SfBundleThetas> = None;
         let mut since_refit = 0usize;
@@ -145,6 +161,7 @@ impl SfBayesOpt {
             if let Some(k) = cfg.winsorize_sigma {
                 data_u = data_u.winsorized(k);
             }
+            let fit_span = span!("surrogate_fit", iteration = iteration, n = data.len());
             let surrogates = match &thetas {
                 Some(t) if since_refit < cfg.refit_every => {
                     match SfSurrogates::fit_frozen(&data_u, t) {
@@ -163,31 +180,51 @@ impl SfBayesOpt {
             };
             since_refit += 1;
             thetas = Some(surrogates.thetas());
+            telemetry.record_stage("surrogate_fit", fit_span.elapsed());
+            drop(fit_span);
 
             let local = NelderMead::new().with_max_iters(90);
             let best = data.best_feasible();
-            let xt_unit = if nc > 0 && best.is_none() {
+            let acq_span = span!("acq_opt", iteration = iteration);
+            let drove_feasibility = nc > 0 && best.is_none();
+            let (xt_unit, acq_value) = if drove_feasibility {
                 // Eq. (13): force the search toward feasibility.
                 let drive = |x: &[f64]| {
-                    surrogates.feasibility_drive(x)
-                        + 1e-4 * surrogates.objective().predict(x).mean
+                    surrogates.feasibility_drive(x) + 1e-4 * surrogates.objective().predict(x).mean
                 };
-                MultiStart::new(cfg.msp_starts)
+                let r = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local)
-                    .minimize(&drive, &unit, rng)
-                    .x
+                    .minimize(&drive, &unit, rng);
+                (r.x, r.value)
             } else {
                 let (k, tau) = best.or_else(|| data.best_any()).expect("data non-empty");
                 let wei = |x: &[f64]| surrogates.wei(x, tau);
-                MultiStart::new(cfg.msp_starts)
+                let r = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local)
                     .with_anchor(data_u.xs[k].clone(), cfg.frac_around_tau, cfg.anchor_spread)
-                    .maximize(&wei, &unit, rng)
-                    .x
+                    .maximize(&wei, &unit, rng);
+                (r.x, r.value)
             };
+            telemetry.record_stage("acq_opt", acq_span.elapsed());
+            drop(acq_span);
+            event!(
+                "sfbo_iteration",
+                iteration = iteration,
+                feasibility_drive = drove_feasibility,
+                acq_value = acq_value,
+                tau = data
+                    .best_feasible()
+                    .or_else(|| data.best_any())
+                    .map(|(_, v)| v)
+                    .unwrap_or(f64::NAN),
+                cost = cost,
+            );
 
             let xt = bounds.from_unit(&xt_unit);
+            let sim_span = span!("simulate", iteration = iteration, high = true);
             let eval = problem.evaluate(&xt, Fidelity::High);
+            telemetry.record_stage("simulate_high", sim_span.elapsed());
+            drop(sim_span);
             if !eval.is_finite() {
                 return Err(MfboError::NonFiniteEvaluation { x: xt });
             }
@@ -202,8 +239,17 @@ impl SfBayesOpt {
             });
         }
 
+        telemetry.wall_us = run_start.elapsed().as_micros() as u64;
+        event!(
+            "run_end",
+            algo = "sfbo",
+            iterations = history.last().map(|r| r.iteration).unwrap_or(0),
+            cost = cost,
+        );
         // No low-fidelity data in the single-fidelity loop.
-        Ok(Outcome::from_data(data, FidelityData::new(nc), history))
+        let mut outcome = Outcome::from_data(data, FidelityData::new(nc), history);
+        outcome.telemetry = telemetry;
+        Ok(outcome)
     }
 }
 
@@ -277,6 +323,28 @@ mod tests {
         })
         .run(&forrester(), &mut rng);
         assert!(matches!(e, Err(MfboError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn telemetry_covers_every_iteration() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let config = SfBoConfig {
+            initial_points: 5,
+            budget: 12,
+            ..SfBoConfig::default()
+        };
+        let out = SfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        let bo_iters = out.history.iter().filter(|r| r.iteration > 0).count();
+        assert_eq!(bo_iters, 7);
+        assert_eq!(
+            out.telemetry.stages["surrogate_fit"].calls as usize,
+            bo_iters
+        );
+        assert_eq!(out.telemetry.stages["acq_opt"].calls as usize, bo_iters);
+        // 5 initial + 7 BO simulations, all at high fidelity.
+        assert_eq!(out.telemetry.stages["simulate_high"].calls, 12);
+        assert!(out.telemetry.decisions.is_empty());
+        assert!(out.telemetry.wall_us > 0);
     }
 
     #[test]

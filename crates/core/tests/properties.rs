@@ -2,8 +2,8 @@
 //! and data bookkeeping.
 
 use mfbo::acquisition::{
-    expected_improvement, feasibility_drive, lower_confidence_bound,
-    probability_of_feasibility, upper_confidence_bound, weighted_ei,
+    expected_improvement, feasibility_drive, lower_confidence_bound, probability_of_feasibility,
+    upper_confidence_bound, weighted_ei,
 };
 use mfbo::problem::{Evaluation, Fidelity};
 use mfbo::{FidelityData, FidelitySelector};

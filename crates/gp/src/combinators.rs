@@ -191,9 +191,7 @@ mod tests {
         let (pl, pr) = p.split_at(se.num_params());
         let a = [0.1, 0.7];
         let b = [0.4, 0.2];
-        assert!(
-            (k.eval(&p, &a, &b) - (se.eval(pl, &a, &b) + ma.eval(pr, &a, &b))).abs() < 1e-15
-        );
+        assert!((k.eval(&p, &a, &b) - (se.eval(pl, &a, &b) + ma.eval(pr, &a, &b))).abs() < 1e-15);
     }
 
     #[test]

@@ -28,7 +28,10 @@ impl fmt::Display for GpError {
                 write!(f, "kernel matrix is not positive definite")
             }
             GpError::TrainingFailed => {
-                write!(f, "all hyperparameter restarts failed to produce a finite likelihood")
+                write!(
+                    f,
+                    "all hyperparameter restarts failed to produce a finite likelihood"
+                )
             }
         }
     }

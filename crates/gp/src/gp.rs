@@ -167,7 +167,11 @@ impl<K: Kernel> Gp<K> {
                 starts.push(theta_bounds.clamp(ws));
             }
         }
-        starts.extend(sampling::latin_hypercube(&theta_bounds, config.restarts, rng));
+        starts.extend(sampling::latin_hypercube(
+            &theta_bounds,
+            config.restarts,
+            rng,
+        ));
 
         let objective = |theta: &[f64]| nlml_with_grad(&kernel, theta, &xs, &ys_std);
         let optimizer = Lbfgs::new()
@@ -175,12 +179,18 @@ impl<K: Kernel> Gp<K> {
             .with_grad_tol(1e-5);
 
         let mut best: Option<(Vec<f64>, f64)> = None;
-        for s in &starts {
+        let mut best_start = 0usize;
+        let mut nlml_evals = 0usize;
+        let mut lbfgs_iters = 0usize;
+        for (k, s) in starts.iter().enumerate() {
             let r = optimizer.minimize(&objective, s, &theta_bounds);
+            nlml_evals += r.evaluations;
+            lbfgs_iters += r.iterations;
             if r.value.is_finite() {
-                let better = best.as_ref().map_or(true, |(_, v)| r.value < *v);
+                let better = best.as_ref().is_none_or(|(_, v)| r.value < *v);
                 if better {
                     best = Some((r.x, r.value));
+                    best_start = k;
                 }
             }
         }
@@ -192,6 +202,21 @@ impl<K: Kernel> Gp<K> {
         let km = kernel_matrix(&kernel, &params, log_noise, &xs);
         let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
         let alpha = chol.solve_vec(&ys_std);
+        // Start 0 is always the kernel default; 1 is the warm start when one
+        // was supplied — best_start tells which strategy won this refit.
+        mfbo_telemetry::debug_event!(
+            "gp_fit",
+            n = xs.len(),
+            dim = kernel.input_dim(),
+            starts = starts.len(),
+            best_start = best_start,
+            nlml = best_nlml,
+            nlml_evals = nlml_evals,
+            lbfgs_iters = lbfgs_iters,
+            log_noise = log_noise,
+            jitter = chol.jitter(),
+            condition = chol.condition_estimate(),
+        );
 
         Ok(Gp {
             kernel,
@@ -243,11 +268,16 @@ impl<K: Kernel> Gp<K> {
         let km = kernel_matrix(&kernel, &params, log_noise, &xs);
         let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
         let alpha = chol.solve_vec(&ys_std);
-        let nlml = crate::nlml(&kernel, &{
-            let mut t = params.clone();
-            t.push(log_noise);
-            t
-        }, &xs, &ys_std);
+        let nlml = crate::nlml(
+            &kernel,
+            &{
+                let mut t = params.clone();
+                t.push(log_noise);
+                t
+            },
+            &xs,
+            &ys_std,
+        );
         Ok(Gp {
             kernel,
             params,
@@ -283,15 +313,11 @@ impl<K: Kernel> Gp<K> {
     ///
     /// Panics if `x.len() != kernel.input_dim()`.
     pub fn predict_standardized(&self, x: &[f64]) -> (f64, f64) {
-        assert_eq!(
-            x.len(),
-            self.kernel.input_dim(),
-            "query dimension mismatch"
-        );
+        assert_eq!(x.len(), self.kernel.input_dim(), "query dimension mismatch");
         let n = self.xs.len();
         let mut kstar = vec![0.0; n];
-        for i in 0..n {
-            kstar[i] = self.kernel.eval(&self.params, x, &self.xs[i]);
+        for (ks, xi) in kstar.iter_mut().zip(&self.xs) {
+            *ks = self.kernel.eval(&self.params, x, xi);
         }
         let mean = mfbo_linalg::dot(&kstar, &self.alpha);
         let kss = self.kernel.eval(&self.params, x, x);
@@ -467,7 +493,12 @@ mod tests {
         .unwrap();
         let near = gp.predict(&[0.5]);
         let far = gp.predict(&[3.0]);
-        assert!(far.var > near.var * 5.0, "near {} far {}", near.var, far.var);
+        assert!(
+            far.var > near.var * 5.0,
+            "near {} far {}",
+            near.var,
+            far.var
+        );
     }
 
     #[test]
@@ -502,13 +533,7 @@ mod tests {
     #[test]
     fn rejects_bad_training_sets() {
         let k = SquaredExponential::new(1);
-        let e = Gp::fit(
-            k.clone(),
-            vec![],
-            vec![],
-            &GpConfig::default(),
-            &mut rng(),
-        );
+        let e = Gp::fit(k.clone(), vec![], vec![], &GpConfig::default(), &mut rng());
         assert!(matches!(e, Err(GpError::InvalidTrainingSet { .. })));
 
         let e = Gp::fit(
@@ -590,10 +615,40 @@ mod tests {
     }
 
     #[test]
+    fn fit_emits_gp_fit_debug_event() {
+        let sink = std::sync::Arc::new(mfbo_telemetry::sinks::CollectSink::with_level(
+            mfbo_telemetry::Level::Debug,
+        ));
+        let _g = mfbo_telemetry::scoped_sink(sink.clone());
+        let (xs, ys) = sine_data(8);
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs,
+            ys,
+            &GpConfig::fast(),
+            &mut rng(),
+        )
+        .unwrap();
+        let recs = sink.named("gp_fit");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(recs[0].field("n"), Some(&mfbo_telemetry::Value::U64(8)));
+        match recs[0].field("nlml") {
+            Some(mfbo_telemetry::Value::F64(v)) => assert!((v - gp.nlml()).abs() < 1e-12),
+            other => panic!("nlml field missing or mistyped: {other:?}"),
+        }
+    }
+
+    #[test]
     fn matern_kernel_also_trains() {
         let (xs, ys) = sine_data(12);
-        let gp = Gp::fit(Matern52::new(1), xs.clone(), ys.clone(), &GpConfig::fast(), &mut rng())
-            .unwrap();
+        let gp = Gp::fit(
+            Matern52::new(1),
+            xs.clone(),
+            ys.clone(),
+            &GpConfig::fast(),
+            &mut rng(),
+        )
+        .unwrap();
         let p = gp.predict(&xs[6]);
         assert!((p.mean - ys[6]).abs() < 0.1);
     }
@@ -621,8 +676,15 @@ mod tests {
         let k = SquaredExponential::new(1);
         let params = vec![0.1, -1.0];
         let log_noise = -2.0;
-        let gp = Gp::with_params(k.clone(), xs.clone(), ys.clone(), params.clone(), log_noise, false)
-            .unwrap();
+        let gp = Gp::with_params(
+            k.clone(),
+            xs.clone(),
+            ys.clone(),
+            params.clone(),
+            log_noise,
+            false,
+        )
+        .unwrap();
         let loo = gp.loo_residuals();
         for i in 0..xs.len() {
             // Brute force: refit without point i (same fixed params, no
@@ -653,11 +715,17 @@ mod tests {
     fn loo_nlpd_prefers_correct_lengthscale() {
         let (xs, ys) = sine_data(15);
         let k = SquaredExponential::new(1);
-        let good = Gp::with_params(k.clone(), xs.clone(), ys.clone(), vec![0.0, -1.2], -3.0, true)
-            .unwrap();
+        let good = Gp::with_params(
+            k.clone(),
+            xs.clone(),
+            ys.clone(),
+            vec![0.0, -1.2],
+            -3.0,
+            true,
+        )
+        .unwrap();
         // Absurdly long lengthscale = underfit.
-        let bad =
-            Gp::with_params(k, xs, ys, vec![0.0, 3.0], -3.0, true).unwrap();
+        let bad = Gp::with_params(k, xs, ys, vec![0.0, 3.0], -3.0, true).unwrap();
         assert!(good.loo_nlpd() < bad.loo_nlpd());
     }
 

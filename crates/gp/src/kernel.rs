@@ -115,7 +115,7 @@ impl Kernel for SquaredExponential {
     fn default_params(&self) -> Vec<f64> {
         // σ_f = 1, ℓ_i = 0.3 of the unit box.
         let mut p = vec![0.0];
-        p.extend(std::iter::repeat((0.3f64).ln()).take(self.dim));
+        p.extend(std::iter::repeat_n((0.3f64).ln(), self.dim));
         p
     }
 
@@ -123,8 +123,8 @@ impl Kernel for SquaredExponential {
         // σ_f ∈ [e^-3, e^3]; ℓ ∈ [e^-5, e^3] ≈ [0.0067, 20] of the unit box.
         let mut lo = vec![-3.0];
         let mut hi = vec![3.0];
-        lo.extend(std::iter::repeat(-5.0).take(self.dim));
-        hi.extend(std::iter::repeat(3.0).take(self.dim));
+        lo.extend(std::iter::repeat_n(-5.0, self.dim));
+        hi.extend(std::iter::repeat_n(3.0, self.dim));
         (lo, hi)
     }
 }
@@ -206,15 +206,15 @@ impl Kernel for Matern52 {
 
     fn default_params(&self) -> Vec<f64> {
         let mut p = vec![0.0];
-        p.extend(std::iter::repeat((0.3f64).ln()).take(self.dim));
+        p.extend(std::iter::repeat_n((0.3f64).ln(), self.dim));
         p
     }
 
     fn param_bounds(&self) -> (Vec<f64>, Vec<f64>) {
         let mut lo = vec![-3.0];
         let mut hi = vec![3.0];
-        lo.extend(std::iter::repeat(-5.0).take(self.dim));
-        hi.extend(std::iter::repeat(3.0).take(self.dim));
+        lo.extend(std::iter::repeat_n(-5.0, self.dim));
+        hi.extend(std::iter::repeat_n(3.0, self.dim));
         (lo, hi)
     }
 }

@@ -14,7 +14,12 @@ use mfbo_linalg::{Cholesky, Matrix};
 const LOG_2PI: f64 = 1.837_877_066_409_345_5;
 
 /// Assembles the noisy kernel matrix `K(X,X) + σ_n² I`.
-pub(crate) fn kernel_matrix<K: Kernel>(kernel: &K, p: &[f64], log_noise: f64, xs: &[Vec<f64>]) -> Matrix {
+pub(crate) fn kernel_matrix<K: Kernel>(
+    kernel: &K,
+    p: &[f64],
+    log_noise: f64,
+    xs: &[Vec<f64>],
+) -> Matrix {
     let n = xs.len();
     let sn2 = (2.0 * log_noise).exp();
     let mut k = Matrix::zeros(n, n);
@@ -38,7 +43,11 @@ pub(crate) fn kernel_matrix<K: Kernel>(kernel: &K, p: &[f64], log_noise: f64, xs
 /// Panics if `theta.len() != kernel.num_params() + 1` or if `xs`/`ys`
 /// lengths disagree.
 pub fn nlml<K: Kernel>(kernel: &K, theta: &[f64], xs: &[Vec<f64>], ys: &[f64]) -> f64 {
-    assert_eq!(theta.len(), kernel.num_params() + 1, "theta layout mismatch");
+    assert_eq!(
+        theta.len(),
+        kernel.num_params() + 1,
+        "theta layout mismatch"
+    );
     assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
     let (kp, log_noise) = theta.split_at(kernel.num_params());
     let n = xs.len();
@@ -66,7 +75,11 @@ pub fn nlml_with_grad<K: Kernel>(
     xs: &[Vec<f64>],
     ys: &[f64],
 ) -> (f64, Vec<f64>) {
-    assert_eq!(theta.len(), kernel.num_params() + 1, "theta layout mismatch");
+    assert_eq!(
+        theta.len(),
+        kernel.num_params() + 1,
+        "theta layout mismatch"
+    );
     assert_eq!(xs.len(), ys.len(), "xs/ys length mismatch");
     let np = kernel.num_params();
     let (kp, log_noise) = theta.split_at(np);
@@ -77,8 +90,7 @@ pub fn nlml_with_grad<K: Kernel>(
         Err(_) => return (f64::INFINITY, vec![0.0; theta.len()]),
     };
     let alpha = chol.solve_vec(ys);
-    let value = 0.5
-        * (mfbo_linalg::dot(ys, &alpha) + chol.log_det() + n as f64 * LOG_2PI);
+    let value = 0.5 * (mfbo_linalg::dot(ys, &alpha) + chol.log_det() + n as f64 * LOG_2PI);
 
     // W = K⁻¹ − α αᵀ (symmetric).
     let kinv = chol.inverse();

@@ -9,9 +9,8 @@ use rand::SeedableRng;
 
 /// Strategy: n points in [0,1]^dim, flattened.
 fn points(n: usize, dim: usize) -> impl Strategy<Value = Vec<Vec<f64>>> {
-    prop::collection::vec(0.0f64..1.0, n * dim).prop_map(move |flat| {
-        flat.chunks(dim).map(|c| c.to_vec()).collect()
-    })
+    prop::collection::vec(0.0f64..1.0, n * dim)
+        .prop_map(move |flat| flat.chunks(dim).map(|c| c.to_vec()).collect())
 }
 
 /// Builds the kernel Gram matrix.

@@ -48,7 +48,9 @@ impl Cholesky {
     /// square.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::ShapeMismatch { context: "cholesky" });
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky",
+            });
         }
         Self::factorize(a, 0.0)
     }
@@ -67,16 +69,37 @@ impl Cholesky {
     /// jitter fails, and [`LinalgError::ShapeMismatch`] if `a` is not square.
     pub fn new_with_jitter(a: &Matrix, initial: f64, max: f64) -> Result<Self, LinalgError> {
         if !a.is_square() {
-            return Err(LinalgError::ShapeMismatch { context: "cholesky" });
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky",
+            });
         }
         match Self::factorize(a, 0.0) {
             Ok(c) => Ok(c),
             Err(_) => {
                 let mut jitter = initial.max(f64::MIN_POSITIVE);
+                let mut attempts = 1u64;
                 loop {
+                    attempts += 1;
                     match Self::factorize(a, jitter) {
-                        Ok(c) => return Ok(c),
-                        Err(e) if jitter >= max => return Err(e),
+                        Ok(c) => {
+                            mfbo_telemetry::debug_event!(
+                                "cholesky_jitter",
+                                n = a.rows(),
+                                jitter = c.jitter,
+                                attempts = attempts,
+                                condition = c.condition_estimate(),
+                            );
+                            return Ok(c);
+                        }
+                        Err(e) if jitter >= max => {
+                            mfbo_telemetry::debug_event!(
+                                "cholesky_failed",
+                                n = a.rows(),
+                                max_jitter = max,
+                                attempts = attempts,
+                            );
+                            return Err(e);
+                        }
                         Err(_) => jitter = (jitter * 10.0).min(max),
                     }
                 }
@@ -93,7 +116,7 @@ impl Cholesky {
             for k in 0..j {
                 d -= l[(j, k)] * l[(j, k)];
             }
-            if !(d > 0.0) || !d.is_finite() {
+            if d <= 0.0 || !d.is_finite() {
                 return Err(LinalgError::NotPositiveDefinite { pivot: j });
             }
             let dj = d.sqrt();
@@ -126,12 +149,34 @@ impl Cholesky {
         self.l.rows()
     }
 
+    /// Cheap condition-number estimate `(max L_ii / min L_ii)²`.
+    ///
+    /// The squared ratio of extreme Cholesky pivots lower-bounds the
+    /// 2-norm condition number of `A`; it is free to compute from the
+    /// existing factor and tracks the true κ₂ closely enough to flag
+    /// near-singular kernel matrices in telemetry.
+    pub fn condition_estimate(&self) -> f64 {
+        let n = self.dim();
+        if n == 0 {
+            return 1.0;
+        }
+        let mut lo = f64::INFINITY;
+        let mut hi = 0.0f64;
+        for i in 0..n {
+            let d = self.l[(i, i)];
+            lo = lo.min(d);
+            hi = hi.max(d);
+        }
+        if lo <= 0.0 {
+            f64::INFINITY
+        } else {
+            (hi / lo).powi(2)
+        }
+    }
+
     /// `log |A| = 2 Σ log L_ii`.
     pub fn log_det(&self) -> f64 {
-        (0..self.l.rows())
-            .map(|i| self.l[(i, i)].ln())
-            .sum::<f64>()
-            * 2.0
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
     }
 
     /// Solves `L z = b` by forward substitution.
@@ -165,8 +210,8 @@ impl Cholesky {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = b[i];
-            for k in (i + 1)..n {
-                s -= self.l[(k, i)] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.l[(k, i)] * xk;
             }
             x[i] = s / self.l[(i, i)];
         }
@@ -228,13 +273,13 @@ impl Cholesky {
         let n = self.dim();
         assert_eq!(z.len(), n, "l_matvec length mismatch");
         let mut out = vec![0.0; n];
-        for i in 0..n {
+        for (i, o) in out.iter_mut().enumerate() {
             let row = self.l.row(i);
             let mut s = 0.0;
             for k in 0..=i {
                 s += row[k] * z[k];
             }
-            out[i] = s;
+            *o = s;
         }
         out
     }
@@ -245,11 +290,7 @@ mod tests {
     use super::*;
 
     fn spd_example() -> Matrix {
-        Matrix::from_rows(&[
-            &[25.0, 15.0, -5.0],
-            &[15.0, 18.0, 0.0],
-            &[-5.0, 0.0, 11.0],
-        ])
+        Matrix::from_rows(&[&[25.0, 15.0, -5.0], &[15.0, 18.0, 0.0], &[-5.0, 0.0, 11.0]])
     }
 
     #[test]
@@ -338,6 +379,29 @@ mod tests {
         let x = chol.solve_vec(&[1.0, 0.0]);
         let back = aj.matvec(&x);
         assert!((back[0] - 1.0).abs() < 1e-6 && back[1].abs() < 1e-6);
+    }
+
+    #[test]
+    fn condition_estimate_reflects_scaling() {
+        let well = Cholesky::new(&Matrix::identity(3)).unwrap();
+        assert!((well.condition_estimate() - 1.0).abs() < 1e-12);
+        let a = Matrix::from_rows(&[&[1e6, 0.0], &[0.0, 1e-6]]);
+        let ill = Cholesky::new(&a).unwrap();
+        assert!(ill.condition_estimate() > 1e11);
+    }
+
+    #[test]
+    fn jitter_retry_emits_telemetry() {
+        let sink = std::sync::Arc::new(mfbo_telemetry::sinks::CollectSink::with_level(
+            mfbo_telemetry::Level::Debug,
+        ));
+        let _g = mfbo_telemetry::scoped_sink(sink.clone());
+        let a = Matrix::from_rows(&[&[1.0, 1.0], &[1.0, 1.0]]);
+        let _ = Cholesky::new_with_jitter(&a, 1e-10, 1e-2).unwrap();
+        let recs = sink.named("cholesky_jitter");
+        assert_eq!(recs.len(), 1);
+        assert!(recs[0].field("jitter").is_some());
+        assert!(recs[0].field("attempts").is_some());
     }
 
     #[test]

@@ -155,6 +155,7 @@ impl Mul<f64> for Complex {
 
 impl Div for Complex {
     type Output = Complex;
+    #[allow(clippy::suspicious_arithmetic_impl)]
     fn div(self, o: Complex) -> Complex {
         self * o.recip()
     }
@@ -340,9 +341,6 @@ mod tests {
     #[test]
     fn rejects_shape_mismatch() {
         let e = solve_complex(vec![Complex::one(); 3], vec![Complex::one(); 2]);
-        assert!(matches!(
-            e,
-            Err(crate::LinalgError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(e, Err(crate::LinalgError::ShapeMismatch { .. })));
     }
 }

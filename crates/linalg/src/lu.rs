@@ -114,8 +114,8 @@ impl Lu {
         let mut y = vec![0.0; n];
         for i in 0..n {
             let mut s = b[self.perm[i]];
-            for k in 0..i {
-                s -= self.lu[(i, k)] * y[k];
+            for (k, yk) in y.iter().enumerate().take(i) {
+                s -= self.lu[(i, k)] * yk;
             }
             y[i] = s;
         }
@@ -123,8 +123,8 @@ impl Lu {
         let mut x = vec![0.0; n];
         for i in (0..n).rev() {
             let mut s = y[i];
-            for k in (i + 1)..n {
-                s -= self.lu[(i, k)] * x[k];
+            for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                s -= self.lu[(i, k)] * xk;
             }
             x[i] = s / self.lu[(i, i)];
         }

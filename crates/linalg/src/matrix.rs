@@ -197,9 +197,7 @@ impl Matrix {
     /// Panics if `self.cols() != x.len()`.
     pub fn matvec(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.cols, x.len(), "matvec shape mismatch");
-        (0..self.rows)
-            .map(|i| crate::dot(self.row(i), x))
-            .collect()
+        (0..self.rows).map(|i| crate::dot(self.row(i), x)).collect()
     }
 
     /// Dense transposed matrix-vector product `selfᵀ * x`.
@@ -210,8 +208,7 @@ impl Matrix {
     pub fn matvec_t(&self, x: &[f64]) -> Vec<f64> {
         assert_eq!(self.rows, x.len(), "matvec_t shape mismatch");
         let mut out = vec![0.0; self.cols];
-        for i in 0..self.rows {
-            let xi = x[i];
+        for (i, &xi) in x.iter().enumerate() {
             if xi == 0.0 {
                 continue;
             }
@@ -511,10 +508,7 @@ mod tests {
     fn add_shape_mismatch_errors() {
         let a = Matrix::zeros(2, 2);
         let b = Matrix::zeros(3, 2);
-        assert!(matches!(
-            a.add(&b),
-            Err(LinalgError::ShapeMismatch { .. })
-        ));
+        assert!(matches!(a.add(&b), Err(LinalgError::ShapeMismatch { .. })));
     }
 
     #[test]

@@ -37,8 +37,7 @@ fn erf(x: f64) -> f64 {
     let x = x.abs();
     let t = 1.0 / (1.0 + 0.327_591_1 * x);
     let y = 1.0
-        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736)
-            * t
+        - (((((1.061_405_429 * t - 1.453_152_027) * t) + 1.421_413_741) * t - 0.284_496_736) * t
             + 0.254_829_592)
             * t
             * (-x * x).exp();
@@ -76,7 +75,7 @@ pub fn norm_inv_cdf(p: f64) -> f64 {
         -3.969683028665376e+01,
         2.209460984245205e+02,
         -2.759285104469687e+02,
-        1.383577518672690e+02,
+        1.38357751867269e+02,
         -3.066479806614716e+01,
         2.506628277459239e+00,
     ];
@@ -159,7 +158,10 @@ pub fn median(xs: &[f64]) -> f64 {
 ///
 /// Panics if `q` is outside `[0, 100]`.
 pub fn percentile(xs: &[f64], q: f64) -> f64 {
-    assert!((0.0..=100.0).contains(&q), "percentile requires q in [0, 100]");
+    assert!(
+        (0.0..=100.0).contains(&q),
+        "percentile requires q in [0, 100]"
+    );
     if xs.is_empty() {
         return f64::NAN;
     }

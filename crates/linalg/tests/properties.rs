@@ -5,8 +5,7 @@ use proptest::prelude::*;
 
 /// Strategy: a random `n x n` matrix with entries in [-1, 1].
 fn square_matrix(n: usize) -> impl Strategy<Value = Matrix> {
-    prop::collection::vec(-1.0f64..1.0, n * n)
-        .prop_map(move |data| Matrix::from_vec(n, n, data))
+    prop::collection::vec(-1.0f64..1.0, n * n).prop_map(move |data| Matrix::from_vec(n, n, data))
 }
 
 /// Strategy: a random SPD matrix built as `B Bᵀ + n·I` (guaranteed SPD).

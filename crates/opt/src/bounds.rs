@@ -113,13 +113,7 @@ impl Bounds {
         self.lower
             .iter()
             .zip(&self.upper)
-            .map(|(l, u)| {
-                if u > l {
-                    rng.gen_range(*l..*u)
-                } else {
-                    *l
-                }
-            })
+            .map(|(l, u)| if u > l { rng.gen_range(*l..*u) } else { *l })
             .collect()
     }
 

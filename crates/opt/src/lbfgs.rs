@@ -173,8 +173,7 @@ impl Lbfgs {
                     // Armijo on the projected step (use the actual
                     // displacement when the direction was not provably a
                     // descent direction).
-                    let actual: Vec<f64> =
-                        x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
+                    let actual: Vec<f64> = x_new.iter().zip(&x).map(|(a, b)| a - b).collect();
                     let pred = if g_dot_d < 0.0 {
                         c1 * step * g_dot_d
                     } else {
@@ -311,7 +310,7 @@ mod tests {
         let b = Bounds::symmetric(6, 5.0);
         let r = Lbfgs::new()
             .with_max_iters(2000)
-            .minimize(&fg, &vec![0.0; 6], &b);
+            .minimize(&fg, &[0.0; 6], &b);
         assert!(r.value < 1e-5, "value = {}", r.value);
     }
 

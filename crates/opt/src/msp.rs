@@ -126,9 +126,10 @@ impl MultiStart {
     {
         let starts = self.starting_points(bounds, rng);
         let mut best: Option<OptResult> = None;
+        let mut best_start = 0usize;
         let mut total_evals = 0usize;
         let mut total_iters = 0usize;
-        for s in &starts {
+        for (k, s) in starts.iter().enumerate() {
             let r = self.local.minimize(f, s, bounds);
             total_evals += r.evaluations;
             total_iters += r.iterations;
@@ -138,11 +139,24 @@ impl MultiStart {
             };
             if better {
                 best = Some(r);
+                best_start = k;
             }
         }
         let mut out = best.expect("at least one start");
         out.evaluations = total_evals;
         out.iterations = total_iters;
+        // Anchored starts come first in `starting_points`, so a small
+        // best_start index means a biased start won — the signal that the
+        // paper's §4.1 start distribution is earning its keep.
+        mfbo_telemetry::debug_event!(
+            "msp",
+            starts = starts.len(),
+            anchors = self.anchors.len(),
+            best_start = best_start,
+            evaluations = total_evals,
+            iterations = total_iters,
+            best_value = out.value,
+        );
         out
     }
 
@@ -245,6 +259,28 @@ mod tests {
         let f = |x: &[f64]| (x[0] - 0.5).powi(2);
         let r = MultiStart::new(1).minimize(&f, &b, &mut rng);
         assert!((r.x[0] - 0.5).abs() < 1e-4);
+    }
+
+    #[test]
+    fn minimize_emits_msp_debug_event() {
+        let sink = std::sync::Arc::new(mfbo_telemetry::sinks::CollectSink::with_level(
+            mfbo_telemetry::Level::Debug,
+        ));
+        let _g = mfbo_telemetry::scoped_sink(sink.clone());
+        let mut rng = StdRng::seed_from_u64(1);
+        let b = Bounds::unit(1);
+        let f = |x: &[f64]| (x[0] - 0.5).powi(2);
+        let r = MultiStart::new(4).minimize(&f, &b, &mut rng);
+        let recs = sink.named("msp");
+        assert_eq!(recs.len(), 1);
+        assert_eq!(
+            recs[0].field("starts"),
+            Some(&mfbo_telemetry::Value::U64(4))
+        );
+        assert_eq!(
+            recs[0].field("evaluations"),
+            Some(&mfbo_telemetry::Value::U64(r.evaluations as u64))
+        );
     }
 
     #[test]

@@ -60,8 +60,7 @@ pub fn latin_hypercube<R: Rng + ?Sized>(bounds: &Bounds, n: usize, rng: &mut R) 
 
 /// First 25 primes, used as Halton bases.
 const PRIMES: [u32; 25] = [
-    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89,
-    97,
+    2, 3, 5, 7, 11, 13, 17, 19, 23, 29, 31, 37, 41, 43, 47, 53, 59, 61, 67, 71, 73, 79, 83, 89, 97,
 ];
 
 /// Radical-inverse function in base `b` (the Halton kernel).
@@ -183,11 +182,7 @@ mod tests {
     fn halton_first_points_match_reference() {
         // The (2,3)-Halton sequence: (1/2, 1/3), (1/4, 2/3), (3/4, 1/9), …
         let pts = halton(&Bounds::unit(2), 3, 0);
-        let expect = [
-            [0.5, 1.0 / 3.0],
-            [0.25, 2.0 / 3.0],
-            [0.75, 1.0 / 9.0],
-        ];
+        let expect = [[0.5, 1.0 / 3.0], [0.25, 2.0 / 3.0], [0.75, 1.0 / 9.0]];
         for (p, e) in pts.iter().zip(&expect) {
             assert!((p[0] - e[0]).abs() < 1e-12 && (p[1] - e[1]).abs() < 1e-12);
         }

@@ -1,0 +1,334 @@
+//! Bundled [`Sink`] implementations.
+
+use crate::json::record_to_json;
+use crate::{Kind, Level, Record, Sink, Value};
+use std::fs::File;
+use std::io::{BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// Discards every record. Useful for measuring dispatch overhead with a sink
+/// installed, or as a placeholder where a sink is required.
+#[derive(Debug)]
+pub struct NullSink {
+    level: Level,
+}
+
+impl Default for NullSink {
+    fn default() -> Self {
+        NullSink { level: Level::Info }
+    }
+}
+
+impl NullSink {
+    /// Null sink accepting records up to `level`.
+    pub fn with_level(level: Level) -> Self {
+        NullSink { level }
+    }
+}
+
+impl Sink for NullSink {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, _rec: &Record) {}
+}
+
+/// Buffers records in memory; the test sink.
+pub struct CollectSink {
+    level: Level,
+    records: Mutex<Vec<Record>>,
+}
+
+impl CollectSink {
+    /// Collector accepting [`Level::Info`] records.
+    pub fn new() -> Self {
+        Self::with_level(Level::Info)
+    }
+
+    /// Collector accepting records up to `level`.
+    pub fn with_level(level: Level) -> Self {
+        CollectSink {
+            level,
+            records: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// Snapshot of everything recorded so far.
+    pub fn records(&self) -> Vec<Record> {
+        self.records.lock().expect("collect sink lock").clone()
+    }
+
+    /// Records with the given name, in emission order.
+    pub fn named(&self, name: &str) -> Vec<Record> {
+        self.records()
+            .into_iter()
+            .filter(|r| r.name == name)
+            .collect()
+    }
+}
+
+impl Default for CollectSink {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Sink for CollectSink {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, rec: &Record) {
+        self.records
+            .lock()
+            .expect("collect sink lock")
+            .push(rec.clone());
+    }
+}
+
+/// Writes one JSON object per record, newline-delimited (JSONL).
+pub struct JsonlSink<W: Write + Send> {
+    level: Level,
+    out: Mutex<BufWriter<W>>,
+}
+
+impl JsonlSink<File> {
+    /// JSONL sink writing to a freshly created (truncated) file.
+    pub fn create(path: impl AsRef<Path>, level: Level) -> std::io::Result<Self> {
+        Ok(Self::new(File::create(path)?, level))
+    }
+}
+
+impl<W: Write + Send> JsonlSink<W> {
+    /// JSONL sink over an arbitrary writer.
+    pub fn new(writer: W, level: Level) -> Self {
+        JsonlSink {
+            level,
+            out: Mutex::new(BufWriter::new(writer)),
+        }
+    }
+}
+
+impl<W: Write + Send> Sink for JsonlSink<W> {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, rec: &Record) {
+        let mut out = self.out.lock().expect("jsonl sink lock");
+        let _ = out.write_all(record_to_json(rec).as_bytes());
+        let _ = out.write_all(b"\n");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("jsonl sink lock").flush();
+    }
+}
+
+impl<W: Write + Send> Drop for JsonlSink<W> {
+    fn drop(&mut self) {
+        Sink::flush(self);
+    }
+}
+
+/// Renders records as indented human-readable lines on a writer
+/// (conventionally stderr, so traces don't mix with result tables on stdout).
+pub struct PrettySink<W: Write + Send> {
+    level: Level,
+    out: Mutex<W>,
+}
+
+impl PrettySink<std::io::Stderr> {
+    /// Pretty sink on stderr.
+    pub fn stderr(level: Level) -> Self {
+        Self::new(std::io::stderr(), level)
+    }
+}
+
+impl<W: Write + Send> PrettySink<W> {
+    /// Pretty sink over an arbitrary writer.
+    pub fn new(writer: W, level: Level) -> Self {
+        PrettySink {
+            level,
+            out: Mutex::new(writer),
+        }
+    }
+}
+
+fn fmt_value(v: &Value) -> String {
+    match v {
+        Value::I64(i) => i.to_string(),
+        Value::U64(u) => u.to_string(),
+        Value::F64(f) => {
+            if f.abs() != 0.0 && (f.abs() < 1e-3 || f.abs() >= 1e6) {
+                format!("{f:.3e}")
+            } else {
+                format!("{f:.6}")
+            }
+        }
+        Value::Bool(b) => b.to_string(),
+        Value::Str(s) => s.clone(),
+    }
+}
+
+impl<W: Write + Send> Sink for PrettySink<W> {
+    fn max_level(&self) -> Level {
+        self.level
+    }
+
+    fn record(&self, rec: &Record) {
+        let indent = "  ".repeat(rec.depth);
+        let marker = match rec.kind {
+            Kind::Event => "*",
+            Kind::SpanStart => ">",
+            Kind::SpanEnd => "<",
+            Kind::Counter => "+",
+        };
+        let mut line = format!(
+            "[{:>10.3}ms] {}{} {}",
+            rec.t_us as f64 / 1000.0,
+            indent,
+            marker,
+            rec.name
+        );
+        for (k, v) in &rec.fields {
+            line.push_str(&format!(" {k}={}", fmt_value(v)));
+        }
+        let mut out = self.out.lock().expect("pretty sink lock");
+        let _ = writeln!(out, "{line}");
+    }
+
+    fn flush(&self) {
+        let _ = self.out.lock().expect("pretty sink lock").flush();
+    }
+}
+
+/// Fans every record out to multiple sinks (e.g. pretty on stderr + JSONL to
+/// a trace file).
+pub struct MultiSink {
+    sinks: Vec<std::sync::Arc<dyn Sink>>,
+}
+
+impl MultiSink {
+    /// Combines `sinks`; the most verbose member decides the level filter.
+    pub fn new(sinks: Vec<std::sync::Arc<dyn Sink>>) -> Self {
+        MultiSink { sinks }
+    }
+}
+
+impl Sink for MultiSink {
+    fn max_level(&self) -> Level {
+        self.sinks
+            .iter()
+            .map(|s| s.max_level())
+            .max()
+            .unwrap_or(Level::Info)
+    }
+
+    fn record(&self, rec: &Record) {
+        for sink in &self.sinks {
+            if rec.level <= sink.max_level() {
+                sink.record(rec);
+            }
+        }
+    }
+
+    fn flush(&self) {
+        for sink in &self.sinks {
+            sink.flush();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json::{parse, Json};
+    use std::sync::Arc;
+
+    fn rec(name: &'static str, kind: Kind, depth: usize) -> Record {
+        Record {
+            t_us: 10,
+            level: Level::Info,
+            kind,
+            name,
+            depth,
+            fields: vec![("k", Value::U64(1))],
+        }
+    }
+
+    /// Shared-buffer writer so tests can inspect sink output.
+    #[derive(Clone, Default)]
+    struct SharedBuf(Arc<Mutex<Vec<u8>>>);
+
+    impl Write for SharedBuf {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().unwrap().extend_from_slice(buf);
+            Ok(buf.len())
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    impl SharedBuf {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().unwrap().clone()).unwrap()
+        }
+    }
+
+    #[test]
+    fn jsonl_sink_emits_one_valid_json_object_per_line() {
+        let buf = SharedBuf::default();
+        let sink = JsonlSink::new(buf.clone(), Level::Info);
+        sink.record(&rec("a", Kind::Event, 0));
+        sink.record(&rec("b", Kind::SpanStart, 1));
+        Sink::flush(&sink);
+        let text = buf.contents();
+        let lines: Vec<_> = text.lines().collect();
+        assert_eq!(lines.len(), 2);
+        for line in &lines {
+            let json = parse(line).expect("each line parses as JSON");
+            assert!(matches!(json, Json::Obj(_)));
+        }
+        assert_eq!(
+            parse(lines[1]).unwrap().get("kind").and_then(Json::as_str),
+            Some("span_start")
+        );
+    }
+
+    #[test]
+    fn pretty_sink_indents_by_depth() {
+        let buf = SharedBuf::default();
+        let sink = PrettySink::new(buf.clone(), Level::Info);
+        sink.record(&rec("outer", Kind::SpanStart, 0));
+        sink.record(&rec("inner", Kind::Event, 1));
+        Sink::flush(&sink);
+        let text = buf.contents();
+        assert!(text.contains("> outer"), "got: {text}");
+        assert!(text.contains("  * inner"), "got: {text}");
+    }
+
+    #[test]
+    fn multi_sink_fans_out_with_per_sink_level() {
+        let info = Arc::new(CollectSink::with_level(Level::Info));
+        let debug = Arc::new(CollectSink::with_level(Level::Debug));
+        let multi = MultiSink::new(vec![info.clone(), debug.clone()]);
+        assert_eq!(multi.max_level(), Level::Debug);
+        let mut debug_rec = rec("internals", Kind::Event, 0);
+        debug_rec.level = Level::Debug;
+        multi.record(&rec("visible", Kind::Event, 0));
+        multi.record(&debug_rec);
+        assert_eq!(info.records().len(), 1);
+        assert_eq!(debug.records().len(), 2);
+    }
+
+    #[test]
+    fn null_sink_accepts_and_drops() {
+        let sink = NullSink::with_level(Level::Trace);
+        assert_eq!(sink.max_level(), Level::Trace);
+        sink.record(&rec("anything", Kind::Counter, 0));
+    }
+}

@@ -1,0 +1,263 @@
+//! Minimal offline stand-in for the crates.io `criterion` crate.
+//!
+//! The build environment has no network access, so the workspace vendors the
+//! subset of the criterion 0.5 surface its microbenches use:
+//! [`criterion_group!`]/[`criterion_main!`], [`Criterion::benchmark_group`],
+//! [`Criterion::bench_function`], [`BenchmarkGroup::bench_with_input`],
+//! [`BenchmarkId`], and [`Bencher::iter`].
+//!
+//! Measurement is deliberately simple: each benchmark is warmed up briefly,
+//! then timed over `sample_size` samples whose per-iteration mean, median, and
+//! spread are printed. There are no HTML reports, no statistical regression
+//! analysis, and no `target/criterion` history — good enough to compare
+//! kernels within one run, which is all the offline harness needs.
+
+use std::fmt::Display;
+use std::time::{Duration, Instant};
+
+/// Benchmark identifier: `function_id/parameter`.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// Identifier with both a function name and a parameter value.
+    pub fn new(function_id: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function_id.into(), parameter),
+        }
+    }
+
+    /// Identifier from a parameter value alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+/// Times closures handed to it by a benchmark body.
+pub struct Bencher {
+    sample_size: usize,
+    /// Mean nanoseconds per iteration over the measured samples.
+    mean_ns: f64,
+    median_ns: f64,
+    min_ns: f64,
+    max_ns: f64,
+}
+
+impl Bencher {
+    fn new(sample_size: usize) -> Self {
+        Bencher {
+            sample_size,
+            mean_ns: 0.0,
+            median_ns: 0.0,
+            min_ns: 0.0,
+            max_ns: 0.0,
+        }
+    }
+
+    /// Runs `routine` repeatedly and records per-iteration timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        // Warm-up: find an iteration count that takes a measurable slice of
+        // time (~5 ms per sample, capped so slow benches still finish).
+        let warm_start = Instant::now();
+        std::hint::black_box(routine());
+        let once = warm_start.elapsed().max(Duration::from_nanos(1));
+        let per_sample = Duration::from_millis(5);
+        let iters = (per_sample.as_nanos() / once.as_nanos()).clamp(1, 100_000) as usize;
+
+        let mut samples_ns: Vec<f64> = Vec::with_capacity(self.sample_size);
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(routine());
+            }
+            samples_ns.push(t0.elapsed().as_nanos() as f64 / iters as f64);
+        }
+        samples_ns.sort_by(|a, b| a.total_cmp(b));
+        self.mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        self.median_ns = samples_ns[samples_ns.len() / 2];
+        self.min_ns = samples_ns[0];
+        self.max_ns = *samples_ns.last().expect("non-empty samples");
+    }
+}
+
+fn fmt_ns(ns: f64) -> String {
+    if ns < 1e3 {
+        format!("{ns:.1} ns")
+    } else if ns < 1e6 {
+        format!("{:.2} µs", ns / 1e3)
+    } else if ns < 1e9 {
+        format!("{:.2} ms", ns / 1e6)
+    } else {
+        format!("{:.3} s", ns / 1e9)
+    }
+}
+
+fn report(name: &str, b: &Bencher) {
+    println!(
+        "{name:<40} time: [{} {} {}]  (min {}, {} samples)",
+        fmt_ns(b.mean_ns),
+        fmt_ns(b.median_ns),
+        fmt_ns(b.max_ns),
+        fmt_ns(b.min_ns),
+        b.sample_size,
+    );
+}
+
+/// A named set of related benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    criterion: &'a mut Criterion,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Benchmarks `routine`, passing it `input`.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let mut routine = routine;
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher, input);
+        let full = format!("{}/{}", self.name, id.into().label);
+        report(&full, &bencher);
+        self
+    }
+
+    /// Benchmarks `routine` with no external input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut routine = routine;
+        let mut bencher = Bencher::new(self.sample_size);
+        routine(&mut bencher);
+        let full = format!("{}/{}", self.name, id.into().label);
+        report(&full, &bencher);
+        self
+    }
+
+    /// Ends the group (printing already happened per-bench).
+    pub fn finish(&mut self) {
+        let _ = &self.criterion;
+    }
+}
+
+/// Top-level benchmark driver.
+pub struct Criterion {
+    default_sample_size: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("-- group: {name}");
+        let sample_size = self.default_sample_size;
+        BenchmarkGroup {
+            name,
+            criterion: self,
+            sample_size,
+        }
+    }
+
+    /// Benchmarks a standalone function.
+    pub fn bench_function<F>(&mut self, name: &str, routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut routine = routine;
+        let mut bencher = Bencher::new(self.default_sample_size);
+        routine(&mut bencher);
+        report(name, &bencher);
+        self
+    }
+}
+
+/// Bundles benchmark functions into a named group runner.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Emits `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+/// Re-export matching upstream's `criterion::black_box`.
+pub use std::hint::black_box;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_measures_something() {
+        let mut b = Bencher::new(3);
+        b.iter(|| (0..100u64).sum::<u64>());
+        assert!(b.mean_ns > 0.0);
+        assert!(b.min_ns <= b.median_ns && b.median_ns <= b.max_ns);
+    }
+
+    #[test]
+    fn group_and_ids_run() {
+        let mut c = Criterion::default();
+        let mut g = c.benchmark_group("t");
+        g.sample_size(2);
+        g.bench_with_input(BenchmarkId::new("f", 3), &3u64, |b, &n| {
+            b.iter(|| (0..n).product::<u64>())
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(1 + 1)));
+        g.finish();
+        c.bench_function("top", |b| b.iter(|| black_box(2 * 2)));
+        assert_eq!(BenchmarkId::from_parameter(128).label, "128");
+    }
+}

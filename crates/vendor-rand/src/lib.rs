@@ -1,0 +1,259 @@
+//! Minimal offline stand-in for the crates.io `rand` crate (0.8 API subset).
+//!
+//! The build environment for this repository has no network access and no
+//! pre-populated cargo registry, so the workspace vendors the small slice of
+//! the `rand` 0.8 surface it actually uses: [`Rng::gen`], [`Rng::gen_range`],
+//! [`Rng::gen_bool`], [`SeedableRng::seed_from_u64`], [`rngs::StdRng`], and
+//! [`seq::SliceRandom::shuffle`].
+//!
+//! The generator behind [`rngs::StdRng`] is xoshiro256++ seeded through
+//! SplitMix64 — deterministic and high-quality, but **not** stream-compatible
+//! with upstream `rand`'s ChaCha12-based `StdRng`. Seed-sensitive tests in
+//! the workspace were re-calibrated against this generator.
+
+pub mod rngs;
+pub mod seq;
+
+use std::ops::Range;
+
+/// The raw generator interface: a source of uniformly random 64-bit words.
+pub trait RngCore {
+    /// Returns the next random `u64`.
+    fn next_u64(&mut self) -> u64;
+
+    /// Returns the next random `u32` (upper half of [`RngCore::next_u64`]).
+    fn next_u32(&mut self) -> u32 {
+        (self.next_u64() >> 32) as u32
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for Box<R> {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Types that [`Rng::gen`] can produce.
+pub trait Standard: Sized {
+    /// Draws one uniformly distributed value.
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f64 {
+        // 53 random mantissa bits → uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> f32 {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+impl Standard for u64 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u64 {
+        rng.next_u64()
+    }
+}
+
+impl Standard for u32 {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> u32 {
+        rng.next_u32()
+    }
+}
+
+impl Standard for bool {
+    fn sample_standard<R: RngCore + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+/// Ranges that [`Rng::gen_range`] accepts.
+pub trait SampleRange<T> {
+    /// Draws one value uniformly from the range.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "empty f64 sample range");
+        let u = f64::sample_standard(rng);
+        let v = self.start + u * (self.end - self.start);
+        // Floating-point rounding can land exactly on `end`; nudge back in.
+        if v >= self.end {
+            self.end - (self.end - self.start) * f64::EPSILON
+        } else {
+            v
+        }
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "empty f32 sample range");
+        let u = f32::sample_standard(rng);
+        (self.start + u * (self.end - self.start)).min(self.end - f32::EPSILON)
+    }
+}
+
+/// Unbiased bounded integer sampling by rejection.
+fn bounded_u64<R: RngCore + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    if span.is_power_of_two() {
+        return rng.next_u64() & (span - 1);
+    }
+    let zone = u64::MAX - (u64::MAX % span) - 1;
+    loop {
+        let v = rng.next_u64();
+        if v <= zone {
+            return v % span;
+        }
+    }
+}
+
+macro_rules! impl_int_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "empty integer sample range");
+                let span = (self.end as i128 - self.start as i128) as u64;
+                self.start.wrapping_add(bounded_u64(rng, span) as $t)
+            }
+        }
+        impl SampleRange<$t> for std::ops::RangeInclusive<$t> {
+            fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty inclusive sample range");
+                let span = (hi as i128 - lo as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                lo.wrapping_add(bounded_u64(rng, span + 1) as $t)
+            }
+        }
+    )*};
+}
+
+impl_int_range!(usize, u64, u32, i64, i32, isize);
+
+/// User-facing random-value methods, blanket-implemented for every
+/// [`RngCore`] (mirrors `rand`'s extension-trait design so `R: Rng + ?Sized`
+/// bounds work unchanged).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from its standard distribution
+    /// (`f64`/`f32` uniform in `[0, 1)`, integers uniform over the full
+    /// domain).
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample_standard(self)
+    }
+
+    /// Draws a value uniformly from `range`.
+    fn gen_range<T, Rge: SampleRange<T>>(&mut self, range: Rge) -> T {
+        range.sample_from(self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        assert!((0.0..=1.0).contains(&p), "probability out of range");
+        f64::sample_standard(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Deterministically seedable generators.
+pub trait SeedableRng: Sized {
+    /// Seed type (fixed-width byte array).
+    type Seed;
+
+    /// Constructs the generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Constructs the generator from a single `u64` (expanded via
+    /// SplitMix64, as upstream `rand` does).
+    fn seed_from_u64(state: u64) -> Self;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rngs::StdRng;
+
+    #[test]
+    fn deterministic_for_equal_seeds() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = StdRng::seed_from_u64(1);
+        let mut b = StdRng::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 2);
+    }
+
+    #[test]
+    fn unit_floats_in_range_and_spread() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean = {mean}");
+    }
+
+    #[test]
+    fn gen_range_respects_bounds() {
+        let mut rng = StdRng::seed_from_u64(4);
+        for _ in 0..1000 {
+            let v = rng.gen_range(-2.5f64..7.5);
+            assert!((-2.5..7.5).contains(&v));
+            let k = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&k));
+            let j = rng.gen_range(0u64..=5);
+            assert!(j <= 5);
+        }
+    }
+
+    #[test]
+    fn integer_range_covers_all_values() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut seen = [false; 7];
+        for _ in 0..500 {
+            seen[rng.gen_range(0usize..7)] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn works_through_unsized_references() {
+        fn draw<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+            rng.gen_range(0.0f64..1.0)
+        }
+        let mut rng = StdRng::seed_from_u64(6);
+        let v = draw(&mut rng);
+        assert!((0.0..1.0).contains(&v));
+    }
+
+    #[test]
+    fn gen_bool_extremes() {
+        let mut rng = StdRng::seed_from_u64(8);
+        assert!(!(0..100).any(|_| rng.gen_bool(0.0)));
+        assert!((0..100).all(|_| rng.gen_bool(1.0)));
+    }
+}

@@ -66,7 +66,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (c, out, src) = output_network(1.2, 0.44);
     let two = Ac::new(vec![2.4e9, 4.8e9, 7.2e9]).run(&c, src)?;
     let m = two.magnitude_db(out);
-    println!("\ntuned network: |H(f0)| = {:.2} dB, |H(2f0)| = {:.2} dB, |H(3f0)| = {:.2} dB", m[0], m[1], m[2]);
+    println!(
+        "\ntuned network: |H(f0)| = {:.2} dB, |H(2f0)| = {:.2} dB, |H(3f0)| = {:.2} dB",
+        m[0], m[1], m[2]
+    );
     println!("harmonic rejection at 2f0: {:.1} dB", m[0] - m[1]);
     Ok(())
 }

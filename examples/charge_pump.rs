@@ -35,7 +35,10 @@ fn main() -> Result<(), mfbo::MfboError> {
     };
     let out = MfBayesOpt::new(config).run(&cp, &mut rng)?;
 
-    println!("-- best design (FOM = {:.3} µA, feasible: {}) --", out.best_objective, out.feasible);
+    println!(
+        "-- best design (FOM = {:.3} µA, feasible: {}) --",
+        out.best_objective, out.feasible
+    );
     for i in 0..18 {
         println!(
             "M{:<2}  W = {:>6.2} µm   L = {:>5.3} µm",

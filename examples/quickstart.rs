@@ -57,5 +57,15 @@ fn main() -> Result<(), mfbo::MfboError> {
     for (cost, best) in mf.convergence_trace() {
         println!("  {cost:>6.2}  {best:>9.4}");
     }
+
+    // Telemetry rides along on every outcome, no sink required: per-stage
+    // wall-clock statistics and the fidelity-decision table of eqs. 11-12.
+    println!("\n-- run telemetry (Outcome::telemetry) --");
+    print!("{}", mf.telemetry.stage_table());
+    println!(
+        "high-fidelity picks: {}/{}",
+        mf.telemetry.high_count(),
+        mf.telemetry.decisions.len()
+    );
     Ok(())
 }

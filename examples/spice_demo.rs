@@ -40,7 +40,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let rload = c.resistor(vdd, nout, 5e3);
     let sol = solve_dc(&c)?;
     let i_out = (1.8 - sol.voltage(nout)) / 5e3;
-    println!("mirror input 50 µA x2 ratio -> output {:.2} µA", i_out * 1e6);
+    println!(
+        "mirror input 50 µA x2 ratio -> output {:.2} µA",
+        i_out * 1e6
+    );
     let _ = rload;
     println!();
 
@@ -65,7 +68,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let r = Transient::new(5e-5, 5e-3).run(&c)?;
     let v = r.voltage(vout);
     for k in [0, 20, 40, 60, 80, 100] {
-        println!("t = {:>5.2} ms   v(out) = {:.4} V", r.times()[k] * 1e3, v[k]);
+        println!(
+            "t = {:>5.2} ms   v(out) = {:.4} V",
+            r.times()[k] * 1e3,
+            v[k]
+        );
     }
     println!();
 

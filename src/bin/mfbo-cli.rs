@@ -7,14 +7,22 @@
 //! Problems: `forrester`, `pedagogical`, `branin`, `park`, `pa`,
 //! `charge-pump`. Algorithms: `mf` (the paper's method), `weibo`,
 //! `gaspad`, `de`.
+//!
+//! Observability: `--trace out.jsonl` streams structured telemetry records
+//! (one JSON object per line) to a file; `--verbosity info|debug|trace`
+//! additionally mirrors records to stderr in human-readable form and raises
+//! the level captured by the trace file.
 
 use analog_mfbo::circuits::testfns;
 use analog_mfbo::prelude::*;
 use mfbo::problem::MultiFidelityProblem;
 use mfbo::report;
+use mfbo_telemetry::sinks::{JsonlSink, MultiSink, PrettySink};
+use mfbo_telemetry::{Level, Sink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Parsed command-line options.
 #[derive(Debug, Clone, PartialEq)]
@@ -27,6 +35,8 @@ struct Options {
     seed: u64,
     csv: Option<String>,
     convergence: Option<String>,
+    trace: Option<String>,
+    verbosity: Option<Level>,
 }
 
 impl Default for Options {
@@ -40,6 +50,8 @@ impl Default for Options {
             seed: 0,
             csv: None,
             convergence: None,
+            trace: None,
+            verbosity: None,
         }
     }
 }
@@ -47,6 +59,7 @@ impl Default for Options {
 const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de]
                 [--budget N] [--init-low N] [--init-high N]
                 [--seed N] [--csv FILE] [--convergence FILE]
+                [--trace FILE] [--verbosity info|debug|trace]
 
 problems: forrester, pedagogical, branin, park, pa, charge-pump";
 
@@ -55,10 +68,7 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
     let mut opts = Options::default();
     let mut it = args.into_iter();
     while let Some(flag) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
         match flag.as_str() {
             "--problem" => opts.problem = value("--problem")?,
             "--algo" => opts.algo = value("--algo")?,
@@ -84,6 +94,14 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             }
             "--csv" => opts.csv = Some(value("--csv")?),
             "--convergence" => opts.convergence = Some(value("--convergence")?),
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--verbosity" => {
+                let v = value("--verbosity")?;
+                opts.verbosity = Some(
+                    Level::parse(&v)
+                        .ok_or_else(|| "verbosity must be info, debug, or trace".to_string())?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -105,10 +123,7 @@ fn make_problem(name: &str) -> Result<Box<dyn MultiFidelityProblem>, String> {
 }
 
 /// Runs the selected algorithm.
-fn run_algo(
-    opts: &Options,
-    problem: &dyn MultiFidelityProblem,
-) -> Result<mfbo::Outcome, String> {
+fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::Outcome, String> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let budget_int = opts.budget.round().max(2.0) as usize;
     match opts.algo.as_str() {
@@ -144,6 +159,29 @@ fn run_algo(
     }
 }
 
+/// Builds the telemetry sink implied by `--trace` / `--verbosity`.
+///
+/// The trace file always captures at least Debug (the solver-internals tier)
+/// so a saved trace is useful for post-mortems; `--verbosity trace` raises
+/// it. The stderr mirror only appears when `--verbosity` is given.
+fn make_sink(opts: &Options) -> Result<Option<Arc<dyn Sink>>, String> {
+    let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
+    if let Some(path) = &opts.trace {
+        let file_level = opts.verbosity.unwrap_or(Level::Debug).max(Level::Debug);
+        let sink = JsonlSink::create(path, file_level)
+            .map_err(|e| format!("cannot create {path}: {e}"))?;
+        sinks.push(Arc::new(sink));
+    }
+    if let Some(level) = opts.verbosity {
+        sinks.push(Arc::new(PrettySink::stderr(level)));
+    }
+    Ok(match sinks.len() {
+        0 => None,
+        1 => sinks.pop(),
+        _ => Some(Arc::new(MultiSink::new(sinks))),
+    })
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
         Ok(o) => o,
@@ -159,6 +197,14 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    match make_sink(&opts) {
+        Ok(Some(sink)) => mfbo_telemetry::set_global_sink(sink),
+        Ok(None) => {}
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     println!(
         "running {} on {} (budget {}, seed {})",
         opts.algo,
@@ -170,10 +216,23 @@ fn main() -> ExitCode {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("optimization failed: {msg}");
+            mfbo_telemetry::clear_global_sink();
             return ExitCode::FAILURE;
         }
     };
+    // Flush the trace file before printing the summary.
+    mfbo_telemetry::clear_global_sink();
     println!("{}", report::summary(&outcome));
+    if !outcome.telemetry.stages.is_empty() {
+        println!("\n{}", outcome.telemetry.stage_table());
+    }
+    let decisions = outcome.telemetry.decision_table();
+    if !decisions.is_empty() {
+        println!("{decisions}");
+    }
+    if let Some(path) = &opts.trace {
+        println!("telemetry trace written to {path}");
+    }
 
     if let Some(path) = &opts.csv {
         match std::fs::File::create(path) {
@@ -243,6 +302,16 @@ mod tests {
         assert!(parse_args(args("--bogus 1")).is_err());
         assert!(parse_args(args("--budget abc")).is_err());
         assert!(parse_args(args("--seed")).is_err());
+        assert!(parse_args(args("--verbosity loud")).is_err());
+    }
+
+    #[test]
+    fn parses_telemetry_flags() {
+        let o = parse_args(args("--trace t.jsonl --verbosity debug")).unwrap();
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.verbosity, Some(Level::Debug));
+        // Trace-only runs still get a (file) sink; quiet runs get none.
+        assert!(make_sink(&parse_args(args("")).unwrap()).unwrap().is_none());
     }
 
     #[test]
@@ -253,7 +322,14 @@ mod tests {
 
     #[test]
     fn problems_instantiate() {
-        for name in ["forrester", "pedagogical", "branin", "park", "pa", "charge-pump"] {
+        for name in [
+            "forrester",
+            "pedagogical",
+            "branin",
+            "park",
+            "pa",
+            "charge-pump",
+        ] {
             assert!(make_problem(name).is_ok(), "{name}");
         }
         assert!(make_problem("nope").is_err());
@@ -270,6 +346,8 @@ mod tests {
             seed: 1,
             csv: None,
             convergence: None,
+            trace: None,
+            verbosity: None,
         };
         let p = make_problem(&opts.problem).unwrap();
         let o = run_algo(&opts, p.as_ref()).unwrap();

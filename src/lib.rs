@@ -43,9 +43,7 @@ pub use mfbo_opt as opt;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use mfbo::problem::{Evaluation, Fidelity, FunctionProblem, MultiFidelityProblem};
-    pub use mfbo::{
-        MfBayesOpt, MfBoConfig, MfGp, MfGpConfig, Outcome, SfBayesOpt, SfBoConfig,
-    };
+    pub use mfbo::{MfBayesOpt, MfBoConfig, MfGp, MfGpConfig, Outcome, SfBayesOpt, SfBoConfig};
     pub use mfbo_baselines::{
         DeBaselineConfig, DifferentialEvolutionBaseline, Gaspad, GaspadConfig, Weibo, WeiboConfig,
     };

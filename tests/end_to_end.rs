@@ -165,10 +165,23 @@ fn fusion_model_beats_single_fidelity_gp_on_park_4d() {
     let xh = sampling::latin_hypercube(&bounds, 25, &mut rng);
     let yh: Vec<f64> = xh.iter().map(|x| testfns::park_high(x)).collect();
 
-    let mf = MfGp::fit(xl, yl, xh.clone(), yh.clone(), &MfGpConfig::default(), &mut rng)
-        .expect("fusion fit");
-    let sf = Gp::fit(SquaredExponential::new(4), xh, yh, &GpConfig::default(), &mut rng)
-        .expect("sf fit");
+    let mf = MfGp::fit(
+        xl,
+        yl,
+        xh.clone(),
+        yh.clone(),
+        &MfGpConfig::default(),
+        &mut rng,
+    )
+    .expect("fusion fit");
+    let sf = Gp::fit(
+        SquaredExponential::new(4),
+        xh,
+        yh,
+        &GpConfig::default(),
+        &mut rng,
+    )
+    .expect("sf fit");
 
     let test_points = sampling::latin_hypercube(&bounds, 200, &mut rng);
     let mut mf_se = 0.0;

@@ -1,10 +1,15 @@
-//! Integration tests of the CSV/report pipeline on real optimizer output.
+//! Integration tests of the CSV/report/telemetry pipeline on real
+//! optimizer output.
 
 use analog_mfbo::circuits::testfns;
 use analog_mfbo::prelude::*;
 use mfbo::report;
+use mfbo_telemetry::json;
+use mfbo_telemetry::sinks::{CollectSink, JsonlSink};
+use mfbo_telemetry::{Kind, Level};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 
 fn small_run() -> mfbo::Outcome {
     let problem = testfns::forrester();
@@ -76,12 +81,81 @@ fn convergence_csv_is_monotone_decreasing() {
 }
 
 #[test]
+fn short_mfbo_run_emits_one_fidelity_decision_per_iteration() {
+    let sink = Arc::new(CollectSink::new());
+    let guard = mfbo_telemetry::scoped_sink(sink.clone());
+    let outcome = small_run();
+    drop(guard);
+
+    let bo_iters = outcome.history.iter().filter(|r| r.iteration > 0).count();
+    assert!(bo_iters > 0, "budget allows at least one BO iteration");
+    let decisions = sink.named("fidelity_decision");
+    assert_eq!(decisions.len(), bo_iters);
+    for (rec, hist) in decisions
+        .iter()
+        .zip(outcome.history.iter().filter(|r| r.iteration > 0))
+    {
+        assert_eq!(rec.kind, Kind::Event);
+        assert_eq!(
+            rec.field("iteration"),
+            Some(&mfbo_telemetry::Value::U64(hist.iteration as u64))
+        );
+        // Every decision carries the variance-vs-threshold evidence of
+        // paper eqs. (11)-(12).
+        match rec.field("max_low_variance") {
+            Some(mfbo_telemetry::Value::F64(v)) => assert!(v.is_finite() && *v >= 0.0),
+            other => panic!("max_low_variance missing or mistyped: {other:?}"),
+        }
+        assert_eq!(
+            rec.field("threshold"),
+            Some(&mfbo_telemetry::Value::F64(0.01))
+        );
+    }
+    // The streamed spans cover the hot path once per iteration.
+    for name in ["surrogate_fit", "acq_opt", "simulate"] {
+        let starts = sink
+            .records()
+            .iter()
+            .filter(|r| r.name == name && r.kind == Kind::SpanStart)
+            .count();
+        assert_eq!(starts, bo_iters, "span {name}");
+    }
+}
+
+#[test]
+fn jsonl_trace_of_a_run_parses_line_by_line() {
+    let path = std::env::temp_dir().join(format!("mfbo-trace-{}.jsonl", std::process::id()));
+    {
+        let sink = Arc::new(JsonlSink::create(&path, Level::Debug).unwrap());
+        let _guard = mfbo_telemetry::scoped_sink(sink);
+        let _ = small_run();
+    }
+    let text = std::fs::read_to_string(&path).unwrap();
+    std::fs::remove_file(&path).ok();
+    assert!(!text.is_empty());
+    let mut decisions = 0;
+    let mut last_t = 0.0;
+    for line in text.lines() {
+        let obj = json::parse(line).expect("every line is valid JSON");
+        let t = obj.get("t_us").and_then(|v| v.as_f64()).expect("t_us");
+        assert!(t >= last_t, "records are time-ordered");
+        last_t = t;
+        let name = obj.get("name").and_then(|v| v.as_str()).expect("name");
+        if name == "fidelity_decision" {
+            decisions += 1;
+            let fields = obj.get("fields").expect("fields");
+            assert!(fields.get("max_low_variance").is_some());
+            assert!(fields.get("threshold").is_some());
+            assert!(fields.get("chose_high").is_some());
+        }
+    }
+    assert!(decisions > 0, "trace contains fidelity decisions");
+}
+
+#[test]
 fn summary_is_consistent_with_outcome() {
     let outcome = small_run();
     let s = report::summary(&outcome);
-    assert!(s.contains(&format!(
-        "{} low + {} high",
-        outcome.n_low, outcome.n_high
-    )));
+    assert!(s.contains(&format!("{} low + {} high", outcome.n_low, outcome.n_high)));
     assert!(s.contains(&format!("{}", outcome.feasible)));
 }

@@ -128,10 +128,7 @@ fn mf_variance_respects_fidelity_data_geometry() {
     let yl: Vec<f64> = xl.iter().map(|x| testfns::pedagogical_low(x[0])).collect();
     // High data only on [0, 0.5].
     let xh: Vec<Vec<f64>> = (0..8).map(|i| vec![0.5 * i as f64 / 7.0]).collect();
-    let yh: Vec<f64> = xh
-        .iter()
-        .map(|x| testfns::pedagogical_high(x[0]))
-        .collect();
+    let yh: Vec<f64> = xh.iter().map(|x| testfns::pedagogical_high(x[0])).collect();
     let mf = MfGp::fit(xl, yl, xh, yh, &MfGpConfig::default(), &mut rng).unwrap();
     let v_covered = mf.predict(&[0.25]).var;
     let v_uncovered = mf.predict(&[0.9]).var;
