@@ -138,7 +138,7 @@ impl Gaspad {
             let data_u = data.to_unit(&bounds);
             let surrogates = match &thetas {
                 Some(t) if since_refit < cfg.refit_every => {
-                    match SfSurrogates::fit_frozen(&data_u, t) {
+                    match SfSurrogates::fit_frozen(&data_u, t, mfbo_pool::Parallelism::Serial) {
                         Ok(s) => s,
                         Err(_) => SfSurrogates::fit(&data_u, &cfg.model, rng)?,
                     }

@@ -10,6 +10,7 @@
 use mfbo::problem::MultiFidelityProblem;
 use mfbo::{MfboError, Outcome, SfBayesOpt, SfBoConfig};
 use mfbo_gp::GpConfig;
+use mfbo_pool::Parallelism;
 use rand::Rng;
 
 /// WEIBO configuration (paper Table 1 uses 40 initial points / 150 sims on
@@ -29,6 +30,10 @@ pub struct WeiboConfig {
     /// Optional target winsorization (see
     /// [`mfbo::FidelityData::winsorized`]).
     pub winsorize_sigma: Option<f64>,
+    /// Thread-pool mode for the hot paths (forwarded to
+    /// [`SfBoConfig::parallelism`]). Every mode produces bit-identical
+    /// optimization histories.
+    pub parallelism: Parallelism,
 }
 
 impl Default for WeiboConfig {
@@ -40,6 +45,7 @@ impl Default for WeiboConfig {
             model: GpConfig::fast(),
             refit_every: 1,
             winsorize_sigma: None,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -96,6 +102,7 @@ impl Weibo {
             model: self.config.model.clone(),
             refit_every: self.config.refit_every,
             winsorize_sigma: self.config.winsorize_sigma,
+            parallelism: self.config.parallelism,
         };
         SfBayesOpt::new(sf).run(problem, rng)
     }

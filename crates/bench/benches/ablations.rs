@@ -50,6 +50,7 @@ fn ablate_msp_bias(runs: usize) {
                 budget: 14.0,
                 frac_around_tau_l: frac_l,
                 frac_around_tau_h: frac_h,
+                parallelism: mfbo_bench::parallelism(),
                 ..MfBoConfig::default()
             };
             let out = MfBayesOpt::new(config)
@@ -89,6 +90,7 @@ fn ablate_gamma(runs: usize) {
                 initial_high: 4,
                 budget: 12.0,
                 gamma,
+                parallelism: mfbo_bench::parallelism(),
                 ..MfBoConfig::default()
             };
             let out = MfBayesOpt::new(config)

@@ -11,6 +11,9 @@ use mfbo_circuits::testfns;
 use mfbo_gp::kernel::SquaredExponential;
 use mfbo_gp::{Gp, GpConfig};
 use mfbo_linalg::{Cholesky, Matrix};
+use mfbo_opt::msp::MultiStart;
+use mfbo_opt::Bounds;
+use mfbo_pool::Parallelism;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -145,12 +148,74 @@ fn bench_telemetry_overhead(c: &mut Criterion) {
     group.finish();
 }
 
+/// Speedup of the deterministic pool on the two hottest fan-out sites:
+/// multi-start acquisition optimization (MSP restarts) and multi-restart
+/// NLML fitting. The pool is bit-deterministic, so `threads4` computes the
+/// exact same result as `serial` — only wall clock differs. On a 1-core
+/// host the two rows coincide (pool overhead is the delta).
+fn bench_pool_speedup(c: &mut Criterion) {
+    let mut group = c.benchmark_group("pool_speedup");
+    group.sample_size(10);
+
+    // MSP: 24 Nelder–Mead restarts on a rippled 5-D surface — the shape of
+    // an acquisition landscape with many local optima.
+    let bounds = Bounds::unit(5);
+    let surface = |x: &[f64]| -> f64 {
+        x.iter()
+            .map(|&v| (23.0 * v).sin() * (9.0 * v).cos() + (v - 0.3).powi(2))
+            .sum()
+    };
+    for (name, par) in [
+        ("msp_serial", Parallelism::Serial),
+        ("msp_threads4", Parallelism::Threads(4)),
+    ] {
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                MultiStart::new(24).with_parallelism(par).minimize(
+                    black_box(&surface),
+                    &bounds,
+                    &mut rng,
+                )
+            })
+        });
+    }
+
+    // Multi-restart NLML fit: 8 L-BFGS restarts on a 60-point GP.
+    let (xs, ys) = gp_training_data(60);
+    for (name, par) in [
+        ("nlml_fit_serial", Parallelism::Serial),
+        ("nlml_fit_threads4", Parallelism::Threads(4)),
+    ] {
+        let config = GpConfig {
+            restarts: 8,
+            parallelism: par,
+            ..GpConfig::default()
+        };
+        group.bench_function(name, |b| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(0);
+                Gp::fit(
+                    SquaredExponential::new(1),
+                    xs.clone(),
+                    ys.clone(),
+                    &config,
+                    &mut rng,
+                )
+                .expect("fit")
+            })
+        });
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_cholesky,
     bench_gp,
     bench_mfgp_predict,
     bench_circuits,
-    bench_telemetry_overhead
+    bench_telemetry_overhead,
+    bench_pool_speedup
 );
 criterion_main!(benches);

@@ -40,6 +40,7 @@ fn main() {
             initial_high: 5,
             budget: scale.pick3(30.0, 60.0, 150.0),
             refit_every: scale.pick3(3, 2, 1),
+            parallelism: mfbo_bench::parallelism(),
             ..MfBoConfig::default()
         };
         let out = MfBayesOpt::new(config)
@@ -66,6 +67,7 @@ fn main() {
             initial_points: scale.pick3(10, 20, 40),
             budget: scale.pick3(30, 60, 150),
             refit_every: scale.pick3(3, 2, 1),
+            parallelism: mfbo_bench::parallelism(),
             ..WeiboConfig::default()
         };
         let out = Weibo::new(config)

@@ -56,6 +56,7 @@ fn main() {
             // Verification safeguard cadence (see MfBoConfig docs): force a
             // high-fidelity sample after this many consecutive low picks.
             max_low_streak: scale.pick3(4, 6, 8),
+            parallelism: mfbo_bench::parallelism(),
             ..MfBoConfig::default()
         };
         let out = MfBayesOpt::new(config)
@@ -82,6 +83,7 @@ fn main() {
             budget: scale.pick3(35, 80, 800),
             refit_every: scale.pick3(4, 4, 2),
             winsorize_sigma: Some(2.5),
+            parallelism: mfbo_bench::parallelism(),
             ..WeiboConfig::default()
         };
         let out = Weibo::new(config)

@@ -15,6 +15,7 @@
 #![deny(missing_docs)]
 
 use mfbo::Outcome;
+use mfbo_pool::Parallelism;
 use mfbo_telemetry::sinks::{JsonlSink, MultiSink, PrettySink};
 use mfbo_telemetry::{Level, Sink};
 use std::sync::Arc;
@@ -59,6 +60,15 @@ impl Scale {
             Scale::Paper => paper,
         }
     }
+}
+
+/// Thread-pool mode for the benchmark harnesses.
+///
+/// Defaults to [`Parallelism::Auto`], so benches use every core (or honour
+/// an `MFBO_THREADS=<n>` override) without changing results: the pool is
+/// bit-deterministic, so this is a pure wall-clock knob.
+pub fn parallelism() -> Parallelism {
+    Parallelism::Auto
 }
 
 /// Installs the telemetry sink used by the table/figure harnesses.

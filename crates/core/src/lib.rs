@@ -69,6 +69,7 @@ pub use error::MfboError;
 pub use fidelity::FidelitySelector;
 pub use history::{EvaluationRecord, FidelityData, Outcome};
 pub use mfbo::{MfBayesOpt, MfBoConfig};
-pub use nargp::{MfGp, MfGpConfig, MfGpThetas};
+pub use mfbo_pool::Parallelism;
+pub use nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
 pub use sfbo::{SfBayesOpt, SfBoConfig};
 pub use surrogate::{MfBundleThetas, MfSurrogates, SfBundleThetas, SfSurrogates};

@@ -21,6 +21,7 @@
 use mfbo_gp::kernel::{NargpKernel, SquaredExponential};
 use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
 use mfbo_linalg::norm_inv_cdf;
+use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
 
 /// Configuration for [`MfGp::fit`].
@@ -33,6 +34,11 @@ pub struct MfGpConfig {
     pub low: GpConfig,
     /// Training configuration of the high-fidelity (fusion) GP.
     pub high: GpConfig,
+    /// Distributes the stratified Monte-Carlo posterior samples of
+    /// [`MfGp::predict`] over a thread pool. The quantiles are fixed and the
+    /// moment-matching reduction runs in sample order, so every mode returns
+    /// bit-identical predictions.
+    pub parallelism: Parallelism,
 }
 
 impl Default for MfGpConfig {
@@ -41,6 +47,7 @@ impl Default for MfGpConfig {
             mc_samples: 20,
             low: GpConfig::default(),
             high: GpConfig::default(),
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -52,7 +59,17 @@ impl MfGpConfig {
             mc_samples: 12,
             low: GpConfig::fast(),
             high: GpConfig::fast(),
+            ..Self::default()
         }
+    }
+
+    /// Applies one [`Parallelism`] mode to this config and both nested GP
+    /// training configs.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self.low.parallelism = parallelism;
+        self.high.parallelism = parallelism;
+        self
     }
 }
 
@@ -84,6 +101,7 @@ pub struct MfGp {
     low: Gp<SquaredExponential>,
     high: Gp<NargpKernel>,
     mc_samples: usize,
+    parallelism: Parallelism,
 }
 
 impl MfGp {
@@ -110,8 +128,45 @@ impl MfGp {
                 reason: "no high-fidelity training points".into(),
             });
         }
+        let plan = MfGp::plan(xh[0].len(), config, rng);
+        MfGp::fit_planned(xl, yl, xh, yh, config, plan)
+    }
+
+    /// Draws the NLML starting points both fusion stages would use,
+    /// consuming the RNG in exactly the order [`MfGp::fit`] does: low-GP
+    /// starts first, then high-GP starts.
+    ///
+    /// Pre-drawing the plans for a whole bundle of models lets the (pure)
+    /// fits run in parallel with bit-identical results in every
+    /// [`Parallelism`] mode — see [`MfGp::fit_planned`].
+    pub fn plan<R: Rng + ?Sized>(dim: usize, config: &MfGpConfig, rng: &mut R) -> MfGpPlan {
+        MfGpPlan {
+            low: Gp::plan_starts(&SquaredExponential::new(dim), &config.low, rng),
+            high: Gp::plan_starts(&NargpKernel::new(dim), &config.high, rng),
+        }
+    }
+
+    /// Trains the fusion model from pre-drawn starting points (see
+    /// [`MfGp::plan`]). Consumes no randomness.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MfGp::fit`].
+    pub fn fit_planned(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        config: &MfGpConfig,
+        plan: MfGpPlan,
+    ) -> Result<Self, GpError> {
+        if xh.is_empty() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "no high-fidelity training points".into(),
+            });
+        }
         let dim = xh[0].len();
-        let low = Gp::fit(SquaredExponential::new(dim), xl, yl, &config.low, rng)?;
+        let low = Gp::fit_planned(SquaredExponential::new(dim), xl, yl, &config.low, plan.low)?;
 
         // Augment the high-fidelity inputs with the low GP's standardized
         // posterior mean.
@@ -124,13 +179,21 @@ impl MfGp {
                 z
             })
             .collect();
-        let high = Gp::fit(NargpKernel::new(dim), aug, yh, &config.high, rng)?;
+        let high = Gp::fit_planned(NargpKernel::new(dim), aug, yh, &config.high, plan.high)?;
 
         Ok(MfGp {
             low,
             high,
             mc_samples: config.mc_samples.max(1),
+            parallelism: config.parallelism,
         })
+    }
+
+    /// Sets the [`Parallelism`] mode used by [`MfGp::predict`]'s Monte-Carlo
+    /// propagation. Predictions are bit-identical in every mode.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Posterior of the **low-fidelity** function at `x` (raw low-fidelity
@@ -165,14 +228,20 @@ impl MfGp {
             return self.destandardize(m, v);
         }
 
-        // Stratified normal quantiles: fl_k = μ + σ Φ⁻¹((k+½)/S).
+        // Stratified normal quantiles: fl_k = μ + σ Φ⁻¹((k+½)/S). The
+        // quantiles are fixed up front, so the per-sample high-GP posteriors
+        // are pure and can run on the pool; the moment-matching reduction
+        // below stays in sample order for bit-identical results.
+        let samples = par_map_indexed(self.parallelism, s, |k| {
+            let q = (k as f64 + 0.5) / s as f64;
+            let mut zk = z.clone();
+            zk[last] = ml + sl * norm_inv_cdf(q);
+            self.high.predict_standardized(&zk)
+        });
         let mut means = Vec::with_capacity(s);
         let mut mean_sum = 0.0;
         let mut var_sum = 0.0;
-        for k in 0..s {
-            let q = (k as f64 + 0.5) / s as f64;
-            z[last] = ml + sl * norm_inv_cdf(q);
-            let (m, v) = self.high.predict_standardized(&z);
+        for (m, v) in samples {
             mean_sum += m;
             var_sum += v;
             means.push(m);
@@ -285,6 +354,7 @@ impl MfGp {
             low,
             high,
             mc_samples: mc_samples.max(1),
+            parallelism: Parallelism::Serial,
         })
     }
 }
@@ -293,6 +363,14 @@ impl MfGp {
 fn split_theta(theta: &[f64]) -> (Vec<f64>, f64) {
     let (kp, ln) = theta.split_at(theta.len() - 1);
     (kp.to_vec(), ln[0])
+}
+
+/// Pre-drawn NLML starting points for both fusion stages — the output of
+/// [`MfGp::plan`], consumed by [`MfGp::fit_planned`].
+#[derive(Debug, Clone)]
+pub struct MfGpPlan {
+    low: Vec<Vec<f64>>,
+    high: Vec<Vec<f64>>,
 }
 
 /// Trained hyperparameters of both fusion stages.
@@ -331,6 +409,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow (~5 s in debug): full Figure-1 comparison; run with --ignored"]
     fn beats_single_fidelity_on_pedagogical_example() {
         // Paper Figure 1: with 50 low + 14 high points the fusion model
         // tracks the truth far better than a high-only GP.
@@ -361,6 +440,38 @@ mod tests {
             "mf_rmse = {mf_rmse}, sf_rmse = {sf_rmse}"
         );
         assert!(mf_rmse < 0.1, "mf_rmse = {mf_rmse}");
+    }
+
+    #[test]
+    fn beats_single_fidelity_on_pedagogical_example_smoke() {
+        // Fast default-suite variant of the Figure-1 test: fewer points,
+        // a coarser grid, and a looser (but still decisive) margin.
+        let model = pedagogical_model(40, 12, 1);
+
+        let nh = 12;
+        let xh: Vec<Vec<f64>> = (0..nh).map(|i| vec![i as f64 / (nh - 1) as f64]).collect();
+        let yh: Vec<f64> = xh.iter().map(|x| fh(x[0])).collect();
+        let mut rng = StdRng::seed_from_u64(1);
+        let sf = Gp::fit(
+            SquaredExponential::new(1),
+            xh,
+            yh,
+            &mfbo_gp::GpConfig::default(),
+            &mut rng,
+        )
+        .unwrap();
+
+        let grid: Vec<f64> = (0..100).map(|i| i as f64 / 99.0).collect();
+        let rmse = |pred: &dyn Fn(f64) -> f64| {
+            (grid.iter().map(|&x| (pred(x) - fh(x)).powi(2)).sum::<f64>() / grid.len() as f64)
+                .sqrt()
+        };
+        let mf_rmse = rmse(&|x| model.predict(&[x]).mean);
+        let sf_rmse = rmse(&|x| sf.predict(&[x]).mean);
+        assert!(
+            mf_rmse < sf_rmse,
+            "mf_rmse = {mf_rmse}, sf_rmse = {sf_rmse}"
+        );
     }
 
     #[test]

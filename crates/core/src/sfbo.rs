@@ -13,6 +13,7 @@ use crate::surrogate::{SfBundleThetas, SfSurrogates};
 use crate::MfboError;
 use mfbo_gp::GpConfig;
 use mfbo_opt::{msp::MultiStart, neldermead::NelderMead, sampling};
+use mfbo_pool::Parallelism;
 use mfbo_telemetry::{event, span, RunTelemetry};
 use rand::Rng;
 use std::time::Instant;
@@ -38,6 +39,10 @@ pub struct SfBoConfig {
     /// Optional winsorization of surrogate training targets at
     /// `mean ± k·std` (see [`crate::FidelityData::winsorized`]).
     pub winsorize_sigma: Option<f64>,
+    /// Thread-pool mode for the hot paths (surrogate training and MSP
+    /// restart optimization). Every mode produces bit-identical optimization
+    /// histories — see `mfbo_pool`.
+    pub parallelism: Parallelism,
 }
 
 impl Default for SfBoConfig {
@@ -51,6 +56,7 @@ impl Default for SfBoConfig {
             model: GpConfig::fast(),
             refit_every: 1,
             winsorize_sigma: None,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -148,6 +154,12 @@ impl SfBayesOpt {
         drop(init_span);
 
         let mut thetas: Option<SfBundleThetas> = None;
+        // One knob drives every hot path: model training, frozen refreshes,
+        // and the MSP restarts below.
+        let model_cfg = GpConfig {
+            parallelism: cfg.parallelism,
+            ..cfg.model.clone()
+        };
         let mut since_refit = 0usize;
         // Surrogates and acquisition optimization operate in the unit cube;
         // the problem is evaluated (and history recorded) in raw units.
@@ -164,18 +176,18 @@ impl SfBayesOpt {
             let fit_span = span!("surrogate_fit", iteration = iteration, n = data.len());
             let surrogates = match &thetas {
                 Some(t) if since_refit < cfg.refit_every => {
-                    match SfSurrogates::fit_frozen(&data_u, t) {
+                    match SfSurrogates::fit_frozen(&data_u, t, cfg.parallelism) {
                         Ok(s) => s,
-                        Err(_) => SfSurrogates::fit(&data_u, &cfg.model, rng)?,
+                        Err(_) => SfSurrogates::fit(&data_u, &model_cfg, rng)?,
                     }
                 }
                 Some(t) => {
                     since_refit = 0;
-                    SfSurrogates::fit_warm(&data_u, &cfg.model, t, rng)?
+                    SfSurrogates::fit_warm(&data_u, &model_cfg, t, rng)?
                 }
                 None => {
                     since_refit = 0;
-                    SfSurrogates::fit(&data_u, &cfg.model, rng)?
+                    SfSurrogates::fit(&data_u, &model_cfg, rng)?
                 }
             };
             since_refit += 1;
@@ -194,6 +206,7 @@ impl SfBayesOpt {
                 };
                 let r = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local)
+                    .with_parallelism(cfg.parallelism)
                     .minimize(&drive, &unit, rng);
                 (r.x, r.value)
             } else {
@@ -201,6 +214,7 @@ impl SfBayesOpt {
                 let wei = |x: &[f64]| surrogates.wei(x, tau);
                 let r = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local)
+                    .with_parallelism(cfg.parallelism)
                     .with_anchor(data_u.xs[k].clone(), cfg.frac_around_tau, cfg.anchor_spread)
                     .maximize(&wei, &unit, rng);
                 (r.x, r.value)
@@ -295,6 +309,7 @@ mod tests {
     }
 
     #[test]
+    #[ignore = "slow (~15 s in debug): full 30-point feasibility drive; run with --ignored"]
     fn constrained_run_reaches_feasibility() {
         // Feasible region is the small corner x0, x1 > 0.8; initial designs
         // will typically miss it, exercising the eq. (13) drive.
@@ -311,6 +326,26 @@ mod tests {
         let out = SfBayesOpt::new(config).run(&p, &mut rng).unwrap();
         assert!(out.feasible, "never found the feasible corner");
         assert!(out.best_x[0] > 0.8 && out.best_x[1] > 0.8);
+    }
+
+    #[test]
+    fn constrained_run_reaches_feasibility_smoke() {
+        // Fast default-suite variant of `constrained_run_reaches_feasibility`:
+        // a milder corner and a smaller budget still exercise the eq. (13)
+        // drive on every `cargo test`.
+        let p = FunctionProblem::builder("corner", Bounds::unit(2))
+            .high(|x: &[f64]| x[0] + x[1])
+            .high_constraints(2, |x: &[f64]| vec![0.6 - x[0], 0.6 - x[1]])
+            .build();
+        let mut rng = StdRng::seed_from_u64(3);
+        let config = SfBoConfig {
+            initial_points: 6,
+            budget: 14,
+            ..SfBoConfig::default()
+        };
+        let out = SfBayesOpt::new(config).run(&p, &mut rng).unwrap();
+        assert!(out.feasible, "never found the feasible corner");
+        assert!(out.best_x[0] > 0.6 && out.best_x[1] > 0.6);
     }
 
     #[test]

@@ -9,9 +9,10 @@
 
 use crate::acquisition;
 use crate::history::FidelityData;
-use crate::nargp::{MfGp, MfGpConfig, MfGpThetas};
+use crate::nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
 use mfbo_gp::kernel::SquaredExponential;
 use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
+use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
 
 /// Trained hyperparameters of a full multi-fidelity bundle, for warm or
@@ -53,25 +54,51 @@ impl MfSurrogates {
         config: &MfGpConfig,
         rng: &mut R,
     ) -> Result<Self, GpError> {
-        let objective = MfGp::fit(
-            low.xs.clone(),
-            low.objective.clone(),
-            high.xs.clone(),
-            high.objective.clone(),
-            config,
-            rng,
-        )?;
-        let mut constraints = Vec::with_capacity(low.constraints.len());
-        for (cl, ch) in low.constraints.iter().zip(&high.constraints) {
-            constraints.push(MfGp::fit(
+        let dim = match high.xs.first() {
+            Some(x) => x.len(),
+            None => {
+                return Err(GpError::InvalidTrainingSet {
+                    reason: "no high-fidelity training points".into(),
+                })
+            }
+        };
+        let n_cons = low.constraints.len().min(high.constraints.len());
+        // Draw every model's starting points serially, in exactly the order
+        // the sequential fits would: objective first, then each constraint.
+        // The fits themselves are then pure and run on the pool — the bundle
+        // is bit-identical in every parallelism mode.
+        let plans: Vec<MfGpPlan> = (0..=n_cons).map(|_| MfGp::plan(dim, config, rng)).collect();
+        Self::fit_all_planned(low, high, config, plans)
+    }
+
+    /// Runs the (pure) per-model fits from pre-drawn plans, distributed over
+    /// `config.parallelism`. `plans[0]` trains the objective, `plans[i + 1]`
+    /// constraint `i`. Models are reduced in output order, so the first
+    /// error in that order is returned, as in the sequential code.
+    fn fit_all_planned(
+        low: &FidelityData,
+        high: &FidelityData,
+        config: &MfGpConfig,
+        plans: Vec<MfGpPlan>,
+    ) -> Result<Self, GpError> {
+        let fitted = par_map_indexed(config.parallelism, plans.len(), |i| {
+            let (yl, yh) = if i == 0 {
+                (&low.objective, &high.objective)
+            } else {
+                (&low.constraints[i - 1], &high.constraints[i - 1])
+            };
+            MfGp::fit_planned(
                 low.xs.clone(),
-                cl.clone(),
+                yl.clone(),
                 high.xs.clone(),
-                ch.clone(),
+                yh.clone(),
                 config,
-                rng,
-            )?);
-        }
+                plans[i].clone(),
+            )
+        });
+        let mut models = fitted.into_iter();
+        let objective = models.next().expect("plans contains the objective")?;
+        let constraints = models.collect::<Result<Vec<_>, _>>()?;
         Ok(MfSurrogates {
             objective,
             constraints,
@@ -91,31 +118,31 @@ impl MfSurrogates {
         warm: &MfBundleThetas,
         rng: &mut R,
     ) -> Result<Self, GpError> {
-        let objective = MfGp::fit_warm(
-            low.xs.clone(),
-            low.objective.clone(),
-            high.xs.clone(),
-            high.objective.clone(),
-            config,
-            &warm.objective,
-            rng,
-        )?;
-        let mut constraints = Vec::with_capacity(low.constraints.len());
-        for (i, (cl, ch)) in low.constraints.iter().zip(&high.constraints).enumerate() {
-            constraints.push(MfGp::fit_warm(
-                low.xs.clone(),
-                cl.clone(),
-                high.xs.clone(),
-                ch.clone(),
-                config,
-                &warm.constraints[i],
-                rng,
-            )?);
-        }
-        Ok(MfSurrogates {
-            objective,
-            constraints,
-        })
+        let dim = match high.xs.first() {
+            Some(x) => x.len(),
+            None => {
+                return Err(GpError::InvalidTrainingSet {
+                    reason: "no high-fidelity training points".into(),
+                })
+            }
+        };
+        let n_cons = low.constraints.len().min(high.constraints.len());
+        // Warm starts only influence the planned starting points, so the
+        // per-model warm configs are needed at plan time only.
+        let plans: Vec<MfGpPlan> = (0..=n_cons)
+            .map(|i| {
+                let w = if i == 0 {
+                    &warm.objective
+                } else {
+                    &warm.constraints[i - 1]
+                };
+                let mut cfg = config.clone();
+                cfg.low.warm_start = Some(w.low.clone());
+                cfg.high.warm_start = Some(w.high.clone());
+                MfGp::plan(dim, &cfg, rng)
+            })
+            .collect();
+        Self::fit_all_planned(low, high, config, plans)
     }
 
     /// Rebuilds every model on new data with frozen hyperparameters (no
@@ -129,26 +156,34 @@ impl MfSurrogates {
         high: &FidelityData,
         thetas: &MfBundleThetas,
         mc_samples: usize,
+        parallelism: Parallelism,
     ) -> Result<Self, GpError> {
-        let objective = MfGp::fit_frozen(
-            low.xs.clone(),
-            low.objective.clone(),
-            high.xs.clone(),
-            high.objective.clone(),
-            &thetas.objective,
-            mc_samples,
-        )?;
-        let mut constraints = Vec::with_capacity(low.constraints.len());
-        for (i, (cl, ch)) in low.constraints.iter().zip(&high.constraints).enumerate() {
-            constraints.push(MfGp::fit_frozen(
+        // Frozen refits consume no randomness at all, so the per-model
+        // factorizations go straight onto the pool.
+        let n_cons = low.constraints.len().min(high.constraints.len());
+        let fitted = par_map_indexed(parallelism, n_cons + 1, |i| {
+            let (yl, yh, t) = if i == 0 {
+                (&low.objective, &high.objective, &thetas.objective)
+            } else {
+                (
+                    &low.constraints[i - 1],
+                    &high.constraints[i - 1],
+                    &thetas.constraints[i - 1],
+                )
+            };
+            MfGp::fit_frozen(
                 low.xs.clone(),
-                cl.clone(),
+                yl.clone(),
                 high.xs.clone(),
-                ch.clone(),
-                &thetas.constraints[i],
+                yh.clone(),
+                t,
                 mc_samples,
-            )?);
-        }
+            )
+            .map(|m| m.with_parallelism(parallelism))
+        });
+        let mut models = fitted.into_iter();
+        let objective = models.next().expect("bundle contains the objective")?;
+        let constraints = models.collect::<Result<Vec<_>, _>>()?;
         Ok(MfSurrogates {
             objective,
             constraints,
@@ -255,23 +290,47 @@ impl SfSurrogates {
             .ok_or_else(|| GpError::InvalidTrainingSet {
                 reason: "no training points".into(),
             })?;
-        let objective = Gp::fit(
-            SquaredExponential::new(dim),
-            data.xs.clone(),
-            data.objective.clone(),
-            config,
-            rng,
-        )?;
-        let mut constraints = Vec::with_capacity(data.constraints.len());
-        for c in &data.constraints {
-            constraints.push(Gp::fit(
+        let kernel = SquaredExponential::new(dim);
+        // Serial planning (objective first, then each constraint, matching
+        // the sequential draw order), parallel pure fits.
+        let plans: Vec<Vec<Vec<f64>>> = (0..=data.constraints.len())
+            .map(|_| Gp::plan_starts(&kernel, config, rng))
+            .collect();
+        Self::fit_all_planned(data, config, plans)
+    }
+
+    /// Runs the (pure) per-model fits from pre-drawn starting points,
+    /// distributed over `config.parallelism`. `plans[0]` trains the
+    /// objective, `plans[i + 1]` constraint `i`.
+    fn fit_all_planned(
+        data: &FidelityData,
+        config: &GpConfig,
+        plans: Vec<Vec<Vec<f64>>>,
+    ) -> Result<Self, GpError> {
+        let dim = data
+            .xs
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            })?;
+        let fitted = par_map_indexed(config.parallelism, plans.len(), |i| {
+            let ys = if i == 0 {
+                &data.objective
+            } else {
+                &data.constraints[i - 1]
+            };
+            Gp::fit_planned(
                 SquaredExponential::new(dim),
                 data.xs.clone(),
-                c.clone(),
+                ys.clone(),
                 config,
-                rng,
-            )?);
-        }
+                plans[i].clone(),
+            )
+        });
+        let mut models = fitted.into_iter();
+        let objective = models.next().expect("plans contains the objective")?;
+        let constraints = models.collect::<Result<Vec<_>, _>>()?;
         Ok(SfSurrogates {
             objective,
             constraints,
@@ -290,8 +349,6 @@ impl SfSurrogates {
         warm: &SfBundleThetas,
         rng: &mut R,
     ) -> Result<Self, GpError> {
-        let mut cfg = config.clone();
-        cfg.warm_start = Some(warm.objective.clone());
         let dim = data
             .xs
             .first()
@@ -299,29 +356,22 @@ impl SfSurrogates {
             .ok_or_else(|| GpError::InvalidTrainingSet {
                 reason: "no training points".into(),
             })?;
-        let objective = Gp::fit(
-            SquaredExponential::new(dim),
-            data.xs.clone(),
-            data.objective.clone(),
-            &cfg,
-            rng,
-        )?;
-        let mut constraints = Vec::with_capacity(data.constraints.len());
-        for (i, c) in data.constraints.iter().enumerate() {
-            let mut ccfg = config.clone();
-            ccfg.warm_start = Some(warm.constraints[i].clone());
-            constraints.push(Gp::fit(
-                SquaredExponential::new(dim),
-                data.xs.clone(),
-                c.clone(),
-                &ccfg,
-                rng,
-            )?);
-        }
-        Ok(SfSurrogates {
-            objective,
-            constraints,
-        })
+        let kernel = SquaredExponential::new(dim);
+        // Warm starts only influence the planned starting points, so the
+        // per-model warm configs are needed at plan time only.
+        let plans: Vec<Vec<Vec<f64>>> = (0..=data.constraints.len())
+            .map(|i| {
+                let w = if i == 0 {
+                    &warm.objective
+                } else {
+                    &warm.constraints[i - 1]
+                };
+                let mut cfg = config.clone();
+                cfg.warm_start = Some(w.clone());
+                Gp::plan_starts(&kernel, &cfg, rng)
+            })
+            .collect();
+        Self::fit_all_planned(data, config, plans)
     }
 
     /// Rebuilds every model on new data with frozen hyperparameters.
@@ -329,7 +379,11 @@ impl SfSurrogates {
     /// # Errors
     ///
     /// Propagates the first [`GpError`] encountered.
-    pub fn fit_frozen(data: &FidelityData, thetas: &SfBundleThetas) -> Result<Self, GpError> {
+    pub fn fit_frozen(
+        data: &FidelityData,
+        thetas: &SfBundleThetas,
+        parallelism: Parallelism,
+    ) -> Result<Self, GpError> {
         let dim = data
             .xs
             .first()
@@ -341,27 +395,27 @@ impl SfSurrogates {
             let (kp, ln) = t.split_at(t.len() - 1);
             (kp.to_vec(), ln[0])
         };
-        let (op, on) = split(&thetas.objective);
-        let objective = Gp::with_params(
-            SquaredExponential::new(dim),
-            data.xs.clone(),
-            data.objective.clone(),
-            op,
-            on,
-            true,
-        )?;
-        let mut constraints = Vec::with_capacity(data.constraints.len());
-        for (i, c) in data.constraints.iter().enumerate() {
-            let (cp, cn) = split(&thetas.constraints[i]);
-            constraints.push(Gp::with_params(
+        // Frozen refits consume no randomness at all, so the per-model
+        // factorizations go straight onto the pool.
+        let fitted = par_map_indexed(parallelism, data.constraints.len() + 1, |i| {
+            let (ys, t) = if i == 0 {
+                (&data.objective, &thetas.objective)
+            } else {
+                (&data.constraints[i - 1], &thetas.constraints[i - 1])
+            };
+            let (kp, ln) = split(t);
+            Gp::with_params(
                 SquaredExponential::new(dim),
                 data.xs.clone(),
-                c.clone(),
-                cp,
-                cn,
+                ys.clone(),
+                kp,
+                ln,
                 true,
-            )?);
-        }
+            )
+        });
+        let mut models = fitted.into_iter();
+        let objective = models.next().expect("bundle contains the objective")?;
+        let constraints = models.collect::<Result<Vec<_>, _>>()?;
         Ok(SfSurrogates {
             objective,
             constraints,

@@ -5,6 +5,7 @@ use crate::nlml::{kernel_matrix, nlml_with_grad};
 use crate::GpError;
 use mfbo_linalg::{Cholesky, Standardizer};
 use mfbo_opt::{lbfgs::Lbfgs, sampling, Bounds};
+use mfbo_pool::{par_map, Parallelism};
 use rand::Rng;
 
 /// Posterior prediction at a single query point, in raw (de-standardized)
@@ -46,6 +47,11 @@ pub struct GpConfig {
     /// tried as an additional restart — the BO loop passes the previous
     /// iteration's optimum here.
     pub warm_start: Option<Vec<f64>>,
+    /// Distributes the (pure) per-restart L-BFGS runs over a thread pool.
+    /// All randomness is drawn before the restarts launch and the best
+    /// restart is selected in start order, so every mode returns
+    /// bit-identical models.
+    pub parallelism: Parallelism,
 }
 
 impl Default for GpConfig {
@@ -58,6 +64,7 @@ impl Default for GpConfig {
             log_noise_bounds: ((1e-6f64).ln(), (0.3f64).ln()),
             standardize: true,
             warm_start: None,
+            parallelism: Parallelism::Serial,
         }
     }
 }
@@ -111,6 +118,57 @@ impl<K: Kernel> Gp<K> {
         config: &GpConfig,
         rng: &mut R,
     ) -> Result<Self, GpError> {
+        Self::validate(&kernel, &xs, &ys)?;
+        let starts = Self::plan_starts(&kernel, config, rng);
+        Self::fit_planned(kernel, xs, ys, config, starts)
+    }
+
+    /// Draws the NLML starting points `fit` would use, consuming the RNG in
+    /// exactly the same order: the clamped kernel default, the warm start
+    /// (when present and well-shaped), then `config.restarts` Latin-hypercube
+    /// draws.
+    ///
+    /// Splitting planning (randomness) from [`Gp::fit_planned`] (pure
+    /// optimization) lets bundle fitters front-load every random draw for a
+    /// whole family of models and then train the models in parallel with
+    /// bit-identical results in any [`Parallelism`] mode.
+    pub fn plan_starts<R: Rng + ?Sized>(
+        kernel: &K,
+        config: &GpConfig,
+        rng: &mut R,
+    ) -> Vec<Vec<f64>> {
+        let theta_bounds = Self::theta_bounds(kernel, config);
+        let mut starts: Vec<Vec<f64>> = Vec::new();
+        let mut default_start = kernel.default_params();
+        default_start.push(config.log_noise_init);
+        starts.push(theta_bounds.clamp(&default_start));
+        if let Some(ws) = &config.warm_start {
+            if ws.len() == kernel.num_params() + 1 {
+                starts.push(theta_bounds.clamp(ws));
+            }
+        }
+        starts.extend(sampling::latin_hypercube(
+            &theta_bounds,
+            config.restarts,
+            rng,
+        ));
+        starts
+    }
+
+    /// Hyperparameter search space: kernel bounds ⊕ noise bounds.
+    fn theta_bounds(kernel: &K, config: &GpConfig) -> Bounds {
+        let (mut lo, mut hi) = kernel.param_bounds();
+        if config.train_noise {
+            lo.push(config.log_noise_bounds.0);
+            hi.push(config.log_noise_bounds.1.max(config.log_noise_bounds.0));
+        } else {
+            lo.push(config.log_noise_init);
+            hi.push(config.log_noise_init);
+        }
+        Bounds::new(lo, hi)
+    }
+
+    fn validate(kernel: &K, xs: &[Vec<f64>], ys: &[f64]) -> Result<(), GpError> {
         if xs.is_empty() {
             return Err(GpError::InvalidTrainingSet {
                 reason: "no training points".into(),
@@ -137,6 +195,25 @@ impl<K: Kernel> Gp<K> {
                 reason: "non-finite observation".into(),
             });
         }
+        Ok(())
+    }
+
+    /// Trains a GP from pre-drawn starting points (see [`Gp::plan_starts`]).
+    /// Consumes no randomness: the per-start L-BFGS runs are pure and may be
+    /// distributed over [`GpConfig::parallelism`] worker threads; the best
+    /// restart is selected in start order.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Gp::fit`].
+    pub fn fit_planned(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        config: &GpConfig,
+        starts: Vec<Vec<f64>>,
+    ) -> Result<Self, GpError> {
+        Self::validate(&kernel, &xs, &ys)?;
 
         let standardizer = if config.standardize {
             Standardizer::fit(&ys)
@@ -144,46 +221,21 @@ impl<K: Kernel> Gp<K> {
             Standardizer::identity()
         };
         let ys_std = standardizer.transform_all(&ys);
-
-        // Hyperparameter search space: kernel bounds ⊕ noise bounds.
-        let (mut lo, mut hi) = kernel.param_bounds();
-        if config.train_noise {
-            lo.push(config.log_noise_bounds.0);
-            hi.push(config.log_noise_bounds.1.max(config.log_noise_bounds.0));
-        } else {
-            lo.push(config.log_noise_init);
-            hi.push(config.log_noise_init);
-        }
-        let theta_bounds = Bounds::new(lo, hi);
-
-        // Candidate starting points: kernel defaults, optional warm start,
-        // plus Latin-hypercube restarts.
-        let mut starts: Vec<Vec<f64>> = Vec::new();
-        let mut default_start = kernel.default_params();
-        default_start.push(config.log_noise_init);
-        starts.push(theta_bounds.clamp(&default_start));
-        if let Some(ws) = &config.warm_start {
-            if ws.len() == kernel.num_params() + 1 {
-                starts.push(theta_bounds.clamp(ws));
-            }
-        }
-        starts.extend(sampling::latin_hypercube(
-            &theta_bounds,
-            config.restarts,
-            rng,
-        ));
+        let theta_bounds = Self::theta_bounds(&kernel, config);
 
         let objective = |theta: &[f64]| nlml_with_grad(&kernel, theta, &xs, &ys_std);
         let optimizer = Lbfgs::new()
             .with_max_iters(config.max_iters)
             .with_grad_tol(1e-5);
 
+        let results = par_map(config.parallelism, &starts, |s| {
+            optimizer.minimize(&objective, s, &theta_bounds)
+        });
         let mut best: Option<(Vec<f64>, f64)> = None;
         let mut best_start = 0usize;
         let mut nlml_evals = 0usize;
         let mut lbfgs_iters = 0usize;
-        for (k, s) in starts.iter().enumerate() {
-            let r = optimizer.minimize(&objective, s, &theta_bounds);
+        for (k, r) in results.into_iter().enumerate() {
             nlml_evals += r.evaluations;
             lbfgs_iters += r.iterations;
             if r.value.is_finite() {

@@ -13,6 +13,7 @@
 
 use crate::neldermead::NelderMead;
 use crate::{sampling, Bounds, OptResult};
+use mfbo_pool::{par_map, Parallelism};
 use rand::Rng;
 
 /// An anchor point around which a fraction of the starting points is
@@ -49,6 +50,7 @@ pub struct MultiStart {
     anchors: Vec<Anchor>,
     local: NelderMead,
     use_lhs: bool,
+    parallelism: Parallelism,
 }
 
 impl MultiStart {
@@ -60,7 +62,18 @@ impl MultiStart {
             anchors: Vec::new(),
             local: NelderMead::new().with_max_iters(120),
             use_lhs: true,
+            parallelism: Parallelism::Serial,
         }
+    }
+
+    /// Distributes the per-start local searches over a thread pool.
+    ///
+    /// All randomness (the starting points) is drawn from the caller's RNG
+    /// *before* the searches run, and the best result is reduced in start
+    /// order, so every [`Parallelism`] mode returns bit-identical results.
+    pub fn with_parallelism(mut self, parallelism: Parallelism) -> Self {
+        self.parallelism = parallelism;
+        self
     }
 
     /// Concentrates `fraction` of the starting points in a Gaussian cloud of
@@ -121,16 +134,18 @@ impl MultiStart {
     /// starting point and returning the overall best result.
     pub fn minimize<F, R>(&self, f: &F, bounds: &Bounds, rng: &mut R) -> OptResult
     where
-        F: Fn(&[f64]) -> f64 + ?Sized,
+        F: Fn(&[f64]) -> f64 + Sync + ?Sized,
         R: Rng + ?Sized,
     {
         let starts = self.starting_points(bounds, rng);
+        let results = par_map(self.parallelism, &starts, |s| {
+            self.local.minimize(f, s, bounds)
+        });
         let mut best: Option<OptResult> = None;
         let mut best_start = 0usize;
         let mut total_evals = 0usize;
         let mut total_iters = 0usize;
-        for (k, s) in starts.iter().enumerate() {
-            let r = self.local.minimize(f, s, bounds);
+        for (k, r) in results.into_iter().enumerate() {
             total_evals += r.evaluations;
             total_iters += r.iterations;
             let better = match &best {
@@ -164,7 +179,7 @@ impl MultiStart {
     /// objective; the returned [`OptResult::value`] is the *maximum*).
     pub fn maximize<F, R>(&self, f: &F, bounds: &Bounds, rng: &mut R) -> OptResult
     where
-        F: Fn(&[f64]) -> f64 + ?Sized,
+        F: Fn(&[f64]) -> f64 + Sync + ?Sized,
         R: Rng + ?Sized,
     {
         let neg = |x: &[f64]| -f(x);
@@ -281,6 +296,28 @@ mod tests {
             recs[0].field("evaluations"),
             Some(&mfbo_telemetry::Value::U64(r.evaluations as u64))
         );
+    }
+
+    #[test]
+    fn parallel_modes_match_serial_bit_for_bit() {
+        let b = Bounds::symmetric(2, 3.0);
+        let run = |par: Parallelism, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            MultiStart::new(24)
+                .with_anchor(vec![0.5, 0.5], 0.3, 0.05)
+                .with_parallelism(par)
+                .minimize(&rastrigin, &b, &mut rng)
+        };
+        for seed in [0u64, 9, 123] {
+            let serial = run(Parallelism::Serial, seed);
+            for par in [Parallelism::Threads(2), Parallelism::Threads(8)] {
+                let threaded = run(par, seed);
+                assert_eq!(serial.x, threaded.x);
+                assert_eq!(serial.value, threaded.value);
+                assert_eq!(serial.evaluations, threaded.evaluations);
+                assert_eq!(serial.iterations, threaded.iterations);
+            }
+        }
     }
 
     #[test]

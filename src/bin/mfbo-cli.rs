@@ -37,6 +37,7 @@ struct Options {
     convergence: Option<String>,
     trace: Option<String>,
     verbosity: Option<Level>,
+    threads: Parallelism,
 }
 
 impl Default for Options {
@@ -52,6 +53,9 @@ impl Default for Options {
             convergence: None,
             trace: None,
             verbosity: None,
+            // Results are bit-identical in every mode, so the CLI defaults
+            // to all cores (or the MFBO_THREADS override).
+            threads: Parallelism::Auto,
         }
     }
 }
@@ -60,8 +64,13 @@ const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de
                 [--budget N] [--init-low N] [--init-high N]
                 [--seed N] [--csv FILE] [--convergence FILE]
                 [--trace FILE] [--verbosity info|debug|trace]
+                [--threads N|auto]
 
-problems: forrester, pedagogical, branin, park, pa, charge-pump";
+problems: forrester, pedagogical, branin, park, pa, charge-pump
+
+--threads picks the worker count for the deterministic thread pool
+(default: auto = all cores, or the MFBO_THREADS environment variable when
+set). Results are bit-identical for every thread count.";
 
 /// Parses arguments; returns an error message on malformed input.
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -102,6 +111,11 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                         .ok_or_else(|| "verbosity must be info, debug, or trace".to_string())?,
                 );
             }
+            "--threads" => {
+                let v = value("--threads")?;
+                opts.threads = Parallelism::parse(&v)
+                    .ok_or_else(|| "threads must be a positive integer or 'auto'".to_string())?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -131,6 +145,7 @@ fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::
             initial_low: opts.initial_low,
             initial_high: opts.initial_high,
             budget: opts.budget,
+            parallelism: opts.threads,
             ..MfBoConfig::default()
         })
         .run(&problem, &mut rng)
@@ -138,6 +153,7 @@ fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::
         "weibo" => Weibo::new(WeiboConfig {
             initial_points: opts.initial_high.max(4),
             budget: budget_int,
+            parallelism: opts.threads,
             ..WeiboConfig::default()
         })
         .run(&problem, &mut rng)
@@ -206,11 +222,12 @@ fn main() -> ExitCode {
         }
     }
     println!(
-        "running {} on {} (budget {}, seed {})",
+        "running {} on {} (budget {}, seed {}, {} worker thread(s))",
         opts.algo,
         problem.name(),
         opts.budget,
-        opts.seed
+        opts.seed,
+        opts.threads.workers(),
     );
     let outcome = match run_algo(&opts, problem.as_ref()) {
         Ok(o) => o,
@@ -315,6 +332,24 @@ mod tests {
     }
 
     #[test]
+    fn parses_thread_specs() {
+        assert_eq!(
+            parse_args(args("--threads 4")).unwrap().threads,
+            Parallelism::Threads(4)
+        );
+        assert_eq!(
+            parse_args(args("--threads 1")).unwrap().threads,
+            Parallelism::Serial
+        );
+        assert_eq!(
+            parse_args(args("--threads auto")).unwrap().threads,
+            Parallelism::Auto
+        );
+        assert!(parse_args(args("--threads fast")).is_err());
+        assert_eq!(parse_args(args("")).unwrap().threads, Parallelism::Auto);
+    }
+
+    #[test]
     fn help_prints_usage() {
         let e = parse_args(args("--help")).unwrap_err();
         assert!(e.contains("usage"));
@@ -348,6 +383,7 @@ mod tests {
             convergence: None,
             trace: None,
             verbosity: None,
+            threads: Parallelism::Serial,
         };
         let p = make_problem(&opts.problem).unwrap();
         let o = run_algo(&opts, p.as_ref()).unwrap();

@@ -39,6 +39,7 @@ pub use mfbo_circuits as circuits;
 pub use mfbo_gp as gp;
 pub use mfbo_linalg as linalg;
 pub use mfbo_opt as opt;
+pub use mfbo_pool as pool;
 
 /// Commonly used items, importable in one line.
 pub mod prelude {
@@ -50,6 +51,7 @@ pub mod prelude {
     pub use mfbo_circuits::charge_pump::ChargePump;
     pub use mfbo_circuits::pa::PowerAmplifier;
     pub use mfbo_opt::Bounds;
+    pub use mfbo_pool::Parallelism;
 }
 
 #[cfg(test)]

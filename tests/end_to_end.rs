@@ -57,9 +57,9 @@ fn all_four_algorithms_run_on_the_power_amplifier() {
     let ours = MfBayesOpt::new(MfBoConfig {
         initial_low: 8,
         initial_high: 4,
-        budget: 8.0,
+        budget: 6.5,
         refit_every: 4,
-        msp_starts: 8,
+        msp_starts: 6,
         ..MfBoConfig::default()
     })
     .run(&pa, &mut rng)
@@ -70,20 +70,20 @@ fn all_four_algorithms_run_on_the_power_amplifier() {
     let mut rng = StdRng::seed_from_u64(2);
     let weibo = Weibo::new(WeiboConfig {
         initial_points: 6,
-        budget: 10,
-        msp_starts: 8,
+        budget: 9,
+        msp_starts: 6,
         refit_every: 4,
         ..WeiboConfig::default()
     })
     .run(&pa, &mut rng)
     .expect("weibo on PA");
     assert!(bounds.contains(&weibo.best_x));
-    assert_eq!(weibo.n_high, 10);
+    assert_eq!(weibo.n_high, 9);
 
     let mut rng = StdRng::seed_from_u64(3);
     let gaspad = Gaspad::new(GaspadConfig {
         initial_points: 8,
-        budget: 14,
+        budget: 12,
         population: 8,
         refit_every: 4,
         ..GaspadConfig::default()
@@ -95,16 +95,17 @@ fn all_four_algorithms_run_on_the_power_amplifier() {
     let mut rng = StdRng::seed_from_u64(4);
     let de = DifferentialEvolutionBaseline::new(DeBaselineConfig {
         population: 8,
-        budget: 24,
+        budget: 20,
         ..DeBaselineConfig::default()
     })
     .run(&pa, &mut rng)
     .expect("de on PA");
     assert!(bounds.contains(&de.best_x));
-    assert_eq!(de.n_high, 24);
+    assert_eq!(de.n_high, 20);
 }
 
 #[test]
+#[ignore = "slow (~1 min in debug): full charge-pump pipeline; run with --ignored"]
 fn charge_pump_pipeline_runs_end_to_end() {
     let cp = ChargePump::new();
     let mut rng = StdRng::seed_from_u64(5);
@@ -123,6 +124,33 @@ fn charge_pump_pipeline_runs_end_to_end() {
     assert!(out.best_objective >= 0.0 && out.best_objective < 1e3);
     // Low fidelity must dominate the early exploration (1/27 cost).
     assert!(out.n_low >= 12);
+}
+
+#[test]
+fn charge_pump_pipeline_smoke() {
+    // Fast default-suite variant of `charge_pump_pipeline_runs_end_to_end`:
+    // the same 36-dimensional pipeline with lighter surrogate settings and a
+    // smaller budget, so the wiring stays covered on every `cargo test`.
+    use mfbo::MfGpConfig;
+    let cp = ChargePump::new();
+    let mut rng = StdRng::seed_from_u64(5);
+    let out = MfBayesOpt::new(MfBoConfig {
+        initial_low: 10,
+        initial_high: 2,
+        budget: 4.0,
+        // At a 1/27 low-fidelity cost the budget alone allows dozens of
+        // cheap iterations; the iteration cap keeps the smoke test fast.
+        max_iterations: 4,
+        refit_every: 8,
+        msp_starts: 4,
+        model: MfGpConfig::fast(),
+        ..MfBoConfig::default()
+    })
+    .run(&cp, &mut rng)
+    .expect("mf-bo on charge pump");
+    assert_eq!(out.best_x.len(), 36);
+    assert!(out.best_objective >= 0.0 && out.best_objective < 1e3);
+    assert!(out.n_low >= 10);
 }
 
 #[test]
@@ -151,18 +179,17 @@ fn outcome_bookkeeping_is_consistent_across_algorithms() {
     assert!((eval.objective - out.best_objective).abs() < 1e-9);
 }
 
-#[test]
-fn fusion_model_beats_single_fidelity_gp_on_park_4d() {
+fn fusion_vs_single_fidelity_on_park_4d(seed: u64, n_low: usize, n_high: usize) {
     use analog_mfbo::gp::kernel::SquaredExponential;
     use analog_mfbo::gp::{Gp, GpConfig};
     use mfbo::{MfGp, MfGpConfig};
     use mfbo_opt::sampling;
 
     let bounds = Bounds::unit(4);
-    let mut rng = StdRng::seed_from_u64(7);
-    let xl = sampling::latin_hypercube(&bounds, 100, &mut rng);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let xl = sampling::latin_hypercube(&bounds, n_low, &mut rng);
     let yl: Vec<f64> = xl.iter().map(|x| testfns::park_low(x)).collect();
-    let xh = sampling::latin_hypercube(&bounds, 25, &mut rng);
+    let xh = sampling::latin_hypercube(&bounds, n_high, &mut rng);
     let yh: Vec<f64> = xh.iter().map(|x| testfns::park_high(x)).collect();
 
     let mf = MfGp::fit(
@@ -195,6 +222,19 @@ fn fusion_model_beats_single_fidelity_gp_on_park_4d() {
         mf_se < sf_se,
         "fusion RMSE² {mf_se:.4} should beat single-fidelity {sf_se:.4}"
     );
+}
+
+#[test]
+#[ignore = "slow (~20 s in debug): full-size Park fits; run with --ignored"]
+fn fusion_model_beats_single_fidelity_gp_on_park_4d() {
+    fusion_vs_single_fidelity_on_park_4d(7, 100, 25);
+}
+
+#[test]
+fn fusion_model_beats_single_fidelity_gp_on_park_4d_smoke() {
+    // Fast default-suite variant: fewer training points (the fits are cubic
+    // in n), same model-class comparison.
+    fusion_vs_single_fidelity_on_park_4d(3, 70, 20);
 }
 
 #[test]

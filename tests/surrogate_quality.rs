@@ -80,8 +80,17 @@ fn fusion_helps_on_branin() {
 }
 
 #[test]
+#[ignore = "slow (~9 s in debug): full-size Hartmann-3 fits; run with --ignored"]
 fn fusion_helps_on_hartmann3() {
     let (mf, sf) = rmse_pair(&testfns::hartmann3(), 80, 15, 12);
+    assert!(mf < sf, "mf {mf} vs sf {sf}");
+}
+
+#[test]
+fn fusion_helps_on_hartmann3_smoke() {
+    // Fast default-suite variant of `fusion_helps_on_hartmann3`: fewer
+    // training points (the fits are cubic in n), same comparison.
+    let (mf, sf) = rmse_pair(&testfns::hartmann3(), 50, 12, 12);
     assert!(mf < sf, "mf {mf} vs sf {sf}");
 }
 
