@@ -92,6 +92,26 @@ impl Weibo {
         P: MultiFidelityProblem + ?Sized,
         R: Rng + ?Sized,
     {
+        self.run_with(problem, rng, &mut mfbo::RunOptions::default())
+    }
+
+    /// Runs WEIBO with durability and fault-tolerance options (journaling,
+    /// checkpoint/resume, caching, robust evaluation) — forwarded to
+    /// [`SfBayesOpt::run_with`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`SfBayesOpt::run_with`].
+    pub fn run_with<P, R>(
+        &self,
+        problem: &P,
+        rng: &mut R,
+        opts: &mut mfbo::RunOptions,
+    ) -> Result<Outcome, MfboError>
+    where
+        P: MultiFidelityProblem + ?Sized,
+        R: Rng + ?Sized,
+    {
         let sf = SfBoConfig {
             initial_points: self.config.initial_points,
             budget: self.config.budget,
@@ -104,7 +124,7 @@ impl Weibo {
             winsorize_sigma: self.config.winsorize_sigma,
             parallelism: self.config.parallelism,
         };
-        SfBayesOpt::new(sf).run(problem, rng)
+        SfBayesOpt::new(sf).run_with(problem, rng, opts)
     }
 }
 

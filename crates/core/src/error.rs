@@ -19,6 +19,23 @@ pub enum MfboError {
         /// The design point that produced the bad value.
         x: Vec<f64>,
     },
+    /// The durable run store failed (I/O, corrupt artifact, or a journal
+    /// written by a different configuration).
+    Store {
+        /// Description of the store failure.
+        reason: String,
+    },
+    /// A resumed run diverged from its journal — the replayed evaluation
+    /// sequence no longer matches what the loop asked for.
+    ResumeMismatch {
+        /// Description of the divergence.
+        reason: String,
+    },
+    /// The per-run cap on fresh simulator calls was reached.
+    EvalBudgetExhausted {
+        /// The configured cap (see `EvalPolicy::max_evaluations`).
+        limit: u64,
+    },
 }
 
 impl fmt::Display for MfboError {
@@ -29,6 +46,24 @@ impl fmt::Display for MfboError {
             MfboError::NonFiniteEvaluation { x } => {
                 write!(f, "problem returned a non-finite value at {x:?}")
             }
+            MfboError::Store { reason } => write!(f, "run store failure: {reason}"),
+            MfboError::ResumeMismatch { reason } => {
+                write!(f, "resume diverged from the journal: {reason}")
+            }
+            MfboError::EvalBudgetExhausted { limit } => {
+                write!(
+                    f,
+                    "evaluation budget of {limit} fresh simulations exhausted"
+                )
+            }
+        }
+    }
+}
+
+impl From<mfbo_runstore::StoreError> for MfboError {
+    fn from(e: mfbo_runstore::StoreError) -> Self {
+        MfboError::Store {
+            reason: e.to_string(),
         }
     }
 }
@@ -62,5 +97,19 @@ mod tests {
         };
         assert!(c.to_string().contains("budget"));
         assert!(Error::source(&c).is_none());
+    }
+
+    #[test]
+    fn store_errors_convert_and_display() {
+        let e = MfboError::from(mfbo_runstore::StoreError::Mismatch {
+            reason: "stored run differs in problem".into(),
+        });
+        assert!(e.to_string().contains("differs in problem"));
+        let r = MfboError::ResumeMismatch {
+            reason: "iteration 3: x differs".into(),
+        };
+        assert!(r.to_string().contains("diverged"));
+        let b = MfboError::EvalBudgetExhausted { limit: 40 };
+        assert!(b.to_string().contains("40"));
     }
 }

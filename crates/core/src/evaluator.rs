@@ -1,0 +1,781 @@
+//! Durable, fault-tolerant evaluation for the BO loops.
+//!
+//! Everything between "the loop picked a point" and "the loop consumed a
+//! value" funnels through [`EvalSession`]:
+//!
+//! - **Write-ahead journaling** — with a [`mfbo_runstore::RunStore`]
+//!   attached, every evaluation is appended (and flushed) to the journal
+//!   *before* the loop acts on it.
+//! - **Checkpoint/resume** — with [`RunOptions::resume`], the session
+//!   replays journaled evaluations instead of calling the simulator. The
+//!   surrounding loop re-runs its (deterministic) surrogate fits and
+//!   acquisition optimizations from scratch, so no model state needs to be
+//!   persisted and the resumed trajectory is bit-identical by construction.
+//!   Every replayed record is cross-checked against what the loop actually
+//!   asked for (iteration, fidelity, design point, RNG cursor, accumulated
+//!   cost) — any divergence raises [`MfboError::ResumeMismatch`] instead of
+//!   silently corrupting the run.
+//! - **Evaluation caching** — with [`RunOptions::cache`], results are
+//!   content-addressed on `(problem, fidelity, quantized x)` and served from
+//!   previous runs. Cost is billed exactly as if the simulator had run, so
+//!   caching changes wall-clock only, never the trajectory.
+//! - **Fault tolerance** — panics and non-finite results are caught and
+//!   retried per [`EvalPolicy`]; when retries are exhausted, the
+//!   [`NonFinitePolicy`] decides between aborting (the historical behavior)
+//!   and substituting a penalty value while quarantining the point.
+//!
+//! [`FaultInjector`] wraps any problem with deterministic failures for
+//! testing the above.
+
+use crate::problem::{Evaluation, Fidelity, MultiFidelityProblem};
+use crate::MfboError;
+use mfbo_runstore::{cache_key, CacheEntry, Fid, JournalEntry, RunMeta, RunStore, FORMAT_VERSION};
+use mfbo_telemetry::counter;
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::time::Duration;
+
+/// What to do when a simulation keeps producing non-finite values (or keeps
+/// panicking) after all retries.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum NonFinitePolicy {
+    /// Abort the run with [`MfboError::NonFiniteEvaluation`] (panics are
+    /// re-raised). This is the default and the historical behavior.
+    Abort,
+    /// Substitute a finite penalty evaluation (objective = `penalty`, every
+    /// constraint violated) and quarantine the design point so the cache
+    /// and warm-starting never serve it.
+    PenalizeAndQuarantine {
+        /// Objective value recorded for the failed point.
+        penalty: f64,
+    },
+}
+
+impl NonFinitePolicy {
+    /// Default penalty objective for [`NonFinitePolicy::PenalizeAndQuarantine`].
+    pub const DEFAULT_PENALTY: f64 = 1e6;
+
+    /// Parses the CLI spelling: `"abort"` or `"penalize"`.
+    pub fn parse(s: &str) -> Option<NonFinitePolicy> {
+        match s {
+            "abort" => Some(NonFinitePolicy::Abort),
+            "penalize" => Some(NonFinitePolicy::PenalizeAndQuarantine {
+                penalty: Self::DEFAULT_PENALTY,
+            }),
+            _ => None,
+        }
+    }
+}
+
+/// Fault-tolerance policy for simulator calls.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EvalPolicy {
+    /// Additional attempts after a failed (panicking or non-finite)
+    /// simulation. `0` preserves the historical fail-fast behavior.
+    pub max_retries: u32,
+    /// Base back-off slept before retry `n` (scaled by `2^(n-1)`, capped at
+    /// 30 s). [`Duration::ZERO`] (the default) retries immediately —
+    /// appropriate for the in-process analytic problems of this workspace.
+    pub retry_backoff: Duration,
+    /// What to do once retries are exhausted.
+    pub non_finite: NonFinitePolicy,
+    /// Hard cap on *fresh* simulator calls for this run. Replayed and cached
+    /// evaluations are free. `None` = unlimited.
+    pub max_evaluations: Option<u64>,
+}
+
+impl Default for EvalPolicy {
+    fn default() -> Self {
+        EvalPolicy {
+            max_retries: 0,
+            retry_backoff: Duration::ZERO,
+            non_finite: NonFinitePolicy::Abort,
+            max_evaluations: None,
+        }
+    }
+}
+
+/// Durability and fault-tolerance options accepted by the `run_with` entry
+/// points of the optimizer loops. The default is exactly the historical
+/// `run` behavior: no store, no cache, fail-fast evaluation.
+#[derive(Debug, Default)]
+pub struct RunOptions {
+    /// Fault-tolerance policy for simulator calls.
+    pub policy: EvalPolicy,
+    /// Durable store for the journal, cache, and quarantine set.
+    pub store: Option<RunStore>,
+    /// Replay the store's journal instead of re-simulating; the run
+    /// continues from where the journal ends. Requires `store`.
+    pub resume: bool,
+    /// Serve evaluations from the store's cross-run cache (and feed fresh
+    /// results into it). Requires `store` to have any effect.
+    pub cache: bool,
+    /// Inject cached low-fidelity observations from previous runs into the
+    /// surrogate training set after the initial design. Requires `store`.
+    pub warm_start: bool,
+}
+
+impl RunOptions {
+    /// Options that journal into `store` (fresh run).
+    pub fn journaled(store: RunStore) -> RunOptions {
+        RunOptions {
+            store: Some(store),
+            ..RunOptions::default()
+        }
+    }
+
+    /// Options that resume from `store`'s journal.
+    pub fn resuming(store: RunStore) -> RunOptions {
+        RunOptions {
+            store: Some(store),
+            resume: true,
+            ..RunOptions::default()
+        }
+    }
+}
+
+/// Aggregate accounting of how a run's evaluations were sourced and how the
+/// fault-tolerance machinery fired. Attached to
+/// [`crate::Outcome::eval_stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EvalStats {
+    /// Simulator calls actually executed this run.
+    pub fresh: u64,
+    /// Evaluations replayed from the journal on resume.
+    pub replayed: u64,
+    /// Evaluations served from the cross-run cache.
+    pub cache_hits: u64,
+    /// Warm-start points injected from the cache.
+    pub warm_started: u64,
+    /// Failed attempts that were retried.
+    pub retries: u64,
+    /// Design points quarantined after exhausting retries.
+    pub quarantined: u64,
+    /// Billed cost of fresh simulations.
+    pub fresh_cost: f64,
+    /// Billed cost of replayed evaluations (already paid for by the
+    /// interrupted run — not re-simulated, but still counted against the
+    /// optimizer's budget so the trajectory is unchanged).
+    pub replayed_cost: f64,
+    /// Billed cost of cache hits (no simulator ran).
+    pub cached_cost: f64,
+}
+
+/// Cap on warm-start injections, keeping the GP training set bounded no
+/// matter how large the cross-run cache has grown.
+const WARM_START_CAP: usize = 256;
+
+/// Maximum back-off between retries regardless of the exponential schedule.
+const MAX_BACKOFF: Duration = Duration::from_secs(30);
+
+/// Converts the core fidelity enum to the store's dependency-free twin.
+fn to_fid(fidelity: Fidelity) -> Fid {
+    match fidelity {
+        Fidelity::Low => Fid::Low,
+        Fidelity::High => Fid::High,
+    }
+}
+
+/// The evaluation funnel used internally by the optimizer loops — see the
+/// module docs for the full pipeline.
+pub(crate) struct EvalSession<'o> {
+    policy: EvalPolicy,
+    store: Option<&'o mut RunStore>,
+    use_cache: bool,
+    warm_start: bool,
+    resuming: bool,
+    problem_name: String,
+    num_constraints: usize,
+    replay: VecDeque<JournalEntry>,
+    stats: EvalStats,
+}
+
+impl<'o> EvalSession<'o> {
+    /// Opens the session: validates/initializes the store against this run's
+    /// identity and loads the replay queue when resuming.
+    pub(crate) fn new<P: MultiFidelityProblem + ?Sized>(
+        opts: &'o mut RunOptions,
+        algo: &str,
+        problem: &P,
+        rng_start: Option<[u64; 4]>,
+    ) -> Result<EvalSession<'o>, MfboError> {
+        if opts.resume && opts.store.is_none() {
+            return Err(MfboError::InvalidConfig {
+                reason: "resume requested without a run store".into(),
+            });
+        }
+        let meta = RunMeta {
+            format_version: FORMAT_VERSION,
+            algo: algo.to_string(),
+            problem: problem.name().to_string(),
+            dim: problem.dim(),
+            num_constraints: problem.num_constraints(),
+            rng_start,
+        };
+        let mut replay = VecDeque::new();
+        if let Some(store) = opts.store.as_mut() {
+            if opts.resume {
+                replay = store.resume_run(&meta)?.into();
+                counter!("runstore_replay_loaded", replay.len() as u64);
+            } else {
+                store.begin_run(&meta)?;
+            }
+        }
+        Ok(EvalSession {
+            policy: opts.policy.clone(),
+            store: opts.store.as_mut(),
+            use_cache: opts.cache,
+            warm_start: opts.warm_start,
+            resuming: opts.resume,
+            problem_name: problem.name().to_string(),
+            num_constraints: problem.num_constraints(),
+            replay,
+            stats: EvalStats::default(),
+        })
+    }
+
+    /// Produces the evaluation for `x` at `fidelity`, billing `cost`.
+    /// Sources, in order: journal replay (resume), cross-run cache, the
+    /// simulator (with retries and the non-finite policy). Journals the
+    /// result before returning it.
+    pub(crate) fn evaluate<P: MultiFidelityProblem + ?Sized>(
+        &mut self,
+        problem: &P,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        cost: &mut f64,
+        rng_snapshot: Option<[u64; 4]>,
+    ) -> Result<Evaluation, MfboError> {
+        // 1. Replay from the journal.
+        if let Some(front) = self.replay.front() {
+            if front.warm {
+                return Err(MfboError::ResumeMismatch {
+                    reason: format!(
+                        "iteration {iteration}: journal holds a warm-start entry where a \
+                         regular evaluation was expected"
+                    ),
+                });
+            }
+            let entry = self.replay.pop_front().expect("front exists");
+            self.check_replay(&entry, x, fidelity, iteration, rng_snapshot)?;
+            *cost += problem.cost(fidelity);
+            if cost.to_bits() != entry.cost_after.to_bits() {
+                return Err(MfboError::ResumeMismatch {
+                    reason: format!(
+                        "iteration {iteration}: accumulated cost {cost} differs from the \
+                         journaled {}",
+                        entry.cost_after
+                    ),
+                });
+            }
+            self.stats.replayed += 1;
+            self.stats.replayed_cost += problem.cost(fidelity);
+            counter!("runstore_replayed", 1u64);
+            return Ok(Evaluation {
+                objective: entry.objective,
+                constraints: entry.constraints,
+            });
+        }
+
+        // 2. Cross-run cache.
+        let key = cache_key(&self.problem_name, to_fid(fidelity), x);
+        if self.use_cache {
+            if let Some(hit) = self.store.as_deref().and_then(|s| s.cache_get(&key)) {
+                let eval = Evaluation {
+                    objective: hit.objective,
+                    constraints: hit.constraints.clone(),
+                };
+                // Billed as if simulated: the cache accelerates wall-clock
+                // without perturbing the optimizer's budget or trajectory.
+                *cost += problem.cost(fidelity);
+                self.stats.cache_hits += 1;
+                self.stats.cached_cost += problem.cost(fidelity);
+                counter!("eval_cache_hit", 1u64);
+                self.journal(JournalEntry {
+                    iteration: iteration as u64,
+                    fid: to_fid(fidelity),
+                    x: x.to_vec(),
+                    objective: eval.objective,
+                    constraints: eval.constraints.clone(),
+                    cost_after: *cost,
+                    rng: rng_snapshot,
+                    attempts: 0,
+                    cached: true,
+                    quarantined: false,
+                    warm: false,
+                })?;
+                return Ok(eval);
+            }
+        }
+
+        // 3. Fresh simulation, within the per-run budget.
+        if let Some(limit) = self.policy.max_evaluations {
+            if self.stats.fresh >= limit {
+                return Err(MfboError::EvalBudgetExhausted { limit });
+            }
+        }
+        let (eval, attempts, quarantined) = self.simulate(problem, x, fidelity)?;
+        self.stats.fresh += 1;
+        self.stats.fresh_cost += problem.cost(fidelity);
+        *cost += problem.cost(fidelity);
+        if quarantined {
+            self.stats.quarantined += 1;
+            counter!("eval_quarantined", 1u64);
+            if let Some(store) = self.store.as_deref_mut() {
+                store.quarantine(key)?;
+            }
+        } else if self.use_cache {
+            if let Some(store) = self.store.as_deref_mut() {
+                store.cache_put(
+                    key,
+                    CacheEntry {
+                        x: x.to_vec(),
+                        objective: eval.objective,
+                        constraints: eval.constraints.clone(),
+                    },
+                )?;
+            }
+        }
+        self.journal(JournalEntry {
+            iteration: iteration as u64,
+            fid: to_fid(fidelity),
+            x: x.to_vec(),
+            objective: eval.objective,
+            constraints: eval.constraints.clone(),
+            cost_after: *cost,
+            rng: rng_snapshot,
+            attempts,
+            cached: false,
+            quarantined,
+            warm: false,
+        })?;
+        Ok(eval)
+    }
+
+    /// Low-fidelity observations from previous runs to seed the surrogate
+    /// with, deduplicated against `existing_xs` (the initial design). On
+    /// resume the points come from the journal (the cache may have grown
+    /// since the interrupted run); on a fresh run they come from the cache
+    /// and are journaled with `warm = true`. Warm points are free: they
+    /// were paid for by earlier runs.
+    pub(crate) fn warm_start_points(
+        &mut self,
+        existing_xs: &[Vec<f64>],
+        cost: f64,
+    ) -> Result<Vec<(Vec<f64>, Evaluation)>, MfboError> {
+        let mut out = Vec::new();
+        if self.resuming {
+            while self.replay.front().is_some_and(|e| e.warm) {
+                let entry = self.replay.pop_front().expect("front exists");
+                out.push((
+                    entry.x,
+                    Evaluation {
+                        objective: entry.objective,
+                        constraints: entry.constraints,
+                    },
+                ));
+            }
+            self.stats.warm_started = out.len() as u64;
+            return Ok(out);
+        }
+        if !(self.warm_start && self.store.is_some()) {
+            return Ok(out);
+        }
+        let seen: std::collections::BTreeSet<String> = existing_xs
+            .iter()
+            .map(|x| cache_key(&self.problem_name, Fid::Low, x))
+            .collect();
+        let picked: Vec<(String, CacheEntry)> = self
+            .store
+            .as_deref()
+            .expect("checked above")
+            .cached_low_entries(&self.problem_name)
+            .into_iter()
+            .filter(|(k, _)| !seen.contains(*k))
+            .take(WARM_START_CAP)
+            .map(|(k, e)| (k.to_string(), e.clone()))
+            .collect();
+        for (_, entry) in picked {
+            self.journal(JournalEntry {
+                iteration: 0,
+                fid: Fid::Low,
+                x: entry.x.clone(),
+                objective: entry.objective,
+                constraints: entry.constraints.clone(),
+                cost_after: cost,
+                rng: None,
+                attempts: 0,
+                cached: true,
+                quarantined: false,
+                warm: true,
+            })?;
+            out.push((
+                entry.x,
+                Evaluation {
+                    objective: entry.objective,
+                    constraints: entry.constraints,
+                },
+            ));
+        }
+        self.stats.warm_started = out.len() as u64;
+        if !out.is_empty() {
+            counter!("runstore_warm_started", out.len() as u64);
+        }
+        Ok(out)
+    }
+
+    /// Closes the session, returning the accounting.
+    pub(crate) fn finish(self) -> EvalStats {
+        self.stats
+    }
+
+    fn journal(&mut self, entry: JournalEntry) -> Result<(), MfboError> {
+        if let Some(store) = self.store.as_deref_mut() {
+            store.append(&entry)?;
+        }
+        Ok(())
+    }
+
+    fn check_replay(
+        &self,
+        entry: &JournalEntry,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        rng_snapshot: Option<[u64; 4]>,
+    ) -> Result<(), MfboError> {
+        let mismatch = |what: String| {
+            Err(MfboError::ResumeMismatch {
+                reason: format!("iteration {iteration}: {what}"),
+            })
+        };
+        if entry.iteration != iteration as u64 {
+            return mismatch(format!(
+                "journal entry is for iteration {}",
+                entry.iteration
+            ));
+        }
+        if entry.fid != to_fid(fidelity) {
+            return mismatch(format!(
+                "journal entry is {} fidelity, loop asked for {fidelity}",
+                entry.fid
+            ));
+        }
+        let same_x = entry.x.len() == x.len()
+            && entry
+                .x
+                .iter()
+                .zip(x)
+                .all(|(a, b)| a.to_bits() == b.to_bits());
+        if !same_x {
+            return mismatch(format!(
+                "design point {:?} differs from the journaled {:?}",
+                x, entry.x
+            ));
+        }
+        if let (Some(now), Some(then)) = (rng_snapshot, entry.rng) {
+            if now != then {
+                return mismatch("RNG cursor differs from the journaled one".into());
+            }
+        }
+        Ok(())
+    }
+
+    /// One robust simulator call: catches panics, retries per policy, and
+    /// applies the non-finite policy when attempts are exhausted. Returns
+    /// `(evaluation, attempts, quarantined)`.
+    fn simulate<P: MultiFidelityProblem + ?Sized>(
+        &mut self,
+        problem: &P,
+        x: &[f64],
+        fidelity: Fidelity,
+    ) -> Result<(Evaluation, u32, bool), MfboError> {
+        let total_attempts = 1 + self.policy.max_retries;
+        let mut last_panic: Option<Box<dyn std::any::Any + Send>> = None;
+        for attempt in 1..=total_attempts {
+            match catch_unwind(AssertUnwindSafe(|| problem.evaluate(x, fidelity))) {
+                Ok(eval) if eval.is_finite() => return Ok((eval, attempt, false)),
+                Ok(_) => last_panic = None,
+                Err(payload) => last_panic = Some(payload),
+            }
+            if attempt < total_attempts {
+                self.stats.retries += 1;
+                counter!("eval_retry", 1u64);
+                if !self.policy.retry_backoff.is_zero() {
+                    let backoff = self
+                        .policy
+                        .retry_backoff
+                        .saturating_mul(1 << (attempt - 1).min(16))
+                        .min(MAX_BACKOFF);
+                    std::thread::sleep(backoff);
+                }
+            }
+        }
+        match self.policy.non_finite {
+            NonFinitePolicy::Abort => match last_panic {
+                Some(payload) => resume_unwind(payload),
+                None => Err(MfboError::NonFiniteEvaluation { x: x.to_vec() }),
+            },
+            NonFinitePolicy::PenalizeAndQuarantine { penalty } => Ok((
+                Evaluation::penalized(penalty, self.num_constraints),
+                total_attempts,
+                true,
+            )),
+        }
+    }
+}
+
+/// What kind of failure [`FaultInjector`] injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultKind {
+    /// The objective comes back NaN.
+    Nan,
+    /// The evaluation panics.
+    Panic,
+}
+
+/// Deterministic fault-injection wrapper around any problem: every `every`-th
+/// simulator call fails with [`FaultKind`]. The call counter advances on
+/// faulted calls too, so a retry of the same point succeeds — which is
+/// exactly what flaky simulators (license hiccups, solver non-convergence)
+/// look like in practice.
+#[derive(Debug)]
+pub struct FaultInjector<P> {
+    inner: P,
+    kind: FaultKind,
+    every: usize,
+    calls: AtomicUsize,
+}
+
+impl<P> FaultInjector<P> {
+    /// Wraps `inner`, failing every `every`-th evaluation (1-based: with
+    /// `every = 5`, calls 5, 10, 15, … fail).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `every` is zero.
+    pub fn new(inner: P, kind: FaultKind, every: usize) -> FaultInjector<P> {
+        assert!(every > 0, "fault period must be positive");
+        FaultInjector {
+            inner,
+            kind,
+            every,
+            calls: AtomicUsize::new(0),
+        }
+    }
+
+    /// Total simulator calls so far (faulted ones included).
+    pub fn calls(&self) -> usize {
+        self.calls.load(Ordering::Relaxed)
+    }
+}
+
+impl<P: MultiFidelityProblem> MultiFidelityProblem for FaultInjector<P> {
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+
+    fn bounds(&self) -> mfbo_opt::Bounds {
+        self.inner.bounds()
+    }
+
+    fn num_constraints(&self) -> usize {
+        self.inner.num_constraints()
+    }
+
+    fn evaluate(&self, x: &[f64], fidelity: Fidelity) -> Evaluation {
+        let n = self.calls.fetch_add(1, Ordering::Relaxed) + 1;
+        if n.is_multiple_of(self.every) {
+            match self.kind {
+                FaultKind::Panic => panic!("injected simulator fault at call {n}"),
+                FaultKind::Nan => {
+                    let mut eval = self.inner.evaluate(x, fidelity);
+                    eval.objective = f64::NAN;
+                    return eval;
+                }
+            }
+        }
+        self.inner.evaluate(x, fidelity)
+    }
+
+    fn cost(&self, fidelity: Fidelity) -> f64 {
+        self.inner.cost(fidelity)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::FunctionProblem;
+    use mfbo_opt::Bounds;
+
+    fn quad() -> FunctionProblem {
+        FunctionProblem::builder("quad", Bounds::unit(1))
+            .high(|x: &[f64]| (x[0] - 0.5).powi(2))
+            .low_cost(0.1)
+            .build()
+    }
+
+    #[test]
+    fn plain_session_calls_through() {
+        let p = quad();
+        let mut opts = RunOptions::default();
+        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut cost = 0.0;
+        let eval = session
+            .evaluate(&p, &[0.25], Fidelity::High, 1, &mut cost, None)
+            .unwrap();
+        assert!((eval.objective - 0.0625).abs() < 1e-15);
+        assert_eq!(cost, 1.0);
+        let stats = session.finish();
+        assert_eq!(stats.fresh, 1);
+        assert_eq!(stats.fresh_cost, 1.0);
+        assert_eq!(stats.replayed + stats.cache_hits, 0);
+    }
+
+    #[test]
+    fn resume_without_store_is_invalid() {
+        let p = quad();
+        let mut opts = RunOptions {
+            resume: true,
+            ..RunOptions::default()
+        };
+        assert!(matches!(
+            EvalSession::new(&mut opts, "test", &p, None),
+            Err(MfboError::InvalidConfig { .. })
+        ));
+    }
+
+    #[test]
+    fn eval_budget_is_enforced() {
+        let p = quad();
+        let mut opts = RunOptions {
+            policy: EvalPolicy {
+                max_evaluations: Some(2),
+                ..EvalPolicy::default()
+            },
+            ..RunOptions::default()
+        };
+        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut cost = 0.0;
+        for k in 0..2 {
+            session
+                .evaluate(&p, &[0.1 * k as f64], Fidelity::Low, 0, &mut cost, None)
+                .unwrap();
+        }
+        let e = session.evaluate(&p, &[0.9], Fidelity::Low, 0, &mut cost, None);
+        assert!(matches!(
+            e,
+            Err(MfboError::EvalBudgetExhausted { limit: 2 })
+        ));
+    }
+
+    #[test]
+    fn abort_policy_reports_non_finite_after_retries() {
+        let p = FaultInjector::new(quad(), FaultKind::Nan, 1); // always NaN
+        let mut opts = RunOptions {
+            policy: EvalPolicy {
+                max_retries: 2,
+                ..EvalPolicy::default()
+            },
+            ..RunOptions::default()
+        };
+        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut cost = 0.0;
+        let e = session.evaluate(&p, &[0.5], Fidelity::High, 1, &mut cost, None);
+        assert!(matches!(e, Err(MfboError::NonFiniteEvaluation { .. })));
+        assert_eq!(p.calls(), 3); // 1 + 2 retries
+        assert_eq!(session.finish().retries, 2);
+    }
+
+    #[test]
+    fn retry_recovers_from_transient_faults() {
+        let p = FaultInjector::new(quad(), FaultKind::Panic, 2); // calls 2, 4, … panic
+        let mut opts = RunOptions {
+            policy: EvalPolicy {
+                max_retries: 1,
+                ..EvalPolicy::default()
+            },
+            ..RunOptions::default()
+        };
+        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut cost = 0.0;
+        // Call 1 succeeds, call 2 panics and is retried as call 3.
+        session
+            .evaluate(&p, &[0.1], Fidelity::High, 1, &mut cost, None)
+            .unwrap();
+        session
+            .evaluate(&p, &[0.2], Fidelity::High, 2, &mut cost, None)
+            .unwrap();
+        let stats = session.finish();
+        assert_eq!(stats.fresh, 2);
+        assert_eq!(stats.retries, 1);
+        assert_eq!(stats.quarantined, 0);
+    }
+
+    #[test]
+    fn penalize_policy_substitutes_and_quarantines() {
+        let constrained = FunctionProblem::builder("c", Bounds::unit(1))
+            .high(|_: &[f64]| f64::NAN)
+            .high_constraints(2, |_: &[f64]| vec![-1.0, -1.0])
+            .build();
+        let mut opts = RunOptions {
+            policy: EvalPolicy {
+                non_finite: NonFinitePolicy::PenalizeAndQuarantine { penalty: 1e6 },
+                ..EvalPolicy::default()
+            },
+            ..RunOptions::default()
+        };
+        let mut session = EvalSession::new(&mut opts, "test", &constrained, None).unwrap();
+        let mut cost = 0.0;
+        let eval = session
+            .evaluate(&constrained, &[0.5], Fidelity::High, 1, &mut cost, None)
+            .unwrap();
+        assert_eq!(eval.objective, 1e6);
+        assert_eq!(eval.constraints, vec![1.0, 1.0]); // violated
+        assert!(!eval.is_feasible());
+        assert_eq!(session.finish().quarantined, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "injected simulator fault")]
+    fn abort_policy_reraises_panics() {
+        let p = FaultInjector::new(quad(), FaultKind::Panic, 1);
+        let mut opts = RunOptions::default();
+        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut cost = 0.0;
+        let _ = session.evaluate(&p, &[0.5], Fidelity::High, 1, &mut cost, None);
+    }
+
+    #[test]
+    fn non_finite_policy_parses() {
+        assert_eq!(
+            NonFinitePolicy::parse("abort"),
+            Some(NonFinitePolicy::Abort)
+        );
+        assert_eq!(
+            NonFinitePolicy::parse("penalize"),
+            Some(NonFinitePolicy::PenalizeAndQuarantine {
+                penalty: NonFinitePolicy::DEFAULT_PENALTY
+            })
+        );
+        assert_eq!(NonFinitePolicy::parse("shrug"), None);
+    }
+
+    #[test]
+    fn fault_injector_is_deterministic() {
+        let p = FaultInjector::new(quad(), FaultKind::Nan, 3);
+        let mut bad = 0;
+        for k in 1..=9 {
+            let eval = p.evaluate(&[0.4], Fidelity::Low);
+            if !eval.is_finite() {
+                bad += 1;
+                assert_eq!(k % 3, 0, "fault at unexpected call {k}");
+            }
+        }
+        assert_eq!(bad, 3);
+        assert_eq!(p.calls(), 9);
+    }
+}

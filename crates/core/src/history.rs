@@ -192,6 +192,10 @@ pub struct Outcome {
     /// fidelity-decision table. Always populated by the BO loops, with or
     /// without a telemetry sink installed.
     pub telemetry: mfbo_telemetry::RunTelemetry,
+    /// How the run's evaluations were sourced (fresh / replayed / cached)
+    /// and how the fault-tolerance machinery fired. All zeros for loops
+    /// that don't route evaluations through the durable session.
+    pub eval_stats: crate::evaluator::EvalStats,
 }
 
 impl Outcome {
@@ -234,6 +238,7 @@ impl Outcome {
             cost_to_best,
             history,
             telemetry: mfbo_telemetry::RunTelemetry::default(),
+            eval_stats: crate::evaluator::EvalStats::default(),
         }
     }
 
@@ -337,6 +342,7 @@ mod tests {
             total_cost: 3.1,
             cost_to_best: 2.1,
             telemetry: mfbo_telemetry::RunTelemetry::default(),
+            eval_stats: crate::evaluator::EvalStats::default(),
             history: vec![
                 EvaluationRecord {
                     iteration: 0,

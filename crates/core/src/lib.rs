@@ -55,6 +55,7 @@
 pub mod acquisition;
 mod ar1;
 mod error;
+mod evaluator;
 mod fidelity;
 mod history;
 mod mfbo;
@@ -66,10 +67,12 @@ mod surrogate;
 
 pub use ar1::{Ar1Config, Ar1Gp};
 pub use error::MfboError;
+pub use evaluator::{EvalPolicy, EvalStats, FaultInjector, FaultKind, NonFinitePolicy, RunOptions};
 pub use fidelity::FidelitySelector;
 pub use history::{EvaluationRecord, FidelityData, Outcome};
 pub use mfbo::{MfBayesOpt, MfBoConfig};
 pub use mfbo_pool::Parallelism;
+pub use mfbo_runstore::RunStore;
 pub use nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
 pub use sfbo::{SfBayesOpt, SfBoConfig};
 pub use surrogate::{MfBundleThetas, MfSurrogates, SfBundleThetas, SfSurrogates};

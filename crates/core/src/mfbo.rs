@@ -14,6 +14,7 @@
 //! replaced by the first-feasible-point search of §4.2 (minimize
 //! `Σ max(0, μ_h,i(x))`, eq. 13).
 
+use crate::evaluator::{EvalSession, RunOptions};
 use crate::fidelity::FidelitySelector;
 use crate::history::{EvaluationRecord, FidelityData, Outcome};
 use crate::nargp::MfGpConfig;
@@ -129,17 +130,50 @@ impl MfBayesOpt {
         P: MultiFidelityProblem + ?Sized,
         R: Rng + ?Sized,
     {
+        self.run_with(problem, rng, &mut RunOptions::default())
+    }
+
+    /// Runs the optimization with durability and fault-tolerance options:
+    /// write-ahead journaling, checkpoint/resume, cross-run evaluation
+    /// caching, warm-starting, and robust evaluation — see
+    /// [`RunOptions`]. `run` is equivalent to `run_with` with default
+    /// options.
+    ///
+    /// On resume, the loop recomputes its deterministic decisions from
+    /// scratch while journaled evaluations are substituted for simulator
+    /// calls, so an interrupted-and-resumed run reproduces the
+    /// uninterrupted trajectory bit for bit (replayed cost is billed
+    /// normally and reported in [`Outcome::eval_stats`]).
+    ///
+    /// # Errors
+    ///
+    /// In addition to the [`MfBayesOpt::run`] contract:
+    /// [`MfboError::Store`] for store failures, [`MfboError::ResumeMismatch`]
+    /// when the journal disagrees with the recomputed trajectory, and
+    /// [`MfboError::EvalBudgetExhausted`] when the fresh-simulation cap is
+    /// hit.
+    pub fn run_with<P, R>(
+        &self,
+        problem: &P,
+        rng: &mut R,
+        opts: &mut RunOptions,
+    ) -> Result<Outcome, MfboError>
+    where
+        P: MultiFidelityProblem + ?Sized,
+        R: Rng + ?Sized,
+    {
         let cfg = &self.config;
         if cfg.initial_low == 0 || cfg.initial_high == 0 {
             return Err(MfboError::InvalidConfig {
                 reason: "initial designs must be non-empty".into(),
             });
         }
-        if cfg.budget <= 0.0 {
+        if !(cfg.budget > 0.0 && cfg.budget.is_finite()) {
             return Err(MfboError::InvalidConfig {
-                reason: "budget must be positive".into(),
+                reason: "budget must be positive and finite".into(),
             });
         }
+        let mut session = EvalSession::new(opts, "mfbo", problem, rng.state_snapshot())?;
         let bounds = problem.bounds();
         let nc = problem.num_constraints();
         let mut low = FidelityData::new(nc);
@@ -167,12 +201,9 @@ impl MfBayesOpt {
         );
         for x in sampling::latin_hypercube(&bounds, cfg.initial_low, rng) {
             let sim_start = Instant::now();
-            let eval = problem.evaluate(&x, Fidelity::Low);
+            let snap = rng.state_snapshot();
+            let eval = session.evaluate(problem, &x, Fidelity::Low, 0, &mut cost, snap)?;
             telemetry.record_stage("simulate_low", sim_start.elapsed());
-            if !eval.is_finite() {
-                return Err(MfboError::NonFiniteEvaluation { x });
-            }
-            cost += problem.cost(Fidelity::Low);
             low.push(x.clone(), &eval);
             history.push(EvaluationRecord {
                 iteration: 0,
@@ -184,12 +215,9 @@ impl MfBayesOpt {
         }
         for x in sampling::latin_hypercube(&bounds, cfg.initial_high, rng) {
             let sim_start = Instant::now();
-            let eval = problem.evaluate(&x, Fidelity::High);
+            let snap = rng.state_snapshot();
+            let eval = session.evaluate(problem, &x, Fidelity::High, 0, &mut cost, snap)?;
             telemetry.record_stage("simulate_high", sim_start.elapsed());
-            if !eval.is_finite() {
-                return Err(MfboError::NonFiniteEvaluation { x });
-            }
-            cost += problem.cost(Fidelity::High);
             high.push(x.clone(), &eval);
             history.push(EvaluationRecord {
                 iteration: 0,
@@ -198,6 +226,12 @@ impl MfBayesOpt {
                 evaluation: eval,
                 cost_so_far: cost,
             });
+        }
+        // Cross-run warm start: seed the low-fidelity surrogate with cached
+        // observations from earlier runs (free — they were already paid
+        // for). They enter the training data but not this run's history.
+        for (x, eval) in session.warm_start_points(&low.xs, cost)? {
+            low.push(x, &eval);
         }
         drop(init_span);
 
@@ -363,17 +397,14 @@ impl MfBayesOpt {
                 iteration = iteration,
                 high = fidelity == Fidelity::High
             );
-            let eval = problem.evaluate(&xt, fidelity);
+            let snap = rng.state_snapshot();
+            let eval = session.evaluate(problem, &xt, fidelity, iteration, &mut cost, snap)?;
             let sim_stage = match fidelity {
                 Fidelity::Low => "simulate_low",
                 Fidelity::High => "simulate_high",
             };
             telemetry.record_stage(sim_stage, sim_span.elapsed());
             drop(sim_span);
-            if !eval.is_finite() {
-                return Err(MfboError::NonFiniteEvaluation { x: xt });
-            }
-            cost += problem.cost(fidelity);
             telemetry.record_decision(FidelityDecision {
                 iteration,
                 max_low_variance: max_low_var,
@@ -406,6 +437,7 @@ impl MfBayesOpt {
         );
         let mut outcome = Outcome::from_data(high, low, history);
         outcome.telemetry = telemetry;
+        outcome.eval_stats = session.finish();
         Ok(outcome)
     }
 }
@@ -530,6 +562,15 @@ mod tests {
 
         let e = MfBayesOpt::new(MfBoConfig {
             budget: 0.0,
+            ..MfBoConfig::default()
+        })
+        .run(&p, &mut rng);
+        assert!(matches!(e, Err(MfboError::InvalidConfig { .. })));
+
+        // A NaN budget would otherwise slip past `budget <= 0.0` and run the
+        // loop to max_iterations.
+        let e = MfBayesOpt::new(MfBoConfig {
+            budget: f64::NAN,
             ..MfBoConfig::default()
         })
         .run(&p, &mut rng);

@@ -52,6 +52,17 @@ impl Evaluation {
         }
     }
 
+    /// The penalty substitute recorded for a failed simulation under
+    /// `NonFinitePolicy::PenalizeAndQuarantine`: a finite, deliberately bad
+    /// objective with every constraint violated, so the optimizer steers
+    /// away from the region without aborting the run.
+    pub fn penalized(penalty: f64, num_constraints: usize) -> Self {
+        Evaluation {
+            objective: penalty,
+            constraints: vec![1.0; num_constraints],
+        }
+    }
+
     /// Returns `true` when every constraint is satisfied.
     pub fn is_feasible(&self) -> bool {
         self.constraints.iter().all(|&c| c < 0.0)

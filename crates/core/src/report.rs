@@ -78,14 +78,30 @@ pub fn write_convergence_csv<W: Write>(outcome: &Outcome, mut w: W) -> io::Resul
 /// Renders a human-readable summary block.
 pub fn summary(outcome: &Outcome) -> String {
     let mix = format!("{} low + {} high", outcome.n_low, outcome.n_high);
-    format!(
+    let mut s = format!(
         "best objective : {:.6}\nfeasible       : {}\nsimulations    : {mix} (equivalent cost {:.2})\ncost to best   : {:.2}\nbest design    : {:?}",
         outcome.best_objective,
         outcome.feasible,
         outcome.total_cost,
         outcome.cost_to_best,
         outcome.best_x,
-    )
+    );
+    let st = &outcome.eval_stats;
+    if st.replayed + st.cache_hits + st.warm_started + st.retries + st.quarantined > 0 {
+        s.push_str(&format!(
+            "\ndurability     : {} fresh (cost {:.2}), {} replayed (cost {:.2}), {} cached (cost {:.2}), {} warm-started, {} retries, {} quarantined",
+            st.fresh,
+            st.fresh_cost,
+            st.replayed,
+            st.replayed_cost,
+            st.cache_hits,
+            st.cached_cost,
+            st.warm_started,
+            st.retries,
+            st.quarantined,
+        ));
+    }
+    s
 }
 
 /// Counts evaluations per fidelity in the trace (sanity/reporting helper).
@@ -215,6 +231,22 @@ mod tests {
         assert!(s.contains("best objective"));
         assert!(s.contains("1 low + 1 high"));
         assert!(s.contains("true"));
+        // No durable session ran, so no durability noise in the block.
+        assert!(!s.contains("durability"));
+    }
+
+    #[test]
+    fn summary_includes_durability_when_session_was_active() {
+        let mut o = toy_outcome();
+        o.eval_stats.fresh = 3;
+        o.eval_stats.fresh_cost = 2.1;
+        o.eval_stats.replayed = 9;
+        o.eval_stats.replayed_cost = 4.5;
+        o.eval_stats.cache_hits = 2;
+        let s = summary(&o);
+        assert!(s.contains("durability"));
+        assert!(s.contains("9 replayed (cost 4.50)"));
+        assert!(s.contains("2 cached"));
     }
 
     #[test]

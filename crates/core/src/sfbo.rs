@@ -7,6 +7,7 @@
 //! Configured with the paper's settings it *is* the WEIBO baseline
 //! (Lyu et al., TCAS-I 2018); `mfbo-baselines` re-exports it as such.
 
+use crate::evaluator::{EvalSession, RunOptions};
 use crate::history::{EvaluationRecord, FidelityData, Outcome};
 use crate::problem::{Fidelity, MultiFidelityProblem};
 use crate::surrogate::{SfBundleThetas, SfSurrogates};
@@ -106,6 +107,27 @@ impl SfBayesOpt {
         P: MultiFidelityProblem + ?Sized,
         R: Rng + ?Sized,
     {
+        self.run_with(problem, rng, &mut RunOptions::default())
+    }
+
+    /// Runs the optimization with durability and fault-tolerance options —
+    /// same semantics as [`crate::MfBayesOpt::run_with`], minus
+    /// warm-starting (the single-fidelity loop has no low-fidelity
+    /// surrogate to seed).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`crate::MfBayesOpt::run_with`].
+    pub fn run_with<P, R>(
+        &self,
+        problem: &P,
+        rng: &mut R,
+        opts: &mut RunOptions,
+    ) -> Result<Outcome, MfboError>
+    where
+        P: MultiFidelityProblem + ?Sized,
+        R: Rng + ?Sized,
+    {
         let cfg = &self.config;
         if cfg.initial_points == 0 {
             return Err(MfboError::InvalidConfig {
@@ -117,6 +139,7 @@ impl SfBayesOpt {
                 reason: "budget must exceed the initial design size".into(),
             });
         }
+        let mut session = EvalSession::new(opts, "sfbo", problem, rng.state_snapshot())?;
         let bounds = problem.bounds();
         let nc = problem.num_constraints();
         let mut data = FidelityData::new(nc);
@@ -136,12 +159,9 @@ impl SfBayesOpt {
         let init_span = span!("initial_design", n_high = cfg.initial_points);
         for x in sampling::latin_hypercube(&bounds, cfg.initial_points, rng) {
             let sim_start = Instant::now();
-            let eval = problem.evaluate(&x, Fidelity::High);
+            let snap = rng.state_snapshot();
+            let eval = session.evaluate(problem, &x, Fidelity::High, 0, &mut cost, snap)?;
             telemetry.record_stage("simulate_high", sim_start.elapsed());
-            if !eval.is_finite() {
-                return Err(MfboError::NonFiniteEvaluation { x });
-            }
-            cost += problem.cost(Fidelity::High);
             data.push(x.clone(), &eval);
             history.push(EvaluationRecord {
                 iteration: 0,
@@ -236,13 +256,11 @@ impl SfBayesOpt {
 
             let xt = bounds.from_unit(&xt_unit);
             let sim_span = span!("simulate", iteration = iteration, high = true);
-            let eval = problem.evaluate(&xt, Fidelity::High);
+            let snap = rng.state_snapshot();
+            let eval =
+                session.evaluate(problem, &xt, Fidelity::High, iteration, &mut cost, snap)?;
             telemetry.record_stage("simulate_high", sim_span.elapsed());
             drop(sim_span);
-            if !eval.is_finite() {
-                return Err(MfboError::NonFiniteEvaluation { x: xt });
-            }
-            cost += problem.cost(Fidelity::High);
             data.push(xt.clone(), &eval);
             history.push(EvaluationRecord {
                 iteration,
@@ -263,6 +281,7 @@ impl SfBayesOpt {
         // No low-fidelity data in the single-fidelity loop.
         let mut outcome = Outcome::from_data(data, FidelityData::new(nc), history);
         outcome.telemetry = telemetry;
+        outcome.eval_stats = session.finish();
         Ok(outcome)
     }
 }

@@ -1,0 +1,97 @@
+//! Content-addressed evaluation cache: record type and JSONL codec.
+//!
+//! Keys are `"{problem}|{fid}|{quantized coordinates}"` (see
+//! [`crate::cache_key`]); values persist across runs in `cache.jsonl` under
+//! the store directory, one line per entry, last-writer-wins on duplicate
+//! keys. A separate `quarantine.jsonl` lists keys whose simulations kept
+//! failing so they are never served from the cache or used for
+//! warm-starting.
+
+use crate::StoreError;
+use mfbo_telemetry::json::Json;
+
+/// One cached evaluation result.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CacheEntry {
+    /// The exact design point the value was computed at.
+    pub x: Vec<f64>,
+    /// Objective value.
+    pub objective: f64,
+    /// Constraint values.
+    pub constraints: Vec<f64>,
+}
+
+impl CacheEntry {
+    /// Serializes the entry with its key as one JSON line.
+    pub fn to_json_line(&self, key: &str) -> String {
+        Json::obj([
+            ("k", Json::Str(key.to_string())),
+            ("x", Json::nums(self.x.iter().copied())),
+            ("obj", Json::Num(self.objective)),
+            ("cons", Json::nums(self.constraints.iter().copied())),
+        ])
+        .to_string()
+    }
+
+    /// Parses a `(key, entry)` pair from a line written by
+    /// [`CacheEntry::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<(String, CacheEntry), StoreError> {
+        let bad = |reason: String| StoreError::Corrupt {
+            what: "cache entry".into(),
+            reason,
+        };
+        let v = mfbo_telemetry::json::parse(line).map_err(bad)?;
+        let key = v
+            .get("k")
+            .and_then(Json::as_str)
+            .ok_or_else(|| bad("missing string field \"k\"".into()))?
+            .to_string();
+        let floats = |field: &str| -> Result<Vec<f64>, StoreError> {
+            v.get(field)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(format!("missing array field {field:?}")))?
+                .iter()
+                .map(|item| {
+                    item.as_f64()
+                        .ok_or_else(|| bad(format!("non-numeric element in {field:?}")))
+                })
+                .collect()
+        };
+        let objective = v
+            .get("obj")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| bad("missing numeric field \"obj\"".into()))?;
+        Ok((
+            key,
+            CacheEntry {
+                x: floats("x")?,
+                objective,
+                constraints: floats("cons")?,
+            },
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cache_entry_round_trips() {
+        let e = CacheEntry {
+            x: vec![1.5, -2.25e-10],
+            objective: 0.720377,
+            constraints: vec![-1.0],
+        };
+        let line = e.to_json_line("forrester|low|1.5,-2.25e-10");
+        let (key, back) = CacheEntry::from_json_line(&line).unwrap();
+        assert_eq!(key, "forrester|low|1.5,-2.25e-10");
+        assert_eq!(back, e);
+    }
+
+    #[test]
+    fn corrupt_cache_lines_are_reported() {
+        assert!(CacheEntry::from_json_line("nope").is_err());
+        assert!(CacheEntry::from_json_line("{\"k\":\"a\"}").is_err());
+    }
+}

@@ -1,0 +1,199 @@
+//! The write-ahead evaluation journal: record type and JSONL codec.
+//!
+//! One line per consumed evaluation. Lines are appended and flushed
+//! *before* the optimizer consumes the evaluation, so after a crash the
+//! journal holds exactly the set of simulations that were paid for.
+//!
+//! Format stability: the schema below is **version 1** and append-only —
+//! new optional fields may be added, existing fields keep their meaning, and
+//! a reader must ignore keys it does not know. Floating-point values are
+//! written with Rust's shortest-round-trip formatting, so replaying a
+//! journal reproduces the original `f64` bits exactly. RNG state words are
+//! hex strings because JSON numbers (f64) cannot carry 64 significant bits.
+
+use crate::{Fid, StoreError};
+use mfbo_telemetry::json::Json;
+
+/// One journaled evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JournalEntry {
+    /// Optimizer iteration (initial-design points share 0).
+    pub iteration: u64,
+    /// Fidelity the evaluation ran at.
+    pub fid: Fid,
+    /// The evaluated design point (raw problem units).
+    pub x: Vec<f64>,
+    /// Objective value consumed by the optimizer.
+    pub objective: f64,
+    /// Constraint values consumed by the optimizer.
+    pub constraints: Vec<f64>,
+    /// Accumulated cost *after* this evaluation.
+    pub cost_after: f64,
+    /// RNG cursor (xoshiro256++ state words) at the time of the evaluation,
+    /// when the driving generator exposes one.
+    pub rng: Option<[u64; 4]>,
+    /// Number of simulator attempts this evaluation took (1 = no retries).
+    pub attempts: u32,
+    /// The value came from the evaluation cache, not a simulator call.
+    pub cached: bool,
+    /// The simulator kept failing and the recorded value is the penalty
+    /// substitute; the design point was quarantined.
+    pub quarantined: bool,
+    /// The point was injected by cross-run warm-starting (zero cost, not
+    /// part of the regular evaluation sequence).
+    pub warm: bool,
+}
+
+/// Formats one RNG state word as a fixed-width hex string.
+fn hex_word(w: u64) -> Json {
+    Json::Str(format!("{w:#018x}"))
+}
+
+/// Parses a hex state word written by [`hex_word`].
+fn parse_hex_word(v: &Json) -> Result<u64, String> {
+    let s = v.as_str().ok_or("rng word is not a string")?;
+    let digits = s.strip_prefix("0x").ok_or("rng word missing 0x prefix")?;
+    u64::from_str_radix(digits, 16).map_err(|e| format!("bad rng word {s:?}: {e}"))
+}
+
+impl JournalEntry {
+    /// Serializes the entry as one JSON line (no trailing newline).
+    pub fn to_json_line(&self) -> String {
+        let mut fields = vec![
+            ("iter", Json::Num(self.iteration as f64)),
+            ("fid", Json::Str(self.fid.as_str().to_string())),
+            ("x", Json::nums(self.x.iter().copied())),
+            ("obj", Json::Num(self.objective)),
+            ("cons", Json::nums(self.constraints.iter().copied())),
+            ("cost", Json::Num(self.cost_after)),
+            ("attempts", Json::Num(self.attempts as f64)),
+            ("cached", Json::Bool(self.cached)),
+            ("quarantined", Json::Bool(self.quarantined)),
+            ("warm", Json::Bool(self.warm)),
+        ];
+        if let Some(words) = self.rng {
+            fields.push((
+                "rng",
+                Json::Arr(words.iter().map(|&w| hex_word(w)).collect()),
+            ));
+        }
+        Json::obj(fields).to_string()
+    }
+
+    /// Parses a line written by [`JournalEntry::to_json_line`].
+    pub fn from_json_line(line: &str) -> Result<JournalEntry, StoreError> {
+        let bad = |reason: String| StoreError::Corrupt {
+            what: "journal entry".into(),
+            reason,
+        };
+        let v = mfbo_telemetry::json::parse(line).map_err(bad)?;
+        let num = |key: &str| -> Result<f64, StoreError> {
+            v.get(key)
+                .and_then(Json::as_f64)
+                .ok_or_else(|| bad(format!("missing numeric field {key:?}")))
+        };
+        let floats = |key: &str| -> Result<Vec<f64>, StoreError> {
+            v.get(key)
+                .and_then(Json::as_arr)
+                .ok_or_else(|| bad(format!("missing array field {key:?}")))?
+                .iter()
+                .map(|item| {
+                    item.as_f64()
+                        .ok_or_else(|| bad(format!("non-numeric element in {key:?}")))
+                })
+                .collect()
+        };
+        let flag = |key: &str| v.get(key).and_then(Json::as_bool).unwrap_or(false);
+        let fid = v
+            .get("fid")
+            .and_then(Json::as_str)
+            .and_then(Fid::parse)
+            .ok_or_else(|| bad("missing or invalid \"fid\"".into()))?;
+        let rng = match v.get("rng") {
+            None | Some(Json::Null) => None,
+            Some(arr) => {
+                let items = arr
+                    .as_arr()
+                    .ok_or_else(|| bad("\"rng\" is not an array".into()))?;
+                if items.len() != 4 {
+                    return Err(bad(format!("rng has {} words, expected 4", items.len())));
+                }
+                let mut words = [0u64; 4];
+                for (w, item) in words.iter_mut().zip(items) {
+                    *w = parse_hex_word(item).map_err(bad)?;
+                }
+                Some(words)
+            }
+        };
+        Ok(JournalEntry {
+            iteration: num("iter")? as u64,
+            fid,
+            x: floats("x")?,
+            objective: num("obj")?,
+            constraints: floats("cons")?,
+            cost_after: num("cost")?,
+            rng,
+            attempts: num("attempts")? as u32,
+            cached: flag("cached"),
+            quarantined: flag("quarantined"),
+            warm: flag("warm"),
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> JournalEntry {
+        JournalEntry {
+            iteration: 7,
+            fid: Fid::High,
+            x: vec![0.1234567890123456, -3.5e-17, 6000.0],
+            objective: -6.020740055767083,
+            constraints: vec![-0.25, 1e-300],
+            cost_after: 12.299999999999997,
+            rng: Some([0xE220_A839_7B1D_CDAF, 1, u64::MAX, 42]),
+            attempts: 3,
+            cached: false,
+            quarantined: true,
+            warm: false,
+        }
+    }
+
+    #[test]
+    fn entry_round_trips_bit_exactly() {
+        let e = sample();
+        let back = JournalEntry::from_json_line(&e.to_json_line()).unwrap();
+        assert_eq!(back, e);
+        // PartialEq on f64 treats -0.0 == 0.0; pin bit-exactness explicitly.
+        assert_eq!(back.objective.to_bits(), e.objective.to_bits());
+        assert_eq!(back.cost_after.to_bits(), e.cost_after.to_bits());
+        for (a, b) in back.x.iter().zip(&e.x) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn entry_without_rng_round_trips() {
+        let e = JournalEntry {
+            rng: None,
+            quarantined: false,
+            warm: true,
+            ..sample()
+        };
+        let line = e.to_json_line();
+        assert!(!line.contains("rng"));
+        assert_eq!(JournalEntry::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn corrupt_lines_are_reported() {
+        assert!(JournalEntry::from_json_line("{").is_err());
+        assert!(JournalEntry::from_json_line("{\"iter\":0}").is_err());
+        assert!(JournalEntry::from_json_line(
+            "{\"iter\":0,\"fid\":\"mid\",\"x\":[],\"obj\":0,\"cons\":[],\"cost\":0,\"attempts\":1}"
+        )
+        .is_err());
+    }
+}

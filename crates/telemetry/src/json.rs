@@ -1,4 +1,4 @@
-//! Hand-rolled JSON writer and minimal parser.
+//! Hand-rolled JSON codec: writer, [`Json`] tree serializer, and parser.
 //!
 //! The workspace has no serde; records are serialized with a small escaping
 //! writer, and the parser here exists so tests (and downstream tooling) can
@@ -6,6 +6,14 @@
 //! subset the writer produces — objects, arrays, strings, numbers, booleans,
 //! and null — which is also enough for general well-formed JSON without
 //! unicode escapes beyond `\uXXXX`.
+//!
+//! [`Json`] also serializes (via [`std::fmt::Display`]), so other crates —
+//! the run store's journal and cache files in particular — share one codec
+//! with the telemetry traces. The encode side is round-trip exact for
+//! finite numbers: `f64` values are written with Rust's shortest-round-trip
+//! formatting, so `parse(v.to_string()) == v` holds for every tree without
+//! NaN/infinity (non-finite numbers are encoded as `null`, as in the record
+//! writer).
 
 use crate::{Record, Value};
 use std::fmt::Write as _;
@@ -59,25 +67,82 @@ impl Json {
             _ => None,
         }
     }
+
+    /// Array accessor.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+
+    /// Convenience constructor for an object from `(key, value)` pairs.
+    pub fn obj<K: Into<String>>(fields: impl IntoIterator<Item = (K, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.into(), v)).collect())
+    }
+
+    /// Convenience constructor for an array of numbers.
+    pub fn nums(values: impl IntoIterator<Item = f64>) -> Json {
+        Json::Arr(values.into_iter().map(Json::Num).collect())
+    }
+}
+
+impl std::fmt::Display for Json {
+    /// Serializes the tree as compact JSON (no whitespace). Non-finite
+    /// numbers become `null` — JSON has no NaN/inf — so serialization is
+    /// lossy exactly there and round-trip exact everywhere else.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Num(v) if v.is_finite() => write!(f, "{v}"),
+            Json::Num(_) => f.write_str("null"),
+            Json::Str(s) => escape_to(f, s),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    escape_to(f, k)?;
+                    write!(f, ":{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// Writes `s` to `out` with JSON string escaping (quotes included).
+pub fn escape_to<W: std::fmt::Write>(out: &mut W, s: &str) -> std::fmt::Result {
+    out.write_char('"')?;
+    for c in s.chars() {
+        match c {
+            '"' => out.write_str("\\\"")?,
+            '\\' => out.write_str("\\\\")?,
+            '\n' => out.write_str("\\n")?,
+            '\r' => out.write_str("\\r")?,
+            '\t' => out.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(out, "\\u{:04x}", c as u32)?,
+            c => out.write_char(c)?,
+        }
+    }
+    out.write_char('"')
 }
 
 /// Appends `s` to `out` with JSON string escaping.
 pub fn escape_into(out: &mut String, s: &str) {
-    out.push('"');
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out.push('"');
+    let _ = escape_to(out, s);
 }
 
 fn value_into(out: &mut String, v: &Value) {
@@ -395,5 +460,122 @@ mod tests {
         assert!(parse("[1,]").is_err());
         assert!(parse("true false").is_err());
         assert!(parse("\"unterminated").is_err());
+    }
+
+    #[test]
+    fn json_display_serializes_nested_trees() {
+        let v = Json::obj([
+            ("s", Json::Str("a \"b\"\n\t\u{1}é".into())),
+            ("n", Json::Num(-2.5e-3)),
+            ("arr", Json::nums([1.0, 2.0])),
+            ("nested", Json::obj([("ok", Json::Bool(true))])),
+            ("nothing", Json::Null),
+        ]);
+        let s = v.to_string();
+        assert_eq!(
+            s,
+            "{\"s\":\"a \\\"b\\\"\\n\\t\\u0001é\",\"n\":-0.0025,\
+             \"arr\":[1,2],\"nested\":{\"ok\":true},\"nothing\":null}"
+        );
+        assert_eq!(parse(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn json_display_encodes_non_finite_as_null() {
+        assert_eq!(Json::Num(f64::NAN).to_string(), "null");
+        assert_eq!(Json::nums([f64::INFINITY]).to_string(), "[null]");
+    }
+}
+
+#[cfg(test)]
+mod roundtrip_props {
+    //! Property coverage for the shared codec: any tree of finite numbers,
+    //! strings (including escapes and control characters), booleans, nulls,
+    //! arrays, and objects must survive `parse(encode(v)) == v` bit-exactly.
+
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+
+    fn arbitrary_string(rng: &mut StdRng) -> String {
+        let alphabet: &[char] = &[
+            'a', 'Z', '0', ' ', '"', '\\', '\n', '\r', '\t', '\u{1}', '\u{7f}', 'é', '≤', '🦀',
+            '{', '}', '[', ']', ':', ',',
+        ];
+        let len = rng.gen_range(0usize..12);
+        (0..len)
+            .map(|_| alphabet[rng.gen_range(0usize..alphabet.len())])
+            .collect()
+    }
+
+    fn arbitrary_number(rng: &mut StdRng) -> f64 {
+        // Mix magnitudes: integers, subnormal-ish tiny values, and huge ones
+        // all stress the shortest-round-trip formatter differently.
+        let mantissa: f64 = rng.gen_range(-1.0f64..1.0);
+        let exp = rng.gen_range(-300i32..300);
+        let v = mantissa * 10f64.powi(exp);
+        if v.is_finite() {
+            v
+        } else {
+            0.0
+        }
+    }
+
+    fn arbitrary_json(rng: &mut StdRng, depth: usize) -> Json {
+        let pick = if depth >= 3 {
+            rng.gen_range(0usize..4) // leaves only once deep
+        } else {
+            rng.gen_range(0usize..6)
+        };
+        match pick {
+            0 => Json::Null,
+            1 => Json::Bool(rng.gen()),
+            2 => Json::Num(arbitrary_number(rng)),
+            3 => Json::Str(arbitrary_string(rng)),
+            4 => {
+                let n = rng.gen_range(0usize..4);
+                Json::Arr((0..n).map(|_| arbitrary_json(rng, depth + 1)).collect())
+            }
+            _ => {
+                let n = rng.gen_range(0usize..4);
+                Json::Obj(
+                    (0..n)
+                        .map(|_| (arbitrary_string(rng), arbitrary_json(rng, depth + 1)))
+                        .collect(),
+                )
+            }
+        }
+    }
+
+    /// Strategy producing arbitrary (finite-number) JSON trees.
+    struct JsonTree;
+
+    impl proptest::strategy::Strategy for JsonTree {
+        type Value = Json;
+
+        fn generate(&self, rng: &mut StdRng) -> Json {
+            arbitrary_json(rng, 0)
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(256))]
+        #[test]
+        fn encode_parse_round_trip(v in JsonTree) {
+            let encoded = v.to_string();
+            let parsed = parse(&encoded);
+            prop_assert!(parsed.is_ok(), "unparseable: {encoded}");
+            prop_assert_eq!(parsed.unwrap(), v);
+        }
+
+        #[test]
+        fn numbers_round_trip_bit_exactly(m in -1.0f64..1.0, e in -300i32..300) {
+            let v = m * 10f64.powi(e);
+            prop_assume!(v.is_finite());
+            let s = Json::Num(v).to_string();
+            let back = parse(&s).unwrap().as_f64().unwrap();
+            prop_assert_eq!(back.to_bits(), v.to_bits());
+        }
     }
 }

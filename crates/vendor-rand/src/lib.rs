@@ -25,17 +25,35 @@ pub trait RngCore {
     fn next_u32(&mut self) -> u32 {
         (self.next_u64() >> 32) as u32
     }
+
+    /// Snapshot of the generator's internal state words, when the concrete
+    /// generator exposes them ([`rngs::StdRng`] does). The MFBO run journal
+    /// records this alongside each evaluation as an *RNG cursor*, so a
+    /// resumed run can verify it is replaying against the same random
+    /// stream. Generators without an accessible fixed-width state return
+    /// `None`. (Extension over the upstream `rand` 0.8 API.)
+    fn state_snapshot(&self) -> Option<[u64; 4]> {
+        None
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for &mut R {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
     }
+
+    fn state_snapshot(&self) -> Option<[u64; 4]> {
+        (**self).state_snapshot()
+    }
 }
 
 impl<R: RngCore + ?Sized> RngCore for Box<R> {
     fn next_u64(&mut self) -> u64 {
         (**self).next_u64()
+    }
+
+    fn state_snapshot(&self) -> Option<[u64; 4]> {
+        (**self).state_snapshot()
     }
 }
 

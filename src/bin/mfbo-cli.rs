@@ -12,11 +12,20 @@
 //! (one JSON object per line) to a file; `--verbosity info|debug|trace`
 //! additionally mirrors records to stderr in human-readable form and raises
 //! the level captured by the trace file.
+//!
+//! Durability (algorithms `mf` and `weibo`): `--journal DIR` write-ahead
+//! journals every evaluation into DIR; `--resume` replays the journal after
+//! an interruption, reproducing the original trajectory bit for bit;
+//! `--cache` serves repeated evaluations from a cross-run cache in DIR;
+//! `--warm-start` seeds the low-fidelity surrogate from that cache.
+//! `--on-non-finite penalize` keeps a run alive across failing simulations
+//! (with `--retries N` attempts first) instead of aborting.
 
 use analog_mfbo::circuits::testfns;
 use analog_mfbo::prelude::*;
 use mfbo::problem::MultiFidelityProblem;
 use mfbo::report;
+use mfbo::{NonFinitePolicy, RunOptions, RunStore};
 use mfbo_telemetry::sinks::{JsonlSink, MultiSink, PrettySink};
 use mfbo_telemetry::{Level, Sink};
 use rand::rngs::StdRng;
@@ -38,6 +47,13 @@ struct Options {
     trace: Option<String>,
     verbosity: Option<Level>,
     threads: Parallelism,
+    journal: Option<String>,
+    resume: bool,
+    cache: bool,
+    warm_start: bool,
+    on_non_finite: NonFinitePolicy,
+    retries: u32,
+    max_evals: Option<u64>,
 }
 
 impl Default for Options {
@@ -56,6 +72,13 @@ impl Default for Options {
             // Results are bit-identical in every mode, so the CLI defaults
             // to all cores (or the MFBO_THREADS override).
             threads: Parallelism::Auto,
+            journal: None,
+            resume: false,
+            cache: false,
+            warm_start: false,
+            on_non_finite: NonFinitePolicy::Abort,
+            retries: 0,
+            max_evals: None,
         }
     }
 }
@@ -65,12 +88,24 @@ const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de
                 [--seed N] [--csv FILE] [--convergence FILE]
                 [--trace FILE] [--verbosity info|debug|trace]
                 [--threads N|auto]
+                [--journal DIR] [--resume] [--cache] [--warm-start]
+                [--on-non-finite abort|penalize] [--retries N]
+                [--max-evals N]
 
 problems: forrester, pedagogical, branin, park, pa, charge-pump
 
 --threads picks the worker count for the deterministic thread pool
 (default: auto = all cores, or the MFBO_THREADS environment variable when
-set). Results are bit-identical for every thread count.";
+set). Results are bit-identical for every thread count.
+
+--journal DIR write-ahead journals every evaluation into DIR (algorithms
+mf and weibo). --resume replays that journal after an interruption and
+continues the run, reproducing the uninterrupted trajectory bit for bit.
+--cache serves repeated evaluations from a cross-run cache in DIR;
+--warm-start additionally seeds the low-fidelity surrogate from it.
+--on-non-finite penalize substitutes a penalty for failing simulations
+(after --retries N attempts) instead of aborting; --max-evals caps fresh
+simulator calls.";
 
 /// Parses arguments; returns an error message on malformed input.
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -82,9 +117,14 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             "--problem" => opts.problem = value("--problem")?,
             "--algo" => opts.algo = value("--algo")?,
             "--budget" => {
-                opts.budget = value("--budget")?
+                let v: f64 = value("--budget")?
                     .parse()
-                    .map_err(|_| "budget must be a number".to_string())?
+                    .map_err(|_| "budget must be a number".to_string())?;
+                // NaN would slip past the loop's `<= 0` guard; reject here.
+                if !(v > 0.0 && v.is_finite()) {
+                    return Err("budget must be positive and finite".to_string());
+                }
+                opts.budget = v;
             }
             "--init-low" => {
                 opts.initial_low = value("--init-low")?
@@ -116,9 +156,39 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                 opts.threads = Parallelism::parse(&v)
                     .ok_or_else(|| "threads must be a positive integer or 'auto'".to_string())?;
             }
+            "--journal" => opts.journal = Some(value("--journal")?),
+            "--resume" => opts.resume = true,
+            "--cache" => opts.cache = true,
+            "--warm-start" => opts.warm_start = true,
+            "--on-non-finite" => {
+                let v = value("--on-non-finite")?;
+                opts.on_non_finite = NonFinitePolicy::parse(&v)
+                    .ok_or_else(|| "on-non-finite must be 'abort' or 'penalize'".to_string())?;
+            }
+            "--retries" => {
+                opts.retries = value("--retries")?
+                    .parse()
+                    .map_err(|_| "retries must be a non-negative integer".to_string())?
+            }
+            "--max-evals" => {
+                opts.max_evals = Some(
+                    value("--max-evals")?
+                        .parse()
+                        .map_err(|_| "max-evals must be a positive integer".to_string())?,
+                )
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
+    }
+    if opts.journal.is_none() && (opts.resume || opts.cache || opts.warm_start) {
+        return Err("--resume, --cache, and --warm-start require --journal DIR".into());
+    }
+    if opts.journal.is_some() && !matches!(opts.algo.as_str(), "mf" | "weibo") {
+        return Err(format!(
+            "--journal is only supported for algorithms 'mf' and 'weibo', not '{}'",
+            opts.algo
+        ));
     }
     Ok(opts)
 }
@@ -136,10 +206,38 @@ fn make_problem(name: &str) -> Result<Box<dyn MultiFidelityProblem>, String> {
     }
 }
 
+/// Assembles the durability/fault-tolerance options from the flags.
+fn make_run_options(opts: &Options) -> Result<RunOptions, String> {
+    let mut ro = RunOptions::default();
+    ro.policy.max_retries = opts.retries;
+    ro.policy.non_finite = opts.on_non_finite;
+    ro.policy.max_evaluations = opts.max_evals;
+    ro.resume = opts.resume;
+    ro.cache = opts.cache;
+    ro.warm_start = opts.warm_start;
+    match &opts.journal {
+        Some(dir) => ro.store = Some(RunStore::open(dir).map_err(|e| e.to_string())?),
+        None if opts.resume || opts.cache || opts.warm_start => {
+            return Err("--resume, --cache, and --warm-start require --journal DIR".into());
+        }
+        None => {}
+    }
+    Ok(ro)
+}
+
 /// Runs the selected algorithm.
 fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::Outcome, String> {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let budget_int = opts.budget.round().max(2.0) as usize;
+    if opts.journal.is_some() && !matches!(opts.algo.as_str(), "mf" | "weibo") {
+        return Err(format!(
+            "--journal is only supported for algorithms 'mf' and 'weibo', not '{}'",
+            opts.algo
+        ));
+    }
+    if opts.journal.is_none() && (opts.resume || opts.cache || opts.warm_start) {
+        return Err("--resume, --cache, and --warm-start require --journal DIR".into());
+    }
     match opts.algo.as_str() {
         "mf" => MfBayesOpt::new(MfBoConfig {
             initial_low: opts.initial_low,
@@ -148,7 +246,7 @@ fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::
             parallelism: opts.threads,
             ..MfBoConfig::default()
         })
-        .run(&problem, &mut rng)
+        .run_with(&problem, &mut rng, &mut make_run_options(opts)?)
         .map_err(|e| e.to_string()),
         "weibo" => Weibo::new(WeiboConfig {
             initial_points: opts.initial_high.max(4),
@@ -156,7 +254,7 @@ fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::
             parallelism: opts.threads,
             ..WeiboConfig::default()
         })
-        .run(&problem, &mut rng)
+        .run_with(&problem, &mut rng, &mut make_run_options(opts)?)
         .map_err(|e| e.to_string()),
         "gaspad" => Gaspad::new(GaspadConfig {
             initial_points: opts.initial_high.max(8),
@@ -198,6 +296,15 @@ fn make_sink(opts: &Options) -> Result<Option<Arc<dyn Sink>>, String> {
     })
 }
 
+/// Verifies an output path is writable *before* the (potentially long) run,
+/// so a typo'd directory fails in milliseconds, not after the last
+/// simulation. Creates/truncates the file; it is rewritten after the run.
+fn preflight_output(path: &str) -> Result<(), String> {
+    std::fs::File::create(path)
+        .map(drop)
+        .map_err(|e| format!("cannot create {path}: {e}"))
+}
+
 fn main() -> ExitCode {
     let opts = match parse_args(std::env::args().skip(1)) {
         Ok(o) => o,
@@ -213,6 +320,12 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    for path in opts.csv.iter().chain(&opts.convergence) {
+        if let Err(msg) = preflight_output(path) {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     match make_sink(&opts) {
         Ok(Some(sink)) => mfbo_telemetry::set_global_sink(sink),
         Ok(None) => {}
@@ -249,6 +362,9 @@ fn main() -> ExitCode {
     }
     if let Some(path) = &opts.trace {
         println!("telemetry trace written to {path}");
+    }
+    if let Some(dir) = &opts.journal {
+        println!("evaluation journal in {dir}");
     }
 
     if let Some(path) = &opts.csv {
@@ -320,6 +436,54 @@ mod tests {
         assert!(parse_args(args("--budget abc")).is_err());
         assert!(parse_args(args("--seed")).is_err());
         assert!(parse_args(args("--verbosity loud")).is_err());
+        assert!(parse_args(args("--budget NaN")).is_err());
+        assert!(parse_args(args("--budget -3")).is_err());
+        assert!(parse_args(args("--budget inf")).is_err());
+        assert!(parse_args(args("--on-non-finite shrug")).is_err());
+        assert!(parse_args(args("--retries -1")).is_err());
+    }
+
+    #[test]
+    fn parses_durability_flags() {
+        let o = parse_args(args(
+            "--journal runs/a --resume --cache --warm-start --on-non-finite penalize --retries 3 --max-evals 100",
+        ))
+        .unwrap();
+        assert_eq!(o.journal.as_deref(), Some("runs/a"));
+        assert!(o.resume && o.cache && o.warm_start);
+        assert!(matches!(
+            o.on_non_finite,
+            NonFinitePolicy::PenalizeAndQuarantine { .. }
+        ));
+        assert_eq!(o.retries, 3);
+        assert_eq!(o.max_evals, Some(100));
+    }
+
+    #[test]
+    fn durability_flags_without_journal_or_with_wrong_algo_fail() {
+        let p = make_problem("forrester").unwrap();
+        let no_journal = Options {
+            resume: true,
+            ..Options::default()
+        };
+        let e = run_algo(&no_journal, p.as_ref()).unwrap_err();
+        assert!(e.contains("--journal"), "{e}");
+        let wrong_algo = Options {
+            algo: "de".into(),
+            journal: Some("/tmp/x".into()),
+            ..Options::default()
+        };
+        let e = run_algo(&wrong_algo, p.as_ref()).unwrap_err();
+        assert!(e.contains("not 'de'"), "{e}");
+    }
+
+    #[test]
+    fn preflight_catches_unwritable_paths() {
+        assert!(preflight_output("/nonexistent-dir/trace.csv").is_err());
+        let ok = std::env::temp_dir().join(format!("mfbo-cli-preflight-{}", std::process::id()));
+        let ok = ok.to_str().unwrap();
+        assert!(preflight_output(ok).is_ok());
+        let _ = std::fs::remove_file(ok);
     }
 
     #[test]
@@ -379,11 +543,8 @@ mod tests {
             initial_low: 6,
             initial_high: 3,
             seed: 1,
-            csv: None,
-            convergence: None,
-            trace: None,
-            verbosity: None,
             threads: Parallelism::Serial,
+            ..Options::default()
         };
         let p = make_problem(&opts.problem).unwrap();
         let o = run_algo(&opts, p.as_ref()).unwrap();

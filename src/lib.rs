@@ -44,7 +44,10 @@ pub use mfbo_pool as pool;
 /// Commonly used items, importable in one line.
 pub mod prelude {
     pub use mfbo::problem::{Evaluation, Fidelity, FunctionProblem, MultiFidelityProblem};
-    pub use mfbo::{MfBayesOpt, MfBoConfig, MfGp, MfGpConfig, Outcome, SfBayesOpt, SfBoConfig};
+    pub use mfbo::{
+        EvalPolicy, EvalStats, FaultInjector, FaultKind, MfBayesOpt, MfBoConfig, MfGp, MfGpConfig,
+        NonFinitePolicy, Outcome, RunOptions, RunStore, SfBayesOpt, SfBoConfig,
+    };
     pub use mfbo_baselines::{
         DeBaselineConfig, DifferentialEvolutionBaseline, Gaspad, GaspadConfig, Weibo, WeiboConfig,
     };
