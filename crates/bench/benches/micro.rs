@@ -8,8 +8,8 @@ use mfbo_circuits::charge_pump::ChargePump;
 use mfbo_circuits::pa::{PaFidelity, PowerAmplifier};
 use mfbo_circuits::pvt::PvtCorner;
 use mfbo_circuits::testfns;
-use mfbo_gp::kernel::SquaredExponential;
-use mfbo_gp::{Gp, GpConfig};
+use mfbo_gp::kernel::{Kernel, SquaredExponential};
+use mfbo_gp::{nlml_with_grad, nlml_with_grad_cached, Gp, GpConfig, NlmlWorkspace};
 use mfbo_linalg::{Cholesky, Matrix};
 use mfbo_opt::msp::MultiStart;
 use mfbo_opt::Bounds;
@@ -20,13 +20,94 @@ use std::hint::black_box;
 
 fn bench_cholesky(c: &mut Criterion) {
     let mut group = c.benchmark_group("cholesky");
-    for &n in &[32usize, 128, 256] {
+    group.sample_size(10);
+    for &n in &[32usize, 128, 256, 512] {
         // SPD matrix: B Bᵀ + n I.
         let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
         let mut a = b.matmul(&b.transpose());
         a.add_diag(n as f64);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &a, |bch, a| {
+        group.bench_with_input(BenchmarkId::new("blocked", n), &a, |bch, a| {
             bch.iter(|| Cholesky::new(black_box(a)).expect("spd"))
+        });
+        group.bench_with_input(BenchmarkId::new("unblocked", n), &a, |bch, a| {
+            bch.iter(|| Cholesky::new_unblocked(black_box(a)).expect("spd"))
+        });
+    }
+    group.finish();
+}
+
+/// Training inputs in [0,1]^dim with deterministic pseudo-random spread —
+/// the data shape of the BENCH_linalg.json measurements (dim = 12, the
+/// middle of the 10–36 design-variable range of the paper's circuits).
+fn linalg_bench_data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * 31 + d * 17) % 97) as f64 / 96.0)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (7.0 * x[0]).sin() + x.iter().sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
+/// One NLML + gradient evaluation — the inner loop of hyperparameter
+/// training (L-BFGS calls this hundreds of times per fit over fixed data).
+/// `naive` rebuilds pairwise differences per call; `cached` replays them
+/// from a [`NlmlWorkspace`] (built once per fit, outside the timed loop, as
+/// `Gp::fit` does). The two rows return bit-identical values.
+fn bench_nlml_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nlml_eval");
+    group.sample_size(10);
+    let dim = 12;
+    for &n in &[32usize, 128, 512] {
+        let (xs, ys) = linalg_bench_data(n, dim);
+        let kernel = SquaredExponential::new(dim);
+        let mut theta = kernel.default_params();
+        theta.push((1e-3f64).ln());
+        group.bench_with_input(BenchmarkId::new("naive", n), &n, |bch, _| {
+            bch.iter(|| nlml_with_grad(black_box(&kernel), black_box(&theta), &xs, &ys))
+        });
+        let ws = NlmlWorkspace::new(&xs);
+        group.bench_with_input(BenchmarkId::new("cached", n), &n, |bch, _| {
+            bch.iter(|| nlml_with_grad_cached(black_box(&kernel), black_box(&theta), &ws, &ys))
+        });
+    }
+    group.finish();
+}
+
+/// 256-point posterior sweep — the shape of the MSP restart scoring and MC
+/// propagation workloads. `pointwise` loops [`Gp::predict_standardized`];
+/// `batched` issues one [`Gp::predict_batch_standardized`] call. Bit-identical
+/// results.
+fn bench_predict_batch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("predict_batch");
+    group.sample_size(10);
+    let dim = 12;
+    let (queries, _) = linalg_bench_data(256, dim);
+    for &n in &[32usize, 128, 512] {
+        let (xs, ys) = linalg_bench_data(n, dim);
+        let mut rng = StdRng::seed_from_u64(0);
+        let gp = Gp::fit(
+            SquaredExponential::new(dim),
+            xs,
+            ys,
+            &GpConfig::fast(),
+            &mut rng,
+        )
+        .expect("fit");
+        group.bench_with_input(BenchmarkId::new("pointwise256", n), &gp, |bch, gp| {
+            bch.iter(|| {
+                for q in &queries {
+                    black_box(gp.predict_standardized(black_box(q)));
+                }
+            })
+        });
+        group.bench_with_input(BenchmarkId::new("batched256", n), &gp, |bch, gp| {
+            bch.iter(|| gp.predict_batch_standardized(black_box(&queries)))
         });
     }
     group.finish();
@@ -212,6 +293,8 @@ fn bench_pool_speedup(c: &mut Criterion) {
 criterion_group!(
     benches,
     bench_cholesky,
+    bench_nlml_eval,
+    bench_predict_batch,
     bench_gp,
     bench_mfgp_predict,
     bench_circuits,

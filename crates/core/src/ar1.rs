@@ -88,7 +88,8 @@ impl Ar1Gp {
 
         // Least-squares ρ of yh on μ_l(Xh), with centering so the intercept
         // is absorbed by the discrepancy (whose standardizer removes means).
-        let mu_l: Vec<f64> = xh.iter().map(|x| low.predict(x).mean).collect();
+        // One batched posterior call; bit-identical to the pointwise loop.
+        let mu_l: Vec<f64> = low.predict_batch(&xh).into_iter().map(|p| p.mean).collect();
         let m_mu = mfbo_linalg::mean(&mu_l);
         let m_yh = mfbo_linalg::mean(&yh);
         let mut sxx = 0.0;

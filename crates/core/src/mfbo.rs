@@ -62,6 +62,18 @@ pub struct MfBoConfig {
     /// between, refresh the models with frozen hyperparameters. `1` = refit
     /// every iteration (most faithful, most expensive).
     pub refit_every: usize,
+    /// Replace frozen-refit iterations with O(n²) rank-one Cholesky appends
+    /// (see [`crate::surrogate::MfSurrogates::append_observation`]): instead
+    /// of refactorizing every kernel matrix from scratch, the previous
+    /// iteration's surrogates are extended in place with the new
+    /// observation. This is an *approximation* — output standardizers stay
+    /// frozen between full refits and low-fidelity appends leave the high
+    /// GP's augmented coordinates stale — so trajectories differ slightly
+    /// from the default; full refits every `refit_every` iterations
+    /// resynchronize the model. Off by default (bit-exact paper-faithful
+    /// trajectories); incompatible with `winsorize_sigma`, whose retroactive
+    /// target clipping invalidates incremental extension.
+    pub rank1_appends: bool,
     /// Optional winsorization of surrogate training targets at
     /// `mean ± k·std` (see [`crate::FidelityData::winsorized`]). `None`
     /// (paper-faithful) fits the raw observations; heavy-tailed problems
@@ -97,6 +109,7 @@ impl Default for MfBoConfig {
             gamma: 0.01,
             model: MfGpConfig::fast(),
             refit_every: 1,
+            rank1_appends: false,
             winsorize_sigma: None,
             max_low_streak: 25,
             parallelism: Parallelism::Serial,
@@ -173,6 +186,15 @@ impl MfBayesOpt {
                 reason: "budget must be positive and finite".into(),
             });
         }
+        if cfg.rank1_appends && cfg.winsorize_sigma.is_some() {
+            return Err(MfboError::InvalidConfig {
+                reason: "rank1_appends is incompatible with winsorize_sigma: \
+                         winsorization re-clips historical targets every \
+                         iteration, which incremental Cholesky extension \
+                         cannot represent"
+                    .into(),
+            });
+        }
         let mut session = EvalSession::new(opts, "mfbo", problem, rng.state_snapshot())?;
         let bounds = problem.bounds();
         let nc = problem.num_constraints();
@@ -242,6 +264,10 @@ impl MfBayesOpt {
         let mut low_streak = 0usize;
         let mut thetas: Option<MfBundleThetas> = None;
         let mut iterations_since_refit = 0usize;
+        // With `rank1_appends`, the previous iteration's surrogates — already
+        // extended with the newest observation — stand in for the frozen
+        // refit. `None` whenever an append failed or a full refit is due.
+        let mut prev_surrogates: Option<MfSurrogates> = None;
         // Surrogates and acquisition optimization operate in the unit cube;
         // the problem is evaluated (and history recorded) in raw units.
         let unit = mfbo_opt::Bounds::unit(bounds.dim());
@@ -269,15 +295,21 @@ impl MfBayesOpt {
             );
             let surrogates = match &thetas {
                 Some(t) if iterations_since_refit < cfg.refit_every => {
-                    match MfSurrogates::fit_frozen(
-                        &low_u,
-                        &high_u,
-                        t,
-                        model_cfg.mc_samples,
-                        cfg.parallelism,
-                    ) {
-                        Ok(s) => s,
-                        Err(_) => MfSurrogates::fit(&low_u, &high_u, &model_cfg, rng)?,
+                    // Cheapest first: an already-extended bundle from the
+                    // rank-one append path (O(n²)), else a frozen
+                    // refactorization (O(n³)), else a full refit.
+                    match prev_surrogates.take() {
+                        Some(s) => s,
+                        None => match MfSurrogates::fit_frozen(
+                            &low_u,
+                            &high_u,
+                            t,
+                            model_cfg.mc_samples,
+                            cfg.parallelism,
+                        ) {
+                            Ok(s) => s,
+                            Err(_) => MfSurrogates::fit(&low_u, &high_u, &model_cfg, rng)?,
+                        },
                     }
                 }
                 Some(t) => {
@@ -417,6 +449,19 @@ impl MfBayesOpt {
                 Fidelity::Low => low.push(xt.clone(), &eval),
                 Fidelity::High => high.push(xt.clone(), &eval),
             }
+            // Rank-one path: extend this iteration's bundle with the new
+            // observation (in the unit cube the surrogates train in) so the
+            // next frozen refresh is an O(n²) no-op. A failed append — e.g.
+            // a near-duplicate acquisition point — simply drops the bundle
+            // and the next iteration refactorizes from data.
+            prev_surrogates = if cfg.rank1_appends {
+                let mut s = surrogates;
+                s.append_observation(fidelity, &xt_unit, &eval)
+                    .is_ok()
+                    .then_some(s)
+            } else {
+                None
+            };
             history.push(EvaluationRecord {
                 iteration,
                 x: xt,
@@ -653,6 +698,46 @@ mod tests {
 
         assert_eq!(sink.named("run_start").len(), 1);
         assert_eq!(sink.named("run_end").len(), 1);
+    }
+
+    #[test]
+    fn rank1_appends_solve_forrester() {
+        // The O(n²) append path replaces frozen refactorizations between
+        // full refits; trajectories are approximate but the optimizer must
+        // still reach the Forrester optimum. The debug-level counter proves
+        // the rank-one path actually ran.
+        let sink = std::sync::Arc::new(mfbo_telemetry::sinks::CollectSink::with_level(
+            mfbo_telemetry::Level::Debug,
+        ));
+        let guard = mfbo_telemetry::scoped_sink(sink.clone());
+        let mut rng = StdRng::seed_from_u64(2024);
+        let config = MfBoConfig {
+            initial_low: 8,
+            initial_high: 4,
+            budget: 14.0,
+            refit_every: 4,
+            rank1_appends: true,
+            ..MfBoConfig::default()
+        };
+        let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+        drop(guard);
+        assert!(out.best_objective < -5.5, "best = {}", out.best_objective);
+        assert!(
+            !sink.named("chol_rank1_appends").is_empty(),
+            "rank-one append path never ran"
+        );
+    }
+
+    #[test]
+    fn rank1_appends_reject_winsorization() {
+        let mut rng = StdRng::seed_from_u64(0);
+        let e = MfBayesOpt::new(MfBoConfig {
+            rank1_appends: true,
+            winsorize_sigma: Some(2.5),
+            ..MfBoConfig::default()
+        })
+        .run(&forrester(), &mut rng);
+        assert!(matches!(e, Err(MfboError::InvalidConfig { .. })));
     }
 
     #[test]

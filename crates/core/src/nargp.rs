@@ -18,11 +18,27 @@
 //! the downstream acquisition optimizer needs; the approximation converges
 //! to the same integral.
 
-use mfbo_gp::kernel::{NargpKernel, SquaredExponential};
+use crate::problem::Fidelity;
+use mfbo_gp::kernel::{Kernel, NargpKernel, SquaredExponential};
 use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
 use mfbo_linalg::norm_inv_cdf;
 use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
+
+/// Augments each `x` with the low GP's standardized posterior mean — the
+/// NARGP input map `x ↦ (x, μ_l(x))`. One batched prediction replaces the
+/// per-point posterior loop; the values are bit-identical.
+fn augment_inputs(low: &Gp<SquaredExponential>, xh: &[Vec<f64>]) -> Vec<Vec<f64>> {
+    let lows = low.predict_batch_standardized(xh);
+    xh.iter()
+        .zip(&lows)
+        .map(|(x, &(m, _))| {
+            let mut z = x.clone();
+            z.push(m);
+            z
+        })
+        .collect()
+}
 
 /// Configuration for [`MfGp::fit`].
 #[derive(Debug, Clone)]
@@ -169,16 +185,8 @@ impl MfGp {
         let low = Gp::fit_planned(SquaredExponential::new(dim), xl, yl, &config.low, plan.low)?;
 
         // Augment the high-fidelity inputs with the low GP's standardized
-        // posterior mean.
-        let aug: Vec<Vec<f64>> = xh
-            .iter()
-            .map(|x| {
-                let (m, _) = low.predict_standardized(x);
-                let mut z = x.clone();
-                z.push(m);
-                z
-            })
-            .collect();
+        // posterior mean (one batched posterior call).
+        let aug = augment_inputs(&low, &xh);
         let high = Gp::fit_planned(NargpKernel::new(dim), aug, yh, &config.high, plan.high)?;
 
         Ok(MfGp {
@@ -213,44 +221,152 @@ impl MfGp {
     /// with low-fidelity uncertainty propagated by stratified Monte-Carlo
     /// over eq. (10).
     pub fn predict(&self, x: &[f64]) -> Prediction {
-        let (ml, vl) = self.low.predict_standardized(x);
-        let sl = vl.max(0.0).sqrt();
+        let (m, v) = self
+            .predict_batch_standardized(std::slice::from_ref(&x.to_vec()))
+            .pop()
+            .expect("one query yields one prediction");
+        self.destandardize(m, v)
+    }
+
+    /// Batched propagated high-fidelity posterior in standardized output
+    /// space: one `(mean, var)` pair per query, bit-identical to calling
+    /// the pointwise path per point.
+    ///
+    /// The stratified Monte-Carlo rows of *all* queries (paper eq. 10) go
+    /// through [`Gp::predict_batch_standardized`] in one sweep — for `M`
+    /// queries and `S` samples the low GP is queried once with `M` points
+    /// and the high GP once with up to `M·S` rows, instead of `M·(S+1)`
+    /// pointwise posteriors. The moment-matching reduction stays in sample
+    /// order per query.
+    pub fn predict_batch_standardized(&self, points: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if points.is_empty() {
+            return Vec::new();
+        }
         let s = self.mc_samples;
+        let lows = self.low.predict_batch_standardized(points);
 
-        let mut z = x.to_vec();
-        z.push(0.0);
-        let last = z.len() - 1;
-
-        if s == 1 || sl < 1e-12 {
-            // Plug-in: low-fidelity value is effectively known.
-            z[last] = ml;
-            let (m, v) = self.high.predict_standardized(&z);
-            return self.destandardize(m, v);
+        // Build the augmented high-GP rows for every query: one plug-in row
+        // when the low posterior is effectively deterministic, otherwise S
+        // stratified quantile rows fl_k = μ + σ Φ⁻¹((k+½)/S).
+        let mut rows: Vec<Vec<f64>> = Vec::with_capacity(points.len());
+        let mut counts: Vec<usize> = Vec::with_capacity(points.len());
+        for (x, &(ml, vl)) in points.iter().zip(&lows) {
+            let sl = vl.max(0.0).sqrt();
+            let mut z = x.clone();
+            z.push(0.0);
+            let last = z.len() - 1;
+            if s == 1 || sl < 1e-12 {
+                z[last] = ml;
+                rows.push(z);
+                counts.push(1);
+            } else {
+                for k in 0..s {
+                    let q = (k as f64 + 0.5) / s as f64;
+                    let mut zk = z.clone();
+                    zk[last] = ml + sl * norm_inv_cdf(q);
+                    rows.push(zk);
+                }
+                counts.push(s);
+            }
         }
+        let highs = self.high_batch_pooled(&rows);
 
-        // Stratified normal quantiles: fl_k = μ + σ Φ⁻¹((k+½)/S). The
-        // quantiles are fixed up front, so the per-sample high-GP posteriors
-        // are pure and can run on the pool; the moment-matching reduction
-        // below stays in sample order for bit-identical results.
-        let samples = par_map_indexed(self.parallelism, s, |k| {
-            let q = (k as f64 + 0.5) / s as f64;
-            let mut zk = z.clone();
-            zk[last] = ml + sl * norm_inv_cdf(q);
-            self.high.predict_standardized(&zk)
-        });
-        let mut means = Vec::with_capacity(s);
-        let mut mean_sum = 0.0;
-        let mut var_sum = 0.0;
-        for (m, v) in samples {
-            mean_sum += m;
-            var_sum += v;
-            means.push(m);
+        // Moment-match each query's sample block in order (law of total
+        // variance: E[σ²] + Var[μ]).
+        let mut out = Vec::with_capacity(points.len());
+        let mut offset = 0;
+        for &c in &counts {
+            let samples = &highs[offset..offset + c];
+            offset += c;
+            if c == 1 {
+                out.push(samples[0]);
+                continue;
+            }
+            let mut means = Vec::with_capacity(c);
+            let mut mean_sum = 0.0;
+            let mut var_sum = 0.0;
+            for &(m, v) in samples {
+                mean_sum += m;
+                var_sum += v;
+                means.push(m);
+            }
+            let mean = mean_sum / c as f64;
+            let var_of_means =
+                means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / c as f64;
+            out.push((mean, var_sum / c as f64 + var_of_means));
         }
-        let mean = mean_sum / s as f64;
-        // Law of total variance: E[σ²] + Var[μ].
-        let var_of_means = means.iter().map(|m| (m - mean) * (m - mean)).sum::<f64>() / s as f64;
-        let var = var_sum / s as f64 + var_of_means;
-        self.destandardize(mean, var)
+        out
+    }
+
+    /// Batched [`MfGp::predict`]: propagated raw-unit posteriors for a set
+    /// of query points, bit-identical to the pointwise calls.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<Prediction> {
+        self.predict_batch_standardized(points)
+            .into_iter()
+            .map(|(m, v)| self.destandardize(m, v))
+            .collect()
+    }
+
+    /// Runs one batched high-GP posterior sweep, split into contiguous
+    /// chunks across the pool. Each query row is independent in
+    /// [`Gp::predict_batch_standardized`], so chunking preserves bit
+    /// identity while keeping multi-worker modes busy.
+    fn high_batch_pooled(&self, rows: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        let workers = self.parallelism.workers();
+        if workers <= 1 || rows.len() < 2 {
+            return self.high.predict_batch_standardized(rows);
+        }
+        let chunk = rows.len().div_ceil(workers);
+        let chunks: Vec<&[Vec<f64>]> = rows.chunks(chunk).collect();
+        par_map_indexed(self.parallelism, chunks.len(), |i| {
+            self.high.predict_batch_standardized(chunks[i])
+        })
+        .into_iter()
+        .flatten()
+        .collect()
+    }
+
+    /// Appends one raw observation at `fidelity` by rank-one-extending the
+    /// corresponding stage's Cholesky factor — O(n²) instead of the O(n³)
+    /// refactorization of [`MfGp::fit_frozen`].
+    ///
+    /// On top of the per-stage approximations of [`Gp::append_observation`]
+    /// (frozen hyperparameters *and* frozen output standardizer), a
+    /// low-fidelity append leaves the high GP's augmented training
+    /// coordinates at their previous values — they are not recomputed
+    /// against the updated low posterior. A high-fidelity append augments
+    /// the new input with the *current* low posterior mean, exactly as a
+    /// frozen rebuild would. Opt-in for BO loops that refit periodically.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`GpError`] from [`Gp::append_observation`]; the model is
+    /// untouched on error and the caller should fall back to a full
+    /// (frozen) refit.
+    pub fn append_observation(
+        &mut self,
+        fidelity: Fidelity,
+        x: Vec<f64>,
+        y_raw: f64,
+    ) -> Result<(), GpError> {
+        match fidelity {
+            Fidelity::Low => self.low.append_observation(x, y_raw),
+            Fidelity::High => {
+                let dim = self.low.kernel().input_dim();
+                if x.len() != dim {
+                    return Err(GpError::InvalidTrainingSet {
+                        reason: format!(
+                            "appended input has dimension {} but model expects {dim}",
+                            x.len()
+                        ),
+                    });
+                }
+                let (m, _) = self.low.predict_standardized(&x);
+                let mut z = x;
+                z.push(m);
+                self.high.append_observation(z, y_raw)
+            }
+        }
     }
 
     fn destandardize(&self, mean_std: f64, var_std: f64) -> Prediction {
@@ -339,15 +455,7 @@ impl MfGp {
         let dim = xh[0].len();
         let (lp, ln) = split_theta(&thetas.low);
         let low = Gp::with_params(SquaredExponential::new(dim), xl, yl, lp, ln, true)?;
-        let aug: Vec<Vec<f64>> = xh
-            .iter()
-            .map(|x| {
-                let (m, _) = low.predict_standardized(x);
-                let mut z = x.clone();
-                z.push(m);
-                z
-            })
-            .collect();
+        let aug = augment_inputs(&low, &xh);
         let (hp, hn) = split_theta(&thetas.high);
         let high = Gp::with_params(NargpKernel::new(dim), aug, yh, hp, hn, true)?;
         Ok(MfGp {
@@ -599,5 +707,113 @@ mod tests {
         let a = model.predict(&[0.31]);
         let b = model.predict(&[0.31]);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn batched_prediction_bit_identical_to_pointwise() {
+        let model = pedagogical_model(30, 10, 12);
+        // Mix of points near and far from the low data so both the MC and
+        // (potentially) plug-in branches are exercised.
+        let queries: Vec<Vec<f64>> = (0..9).map(|i| vec![i as f64 / 8.0]).collect();
+        let batch = model.predict_batch(&queries);
+        let batch_std = model.predict_batch_standardized(&queries);
+        assert_eq!(batch.len(), queries.len());
+        for ((q, b), bs) in queries.iter().zip(&batch).zip(&batch_std) {
+            let p = model.predict(q);
+            assert_eq!(p.mean.to_bits(), b.mean.to_bits());
+            assert_eq!(p.var.to_bits(), b.var.to_bits());
+            let single = model.predict_batch_standardized(std::slice::from_ref(q));
+            assert_eq!(single[0].0.to_bits(), bs.0.to_bits());
+            assert_eq!(single[0].1.to_bits(), bs.1.to_bits());
+        }
+        assert!(model.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn batched_prediction_bit_identical_across_parallelism_modes() {
+        // The pooled chunked sweep must agree with the serial batch.
+        let model = pedagogical_model(30, 10, 14);
+        let queries: Vec<Vec<f64>> = (0..7).map(|i| vec![i as f64 / 6.0]).collect();
+        let serial = model.clone().with_parallelism(Parallelism::Serial);
+        let threaded = model.with_parallelism(Parallelism::Threads(3));
+        for (a, b) in serial
+            .predict_batch_standardized(&queries)
+            .iter()
+            .zip(&threaded.predict_batch_standardized(&queries))
+        {
+            assert_eq!(a.0.to_bits(), b.0.to_bits());
+            assert_eq!(a.1.to_bits(), b.1.to_bits());
+        }
+    }
+
+    #[test]
+    fn high_append_tracks_frozen_rebuild() {
+        let model = pedagogical_model(25, 9, 13);
+        let thetas = model.thetas();
+        let xnew = vec![0.481];
+        let ynew = fh(0.481);
+
+        let mut appended = model.clone();
+        appended
+            .append_observation(Fidelity::High, xnew.clone(), ynew)
+            .unwrap();
+        assert_eq!(appended.high().xs().len(), 10);
+
+        let mut xh: Vec<Vec<f64>> = model.high().xs().iter().map(|z| z[..1].to_vec()).collect();
+        let mut yh = model.high().ys_raw().to_vec();
+        xh.push(xnew);
+        yh.push(ynew);
+        let rebuilt = MfGp::fit_frozen(
+            model.low().xs().to_vec(),
+            model.low().ys_raw().to_vec(),
+            xh,
+            yh,
+            &thetas,
+            model.mc_samples(),
+        )
+        .unwrap();
+
+        // Same data, same hyperparameters; the only divergence is the high
+        // GP's frozen output standardizer (the rebuild re-standardizes).
+        for &x in &[0.12, 0.33, 0.481, 0.72, 0.95] {
+            let a = appended.predict(&[x]);
+            let b = rebuilt.predict(&[x]);
+            assert!(
+                (a.mean - b.mean).abs() < 0.05,
+                "at {x}: appended {} vs rebuilt {}",
+                a.mean,
+                b.mean
+            );
+            assert!((a.var - b.var).abs() < 0.05);
+        }
+    }
+
+    #[test]
+    fn low_append_extends_low_stage_only() {
+        let model = pedagogical_model(25, 9, 15);
+        let mut appended = model.clone();
+        appended
+            .append_observation(Fidelity::Low, vec![0.205], fl(0.205))
+            .unwrap();
+        assert_eq!(appended.low().xs().len(), 26);
+        // The high GP's training set (and its stale augmented coordinates)
+        // are untouched by a low-fidelity append.
+        assert_eq!(appended.high().xs(), model.high().xs());
+        let p = appended.predict(&[0.4]);
+        assert!(p.mean.is_finite() && p.var >= 0.0);
+    }
+
+    #[test]
+    fn append_invalid_input_fails_and_preserves_model() {
+        let model = pedagogical_model(20, 8, 16);
+        let before = model.predict(&[0.37]);
+        let mut m = model.clone();
+        assert!(m
+            .append_observation(Fidelity::High, vec![0.1, 0.2], 0.123)
+            .is_err());
+        assert!(m
+            .append_observation(Fidelity::Low, vec![0.1], f64::NAN)
+            .is_err());
+        assert_eq!(before, m.predict(&[0.37]));
     }
 }

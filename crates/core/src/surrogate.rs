@@ -10,6 +10,7 @@
 use crate::acquisition;
 use crate::history::FidelityData;
 use crate::nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
+use crate::problem::{Evaluation, Fidelity};
 use mfbo_gp::kernel::SquaredExponential;
 use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
 use mfbo_pool::{par_map_indexed, Parallelism};
@@ -188,6 +189,30 @@ impl MfSurrogates {
             objective,
             constraints,
         })
+    }
+
+    /// Appends one evaluation to every model in the bundle by rank-one
+    /// Cholesky extension (see [`MfGp::append_observation`]) — the O(n²)
+    /// alternative to a from-scratch [`MfSurrogates::fit_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`]. The bundle may then be *partially*
+    /// extended (earlier models appended, later ones not) — the caller must
+    /// discard it and rebuild from data, which the BO loop's frozen-refit
+    /// fallback does anyway.
+    pub fn append_observation(
+        &mut self,
+        fidelity: Fidelity,
+        x: &[f64],
+        eval: &Evaluation,
+    ) -> Result<(), GpError> {
+        self.objective
+            .append_observation(fidelity, x.to_vec(), eval.objective)?;
+        for (model, &y) in self.constraints.iter_mut().zip(&eval.constraints) {
+            model.append_observation(fidelity, x.to_vec(), y)?;
+        }
+        Ok(())
     }
 
     /// The trained hyperparameters of every model in the bundle.

@@ -1,7 +1,8 @@
 //! Gaussian-process regression model: training and posterior prediction.
 
 use crate::kernel::Kernel;
-use crate::nlml::{kernel_matrix, nlml_with_grad};
+use crate::nlml::{kernel_matrix_cached, nlml_cached, nlml_with_grad_cached, NlmlWorkspace};
+use crate::workspace::DiffBatch;
 use crate::GpError;
 use mfbo_linalg::{Cholesky, Standardizer};
 use mfbo_opt::{lbfgs::Lbfgs, sampling, Bounds};
@@ -223,7 +224,11 @@ impl<K: Kernel> Gp<K> {
         let ys_std = standardizer.transform_all(&ys);
         let theta_bounds = Self::theta_bounds(&kernel, config);
 
-        let objective = |theta: &[f64]| nlml_with_grad(&kernel, theta, &xs, &ys_std);
+        // One distance workspace for the whole fit: every NLML evaluation
+        // of every restart reuses the pairwise difference tensor (the
+        // workspace is read-only, so parallel restarts share it).
+        let ws = NlmlWorkspace::new(&xs);
+        let objective = |theta: &[f64]| nlml_with_grad_cached(&kernel, theta, &ws, &ys_std);
         let optimizer = Lbfgs::new()
             .with_max_iters(config.max_iters)
             .with_grad_tol(1e-5);
@@ -251,11 +256,15 @@ impl<K: Kernel> Gp<K> {
         let np = kernel.num_params();
         let params = theta[..np].to_vec();
         let log_noise = theta[np];
-        let km = kernel_matrix(&kernel, &params, log_noise, &xs);
+        let km = kernel_matrix_cached(&kernel, &params, log_noise, &ws);
+        drop(ws);
         let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
         let alpha = chol.solve_vec(&ys_std);
         // Start 0 is always the kernel default; 1 is the warm start when one
         // was supplied — best_start tells which strategy won this refit.
+        // `factorizations` counts Cholesky factorization entry points: one
+        // per NLML evaluation plus the final model build (jitter retries
+        // within an entry are reported separately via `cholesky_jitter`).
         mfbo_telemetry::debug_event!(
             "gp_fit",
             n = xs.len(),
@@ -264,6 +273,7 @@ impl<K: Kernel> Gp<K> {
             best_start = best_start,
             nlml = best_nlml,
             nlml_evals = nlml_evals,
+            factorizations = nlml_evals + 1,
             lbfgs_iters = lbfgs_iters,
             log_noise = log_noise,
             jitter = chol.jitter(),
@@ -317,19 +327,21 @@ impl<K: Kernel> Gp<K> {
             Standardizer::identity()
         };
         let ys_std = standardizer.transform_all(&ys);
-        let km = kernel_matrix(&kernel, &params, log_noise, &xs);
+        let ws = NlmlWorkspace::new(&xs);
+        let km = kernel_matrix_cached(&kernel, &params, log_noise, &ws);
         let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
         let alpha = chol.solve_vec(&ys_std);
-        let nlml = crate::nlml(
+        let nlml = nlml_cached(
             &kernel,
             &{
                 let mut t = params.clone();
                 t.push(log_noise);
                 t
             },
-            &xs,
+            &ws,
             &ys_std,
         );
+        drop(ws);
         Ok(Gp {
             kernel,
             params,
@@ -376,6 +388,127 @@ impl<K: Kernel> Gp<K> {
         let v = self.chol.forward_solve(&kstar);
         let var = (kss - mfbo_linalg::dot(&v, &v)).max(0.0);
         (mean, var)
+    }
+
+    /// Batched [`Gp::predict_standardized`]: one `(mean, var)` pair per
+    /// query point, bit-identical to the pointwise calls.
+    ///
+    /// The M×n cross-covariance block is assembled through the kernel's
+    /// batch hook (parameter `exp` transforms hoisted out of the M·n pair
+    /// loop) and the per-query triangular solves reuse one scratch buffer,
+    /// so the per-point cost collapses to the unavoidable O(n²) forward
+    /// solve plus O(n) dot products.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension differs from `kernel.input_dim()`.
+    pub fn predict_batch_standardized(&self, points: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        if points.is_empty() {
+            return Vec::new();
+        }
+        let n = self.xs.len();
+        mfbo_telemetry::counter!("predict_batch_points", points.len() as u64);
+        for x in points {
+            assert_eq!(x.len(), self.kernel.input_dim(), "query dimension mismatch");
+        }
+        let batch = DiffBatch::cross(points, &self.xs);
+        let mut kv = vec![0.0; batch.len()];
+        self.kernel.eval_from_diffs(&self.params, &batch, &mut kv);
+        // Prior-variance terms k(x, x) through the batch hook too: one
+        // parameter hoist for all queries instead of a scalar `eval` each.
+        let diag = DiffBatch::diagonal(points);
+        let mut kss = vec![0.0; points.len()];
+        self.kernel.eval_from_diffs(&self.params, &diag, &mut kss);
+        let mut v = vec![0.0; n];
+        let mut out = Vec::with_capacity(points.len());
+        for (kstar, &kss_q) in kv.chunks_exact(n.max(1)).zip(kss.iter()) {
+            let mean = mfbo_linalg::dot(kstar, &self.alpha);
+            self.chol.forward_solve_into(kstar, &mut v);
+            let var = (kss_q - mfbo_linalg::dot(&v, &v)).max(0.0);
+            out.push((mean, var));
+        }
+        out
+    }
+
+    /// Batched [`Gp::predict`]: raw-unit predictions for a set of query
+    /// points, bit-identical to the pointwise calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension differs from `kernel.input_dim()`.
+    pub fn predict_batch(&self, points: &[Vec<f64>]) -> Vec<Prediction> {
+        self.predict_batch_standardized(points)
+            .into_iter()
+            .map(|(m, v)| Prediction {
+                mean: self.standardizer.inverse(m),
+                var: self.standardizer.inverse_std(v.max(0.0).sqrt()).powi(2),
+            })
+            .collect()
+    }
+
+    /// Appends one observation by extending the Cholesky factor in place —
+    /// O(n²) instead of the O(n³) refactorization of a full refit.
+    ///
+    /// This is an *approximate* frozen refit: hyperparameters stay fixed
+    /// (as in [`Gp::with_params`]) **and** the output standardizer is not
+    /// re-fit — the new observation is transformed with the existing one,
+    /// so the model drifts slightly from what a from-scratch frozen refit
+    /// (which re-standardizes) would produce. `α` and the stored NLML are
+    /// recomputed exactly for the extended factor. Opt-in for BO loops that
+    /// refit hyperparameters periodically anyway; off the bit-exact
+    /// reproducibility contract.
+    ///
+    /// # Errors
+    ///
+    /// - [`GpError::InvalidTrainingSet`] for a dimension mismatch or
+    ///   non-finite observation (the model is untouched);
+    /// - [`GpError::KernelNotPositiveDefinite`] when the new point makes
+    ///   the extended matrix numerically singular at the current jitter
+    ///   (e.g. a near-duplicate input) — the model is untouched and the
+    ///   caller should fall back to a full refit.
+    pub fn append_observation(&mut self, x: Vec<f64>, y_raw: f64) -> Result<(), GpError> {
+        if x.len() != self.kernel.input_dim() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: format!(
+                    "appended input has dimension {} but kernel expects {}",
+                    x.len(),
+                    self.kernel.input_dim()
+                ),
+            });
+        }
+        if !y_raw.is_finite() {
+            return Err(GpError::InvalidTrainingSet {
+                reason: "non-finite observation".into(),
+            });
+        }
+        let n = self.xs.len();
+        let mut k_new = vec![0.0; n];
+        for (k, xi) in k_new.iter_mut().zip(&self.xs) {
+            // Argument order matches the kernel-matrix build's
+            // `eval(xs[i], xs[j])` for row i = n.
+            *k = self.kernel.eval(&self.params, &x, xi);
+        }
+        let sn2 = (2.0 * self.log_noise).exp();
+        // Fold noise and the factor's jitter into the diagonal exactly as
+        // the kernel-matrix build + factorization would, so the appended
+        // row matches a from-scratch factorization bit for bit.
+        let diag = (self.kernel.eval(&self.params, &x, &x) + sn2) + self.chol.jitter();
+        self.chol.append_row(&k_new, diag)?;
+        let y_std = self.standardizer.transform(y_raw);
+        self.xs.push(x);
+        self.ys_raw.push(y_raw);
+        self.ys.push(y_std);
+        // Two O(n²) triangular solves refresh α exactly; NLML follows in
+        // closed form from the updated factor, using the same `‖L⁻¹y‖²`
+        // quadratic form as the training-path NLML so the stored value
+        // matches a from-scratch frozen refit.
+        self.alpha = self.chol.solve_vec(&self.ys);
+        self.nlml = 0.5
+            * (self.chol.quad_form(&self.ys)
+                + self.chol.log_det()
+                + (n + 1) as f64 * crate::nlml::LOG_2PI);
+        mfbo_telemetry::counter!("chol_rank1_appends", 1u64);
+        Ok(())
     }
 
     /// Posterior prediction including observation noise (paper eq. 4).
@@ -797,6 +930,119 @@ mod tests {
         assert!(noisy.var >= latent.var);
         assert_eq!(noisy.mean, latent.mean);
         assert!(latent.std_dev() >= 0.0);
+    }
+
+    #[test]
+    fn batched_predict_bit_identical_to_pointwise() {
+        let (xs, ys) = sine_data(20);
+        let gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs,
+            ys,
+            &GpConfig::fast(),
+            &mut rng(),
+        )
+        .unwrap();
+        let queries: Vec<Vec<f64>> = (0..31).map(|i| vec![i as f64 / 30.0 * 1.4 - 0.2]).collect();
+        let batched = gp.predict_batch_standardized(&queries);
+        assert_eq!(batched.len(), queries.len());
+        for (q, &(m, v)) in queries.iter().zip(&batched) {
+            let (pm, pv) = gp.predict_standardized(q);
+            assert_eq!(m.to_bits(), pm.to_bits());
+            assert_eq!(v.to_bits(), pv.to_bits());
+        }
+        let raw = gp.predict_batch(&queries);
+        for (q, r) in queries.iter().zip(&raw) {
+            let p = gp.predict(q);
+            assert_eq!(r.mean.to_bits(), p.mean.to_bits());
+            assert_eq!(r.var.to_bits(), p.var.to_bits());
+        }
+        assert!(gp.predict_batch_standardized(&[]).is_empty());
+    }
+
+    #[test]
+    fn append_observation_matches_frozen_rebuild() {
+        // Without standardization the appended model must coincide with a
+        // from-scratch frozen refit on the extended data: the appended
+        // Cholesky row solves the same recurrence the factorization does.
+        let (xs, ys) = sine_data(12);
+        let k = SquaredExponential::new(1);
+        let params = vec![0.1, -1.0];
+        let mut gp = Gp::with_params(
+            k.clone(),
+            xs[..11].to_vec(),
+            ys[..11].to_vec(),
+            params.clone(),
+            -2.0,
+            false,
+        )
+        .unwrap();
+        gp.append_observation(xs[11].clone(), ys[11]).unwrap();
+        let rebuilt = Gp::with_params(k, xs.clone(), ys, params, -2.0, false).unwrap();
+        assert_eq!(gp.len(), 12);
+        assert_eq!(gp.nlml().to_bits(), rebuilt.nlml().to_bits());
+        for q in [&[0.17][..], &[0.5], &[0.93]] {
+            let (am, av) = gp.predict_standardized(q);
+            let (rm, rv) = rebuilt.predict_standardized(q);
+            assert_eq!(am.to_bits(), rm.to_bits());
+            assert_eq!(av.to_bits(), rv.to_bits());
+        }
+    }
+
+    #[test]
+    fn append_observation_keeps_standardizer_frozen() {
+        let (xs, ys) = sine_data(10);
+        let mut gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs[..9].to_vec(),
+            ys[..9].to_vec(),
+            &GpConfig::fast(),
+            &mut rng(),
+        )
+        .unwrap();
+        let before = *gp.standardizer();
+        gp.append_observation(xs[9].clone(), ys[9]).unwrap();
+        assert_eq!(gp.standardizer().mean(), before.mean());
+        assert_eq!(gp.standardizer().std(), before.std());
+        // Tolerance contract vs a true frozen refit (which re-standardizes):
+        // predictions agree closely but not bitwise.
+        let rebuilt = Gp::with_params(
+            gp.kernel().clone(),
+            xs,
+            ys,
+            gp.params().to_vec(),
+            gp.log_noise(),
+            true,
+        )
+        .unwrap();
+        for q in [&[0.25][..], &[0.75]] {
+            let a = gp.predict(q);
+            let r = rebuilt.predict(q);
+            assert!((a.mean - r.mean).abs() < 1e-6, "{} vs {}", a.mean, r.mean);
+            assert!((a.var - r.var).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn append_observation_rejects_bad_input() {
+        let (xs, ys) = sine_data(8);
+        let mut gp = Gp::fit(
+            SquaredExponential::new(1),
+            xs.clone(),
+            ys,
+            &GpConfig::fast(),
+            &mut rng(),
+        )
+        .unwrap();
+        assert!(matches!(
+            gp.append_observation(vec![0.1, 0.2], 1.0),
+            Err(GpError::InvalidTrainingSet { .. })
+        ));
+        assert!(matches!(
+            gp.append_observation(vec![0.1], f64::NAN),
+            Err(GpError::InvalidTrainingSet { .. })
+        ));
+        assert_eq!(gp.len(), 8);
     }
 
     #[test]

@@ -9,6 +9,7 @@
 //! The gradient convention: [`Kernel::eval_grad`] writes `∂k/∂p_j` (the
 //! derivative with respect to the *log* parameter) into the output slice.
 
+use crate::workspace::DiffBatch;
 use std::fmt::Debug;
 
 /// A positive-definite covariance function over `R^dim`.
@@ -31,6 +32,78 @@ pub trait Kernel: Debug + Clone + Send + Sync {
     ///
     /// Implementations may panic if `grad.len() != self.num_params()`.
     fn eval_grad(&self, p: &[f64], a: &[f64], b: &[f64], grad: &mut [f64]) -> f64;
+
+    /// Evaluates the kernel over every pair of a precomputed difference
+    /// workspace, writing one value per pair into `out` (pair order).
+    ///
+    /// The contract is **bit-identity** with calling [`Kernel::eval`] on
+    /// each pair: overrides may only reorganize parameter-dependent work
+    /// (hoisting `exp(log θ)` transforms out of the pair loop), never the
+    /// per-pair floating-point sequence. The default does exactly the
+    /// per-pair calls, so kernels that cannot be evaluated from differences
+    /// alone (non-stationary or third-party kernels) remain correct.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `out.len() != batch.len()` or the batch
+    /// dimension does not match [`Kernel::input_dim`].
+    fn eval_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), batch.len());
+        for (q, o) in out.iter_mut().enumerate() {
+            let (a, b) = batch.pair_points(q);
+            *o = self.eval(p, a, b);
+        }
+    }
+
+    /// Accumulates the weighted parameter gradient over every pair of a
+    /// difference workspace: `acc[j] += weights[q] · ∂k_q/∂p_j`, pairs in
+    /// order, parameters innermost — the exact accumulation the NLML
+    /// gradient performs pair by pair, so overrides are bit-identical to
+    /// the default as long as they keep that order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `weights.len() != batch.len()` or
+    /// `acc.len() != self.num_params()`.
+    fn grad_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, weights: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(weights.len(), batch.len());
+        debug_assert_eq!(acc.len(), self.num_params());
+        let mut kg = vec![0.0; self.num_params()];
+        for (q, &w) in weights.iter().enumerate() {
+            let (a, b) = batch.pair_points(q);
+            self.eval_grad(p, a, b, &mut kg);
+            for (g, &dk) in acc.iter_mut().zip(kg.iter()) {
+                *g += w * dk;
+            }
+        }
+    }
+
+    /// [`Kernel::grad_from_diffs`] with the kernel values of the same batch
+    /// (as produced by [`Kernel::eval_from_diffs`] under the same `p`)
+    /// supplied by the caller. The NLML gradient always evaluates the kernel
+    /// matrix first, so kernels whose parameter gradient factors through the
+    /// kernel value (e.g. squared-exponential: `∂k/∂log σ_f = 2k`,
+    /// `∂k/∂log ℓ_i = k z_i²`) can skip the per-pair `exp` entirely. The
+    /// supplied value is the bit-exact `f64` the gradient path would have
+    /// recomputed, so overrides remain bit-identical. The default ignores
+    /// `values` and delegates to [`Kernel::grad_from_diffs`].
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `values.len() != batch.len()` or the
+    /// other slice lengths disagree as in [`Kernel::grad_from_diffs`].
+    fn grad_from_diffs_with_values(
+        &self,
+        p: &[f64],
+        batch: &DiffBatch<'_>,
+        weights: &[f64],
+        values: &[f64],
+        acc: &mut [f64],
+    ) {
+        debug_assert_eq!(values.len(), batch.len());
+        let _ = values;
+        self.grad_from_diffs(p, batch, weights, acc);
+    }
 
     /// A reasonable starting point for hyperparameter optimization, assuming
     /// inputs roughly in the unit box and standardized outputs.
@@ -110,6 +183,80 @@ impl Kernel for SquaredExponential {
             grad[1 + i] = k * z2[i];
         }
         k
+    }
+
+    fn eval_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), batch.len());
+        debug_assert_eq!(batch.dim(), self.dim);
+        // The only parameter-dependent scalars: hoisted out of the pair
+        // loop. Per pair, the arithmetic below is the exact sequence of
+        // `eval` (signed difference × inv_l, squared, accumulated in
+        // dimension order), so values are bit-identical.
+        let sf2 = (2.0 * p[0]).exp();
+        let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        for (d, o) in batch.diffs().chunks_exact(self.dim).zip(out.iter_mut()) {
+            let mut q = 0.0;
+            for (di, li) in d.iter().zip(&inv_l) {
+                let z = di * li;
+                q += z * z;
+            }
+            *o = sf2 * (-0.5 * q).exp();
+        }
+    }
+
+    fn grad_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, weights: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(weights.len(), batch.len());
+        debug_assert_eq!(acc.len(), self.num_params());
+        debug_assert_eq!(batch.dim(), self.dim);
+        let sf2 = (2.0 * p[0]).exp();
+        let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        // One scratch for the whole batch instead of `eval_grad`'s
+        // per-pair allocation.
+        let mut z2 = vec![0.0; self.dim];
+        for (d, &w) in batch.diffs().chunks_exact(self.dim).zip(weights.iter()) {
+            let mut q = 0.0;
+            for i in 0..self.dim {
+                let z = d[i] * inv_l[i];
+                z2[i] = z * z;
+                q += z2[i];
+            }
+            let k = sf2 * (-0.5 * q).exp();
+            acc[0] += w * (2.0 * k);
+            for i in 0..self.dim {
+                acc[1 + i] += w * (k * z2[i]);
+            }
+        }
+    }
+
+    fn grad_from_diffs_with_values(
+        &self,
+        p: &[f64],
+        batch: &DiffBatch<'_>,
+        weights: &[f64],
+        values: &[f64],
+        acc: &mut [f64],
+    ) {
+        debug_assert_eq!(weights.len(), batch.len());
+        debug_assert_eq!(values.len(), batch.len());
+        debug_assert_eq!(acc.len(), self.num_params());
+        debug_assert_eq!(batch.dim(), self.dim);
+        // The SE gradient factors through the kernel value (`2k` and
+        // `k z_i²`), and `values[q]` is the bit-exact `k` the pair loop of
+        // `grad_from_diffs` would recompute — so the per-pair `exp`
+        // disappears and only the `z_i²` products remain.
+        let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        for ((d, &w), &k) in batch
+            .diffs()
+            .chunks_exact(self.dim)
+            .zip(weights.iter())
+            .zip(values.iter())
+        {
+            acc[0] += w * (2.0 * k);
+            for i in 0..self.dim {
+                let z = d[i] * inv_l[i];
+                acc[1 + i] += w * (k * (z * z));
+            }
+        }
     }
 
     fn default_params(&self) -> Vec<f64> {
@@ -202,6 +349,59 @@ impl Kernel for Matern52 {
             }
         }
         k
+    }
+
+    fn eval_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), batch.len());
+        debug_assert_eq!(batch.dim(), self.dim);
+        let sf2 = (2.0 * p[0]).exp();
+        let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        for (d, o) in batch.diffs().chunks_exact(self.dim).zip(out.iter_mut()) {
+            let mut q = 0.0;
+            for (di, li) in d.iter().zip(&inv_l) {
+                let z = di * li;
+                q += z * z;
+            }
+            let r = q.sqrt();
+            let s5r = 5.0f64.sqrt() * r;
+            *o = sf2 * (1.0 + s5r + 5.0 * q / 3.0) * (-s5r).exp();
+        }
+    }
+
+    fn grad_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, weights: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(weights.len(), batch.len());
+        debug_assert_eq!(acc.len(), self.num_params());
+        debug_assert_eq!(batch.dim(), self.dim);
+        let sf2 = (2.0 * p[0]).exp();
+        let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        let sqrt5 = 5.0f64.sqrt();
+        let mut z2 = vec![0.0; self.dim];
+        for (d, &w) in batch.diffs().chunks_exact(self.dim).zip(weights.iter()) {
+            let mut q = 0.0;
+            for i in 0..self.dim {
+                let z = d[i] * inv_l[i];
+                z2[i] = z * z;
+                q += z2[i];
+            }
+            let r = q.sqrt();
+            let s5r = sqrt5 * r;
+            let e = (-s5r).exp();
+            let k = sf2 * (1.0 + s5r + 5.0 * q / 3.0) * e;
+            acc[0] += w * (2.0 * k);
+            if r > 1e-300 {
+                let dk_dr = -(5.0 * r / 3.0) * (1.0 + s5r) * sf2 * e;
+                for i in 0..self.dim {
+                    acc[1 + i] += w * (dk_dr * (-z2[i] / r));
+                }
+            } else {
+                // Not a no-op: the scalar path accumulates `w · 0.0`, whose
+                // sign can flip an accumulated `-0.0` to `+0.0`. Replicate
+                // it so the batch gradient stays bit-identical.
+                for i in 0..self.dim {
+                    acc[1 + i] += w * 0.0;
+                }
+            }
+        }
     }
 
     fn default_params(&self) -> Vec<f64> {
@@ -311,6 +511,91 @@ impl Kernel for NargpKernel {
             *g *= k1v;
         }
         k1v * k2v + k3v
+    }
+
+    fn eval_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, out: &mut [f64]) {
+        debug_assert_eq!(out.len(), batch.len());
+        debug_assert_eq!(batch.dim(), self.input_dim());
+        let d = self.design_dim;
+        let (p1, p2, p3) = self.split(p);
+        // All three components are SE: hoist every parameter transform.
+        let sf2_1 = (2.0 * p1[0]).exp();
+        let inv_l1 = (-p1[1]).exp();
+        let sf2_2 = (2.0 * p2[0]).exp();
+        let inv_l2: Vec<f64> = p2[1..1 + d].iter().map(|&l| (-l).exp()).collect();
+        let sf2_3 = (2.0 * p3[0]).exp();
+        let inv_l3: Vec<f64> = p3[1..1 + d].iter().map(|&l| (-l).exp()).collect();
+        for (df, o) in batch.diffs().chunks_exact(d + 1).zip(out.iter_mut()) {
+            // The augmented layout is (x_1 … x_d, f): the fidelity channel
+            // difference is the last entry, the design-space differences
+            // the first `d`.
+            let zf = df[d] * inv_l1;
+            let k1v = sf2_1 * (-0.5 * (zf * zf)).exp();
+            let mut q2 = 0.0;
+            for (di, li) in df[..d].iter().zip(&inv_l2) {
+                let z = di * li;
+                q2 += z * z;
+            }
+            let k2v = sf2_2 * (-0.5 * q2).exp();
+            let mut q3 = 0.0;
+            for (di, li) in df[..d].iter().zip(&inv_l3) {
+                let z = di * li;
+                q3 += z * z;
+            }
+            let k3v = sf2_3 * (-0.5 * q3).exp();
+            *o = k1v * k2v + k3v;
+        }
+    }
+
+    fn grad_from_diffs(&self, p: &[f64], batch: &DiffBatch<'_>, weights: &[f64], acc: &mut [f64]) {
+        debug_assert_eq!(weights.len(), batch.len());
+        debug_assert_eq!(acc.len(), self.num_params());
+        debug_assert_eq!(batch.dim(), self.input_dim());
+        let d = self.design_dim;
+        let (p1, p2, p3) = self.split(p);
+        let n1 = self.k1.num_params();
+        let n2 = self.k2.num_params();
+        let sf2_1 = (2.0 * p1[0]).exp();
+        let inv_l1 = (-p1[1]).exp();
+        let sf2_2 = (2.0 * p2[0]).exp();
+        let inv_l2: Vec<f64> = p2[1..1 + d].iter().map(|&l| (-l).exp()).collect();
+        let sf2_3 = (2.0 * p3[0]).exp();
+        let inv_l3: Vec<f64> = p3[1..1 + d].iter().map(|&l| (-l).exp()).collect();
+        let mut z2_2 = vec![0.0; d];
+        let mut z2_3 = vec![0.0; d];
+        for (df, &w) in batch.diffs().chunks_exact(d + 1).zip(weights.iter()) {
+            let zf = df[d] * inv_l1;
+            let z2f = zf * zf;
+            let k1v = sf2_1 * (-0.5 * z2f).exp();
+            let mut q2 = 0.0;
+            for i in 0..d {
+                let z = df[i] * inv_l2[i];
+                z2_2[i] = z * z;
+                q2 += z2_2[i];
+            }
+            let k2v = sf2_2 * (-0.5 * q2).exp();
+            let mut q3 = 0.0;
+            for i in 0..d {
+                let z = df[i] * inv_l3[i];
+                z2_3[i] = z * z;
+                q3 += z2_3[i];
+            }
+            let k3v = sf2_3 * (-0.5 * q3).exp();
+            // Product rule exactly as `eval_grad`: component gradients
+            // first, then the cross-scaling, then the weighted
+            // accumulation — each product parenthesized the way the scalar
+            // path computes it.
+            acc[0] += w * ((2.0 * k1v) * k2v);
+            acc[1] += w * ((k1v * z2f) * k2v);
+            acc[n1] += w * ((2.0 * k2v) * k1v);
+            for i in 0..d {
+                acc[n1 + 1 + i] += w * ((k2v * z2_2[i]) * k1v);
+            }
+            acc[n1 + n2] += w * (2.0 * k3v);
+            for i in 0..d {
+                acc[n1 + n2 + 1 + i] += w * (k3v * z2_3[i]);
+            }
+        }
     }
 
     fn default_params(&self) -> Vec<f64> {
@@ -462,6 +747,68 @@ mod tests {
         let k3 = SquaredExponential::new(1);
         let expect = k3.eval(&[0.2, -0.1], &[0.3], &[0.7]);
         assert!((direct - expect).abs() < 1e-12);
+    }
+
+    /// Batch hooks must reproduce the scalar paths bit for bit: values via
+    /// the default per-pair fallback, gradients via the default weighted
+    /// accumulation.
+    fn check_batch_bit_identity<K: Kernel>(k: &K, p: &[f64], xs: &[Vec<f64>]) {
+        let batch = crate::workspace::DiffBatch::lower_triangle(xs);
+        let mut fast = vec![0.0; batch.len()];
+        k.eval_from_diffs(p, &batch, &mut fast);
+        for (q, &v) in fast.iter().enumerate() {
+            let (a, b) = batch.pair_points(q);
+            assert_eq!(v.to_bits(), k.eval(p, a, b).to_bits(), "pair {q}");
+        }
+        let weights: Vec<f64> = (0..batch.len())
+            .map(|q| (q as f64 * 0.37).sin() - 0.3)
+            .collect();
+        let mut acc_fast = vec![0.0; k.num_params()];
+        k.grad_from_diffs(p, &batch, &weights, &mut acc_fast);
+        let mut acc_ref = vec![0.0; k.num_params()];
+        let mut kg = vec![0.0; k.num_params()];
+        for (q, &w) in weights.iter().enumerate() {
+            let (a, b) = batch.pair_points(q);
+            k.eval_grad(p, a, b, &mut kg);
+            for (g, &dk) in acc_ref.iter_mut().zip(kg.iter()) {
+                *g += w * dk;
+            }
+        }
+        for (j, (f, r)) in acc_fast.iter().zip(&acc_ref).enumerate() {
+            assert_eq!(f.to_bits(), r.to_bits(), "grad param {j}");
+        }
+        // Values-supplied gradient variant (fed the eval-pass output, as the
+        // cached NLML does) must match the same reference.
+        let mut acc_vals = vec![0.0; k.num_params()];
+        k.grad_from_diffs_with_values(p, &batch, &weights, &fast, &mut acc_vals);
+        for (j, (f, r)) in acc_vals.iter().zip(&acc_ref).enumerate() {
+            assert_eq!(f.to_bits(), r.to_bits(), "grad-with-values param {j}");
+        }
+        // Diagonal batch must reproduce the scalar eval(x, x) terms.
+        let dbatch = crate::workspace::DiffBatch::diagonal(xs);
+        let mut dvals = vec![0.0; dbatch.len()];
+        k.eval_from_diffs(p, &dbatch, &mut dvals);
+        for (i, &v) in dvals.iter().enumerate() {
+            assert_eq!(v.to_bits(), k.eval(p, &xs[i], &xs[i]).to_bits(), "diag {i}");
+        }
+    }
+
+    #[test]
+    fn batch_hooks_bit_identical_to_scalar_paths() {
+        let xs: Vec<Vec<f64>> = (0..7)
+            .map(|i| {
+                (0..3)
+                    .map(|t| ((i * 5 + t * 3) % 11) as f64 / 11.0)
+                    .collect()
+            })
+            .collect();
+        check_batch_bit_identity(&SquaredExponential::new(3), &[0.3, -0.5, 0.2, 0.9], &xs);
+        check_batch_bit_identity(&Matern52::new(3), &[0.2, -0.3, 0.4, 0.0], &xs);
+        check_batch_bit_identity(
+            &NargpKernel::new(2),
+            &[0.1, -0.2, 0.3, 0.0, -0.4, -1.0, 0.5, -0.3],
+            &xs,
+        );
     }
 
     #[test]

@@ -43,7 +43,9 @@ mod error;
 mod gp;
 pub mod kernel;
 mod nlml;
+pub mod workspace;
 
 pub use error::GpError;
 pub use gp::{Gp, GpConfig, Prediction};
-pub use nlml::{nlml, nlml_with_grad};
+pub use nlml::{nlml, nlml_cached, nlml_with_grad, nlml_with_grad_cached, NlmlWorkspace};
+pub use workspace::DiffBatch;

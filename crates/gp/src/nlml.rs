@@ -9,9 +9,46 @@
 //! `∂NLML/∂θ_j = ½ tr((K⁻¹ − α αᵀ) ∂K/∂θ_j)` with `α = K⁻¹ y`.
 
 use crate::kernel::Kernel;
+use crate::workspace::DiffBatch;
 use mfbo_linalg::{Cholesky, Matrix};
 
-const LOG_2PI: f64 = 1.837_877_066_409_345_5;
+pub(crate) const LOG_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Per-fit workspace for repeated NLML evaluations over a fixed point set.
+///
+/// Holds the pairwise signed-difference tensor ([`DiffBatch`]) that every
+/// kernel-matrix build of the fit reuses — L-BFGS steps and restarts change
+/// only the hyperparameters, so the `O(n² d)` difference computation is paid
+/// once per fit instead of once per evaluation, and stationary kernels
+/// additionally hoist their `O(n² d)` parameter `exp` calls out of the pair
+/// loop (see [`Kernel::eval_from_diffs`]).
+///
+/// The workspace is read-only after construction and `Sync`: parallel
+/// restarts share one instance.
+pub struct NlmlWorkspace<'a> {
+    batch: DiffBatch<'a>,
+    n: usize,
+}
+
+impl<'a> NlmlWorkspace<'a> {
+    /// Builds the lower-triangle difference tensor over `xs`.
+    pub fn new(xs: &'a [Vec<f64>]) -> Self {
+        NlmlWorkspace {
+            batch: DiffBatch::lower_triangle(xs),
+            n: xs.len(),
+        }
+    }
+
+    /// Number of training points.
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the workspace covers an empty point set.
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+}
 
 /// Assembles the noisy kernel matrix `K(X,X) + σ_n² I`.
 pub(crate) fn kernel_matrix<K: Kernel>(
@@ -31,6 +68,39 @@ pub(crate) fn kernel_matrix<K: Kernel>(
         }
         k[(i, i)] += sn2;
     }
+    mfbo_telemetry::counter!("kernel_matrix_builds", 1u64);
+    k
+}
+
+/// [`kernel_matrix`] from a precomputed difference workspace: same matrix
+/// bit for bit, but the per-pair kernel values come from the batch hook.
+pub(crate) fn kernel_matrix_cached<K: Kernel>(
+    kernel: &K,
+    p: &[f64],
+    log_noise: f64,
+    ws: &NlmlWorkspace<'_>,
+) -> Matrix {
+    let mut kv = vec![0.0; ws.batch.len()];
+    kernel.eval_from_diffs(p, &ws.batch, &mut kv);
+    assemble_from_lower(ws.n, &kv, (2.0 * log_noise).exp())
+}
+
+/// Mirrors the noisy lower-triangle kernel values into a full symmetric
+/// matrix — the assembly half of [`kernel_matrix`], shared by every cached
+/// path so the gradient path can keep the value buffer alive.
+fn assemble_from_lower(n: usize, kv: &[f64], sn2: f64) -> Matrix {
+    let mut k = Matrix::zeros(n, n);
+    let mut q = 0;
+    for i in 0..n {
+        for j in 0..=i {
+            let v = kv[q];
+            q += 1;
+            k[(i, j)] = v;
+            k[(j, i)] = v;
+        }
+        k[(i, i)] += sn2;
+    }
+    mfbo_telemetry::counter!("kernel_matrix_builds", 1u64);
     k
 }
 
@@ -52,7 +122,37 @@ pub fn nlml<K: Kernel>(kernel: &K, theta: &[f64], xs: &[Vec<f64>], ys: &[f64]) -
     let (kp, log_noise) = theta.split_at(kernel.num_params());
     let n = xs.len();
     let km = kernel_matrix(kernel, kp, log_noise[0], xs);
-    let chol = match Cholesky::new_with_jitter(&km, 1e-10, 1e-4) {
+    mfbo_telemetry::counter!("nlml_evals", 1u64);
+    nlml_from_matrix(&km, n, ys)
+}
+
+/// [`nlml`] evaluated through a per-fit difference workspace — bit-identical
+/// to the naive path, which it uses as its differential-testing reference.
+///
+/// # Panics
+///
+/// Panics if `theta.len() != kernel.num_params() + 1` or if the workspace
+/// and `ys` lengths disagree.
+pub fn nlml_cached<K: Kernel>(
+    kernel: &K,
+    theta: &[f64],
+    ws: &NlmlWorkspace<'_>,
+    ys: &[f64],
+) -> f64 {
+    assert_eq!(
+        theta.len(),
+        kernel.num_params() + 1,
+        "theta layout mismatch"
+    );
+    assert_eq!(ws.n, ys.len(), "workspace/ys length mismatch");
+    let (kp, log_noise) = theta.split_at(kernel.num_params());
+    let km = kernel_matrix_cached(kernel, kp, log_noise[0], ws);
+    mfbo_telemetry::counter!("nlml_evals", 1u64);
+    nlml_from_matrix(&km, ws.n, ys)
+}
+
+fn nlml_from_matrix(km: &Matrix, n: usize, ys: &[f64]) -> f64 {
+    let chol = match Cholesky::new_with_jitter(km, 1e-10, 1e-4) {
         Ok(c) => c,
         Err(_) => return f64::INFINITY,
     };
@@ -85,6 +185,7 @@ pub fn nlml_with_grad<K: Kernel>(
     let (kp, log_noise) = theta.split_at(np);
     let n = xs.len();
     let km = kernel_matrix(kernel, kp, log_noise[0], xs);
+    mfbo_telemetry::counter!("nlml_evals", 1u64);
     let chol = match Cholesky::new_with_jitter(&km, 1e-10, 1e-4) {
         Ok(c) => c,
         Err(_) => return (f64::INFINITY, vec![0.0; theta.len()]),
@@ -110,6 +211,74 @@ pub fn nlml_with_grad<K: Kernel>(
                 grad[np] += weight * 2.0 * sn2;
             }
         }
+    }
+    (value, grad)
+}
+
+/// [`nlml_with_grad`] evaluated through a per-fit difference workspace.
+///
+/// Bit-identical to the naive path: the trace weights `Wᵢⱼ` are computed in
+/// the same lower-triangle order and handed to
+/// [`Kernel::grad_from_diffs_with_values`] (together with the kernel values
+/// the eval pass already produced), whose accumulation contract matches the
+/// naive pair-by-pair loop exactly. The noise-slot gradient is a separate
+/// accumulator, so summing it over the diagonal afterwards reproduces the
+/// naive interleaved order bit for bit.
+///
+/// # Panics
+///
+/// Panics if `theta.len() != kernel.num_params() + 1` or if the workspace
+/// and `ys` lengths disagree.
+pub fn nlml_with_grad_cached<K: Kernel>(
+    kernel: &K,
+    theta: &[f64],
+    ws: &NlmlWorkspace<'_>,
+    ys: &[f64],
+) -> (f64, Vec<f64>) {
+    assert_eq!(
+        theta.len(),
+        kernel.num_params() + 1,
+        "theta layout mismatch"
+    );
+    assert_eq!(ws.n, ys.len(), "workspace/ys length mismatch");
+    let np = kernel.num_params();
+    let (kp, log_noise) = theta.split_at(np);
+    let n = ws.n;
+    // Keep the raw (noise-free) kernel values of the eval pass alive: the
+    // gradient hook below reuses them, saving kernels whose gradient
+    // factors through the value a second per-pair `exp` sweep.
+    let mut kv = vec![0.0; ws.batch.len()];
+    kernel.eval_from_diffs(kp, &ws.batch, &mut kv);
+    let sn2 = (2.0 * log_noise[0]).exp();
+    let km = assemble_from_lower(n, &kv, sn2);
+    mfbo_telemetry::counter!("nlml_evals", 1u64);
+    let chol = match Cholesky::new_with_jitter(&km, 1e-10, 1e-4) {
+        Ok(c) => c,
+        Err(_) => return (f64::INFINITY, vec![0.0; theta.len()]),
+    };
+    let alpha = chol.solve_vec(ys);
+    let value = 0.5 * (mfbo_linalg::dot(ys, &alpha) + chol.log_det() + n as f64 * LOG_2PI);
+
+    // W = K⁻¹ − α αᵀ (symmetric), flattened in lower-triangle pair order
+    // (diagonal entries carry the ½ trace factor). Only the lower triangle
+    // of K⁻¹ is read, so the early-stopped inverse suffices — its computed
+    // entries are bit-identical to the full inverse.
+    let kinv = chol.inverse_lower();
+    let mut weights = vec![0.0; ws.batch.len()];
+    let mut q = 0;
+    for i in 0..n {
+        for j in 0..=i {
+            let w = kinv[(i, j)] - alpha[i] * alpha[j];
+            weights[q] = if i == j { 0.5 * w } else { w };
+            q += 1;
+        }
+    }
+    let mut grad = vec![0.0; theta.len()];
+    kernel.grad_from_diffs_with_values(kp, &ws.batch, &weights, &kv, &mut grad[..np]);
+    for i in 0..n {
+        // Diagonal pair (i, i) sits at lower-triangle index i(i+3)/2.
+        let weight = weights[i * (i + 3) / 2];
+        grad[np] += weight * 2.0 * sn2;
     }
     (value, grad)
 }
@@ -186,6 +355,24 @@ mod tests {
                 "param {j}: numeric {num} vs analytic {}",
                 g[j]
             );
+        }
+    }
+
+    #[test]
+    fn cached_path_bit_identical_to_naive() {
+        let (xs, ys) = toy_data();
+        let k = SquaredExponential::new(1);
+        let ws = NlmlWorkspace::new(&xs);
+        for theta in [[0.2, -0.8, -1.5], [0.0, -1.0, -3.0], [1.0, 0.5, -2.0]] {
+            let naive = nlml(&k, &theta, &xs, &ys);
+            let cached = nlml_cached(&k, &theta, &ws, &ys);
+            assert_eq!(naive.to_bits(), cached.to_bits());
+            let (nv, ng) = nlml_with_grad(&k, &theta, &xs, &ys);
+            let (cv, cg) = nlml_with_grad_cached(&k, &theta, &ws, &ys);
+            assert_eq!(nv.to_bits(), cv.to_bits());
+            for (a, b) in ng.iter().zip(&cg) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
         }
     }
 

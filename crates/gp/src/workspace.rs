@@ -1,0 +1,264 @@
+//! Precomputed pairwise-difference workspaces for batch kernel evaluation.
+//!
+//! Every NLML evaluation of a fit rebuilds the kernel matrix over the *same*
+//! point set — only the hyperparameters change between L-BFGS steps and
+//! restarts. A [`DiffBatch`] materializes the per-dimension signed
+//! differences `a_i - b_i` for every pair once, so the per-evaluation work
+//! collapses to the parameter-dependent part (for stationary kernels, a
+//! handful of `exp` calls hoisted out of the pair loop — see
+//! [`Kernel::eval_from_diffs`](crate::kernel::Kernel::eval_from_diffs)).
+//!
+//! The stored differences are the exact floating-point values the scalar
+//! kernel paths compute internally (signed, *not* squared: `(a-b)·w` and
+//! `√((a-b)²)·w` differ in floating point), which is what lets the batch
+//! paths reproduce the scalar paths bit for bit.
+
+/// Pairwise signed-difference tensor over two point sets, plus the pair
+/// index map.
+///
+/// Two layouts exist:
+/// - [`DiffBatch::lower_triangle`] — all pairs `(i, j)` with `j ≤ i` of one
+///   set, in the row-major lower-triangle order the kernel-matrix builder
+///   walks. Used by NLML training.
+/// - [`DiffBatch::cross`] — all pairs of an `M`-point query set against an
+///   `n`-point training set, query-major. Used by batched prediction.
+#[derive(Debug)]
+pub struct DiffBatch<'a> {
+    left: &'a [Vec<f64>],
+    right: &'a [Vec<f64>],
+    dim: usize,
+    /// Number of pairs.
+    count: usize,
+    /// Pair layout: `(i, j)` indices are computed from `q` on demand, so no
+    /// per-pair index storage is built (the batch kernel hooks never look at
+    /// indices, only the fallback path does).
+    index: PairIndex,
+    /// Row-major `len() × dim` tensor: `diffs[q*dim + t] = left[t] - right[t]`
+    /// for pair `q`.
+    diffs: Vec<f64>,
+}
+
+/// How pair `q` maps to `(left[i], right[j])` for each constructor layout.
+#[derive(Debug)]
+enum PairIndex {
+    /// `(0,0), (1,0), (1,1), (2,0), …` — row `i` starts at `i(i+1)/2`.
+    LowerTriangle,
+    /// Query-major: `i = q / right.len()`, `j = q % right.len()`.
+    Cross,
+    /// `(q, q)`.
+    Diagonal,
+}
+
+impl<'a> DiffBatch<'a> {
+    /// Workspace over the lower triangle (`j ≤ i`) of one point set, in the
+    /// `(0,0), (1,0), (1,1), (2,0), …` order of the kernel-matrix builder.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn lower_triangle(xs: &'a [Vec<f64>]) -> Self {
+        let n = xs.len();
+        let dim = xs.first().map_or(0, Vec::len);
+        let count = n * (n + 1) / 2;
+        let mut diffs = vec![0.0; count * dim];
+        let mut idx = 0;
+        for (i, a) in xs.iter().enumerate() {
+            assert_eq!(a.len(), dim, "inconsistent point dimension");
+            for b in &xs[..=i] {
+                for ((o, &at), &bt) in diffs[idx..idx + dim].iter_mut().zip(a).zip(b) {
+                    *o = at - bt;
+                }
+                idx += dim;
+            }
+        }
+        DiffBatch {
+            left: xs,
+            right: xs,
+            dim,
+            count,
+            index: PairIndex::LowerTriangle,
+            diffs,
+        }
+    }
+
+    /// Workspace over all `queries × xs` pairs, query-major — pair
+    /// `qi * xs.len() + xj` is `(queries[qi], xs[xj])`, matching the
+    /// `k(x_query, x_train)` argument order of the pointwise predict path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn cross(queries: &'a [Vec<f64>], xs: &'a [Vec<f64>]) -> Self {
+        let dim = queries.first().or_else(|| xs.first()).map_or(0, Vec::len);
+        for b in xs {
+            assert_eq!(b.len(), dim, "inconsistent point dimension");
+        }
+        let count = queries.len() * xs.len();
+        let mut diffs = vec![0.0; count * dim];
+        let mut idx = 0;
+        for a in queries {
+            assert_eq!(a.len(), dim, "inconsistent query dimension");
+            for b in xs {
+                for ((o, &at), &bt) in diffs[idx..idx + dim].iter_mut().zip(a).zip(b) {
+                    *o = at - bt;
+                }
+                idx += dim;
+            }
+        }
+        DiffBatch {
+            left: queries,
+            right: xs,
+            dim,
+            count,
+            index: PairIndex::Cross,
+            diffs,
+        }
+    }
+
+    /// Workspace over the diagonal pairs `(i, i)` of one point set — the
+    /// prior-variance terms `k(x, x)` of a batched prediction. The stored
+    /// differences are the exact `a_i - a_i` values the scalar path
+    /// computes (always `+0.0` for finite inputs), so the batch hook
+    /// reproduces `eval(x, x)` bit for bit while hoisting the parameter
+    /// `exp` transforms out of the per-query loop.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn diagonal(xs: &'a [Vec<f64>]) -> Self {
+        let dim = xs.first().map_or(0, Vec::len);
+        let mut diffs = vec![0.0; xs.len() * dim];
+        let mut idx = 0;
+        for a in xs {
+            assert_eq!(a.len(), dim, "inconsistent point dimension");
+            // Deliberately `a − a`, not a constant 0.0: the batch must hold
+            // the exact value the scalar path computes for the pair (i, i).
+            #[allow(clippy::eq_op)]
+            for (o, &at) in diffs[idx..idx + dim].iter_mut().zip(a) {
+                *o = at - at;
+            }
+            idx += dim;
+        }
+        DiffBatch {
+            left: xs,
+            right: xs,
+            dim,
+            count: xs.len(),
+            index: PairIndex::Diagonal,
+            diffs,
+        }
+    }
+
+    /// Number of pairs.
+    pub fn len(&self) -> usize {
+        self.count
+    }
+
+    /// Whether the workspace holds no pairs.
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Dimensionality of the stored differences.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The flat `len() × dim` difference tensor; pair `q` occupies
+    /// `[q*dim, (q+1)*dim)`.
+    pub fn diffs(&self) -> &[f64] {
+        &self.diffs
+    }
+
+    /// The original `(a, b)` points of pair `q`, for kernels that cannot be
+    /// evaluated from differences alone (the default trait fallback).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `q >= self.len()`.
+    pub fn pair_points(&self, q: usize) -> (&[f64], &[f64]) {
+        assert!(q < self.count, "pair index out of range");
+        let (i, j) = match self.index {
+            PairIndex::LowerTriangle => {
+                // Row i covers pairs [i(i+1)/2, (i+1)(i+2)/2); invert the
+                // triangular numbering via a float sqrt, then fix rounding.
+                let mut i = (((8 * q + 1) as f64).sqrt() as usize).saturating_sub(1) / 2;
+                while (i + 1) * (i + 2) / 2 <= q {
+                    i += 1;
+                }
+                while i * (i + 1) / 2 > q {
+                    i -= 1;
+                }
+                (i, q - i * (i + 1) / 2)
+            }
+            PairIndex::Cross => (q / self.right.len(), q % self.right.len()),
+            PairIndex::Diagonal => (q, q),
+        };
+        (&self.left[i], &self.right[j])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lower_triangle_layout_and_values() {
+        let xs = vec![vec![1.0, 2.0], vec![4.0, 8.0], vec![0.5, -1.0]];
+        let b = DiffBatch::lower_triangle(&xs);
+        assert_eq!(b.len(), 6);
+        assert_eq!(b.dim(), 2);
+        // Pair order (0,0), (1,0), (1,1), (2,0), (2,1), (2,2).
+        assert_eq!(b.pair_points(1), (&xs[1][..], &xs[0][..]));
+        let d = &b.diffs()[2..4]; // pair (1,0)
+        assert_eq!(d, &[3.0, 6.0]);
+        // Diagonal pairs have zero differences.
+        assert_eq!(&b.diffs()[4..6], &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn cross_layout_and_values() {
+        let queries = vec![vec![1.0], vec![5.0]];
+        let xs = vec![vec![0.0], vec![2.0], vec![3.0]];
+        let b = DiffBatch::cross(&queries, &xs);
+        assert_eq!(b.len(), 6);
+        // Query-major: pair 4 is (queries[1], xs[1]).
+        assert_eq!(b.pair_points(4), (&queries[1][..], &xs[1][..]));
+        assert_eq!(b.diffs(), &[1.0, -1.0, -2.0, 5.0, 3.0, 2.0]);
+    }
+
+    #[test]
+    fn lower_triangle_pair_index_inversion_is_exact() {
+        // The lazy (i, j) recovery must match the construction order for
+        // every pair, including around the float-sqrt rounding boundaries.
+        let xs: Vec<Vec<f64>> = (0..40).map(|i| vec![i as f64]).collect();
+        let b = DiffBatch::lower_triangle(&xs);
+        let mut q = 0;
+        for i in 0..xs.len() {
+            for j in 0..=i {
+                assert_eq!(b.pair_points(q), (&xs[i][..], &xs[j][..]));
+                q += 1;
+            }
+        }
+        assert_eq!(q, b.len());
+    }
+
+    #[test]
+    fn diagonal_layout_and_values() {
+        let xs = vec![vec![1.0, 2.0], vec![4.0, 8.0], vec![0.5, -1.0]];
+        let b = DiffBatch::diagonal(&xs);
+        assert_eq!(b.len(), 3);
+        assert_eq!(b.dim(), 2);
+        assert_eq!(b.pair_points(1), (&xs[1][..], &xs[1][..]));
+        assert!(b.diffs().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn differences_are_signed_exact_values() {
+        // The workspace must store a−b, not |a−b| or (a−b)²: the scalar
+        // kernel path scales the signed difference before squaring.
+        let xs = vec![vec![0.1], vec![0.3]];
+        let b = DiffBatch::lower_triangle(&xs);
+        assert_eq!(b.diffs()[1].to_bits(), (0.3f64 - 0.1f64).to_bits());
+    }
+}

@@ -1,7 +1,9 @@
 //! Property-based tests of the kernel and GP layers.
 
 use mfbo_gp::kernel::{Kernel, Matern52, NargpKernel, SquaredExponential};
-use mfbo_gp::{nlml, nlml_with_grad, Gp, GpConfig};
+use mfbo_gp::{
+    nlml, nlml_cached, nlml_with_grad, nlml_with_grad_cached, Gp, GpConfig, NlmlWorkspace,
+};
 use mfbo_linalg::{Cholesky, Matrix};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
@@ -119,6 +121,139 @@ proptest! {
             let pb = b.predict(&[q]);
             prop_assert!((pb.mean - pa.mean - shift).abs() < 1e-9);
             prop_assert!((pb.var - pa.var).abs() < 1e-9 * (1.0 + pa.var));
+        }
+    }
+}
+
+/// Bit-identity pins for the cached hot paths: the workspace-backed NLML
+/// (value and gradient) and the batched posterior must reproduce the naive
+/// per-pair/per-point paths **exactly** — compared via `f64::to_bits`, no
+/// tolerances — for every kernel that overrides the batch hooks.
+mod bit_identity {
+    use super::*;
+    use proptest::TestCaseError;
+
+    fn check_nlml_cached<K: Kernel>(
+        kernel: &K,
+        theta: &[f64],
+        xs: &[Vec<f64>],
+        ys: &[f64],
+    ) -> Result<(), TestCaseError> {
+        let ws = NlmlWorkspace::new(xs);
+        let naive = nlml(kernel, theta, xs, ys);
+        let cached = nlml_cached(kernel, theta, &ws, ys);
+        prop_assert_eq!(naive.to_bits(), cached.to_bits());
+        let (nv, ng) = nlml_with_grad(kernel, theta, xs, ys);
+        let (cv, cg) = nlml_with_grad_cached(kernel, theta, &ws, ys);
+        prop_assert_eq!(nv.to_bits(), cv.to_bits());
+        for (a, b) in ng.iter().zip(&cg) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        #[test]
+        fn cached_nlml_bit_identical_se(
+            xs in points(9, 2),
+            logsf in -0.5f64..0.5,
+            logl in -1.5f64..0.5,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0] - x[1]).sin()).collect();
+            let k = SquaredExponential::new(2);
+            check_nlml_cached(&k, &[logsf, logl, -1.0, -2.0], &xs, &ys)?;
+        }
+
+        #[test]
+        fn cached_nlml_bit_identical_matern(
+            xs in points(8, 2),
+            logsf in -0.5f64..0.5,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| x[0] * x[0] - 0.3 * x[1]).collect();
+            let k = Matern52::new(2);
+            check_nlml_cached(&k, &[logsf, -0.4, 0.2, -2.5], &xs, &ys)?;
+        }
+
+        #[test]
+        fn cached_nlml_bit_identical_nargp(xs in points(8, 3)) {
+            // Augmented input: 2 design dims + 1 fidelity feature.
+            let ys: Vec<f64> = xs.iter().map(|x| x[0] + x[1] * x[2]).collect();
+            let k = NargpKernel::new(2);
+            let mut theta = k.default_params();
+            theta.push(-2.0);
+            check_nlml_cached(&k, &theta, &xs, &ys)?;
+        }
+
+        #[test]
+        fn batched_predict_bit_identical_to_pointwise(
+            xs in points(10, 2),
+            queries in points(6, 2),
+            logl in -1.0f64..0.5,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| (3.0 * x[0]).cos() + x[1]).collect();
+            let gp = Gp::with_params(
+                SquaredExponential::new(2),
+                xs,
+                ys,
+                vec![0.1, logl, logl],
+                -2.0,
+                true,
+            )
+            .unwrap();
+            let batch = gp.predict_batch_standardized(&queries);
+            let raw = gp.predict_batch(&queries);
+            for ((q, (bm, bv)), pr) in queries.iter().zip(&batch).zip(&raw) {
+                let (m, v) = gp.predict_standardized(q);
+                prop_assert_eq!(m.to_bits(), bm.to_bits());
+                prop_assert_eq!(v.to_bits(), bv.to_bits());
+                let p = gp.predict(q);
+                prop_assert_eq!(p.mean.to_bits(), pr.mean.to_bits());
+                prop_assert_eq!(p.var.to_bits(), pr.var.to_bits());
+            }
+        }
+
+        #[test]
+        fn append_observation_bit_identical_to_frozen_rebuild(
+            xs in points(12, 2),
+            ynew in -1.0f64..1.0,
+        ) {
+            // Without re-standardization (standardize = false) the appended
+            // model must equal a from-scratch rebuild on the extended data
+            // bit for bit: same factor recurrence, same α solves, same NLML
+            // quadratic form.
+            let ys: Vec<f64> = xs.iter().map(|x| x[0] - 0.5 * x[1]).collect();
+            let (head, tail) = xs.split_at(11);
+            let params = vec![0.0, -0.7, -0.3];
+            let mut grown = Gp::with_params(
+                SquaredExponential::new(2),
+                head.to_vec(),
+                ys[..11].to_vec(),
+                params.clone(),
+                -2.0,
+                false,
+            )
+            .unwrap();
+            grown.append_observation(tail[0].clone(), ynew).unwrap();
+            let mut ys_full = ys[..11].to_vec();
+            ys_full.push(ynew);
+            let rebuilt = Gp::with_params(
+                SquaredExponential::new(2),
+                xs.clone(),
+                ys_full,
+                params,
+                -2.0,
+                false,
+            )
+            .unwrap();
+            prop_assert_eq!(grown.nlml().to_bits(), rebuilt.nlml().to_bits());
+            for q in [[0.2, 0.8], [0.6, 0.1]] {
+                let (gm, gv) = grown.predict_standardized(&q);
+                let (rm, rv) = rebuilt.predict_standardized(&q);
+                prop_assert_eq!(gm.to_bits(), rm.to_bits());
+                prop_assert_eq!(gv.to_bits(), rv.to_bits());
+            }
         }
     }
 }

@@ -34,9 +34,25 @@ use crate::{LinalgError, Matrix};
 #[derive(Debug, Clone)]
 pub struct Cholesky {
     l: Matrix,
+    /// The same factor in packed column-major storage: column `j` occupies
+    /// `cols[col_offset(j)..col_offset(j) + n - j]` and holds `L[j..n][j]`
+    /// contiguously. Back substitution and the trailing updates of the
+    /// blocked factorization walk columns of `L`; in the row-major [`Matrix`]
+    /// those walks stride by `n` and miss cache on every element, so the
+    /// packed copy is kept alongside the row-major factor (which row-oriented
+    /// consumers — forward substitution, `l_matvec`, [`Cholesky::factor`] —
+    /// still use).
+    cols: Vec<f64>,
     /// Diagonal jitter that had to be added for the factorization to succeed.
     jitter: f64,
 }
+
+/// Panel width of the blocked factorization. Each diagonal panel is factored
+/// column-by-column, then folded into the trailing columns one finished
+/// column at a time, which keeps the floating-point operation order of every
+/// element identical to the unblocked reference while touching each trailing
+/// column once per panel instead of once per source column.
+const PANEL: usize = 48;
 
 impl Cholesky {
     /// Factorizes `a` without adding jitter.
@@ -107,12 +123,21 @@ impl Cholesky {
         }
     }
 
-    fn factorize(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+    /// Reference unblocked factorization: the textbook element-wise
+    /// algorithm the blocked kernel must reproduce bit-for-bit. Retained for
+    /// differential testing ([`Cholesky::new`] and this constructor must
+    /// yield identical factors on every input).
+    pub fn new_unblocked(a: &Matrix) -> Result<Self, LinalgError> {
+        if !a.is_square() {
+            return Err(LinalgError::ShapeMismatch {
+                context: "cholesky",
+            });
+        }
         let n = a.rows();
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
             // Diagonal element.
-            let mut d = a[(j, j)] + jitter;
+            let mut d = a[(j, j)];
             for k in 0..j {
                 d -= l[(j, k)] * l[(j, k)];
             }
@@ -130,7 +155,123 @@ impl Cholesky {
                 l[(i, j)] = s / dj;
             }
         }
-        Ok(Cholesky { l, jitter })
+        let cols = Self::pack_lower(&l);
+        Ok(Cholesky {
+            l,
+            cols,
+            jitter: 0.0,
+        })
+    }
+
+    /// Start index of packed column `j` within [`Cholesky::cols`].
+    #[inline]
+    fn col_offset(n: usize, j: usize) -> usize {
+        j * (2 * n - j + 1) / 2
+    }
+
+    /// Packed column `i` of the factor: `L[i..n][i]`, contiguous.
+    #[inline]
+    fn col_slice(&self, i: usize) -> &[f64] {
+        let n = self.dim();
+        let off = Self::col_offset(n, i);
+        &self.cols[off..off + n - i]
+    }
+
+    /// Packs the lower triangle of a row-major factor into contiguous
+    /// column-major storage.
+    fn pack_lower(l: &Matrix) -> Vec<f64> {
+        let n = l.rows();
+        let mut cols = vec![0.0; n * (n + 1) / 2];
+        for j in 0..n {
+            let off = Self::col_offset(n, j);
+            for i in j..n {
+                cols[off + (i - j)] = l[(i, j)];
+            }
+        }
+        cols
+    }
+
+    fn factorize(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+        let n = a.rows();
+        // Pack the lower triangle of `a` (jitter folded into the diagonal)
+        // into contiguous column-major storage, factor in place, then
+        // materialize the row-major factor for row-oriented consumers.
+        let mut cols = vec![0.0; n * (n + 1) / 2];
+        for j in 0..n {
+            let off = Self::col_offset(n, j);
+            for i in j..n {
+                cols[off + (i - j)] = a[(i, j)];
+            }
+            cols[off] += jitter;
+        }
+        Self::factorize_packed(n, &mut cols)?;
+        let mut l = Matrix::zeros(n, n);
+        for j in 0..n {
+            let off = Self::col_offset(n, j);
+            for i in j..n {
+                l[(i, j)] = cols[off + (i - j)];
+            }
+        }
+        Ok(Cholesky { l, cols, jitter })
+    }
+
+    /// Blocked right-looking factorization over packed column storage.
+    ///
+    /// Bit-identity with the unblocked reference: every element `(i, j)`
+    /// accumulates `a[i][j] - Σₖ L[i][k]·L[j][k]` with the subtractions
+    /// applied one `k` at a time in ascending order — trailing updates walk
+    /// finished panels left to right and columns within a panel left to
+    /// right, and the in-panel sweep covers the remaining `k`, so the
+    /// per-element operation sequence is exactly that of the reference.
+    /// Blocking changes only the memory-access schedule (each trailing
+    /// column is updated by a whole cached panel at a time), never the
+    /// arithmetic.
+    fn factorize_packed(n: usize, c: &mut [f64]) -> Result<(), LinalgError> {
+        let off = |j: usize| Self::col_offset(n, j);
+        let mut pb = 0;
+        while pb < n {
+            let pe = (pb + PANEL).min(n);
+            // Factor the diagonal panel. Contributions from columns < pb
+            // were applied by the trailing updates of earlier panels.
+            for j in pb..pe {
+                for k in pb..j {
+                    let ljk = c[off(k) + (j - k)];
+                    let (head, tail) = c.split_at_mut(off(j));
+                    let colk = &head[off(k)..off(k) + (n - k)];
+                    let colj = &mut tail[..n - j];
+                    let base = j - k;
+                    for (i, cj) in colj.iter_mut().enumerate() {
+                        *cj -= colk[base + i] * ljk;
+                    }
+                }
+                let off_j = off(j);
+                let d = c[off_j];
+                if d <= 0.0 || !d.is_finite() {
+                    return Err(LinalgError::NotPositiveDefinite { pivot: j });
+                }
+                let dj = d.sqrt();
+                c[off_j] = dj;
+                for i in 1..n - j {
+                    c[off_j + i] /= dj;
+                }
+            }
+            // Fold the finished panel into every trailing column, one
+            // finished column `k` at a time in ascending order.
+            for j in pe..n {
+                for k in pb..pe {
+                    let ljk = c[off(k) + (j - k)];
+                    let (head, tail) = c.split_at_mut(off(j));
+                    let colk = &head[off(k)..off(k) + (n - k)];
+                    let colj = &mut tail[..n - j];
+                    let base = j - k;
+                    for (i, cj) in colj.iter_mut().enumerate() {
+                        *cj -= colk[base + i] * ljk;
+                    }
+                }
+            }
+            pb = pe;
+        }
+        Ok(())
     }
 
     /// The lower-triangular factor `L`.
@@ -185,18 +326,28 @@ impl Cholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn forward_solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut z = vec![0.0; self.dim()];
+        self.forward_solve_into(b, &mut z);
+        z
+    }
+
+    /// Allocation-free forward substitution writing into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differs from `self.dim()`.
+    pub fn forward_solve_into(&self, b: &[f64], out: &mut [f64]) {
         let n = self.dim();
         assert_eq!(b.len(), n, "forward_solve length mismatch");
-        let mut z = vec![0.0; n];
+        assert_eq!(out.len(), n, "forward_solve output length mismatch");
         for i in 0..n {
             let mut s = b[i];
             let row = self.l.row(i);
             for k in 0..i {
-                s -= row[k] * z[k];
+                s -= row[k] * out[k];
             }
-            z[i] = s / row[i];
+            out[i] = s / row[i];
         }
-        z
     }
 
     /// Solves `Lᵀ x = b` by back substitution.
@@ -205,17 +356,32 @@ impl Cholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn back_solve(&self, b: &[f64]) -> Vec<f64> {
+        let mut x = vec![0.0; self.dim()];
+        self.back_solve_into(b, &mut x);
+        x
+    }
+
+    /// Allocation-free back substitution writing into `out`.
+    ///
+    /// Row `i` of `Lᵀ` is packed column `i` of `L`, so the inner product
+    /// runs over contiguous memory rather than striding the row-major
+    /// factor by `n`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differs from `self.dim()`.
+    pub fn back_solve_into(&self, b: &[f64], out: &mut [f64]) {
         let n = self.dim();
         assert_eq!(b.len(), n, "back_solve length mismatch");
-        let mut x = vec![0.0; n];
+        assert_eq!(out.len(), n, "back_solve output length mismatch");
         for i in (0..n).rev() {
             let mut s = b[i];
-            for (k, xk) in x.iter().enumerate().skip(i + 1) {
-                s -= self.l[(k, i)] * xk;
+            let col = self.col_slice(i);
+            for (k, xk) in out.iter().enumerate().skip(i + 1) {
+                s -= col[k - i] * xk;
             }
-            x[i] = s / self.l[(i, i)];
+            out[i] = s / col[0];
         }
-        x
     }
 
     /// Solves `A x = b` (both triangular solves).
@@ -224,7 +390,23 @@ impl Cholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn solve_vec(&self, b: &[f64]) -> Vec<f64> {
-        self.back_solve(&self.forward_solve(b))
+        let n = self.dim();
+        let mut z = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        self.solve_vec_into(b, &mut z, &mut x);
+        x
+    }
+
+    /// Allocation-free `A x = b`: forward-substitutes into `scratch`, then
+    /// back-substitutes into `out`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()`, `scratch.len()`, or `out.len()` differs from
+    /// `self.dim()`.
+    pub fn solve_vec_into(&self, b: &[f64], scratch: &mut [f64], out: &mut [f64]) {
+        self.forward_solve_into(b, scratch);
+        self.back_solve_into(scratch, out);
     }
 
     /// Solves `A X = B` column by column.
@@ -233,16 +415,36 @@ impl Cholesky {
     ///
     /// Panics if `b.rows() != self.dim()`.
     pub fn solve_matrix(&self, b: &Matrix) -> Matrix {
-        assert_eq!(b.rows(), self.dim(), "solve_matrix shape mismatch");
         let mut out = Matrix::zeros(b.rows(), b.cols());
+        self.solve_matrix_into(b, &mut out);
+        out
+    }
+
+    /// Solves `A X = B` into a caller-provided matrix, reusing three
+    /// column-length scratch buffers across all columns instead of
+    /// allocating per column.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.rows() != self.dim()` or `out` is not the shape of `b`.
+    pub fn solve_matrix_into(&self, b: &Matrix, out: &mut Matrix) {
+        let n = self.dim();
+        assert_eq!(b.rows(), n, "solve_matrix shape mismatch");
+        assert_eq!(out.rows(), b.rows(), "solve_matrix output shape mismatch");
+        assert_eq!(out.cols(), b.cols(), "solve_matrix output shape mismatch");
+        let mut rhs = vec![0.0; n];
+        let mut z = vec![0.0; n];
+        let mut x = vec![0.0; n];
         for j in 0..b.cols() {
-            let col = b.col(j);
-            let x = self.solve_vec(&col);
-            for i in 0..b.rows() {
-                out[(i, j)] = x[i];
+            for (i, r) in rhs.iter_mut().enumerate() {
+                *r = b[(i, j)];
+            }
+            self.forward_solve_into(&rhs, &mut z);
+            self.back_solve_into(&z, &mut x);
+            for (i, &xi) in x.iter().enumerate() {
+                out[(i, j)] = xi;
             }
         }
-        out
     }
 
     /// The explicit inverse `A⁻¹`.
@@ -250,7 +452,112 @@ impl Cholesky {
     /// Prefer the `solve_*` methods; the explicit inverse is only needed for
     /// the trace terms in NLML gradients.
     pub fn inverse(&self) -> Matrix {
-        self.solve_matrix(&Matrix::identity(self.dim()))
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        self.inverse_into(&mut out);
+        out
+    }
+
+    /// Writes `A⁻¹` into a caller-provided matrix.
+    ///
+    /// Equivalent to `solve_matrix(&Matrix::identity(n))` bit for bit, but
+    /// skips the structurally-zero work: when forward-substituting the
+    /// `j`-th identity column, rows `< j` of the intermediate solution are
+    /// exactly `+0.0` (every subtracted term is `L·(±0.0)` and `s - ±0.0`
+    /// leaves `+0.0` unchanged), so the forward sweep starts at row `j`
+    /// with `z[j] = 1/L[j][j]`. That halves the forward-phase flops on
+    /// average and drops the identity-matrix materialization entirely.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `dim × dim`.
+    pub fn inverse_into(&self, out: &mut Matrix) {
+        let n = self.dim();
+        assert_eq!(out.rows(), n, "inverse output shape mismatch");
+        assert_eq!(out.cols(), n, "inverse output shape mismatch");
+        let mut z = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            for zk in z[..j].iter_mut() {
+                *zk = 0.0;
+            }
+            z[j] = 1.0 / self.l[(j, j)];
+            for i in (j + 1)..n {
+                let row = self.l.row(i);
+                let mut s = 0.0;
+                for k in j..i {
+                    s -= row[k] * z[k];
+                }
+                z[i] = s / row[i];
+            }
+            self.back_solve_into(&z, &mut x);
+            for (i, &xi) in x.iter().enumerate() {
+                out[(i, j)] = xi;
+            }
+        }
+    }
+
+    /// `A⁻¹` with only the lower triangle solved, the upper mirrored.
+    ///
+    /// The lower triangle (`i ≥ j`) is bit-identical to [`Cholesky::inverse`]:
+    /// back substitution computes `x[i]` from `i = n−1` downward and never
+    /// reads entries above the current row, so stopping column `j`'s sweep at
+    /// row `j` leaves the computed entries unchanged. The upper triangle is
+    /// copied from the lower (`A⁻¹` is symmetric), which in floating point
+    /// may differ from the fully-solved upper entries in the last ulp — use
+    /// this only when the consumer reads the lower triangle or treats the
+    /// matrix as symmetric (e.g. the NLML gradient trace terms).
+    ///
+    /// Skipping the above-diagonal rows drops the back-substitution cost
+    /// from `n³/3` to `n³/6` flops, cutting the total inverse cost by ~25 %.
+    pub fn inverse_lower(&self) -> Matrix {
+        let n = self.dim();
+        let mut out = Matrix::zeros(n, n);
+        self.inverse_lower_into(&mut out);
+        out
+    }
+
+    /// Writes [`Cholesky::inverse_lower`] into a caller-provided matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `out` is not `dim × dim`.
+    pub fn inverse_lower_into(&self, out: &mut Matrix) {
+        let n = self.dim();
+        assert_eq!(out.rows(), n, "inverse output shape mismatch");
+        assert_eq!(out.cols(), n, "inverse output shape mismatch");
+        let mut z = vec![0.0; n];
+        let mut x = vec![0.0; n];
+        for j in 0..n {
+            // Forward phase: identical to `inverse_into` (rows < j of the
+            // identity-column solution are structurally +0.0).
+            for zk in z[..j].iter_mut() {
+                *zk = 0.0;
+            }
+            z[j] = 1.0 / self.l[(j, j)];
+            for i in (j + 1)..n {
+                let row = self.l.row(i);
+                let mut s = 0.0;
+                for k in j..i {
+                    s -= row[k] * z[k];
+                }
+                z[i] = s / row[i];
+            }
+            // Back substitution stopped at row j: entries i ≥ j only read
+            // x[k] with k > i, all computed this column.
+            for i in (j..n).rev() {
+                let mut s = z[i];
+                let col = self.col_slice(i);
+                for (k, xk) in x.iter().enumerate().skip(i + 1) {
+                    s -= col[k - i] * xk;
+                }
+                x[i] = s / col[0];
+            }
+            for (i, &xi) in x.iter().enumerate().skip(j) {
+                out[(i, j)] = xi;
+                out[(j, i)] = xi;
+            }
+        }
     }
 
     /// Quadratic form `bᵀ A⁻¹ b`, computed stably as `‖L⁻¹ b‖²`.
@@ -259,8 +566,65 @@ impl Cholesky {
     ///
     /// Panics if `b.len() != self.dim()`.
     pub fn quad_form(&self, b: &[f64]) -> f64 {
-        let z = self.forward_solve(b);
-        crate::dot(&z, &z)
+        let mut z = vec![0.0; self.dim()];
+        self.quad_form_with(b, &mut z)
+    }
+
+    /// [`Cholesky::quad_form`] with a caller-provided scratch buffer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `scratch.len()` differs from `self.dim()`.
+    pub fn quad_form_with(&self, b: &[f64], scratch: &mut [f64]) -> f64 {
+        self.forward_solve_into(b, scratch);
+        crate::dot(scratch, scratch)
+    }
+
+    /// Extends the factorization in place with one new trailing row/column
+    /// of the underlying matrix in O(n²) instead of refactorizing in O(n³).
+    ///
+    /// `k_new` is the off-diagonal block `A[n][0..n]` and `diag` the new
+    /// diagonal element `A[n][n]` — callers must fold any noise term *and*
+    /// [`Cholesky::jitter`] into `diag` themselves, so the extended factor
+    /// is bit-identical to factorizing the extended matrix from scratch at
+    /// the same jitter: the new row solves the same recurrence the
+    /// factorization would (`L w = k_new` by ascending forward
+    /// substitution, then `d² = diag - Σ wᵢ²` subtracted one term at a
+    /// time in ascending order).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LinalgError::NotPositiveDefinite`] (pivot `n`) when the
+    /// Schur complement of the new point is not strictly positive — e.g.
+    /// the point duplicates an existing row. The factor is left untouched;
+    /// callers should fall back to a full refactorization.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `k_new.len() != self.dim()`.
+    pub fn append_row(&mut self, k_new: &[f64], diag: f64) -> Result<(), LinalgError> {
+        let n = self.dim();
+        assert_eq!(k_new.len(), n, "append_row length mismatch");
+        let mut w = vec![0.0; n];
+        self.forward_solve_into(k_new, &mut w);
+        let mut d = diag;
+        for &wi in &w {
+            d -= wi * wi;
+        }
+        if d <= 0.0 || !d.is_finite() {
+            return Err(LinalgError::NotPositiveDefinite { pivot: n });
+        }
+        let dn = d.sqrt();
+        let mut l = Matrix::zeros(n + 1, n + 1);
+        for i in 0..n {
+            l.row_mut(i)[..n].copy_from_slice(self.l.row(i));
+        }
+        let last = l.row_mut(n);
+        last[..n].copy_from_slice(&w);
+        last[n] = dn;
+        self.cols = Self::pack_lower(&l);
+        self.l = l;
+        Ok(())
     }
 
     /// Returns `L z` — used to draw correlated Gaussian samples from
@@ -419,6 +783,125 @@ mod tests {
         for (g, w) in got.iter().zip(&want) {
             assert!((g - w).abs() < 1e-14);
         }
+    }
+
+    /// Deterministic SPD matrix large enough to cross several panel
+    /// boundaries of the blocked factorization.
+    fn spd_large(n: usize) -> Matrix {
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
+        let mut a = b.matmul(&b.transpose());
+        a.add_diag(n as f64);
+        a
+    }
+
+    #[test]
+    fn blocked_matches_unblocked_bitwise() {
+        for n in [1usize, 7, 48, 49, 150] {
+            let a = spd_large(n);
+            let blocked = Cholesky::new(&a).unwrap();
+            let reference = Cholesky::new_unblocked(&a).unwrap();
+            for i in 0..n {
+                for j in 0..n {
+                    assert_eq!(
+                        blocked.factor()[(i, j)].to_bits(),
+                        reference.factor()[(i, j)].to_bits(),
+                        "factor mismatch at ({i}, {j}) for n={n}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn append_row_matches_full_factorization_bitwise() {
+        let n = 60;
+        let a = spd_large(n + 1);
+        let head = Matrix::from_fn(n, n, |i, j| a[(i, j)]);
+        let mut chol = Cholesky::new(&head).unwrap();
+        let k_new: Vec<f64> = (0..n).map(|j| a[(n, j)]).collect();
+        chol.append_row(&k_new, a[(n, n)]).unwrap();
+        let full = Cholesky::new(&a).unwrap();
+        for i in 0..=n {
+            for j in 0..=n {
+                assert_eq!(
+                    chol.factor()[(i, j)].to_bits(),
+                    full.factor()[(i, j)].to_bits(),
+                    "appended factor mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn append_row_rejects_duplicate_point() {
+        let a = spd_large(4);
+        let mut chol = Cholesky::new(&a).unwrap();
+        // Appending an exact copy of the last row/column makes the extended
+        // matrix singular: the Schur complement is zero.
+        let k_new: Vec<f64> = (0..4).map(|j| a[(3, j)]).collect();
+        let before = chol.factor().clone();
+        assert!(matches!(
+            chol.append_row(&k_new, a[(3, 3)]),
+            Err(LinalgError::NotPositiveDefinite { pivot: 4 })
+        ));
+        assert!(chol.factor().max_abs_diff(&before) == 0.0);
+    }
+
+    #[test]
+    fn inverse_matches_identity_solve_bitwise() {
+        let a = spd_large(37);
+        let chol = Cholesky::new(&a).unwrap();
+        let fast = chol.inverse();
+        let reference = chol.solve_matrix(&Matrix::identity(37));
+        for i in 0..37 {
+            for j in 0..37 {
+                assert_eq!(
+                    fast[(i, j)].to_bits(),
+                    reference[(i, j)].to_bits(),
+                    "inverse mismatch at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn inverse_lower_matches_full_inverse_bitwise_on_lower_triangle() {
+        let a = spd_large(37);
+        let chol = Cholesky::new(&a).unwrap();
+        let lower = chol.inverse_lower();
+        let full = chol.inverse();
+        for i in 0..37 {
+            for j in 0..=i {
+                assert_eq!(
+                    lower[(i, j)].to_bits(),
+                    full[(i, j)].to_bits(),
+                    "inverse_lower mismatch at ({i}, {j})"
+                );
+                // Upper triangle is the exact mirror.
+                assert_eq!(lower[(j, i)].to_bits(), lower[(i, j)].to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn into_variants_match_allocating_bitwise() {
+        let n = 23;
+        let a = spd_large(n);
+        let chol = Cholesky::new(&a).unwrap();
+        let b: Vec<f64> = (0..n).map(|i| (i as f64 * 0.7).sin()).collect();
+        let mut out = vec![0.0; n];
+        chol.forward_solve_into(&b, &mut out);
+        assert_eq!(out, chol.forward_solve(&b));
+        chol.back_solve_into(&b, &mut out);
+        assert_eq!(out, chol.back_solve(&b));
+        let mut scratch = vec![0.0; n];
+        chol.solve_vec_into(&b, &mut scratch, &mut out);
+        assert_eq!(out, chol.solve_vec(&b));
+        assert_eq!(chol.quad_form_with(&b, &mut scratch), chol.quad_form(&b));
+        let rhs = Matrix::from_fn(n, 3, |i, j| (i + 7 * j) as f64 / 11.0 - 1.0);
+        let mut m_out = Matrix::zeros(n, 3);
+        chol.solve_matrix_into(&rhs, &mut m_out);
+        assert!(m_out.max_abs_diff(&chol.solve_matrix(&rhs)) == 0.0);
     }
 
     #[test]

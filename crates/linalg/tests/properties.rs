@@ -96,3 +96,104 @@ proptest! {
         }
     }
 }
+
+/// Bit-identity pins for the blocked/workspace Cholesky paths: the blocked
+/// factorization, the triangular-inverse fast path, the `_into` variants,
+/// and the rank-one append must reproduce their reference counterparts
+/// **exactly** — these guard the reproducibility contract, so they compare
+/// `f64::to_bits`, not tolerances. Sizes straddle the panel width so the
+/// multi-panel code paths run.
+mod bit_identity {
+    use super::*;
+    use proptest::TestCaseError;
+
+    fn assert_bits_eq(a: &[f64], b: &[f64]) -> Result<(), TestCaseError> {
+        for (x, y) in a.iter().zip(b) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+        Ok(())
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(16))]
+
+        #[test]
+        fn blocked_factorization_bit_identical_to_unblocked(a in spd_matrix(60)) {
+            let blocked = Cholesky::new(&a).unwrap();
+            let reference = Cholesky::new_unblocked(&a).unwrap();
+            assert_bits_eq(blocked.factor().as_slice(), reference.factor().as_slice())?;
+        }
+
+        #[test]
+        fn inverse_bit_identical_to_identity_solves(a in spd_matrix(24)) {
+            let chol = Cholesky::new(&a).unwrap();
+            let inv = chol.inverse();
+            // Reference: solve against each identity column.
+            let n = a.rows();
+            for j in 0..n {
+                let mut e = vec![0.0; n];
+                e[j] = 1.0;
+                let col = chol.solve_vec(&e);
+                for i in 0..n {
+                    prop_assert_eq!(inv[(i, j)].to_bits(), col[i].to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn inverse_lower_bit_identical_on_lower_triangle(a in spd_matrix(24)) {
+            let chol = Cholesky::new(&a).unwrap();
+            let lower = chol.inverse_lower();
+            let full = chol.inverse();
+            let n = a.rows();
+            for i in 0..n {
+                for j in 0..=i {
+                    prop_assert_eq!(lower[(i, j)].to_bits(), full[(i, j)].to_bits());
+                    prop_assert_eq!(lower[(j, i)].to_bits(), lower[(i, j)].to_bits());
+                }
+            }
+        }
+
+        #[test]
+        fn into_variants_bit_identical_to_allocating(
+            a in spd_matrix(17),
+            b in prop::collection::vec(-2.0f64..2.0, 17),
+        ) {
+            let chol = Cholesky::new(&a).unwrap();
+            let n = 17;
+            let mut out = vec![0.0; n];
+            let mut scratch = vec![0.0; n];
+            chol.forward_solve_into(&b, &mut out);
+            assert_bits_eq(&chol.forward_solve(&b), &out)?;
+            chol.back_solve_into(&b, &mut out);
+            assert_bits_eq(&chol.back_solve(&b), &out)?;
+            chol.solve_vec_into(&b, &mut scratch, &mut out);
+            assert_bits_eq(&chol.solve_vec(&b), &out)?;
+            prop_assert_eq!(
+                chol.quad_form(&b).to_bits(),
+                chol.quad_form_with(&b, &mut scratch).to_bits()
+            );
+        }
+
+        #[test]
+        fn append_row_bit_identical_to_refactorization(a in spd_matrix(20)) {
+            // Factor the leading 19×19 block, append row 19, and compare
+            // against factorizing the full matrix in one shot.
+            let n = a.rows();
+            let mut leading = Matrix::zeros(n - 1, n - 1);
+            for i in 0..n - 1 {
+                for j in 0..n - 1 {
+                    leading[(i, j)] = a[(i, j)];
+                }
+            }
+            let mut grown = Cholesky::new(&leading).unwrap();
+            let full = Cholesky::new(&a).unwrap();
+            // `new` applies no jitter to SPD input, so the appended diagonal
+            // is the raw entry (plus the factor's zero jitter).
+            prop_assert_eq!(grown.jitter(), full.jitter());
+            let k_new: Vec<f64> = (0..n - 1).map(|j| a[(n - 1, j)]).collect();
+            grown.append_row(&k_new, a[(n - 1, n - 1)] + grown.jitter()).unwrap();
+            assert_bits_eq(grown.factor().as_slice(), full.factor().as_slice())?;
+        }
+    }
+}

@@ -148,6 +148,28 @@ fn power_amplifier_mfbo_trajectory_matches_golden() {
 }
 
 #[test]
+fn forrester_rank1_append_trajectory_matches_golden() {
+    // The opt-in O(n²) rank-one append path (`rank1_appends`) replaces
+    // frozen refactorizations between full refits. Its trajectory is a
+    // deliberate approximation of the default path (frozen standardizers,
+    // stale low-GP augmentation), so it gets its own golden set rather than
+    // sharing `forrester_mfbo_seed7.csv`.
+    let problem = testfns::forrester();
+    let mut rng = StdRng::seed_from_u64(7);
+    let out = MfBayesOpt::new(MfBoConfig {
+        initial_low: 8,
+        initial_high: 4,
+        budget: 10.0,
+        refit_every: 4,
+        rank1_appends: true,
+        ..MfBoConfig::default()
+    })
+    .run(&problem, &mut rng)
+    .unwrap();
+    check_against_golden("forrester_mfbo_rank1_seed7.csv", &out);
+}
+
+#[test]
 fn forrester_weibo_trajectory_matches_golden() {
     let problem = testfns::forrester();
     let mut rng = StdRng::seed_from_u64(9);
