@@ -113,6 +113,71 @@ fn bench_predict_batch(c: &mut Criterion) {
     group.finish();
 }
 
+/// SIMD micro-kernel dispatch A/B: the same workload under the forced
+/// scalar backend and the runtime-detected one (identical rows on hardware
+/// without AVX2/NEON). Results are bit-identical in both modes — the rows
+/// measure pure dispatch speedup on the kernel-matrix build, the blocked
+/// Cholesky factorization (trailing-update dominated at large n), and the
+/// batched posterior sweep. BENCH_simd.json holds the recorded medians.
+fn bench_simd_kernels(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simd_kernels");
+    group.sample_size(10);
+    let dim = 12;
+    let backends = [
+        ("scalar", mfbo_simd::Backend::Scalar),
+        ("detected", mfbo_simd::detect()),
+    ];
+    for &n in &[32usize, 128, 512] {
+        let (xs, _) = linalg_bench_data(n, dim);
+        let kernel = SquaredExponential::new(dim);
+        let theta = kernel.default_params();
+        for (name, be) in backends {
+            let batch = mfbo_gp::DiffBatch::lower_triangle_with_backend(&xs, be);
+            let mut kv = vec![0.0; batch.len()];
+            group.bench_with_input(
+                BenchmarkId::new(format!("kernel_matrix_build_{name}"), n),
+                &n,
+                |bch, _| {
+                    bch.iter(|| {
+                        kernel.eval_from_diffs(black_box(&theta), black_box(&batch), &mut kv)
+                    })
+                },
+            );
+        }
+        let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
+        let mut a = b.matmul(&b.transpose());
+        a.add_diag(n as f64);
+        for (name, be) in backends {
+            group.bench_with_input(
+                BenchmarkId::new(format!("cholesky_{name}"), n),
+                &a,
+                |bch, a| bch.iter(|| Cholesky::new_with_backend(black_box(a), be).expect("spd")),
+            );
+        }
+        let (xs, ys) = linalg_bench_data(n, dim);
+        let (queries, _) = linalg_bench_data(256, dim);
+        let mut rng = StdRng::seed_from_u64(0);
+        let gp = Gp::fit(
+            SquaredExponential::new(dim),
+            xs,
+            ys,
+            &GpConfig::fast(),
+            &mut rng,
+        )
+        .expect("fit");
+        for (name, be) in backends {
+            group.bench_with_input(
+                BenchmarkId::new(format!("predict_batch256_{name}"), n),
+                &gp,
+                |bch, gp| {
+                    bch.iter(|| gp.predict_batch_standardized_with_backend(black_box(&queries), be))
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
 fn gp_training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
     let xs: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64 / (n - 1) as f64]).collect();
     let ys: Vec<f64> = xs.iter().map(|x| (7.0 * x[0]).sin()).collect();
@@ -295,6 +360,7 @@ criterion_group!(
     bench_cholesky,
     bench_nlml_eval,
     bench_predict_batch,
+    bench_simd_kernels,
     bench_gp,
     bench_mfgp_predict,
     bench_circuits,

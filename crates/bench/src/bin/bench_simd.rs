@@ -1,0 +1,436 @@
+//! Generates the `BENCH_simd.json` measurements: scalar-vs-dispatched A/B
+//! medians for the SIMD micro-kernel layer, plus parity rows pinning the
+//! restructured scalar fallback against a replica of the pre-SIMD inner
+//! loops.
+//!
+//! Usage: `cargo run --release -p mfbo-bench --bin bench_simd > BENCH_simd.json`
+//!
+//! Harness: interleaved A/B sampling (samples of the two compared rows
+//! alternate A, B, A, B, ... so container load drift affects both medians
+//! equally), 21 samples per row, median statistic, iteration counts
+//! calibrated to a ~40 ms sample target — the same methodology as
+//! `BENCH_linalg.json`.
+
+use mfbo_gp::kernel::{Kernel, SquaredExponential};
+use mfbo_gp::{DiffBatch, Gp, GpConfig};
+use mfbo_linalg::{Cholesky, Matrix};
+use mfbo_simd::Backend;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::time::Instant;
+
+const SAMPLES: usize = 21;
+const TARGET_SAMPLE_MS: f64 = 40.0;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Interleaved A/B measurement: calibrates an iteration count on `a`, then
+/// alternates 21 samples of each closure and returns the median
+/// per-iteration nanoseconds `(a, b)`.
+fn ab_median_ns(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    let mut iters = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms >= TARGET_SAMPLE_MS || iters >= 1 << 24 {
+            break;
+        }
+        // Step toward the target in one or two calibration rounds.
+        let scale = (TARGET_SAMPLE_MS / ms.max(1e-3)).ceil() as usize;
+        iters = (iters * scale.clamp(2, 1024)).min(1 << 24);
+    }
+    let mut sa = Vec::with_capacity(SAMPLES);
+    let mut sb = Vec::with_capacity(SAMPLES);
+    for _ in 0..SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        sa.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        let t = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        sb.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    (median(sa), median(sb))
+}
+
+/// Training inputs in [0,1]^dim — the `BENCH_linalg.json` data shape
+/// (dim = 12, middle of the paper's 10–36 design-variable range).
+fn bench_data(n: usize, dim: usize) -> (Vec<Vec<f64>>, Vec<f64>) {
+    let xs: Vec<Vec<f64>> = (0..n)
+        .map(|i| {
+            (0..dim)
+                .map(|d| ((i * 31 + d * 17) % 97) as f64 / 96.0)
+                .collect()
+        })
+        .collect();
+    let ys: Vec<f64> = xs
+        .iter()
+        .map(|x| (7.0 * x[0]).sin() + x.iter().sum::<f64>())
+        .collect();
+    (xs, ys)
+}
+
+fn spd(n: usize) -> Matrix {
+    let b = Matrix::from_fn(n, n, |i, j| ((i * 31 + j * 17) % 13) as f64 / 13.0 - 0.5);
+    let mut a = b.matmul(&b.transpose());
+    a.add_diag(n as f64);
+    a
+}
+
+/// Replica of the pre-SIMD blocked factorization (per-column axpy against
+/// each finished column, no multi-column fold), including the pack /
+/// row-major-materialize steps the real constructor performs around the
+/// inner loops: the baseline for the scalar-fallback parity row.
+fn legacy_factorize_packed(a: &Matrix) -> (Matrix, Vec<f64>) {
+    let n = a.rows();
+    let off = |j: usize| j * (2 * n - j + 1) / 2;
+    let mut c = vec![0.0; n * (n + 1) / 2];
+    for j in 0..n {
+        for i in j..n {
+            c[off(j) + (i - j)] = a[(i, j)];
+        }
+    }
+    const PANEL: usize = 48;
+    let mut pb = 0;
+    while pb < n {
+        let pe = (pb + PANEL).min(n);
+        for j in pb..pe {
+            let (head, tail) = c.split_at_mut(off(j));
+            let colj = &mut tail[..n - j];
+            for k in pb..j {
+                let src = off(k) + (j - k);
+                let m = head[src];
+                for (d, s) in colj.iter_mut().zip(&head[src..src + (n - j)]) {
+                    *d -= s * m;
+                }
+            }
+            let dj = colj[0].sqrt();
+            colj[0] = dj;
+            for v in colj[1..].iter_mut() {
+                *v /= dj;
+            }
+        }
+        for j in pe..n {
+            let (head, tail) = c.split_at_mut(off(j));
+            let colj = &mut tail[..n - j];
+            for k in pb..pe {
+                let src = off(k) + (j - k);
+                let m = head[src];
+                for (d, s) in colj.iter_mut().zip(&head[src..src + (n - j)]) {
+                    *d -= s * m;
+                }
+            }
+        }
+        pb = pe;
+    }
+    let mut l = Matrix::zeros(n, n);
+    for j in 0..n {
+        for i in j..n {
+            l[(i, j)] = c[off(j) + (i - j)];
+        }
+    }
+    (l, c)
+}
+
+/// Replica of the pre-SIMD `predict_batch_standardized` (untiled, one cross
+/// workspace for all queries, per-query scalar forward solve) against an
+/// externally rebuilt factor and weight vector of the same shapes as the
+/// model's internals: the baseline for the scalar-fallback parity row.
+fn legacy_predict_batch(
+    gp: &Gp<SquaredExponential>,
+    chol: &Cholesky,
+    alpha: &[f64],
+    points: &[Vec<f64>],
+) -> Vec<(f64, f64)> {
+    let n = gp.xs().len();
+    let batch = DiffBatch::cross_with_backend(points, gp.xs(), Backend::Scalar);
+    let mut kv = vec![0.0; batch.len()];
+    gp.kernel().eval_from_diffs(gp.params(), &batch, &mut kv);
+    let diag = DiffBatch::diagonal_with_backend(points, Backend::Scalar);
+    let mut kss = vec![0.0; points.len()];
+    gp.kernel().eval_from_diffs(gp.params(), &diag, &mut kss);
+    let mut v = vec![0.0; n];
+    let mut out = Vec::with_capacity(points.len());
+    for (kstar, &kss_q) in kv.chunks_exact(n.max(1)).zip(kss.iter()) {
+        let mean = mfbo_linalg::dot(kstar, alpha);
+        chol.forward_solve_into(kstar, &mut v);
+        let var = (kss_q - mfbo_linalg::dot(&v, &v)).max(0.0);
+        out.push((mean, var));
+    }
+    out
+}
+
+struct Row {
+    n: usize,
+    a_ns: f64,
+    b_ns: f64,
+}
+
+fn rows_json(rows: &[Row], a_name: &str, b_name: &str) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "        {{ \"n\": {}, \"{}\": {}, \"{}\": {}, \"speedup\": {:.2} }}",
+                r.n,
+                a_name,
+                r.a_ns.round() as u64,
+                b_name,
+                r.b_ns.round() as u64,
+                r.a_ns / r.b_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let dim = 12;
+    let detected = mfbo_simd::detect();
+    let sizes = [32usize, 128, 512];
+    eprintln!(
+        "detected backend: {} ({} lanes)",
+        detected.name(),
+        detected.lanes()
+    );
+
+    // Kernel-matrix build: SE eval_from_diffs over the lower-triangle
+    // workspace (the L-BFGS hot loop), scalar vs dispatched.
+    let mut kernel_rows = Vec::new();
+    for &n in &sizes {
+        let (xs, _) = bench_data(n, dim);
+        let kernel = SquaredExponential::new(dim);
+        let theta = kernel.default_params();
+        let scalar_batch = DiffBatch::lower_triangle_with_backend(&xs, Backend::Scalar);
+        let simd_batch = DiffBatch::lower_triangle_with_backend(&xs, detected);
+        let mut kv_a = vec![0.0; scalar_batch.len()];
+        let mut kv_b = vec![0.0; simd_batch.len()];
+        let (a, b) = ab_median_ns(
+            || kernel.eval_from_diffs(black_box(&theta), black_box(&scalar_batch), &mut kv_a),
+            || kernel.eval_from_diffs(black_box(&theta), black_box(&simd_batch), &mut kv_b),
+        );
+        eprintln!(
+            "kernel_matrix_build n={n}: scalar {a:.0} ns, simd {b:.0} ns ({:.2}x)",
+            a / b
+        );
+        kernel_rows.push(Row {
+            n,
+            a_ns: a,
+            b_ns: b,
+        });
+    }
+
+    // Blocked Cholesky factorization (trailing-update dominated at n=512):
+    // scalar fold vs dispatched fold.
+    let mut chol_rows = Vec::new();
+    for &n in &sizes {
+        let a_mat = spd(n);
+        let (a, b) = ab_median_ns(
+            || {
+                black_box(Cholesky::new_with_backend(
+                    black_box(&a_mat),
+                    Backend::Scalar,
+                ))
+                .expect("spd");
+            },
+            || {
+                black_box(Cholesky::new_with_backend(black_box(&a_mat), detected)).expect("spd");
+            },
+        );
+        eprintln!(
+            "trailing_update n={n}: scalar {a:.0} ns, simd {b:.0} ns ({:.2}x)",
+            a / b
+        );
+        chol_rows.push(Row {
+            n,
+            a_ns: a,
+            b_ns: b,
+        });
+    }
+
+    // Batched posterior sweep (256 queries): scalar vs dispatched
+    // (cache-tiled + interleaved multi-RHS solves in both modes).
+    let mut predict_rows = Vec::new();
+    let (queries, _) = bench_data(256, dim);
+    let mut gps = Vec::new();
+    for &n in &sizes {
+        let (xs, ys) = bench_data(n, dim);
+        let mut rng = StdRng::seed_from_u64(0);
+        let gp = Gp::fit(
+            SquaredExponential::new(dim),
+            xs,
+            ys,
+            &GpConfig::fast(),
+            &mut rng,
+        )
+        .expect("fit");
+        let (a, b) =
+            ab_median_ns(
+                || {
+                    black_box(gp.predict_batch_standardized_with_backend(
+                        black_box(&queries),
+                        Backend::Scalar,
+                    ));
+                },
+                || {
+                    black_box(
+                        gp.predict_batch_standardized_with_backend(black_box(&queries), detected),
+                    );
+                },
+            );
+        eprintln!(
+            "batched_predict n={n}: scalar {a:.0} ns, simd {b:.0} ns ({:.2}x)",
+            a / b
+        );
+        predict_rows.push(Row {
+            n,
+            a_ns: a,
+            b_ns: b,
+        });
+        gps.push(gp);
+    }
+
+    // Parity rows: the restructured scalar fallback against replicas of the
+    // pre-SIMD inner loops (acceptance: within 5%).
+    let mut parity_rows = Vec::new();
+    {
+        let n = 512;
+        let a_mat = spd(n);
+        let (a, b) = ab_median_ns(
+            || {
+                black_box(legacy_factorize_packed(black_box(&a_mat)));
+            },
+            || {
+                black_box(Cholesky::new_with_backend(
+                    black_box(&a_mat),
+                    Backend::Scalar,
+                ))
+                .expect("spd");
+            },
+        );
+        eprintln!(
+            "parity cholesky n={n}: legacy {a:.0} ns, scalar-fallback {b:.0} ns ({:.2}x)",
+            a / b
+        );
+        parity_rows.push((format!("cholesky_factorize_n{n}"), a, b));
+    }
+    {
+        let n = 512;
+        let gp = &gps[2];
+        // Rebuild a factor and weight vector of the model's exact shapes
+        // (values are irrelevant to timing; structure is identical to the
+        // internals the new path uses).
+        let chol = Cholesky::new(&spd(n)).expect("spd");
+        let alpha = chol.solve_vec(gp.ys_standardized());
+        let (a, b) =
+            ab_median_ns(
+                || {
+                    black_box(legacy_predict_batch(
+                        black_box(gp),
+                        &chol,
+                        &alpha,
+                        black_box(&queries),
+                    ));
+                },
+                || {
+                    black_box(gp.predict_batch_standardized_with_backend(
+                        black_box(&queries),
+                        Backend::Scalar,
+                    ));
+                },
+            );
+        eprintln!(
+            "parity predict n={n}: legacy {a:.0} ns, scalar-fallback {b:.0} ns ({:.2}x)",
+            a / b
+        );
+        parity_rows.push((format!("predict_batch256_n{n}"), a, b));
+    }
+
+    let parity_json = parity_rows
+        .iter()
+        .map(|(name, a, b)| {
+            format!(
+                "        {{ \"workload\": \"{}\", \"legacy_ns\": {}, \"scalar_fallback_ns\": {}, \"ratio\": {:.3} }}",
+                name,
+                a.round() as u64,
+                b.round() as u64,
+                b / a
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    let kernel_128 = kernel_rows.iter().find(|r| r.n == 128).unwrap();
+    let chol_512 = chol_rows.iter().find(|r| r.n == 512).unwrap();
+    println!(
+        r#"{{
+  "description": "SIMD micro-kernel dispatch A/B: the same workloads under the forced scalar backend (MFBO_SIMD=scalar) and the runtime-detected instruction set (MFBO_SIMD=auto). Every row pair returns bit-identical results (enforced by to_bits differential proptests in crates/simd/tests/properties.rs, crates/linalg/tests/properties.rs, and crates/gp/tests/properties.rs); the rows measure pure dispatch speedup.",
+  "methodology": {{
+    "harness": "interleaved A/B sampling: samples of the two compared rows alternate (A, B, A, B, ...) so container load drift affects both medians equally",
+    "samples_per_row": {SAMPLES},
+    "statistic": "median",
+    "iterations": "calibrated per row to a ~{TARGET_SAMPLE_MS:.0} ms sample target",
+    "build": "cargo --release, default codegen settings",
+    "detected_backend": "{backend}",
+    "lanes": {lanes},
+    "dim": {dim},
+    "queries_per_predict_call": 256,
+    "date": "2026-08-07",
+    "caveats": [
+      "Measured in a shared 1-CPU container; absolute times carry +/-40% run-to-run drift. The interleaved harness makes the *ratios* stable to a few percent, but absolute nanoseconds should not be compared across machines or runs.",
+      "The scalar rows run the restructured post-PR scalar fallback; the scalar_fallback_parity section pins that fallback against replicas of the pre-PR inner loops (acceptance: within 5%). The SE eval scalar branch is the pre-PR loop verbatim, so it needs no parity row.",
+      "Reproduce with: cargo run --release -p mfbo-bench --bin bench_simd > BENCH_simd.json (criterion group simd_kernels in crates/bench/benches/micro.rs covers the same shapes)."
+    ]
+  }},
+  "acceptance": {{
+    "kernel_matrix_build_n128_required_speedup": 1.5,
+    "kernel_matrix_build_n128_measured_speedup": {k128:.2},
+    "trailing_update_n512_required_speedup": 1.5,
+    "trailing_update_n512_measured_speedup": {c512:.2},
+    "scalar_fallback_parity_required": "within 5% of pre-PR baseline"
+  }},
+  "results": {{
+    "kernel_matrix_build": {{
+      "what": "one SE eval_from_diffs sweep over the n(n+1)/2-pair lower-triangle DiffBatch (the L-BFGS inner loop's kernel-matrix assembly). scalar = portable fallback; simd = sq_norm micro-kernel across pairs on the dim-major difference rows, scalar exp finish",
+      "rows": [
+{kernel_rows}
+      ]
+    }},
+    "trailing_update": {{
+      "what": "blocked Cholesky factorization of an SPD n x n matrix, dominated by the panel trailing update at large n. scalar = per-element multi-column fold; simd = fold_cols micro-kernel (destination block held in registers across the panel's columns)",
+      "rows": [
+{chol_rows}
+      ]
+    }},
+    "batched_predict": {{
+      "what": "256-point standardized posterior sweep through predict_batch_standardized_with_backend (cache-tiled in both modes). scalar = per-query forward solve; simd = lane-interleaved multi-RHS forward solves + sq_norm kernel rows",
+      "rows": [
+{predict_rows}
+      ]
+    }},
+    "scalar_fallback_parity": {{
+      "what": "the restructured scalar fallback vs a replica of the pre-SIMD inner loops (per-column axpy factorization; untiled per-query predict). ratio = scalar_fallback/legacy; acceptance <= 1.05",
+      "rows": [
+{parity_json}
+      ]
+    }}
+  }}
+}}"#,
+        backend = detected.name(),
+        lanes = detected.lanes(),
+        k128 = kernel_128.a_ns / kernel_128.b_ns,
+        c512 = chol_512.a_ns / chol_512.b_ns,
+        kernel_rows = rows_json(&kernel_rows, "scalar_ns", "simd_ns"),
+        chol_rows = rows_json(&chol_rows, "scalar_ns", "simd_ns"),
+        predict_rows = rows_json(&predict_rows, "scalar_ns", "simd_ns"),
+    );
+}

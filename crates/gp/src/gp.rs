@@ -403,6 +403,28 @@ impl<K: Kernel> Gp<K> {
     ///
     /// Panics if any query dimension differs from `kernel.input_dim()`.
     pub fn predict_batch_standardized(&self, points: &[Vec<f64>]) -> Vec<(f64, f64)> {
+        self.predict_batch_standardized_with_backend(points, mfbo_simd::active())
+    }
+
+    /// [`Gp::predict_batch_standardized`] with an explicit SIMD backend —
+    /// the differential-testing and A/B-bench hook.
+    ///
+    /// Queries are processed in cache-sized tiles (the tile's
+    /// cross-covariance rows, difference workspace, and transpose stay
+    /// resident while the Cholesky factor streams through), and within each
+    /// tile groups of [`mfbo_simd::Backend::lanes`] queries share one
+    /// interleaved multi-RHS forward solve. Both the tiling and the
+    /// interleaving are bit-invisible: each query's mean and variance run
+    /// the exact pointwise operation sequence.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Gp::predict_batch_standardized`].
+    pub fn predict_batch_standardized_with_backend(
+        &self,
+        points: &[Vec<f64>],
+        be: mfbo_simd::Backend,
+    ) -> Vec<(f64, f64)> {
         if points.is_empty() {
             return Vec::new();
         }
@@ -411,21 +433,76 @@ impl<K: Kernel> Gp<K> {
         for x in points {
             assert_eq!(x.len(), self.kernel.input_dim(), "query dimension mismatch");
         }
-        let batch = DiffBatch::cross(points, &self.xs);
-        let mut kv = vec![0.0; batch.len()];
-        self.kernel.eval_from_diffs(&self.params, &batch, &mut kv);
-        // Prior-variance terms k(x, x) through the batch hook too: one
-        // parameter hoist for all queries instead of a scalar `eval` each.
-        let diag = DiffBatch::diagonal(points);
-        let mut kss = vec![0.0; points.len()];
-        self.kernel.eval_from_diffs(&self.params, &diag, &mut kss);
+        let dim = self.kernel.input_dim();
+        let lanes = be.lanes();
+        // Tile size: per query the hot working set is the n×dim difference
+        // rows plus their dim-major transpose (16·n·dim bytes) and the
+        // cross-covariance row (8·n bytes). Budget ~1 MiB so the tile stays
+        // cache-resident across the kernel sweep and the solves; round down
+        // to a whole number of SIMD lanes.
+        let per_query = 16 * n * dim + 8 * n;
+        let tile_len = (1 << 20) / per_query.max(1);
+        let tile_len = (tile_len / lanes * lanes).clamp(lanes, points.len().max(lanes));
+
+        let mut kv = vec![0.0; tile_len * n];
+        let mut kss = vec![0.0; tile_len];
         let mut v = vec![0.0; n];
+        let mut bi = vec![0.0; n * lanes];
+        let mut vi = vec![0.0; n * lanes];
         let mut out = Vec::with_capacity(points.len());
-        for (kstar, &kss_q) in kv.chunks_exact(n.max(1)).zip(kss.iter()) {
-            let mean = mfbo_linalg::dot(kstar, &self.alpha);
-            self.chol.forward_solve_into(kstar, &mut v);
-            let var = (kss_q - mfbo_linalg::dot(&v, &v)).max(0.0);
-            out.push((mean, var));
+        for tile in points.chunks(tile_len) {
+            let m = tile.len();
+            // The per-tile batches are deliberately built in the scalar
+            // layout whatever `be` says: a prediction tile evaluates its
+            // kernel rows exactly once, so the dim-major transpose the
+            // vector kernels want costs more to build than it saves (unlike
+            // the NLML training batch, which is evaluated hundreds of times
+            // per build). The SIMD win here is the interleaved multi-RHS
+            // solves below, which read `kv` directly — and scalar vs vector
+            // kernel evaluation is bit-identical by construction, so the
+            // mix is invisible in the output.
+            let batch = DiffBatch::cross_with_backend(tile, &self.xs, mfbo_simd::Backend::Scalar);
+            let kv = &mut kv[..m * n];
+            self.kernel.eval_from_diffs(&self.params, &batch, kv);
+            // Prior-variance terms k(x, x) through the batch hook too: one
+            // parameter hoist per tile instead of a scalar `eval` each.
+            let diag = DiffBatch::diagonal_with_backend(tile, mfbo_simd::Backend::Scalar);
+            let kss = &mut kss[..m];
+            self.kernel.eval_from_diffs(&self.params, &diag, kss);
+            let mut q = 0;
+            if lanes > 1 {
+                // Lane-groups of queries share one interleaved forward
+                // solve; the variance reduction walks lane `c`'s strided
+                // entries in the same ascending order (and from the same
+                // 0.0 start) as `dot(&v, &v)` on the de-interleaved vector.
+                while q + lanes <= m {
+                    for i in 0..n {
+                        for (c, slot) in bi[i * lanes..(i + 1) * lanes].iter_mut().enumerate() {
+                            *slot = kv[(q + c) * n + i];
+                        }
+                    }
+                    self.chol.forward_solve_interleaved_into(be, &bi, &mut vi);
+                    for c in 0..lanes {
+                        let kstar = &kv[(q + c) * n..(q + c + 1) * n];
+                        let mean = mfbo_linalg::dot(kstar, &self.alpha);
+                        let mut s = 0.0;
+                        for k in 0..n {
+                            let x = vi[k * lanes + c];
+                            s += x * x;
+                        }
+                        let var = (kss[q + c] - s).max(0.0);
+                        out.push((mean, var));
+                    }
+                    q += lanes;
+                }
+            }
+            for q in q..m {
+                let kstar = &kv[q * n..(q + 1) * n];
+                let mean = mfbo_linalg::dot(kstar, &self.alpha);
+                self.chol.forward_solve_into(kstar, &mut v);
+                let var = (kss[q] - mfbo_linalg::dot(&v, &v)).max(0.0);
+                out.push((mean, var));
+            }
         }
         out
     }

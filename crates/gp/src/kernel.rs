@@ -194,6 +194,17 @@ impl Kernel for SquaredExponential {
         // dimension order), so values are bit-identical.
         let sf2 = (2.0 * p[0]).exp();
         let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        if let Some((be, rows)) = batch.simd_rows() {
+            // Vectorized across pairs: `sq_norm` fills `out` with the exact
+            // `q` each scalar pair iteration would accumulate (ascending
+            // dimension order, separate mul and add), then the
+            // parameter-dependent finish runs per entry as before.
+            mfbo_simd::sq_norm(be, rows, batch.len(), &inv_l, out);
+            for o in out.iter_mut() {
+                *o = sf2 * (-0.5 * *o).exp();
+            }
+            return;
+        }
         for (d, o) in batch.diffs().chunks_exact(self.dim).zip(out.iter_mut()) {
             let mut q = 0.0;
             for (di, li) in d.iter().zip(&inv_l) {
@@ -213,6 +224,23 @@ impl Kernel for SquaredExponential {
         // One scratch for the whole batch instead of `eval_grad`'s
         // per-pair allocation.
         let mut z2 = vec![0.0; self.dim];
+        if let Some((be, _)) = batch.simd_rows() {
+            // Vectorized across dimensions within each pair; the per-pair
+            // accumulation into `acc` keeps the scalar pair order, so every
+            // partial sum matches the scalar path bit for bit.
+            let (acc0, accl) = acc.split_at_mut(1);
+            for (d, &w) in batch.diffs().chunks_exact(self.dim).zip(weights.iter()) {
+                mfbo_simd::z2_into(be, d, &inv_l, &mut z2);
+                let mut q = 0.0;
+                for &z2i in &z2 {
+                    q += z2i;
+                }
+                let k = sf2 * (-0.5 * q).exp();
+                acc0[0] += w * (2.0 * k);
+                mfbo_simd::accum_scaled(be, accl, &z2, k, w);
+            }
+            return;
+        }
         for (d, &w) in batch.diffs().chunks_exact(self.dim).zip(weights.iter()) {
             let mut q = 0.0;
             for i in 0..self.dim {
@@ -245,6 +273,19 @@ impl Kernel for SquaredExponential {
         // `grad_from_diffs` would recompute — so the per-pair `exp`
         // disappears and only the `z_i²` products remain.
         let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        if let Some((be, _)) = batch.simd_rows() {
+            let (acc0, accl) = acc.split_at_mut(1);
+            for ((d, &w), &k) in batch
+                .diffs()
+                .chunks_exact(self.dim)
+                .zip(weights.iter())
+                .zip(values.iter())
+            {
+                acc0[0] += w * (2.0 * k);
+                mfbo_simd::accum_weighted_sq(be, accl, d, &inv_l, k, w);
+            }
+            return;
+        }
         for ((d, &w), &k) in batch
             .diffs()
             .chunks_exact(self.dim)
@@ -356,6 +397,18 @@ impl Kernel for Matern52 {
         debug_assert_eq!(batch.dim(), self.dim);
         let sf2 = (2.0 * p[0]).exp();
         let inv_l: Vec<f64> = p[1..1 + self.dim].iter().map(|&l| (-l).exp()).collect();
+        if let Some((be, rows)) = batch.simd_rows() {
+            // `sq_norm` reproduces each pair's `q` bit for bit; the √·/exp
+            // finish is per entry in both paths.
+            mfbo_simd::sq_norm(be, rows, batch.len(), &inv_l, out);
+            for o in out.iter_mut() {
+                let q = *o;
+                let r = q.sqrt();
+                let s5r = 5.0f64.sqrt() * r;
+                *o = sf2 * (1.0 + s5r + 5.0 * q / 3.0) * (-s5r).exp();
+            }
+            return;
+        }
         for (d, o) in batch.diffs().chunks_exact(self.dim).zip(out.iter_mut()) {
             let mut q = 0.0;
             for (di, li) in d.iter().zip(&inv_l) {
@@ -525,6 +578,28 @@ impl Kernel for NargpKernel {
         let inv_l2: Vec<f64> = p2[1..1 + d].iter().map(|&l| (-l).exp()).collect();
         let sf2_3 = (2.0 * p3[0]).exp();
         let inv_l3: Vec<f64> = p3[1..1 + d].iter().map(|&l| (-l).exp()).collect();
+        if let Some((be, rows)) = batch.simd_rows() {
+            // Dim-major rows split cleanly into the design-space block
+            // (dimensions 0..d) and the fidelity channel (dimension d), so
+            // each SE component is one `sq_norm` sweep across all pairs.
+            // `sq_norm` with a single dimension yields `0.0 + z_f²`, which
+            // is bit-identical to the scalar path's bare `z_f · z_f` (a
+            // square is never -0.0).
+            let count = batch.len();
+            let (design_rows, fid_row) = rows.split_at(d * count);
+            let mut q1 = vec![0.0; count];
+            let mut q3 = vec![0.0; count];
+            mfbo_simd::sq_norm(be, fid_row, count, &[inv_l1], &mut q1);
+            mfbo_simd::sq_norm(be, design_rows, count, &inv_l3, &mut q3);
+            mfbo_simd::sq_norm(be, design_rows, count, &inv_l2, out);
+            for ((o, &q1v), &q3v) in out.iter_mut().zip(&q1).zip(&q3) {
+                let k1v = sf2_1 * (-0.5 * q1v).exp();
+                let k2v = sf2_2 * (-0.5 * *o).exp();
+                let k3v = sf2_3 * (-0.5 * q3v).exp();
+                *o = k1v * k2v + k3v;
+            }
+            return;
+        }
         for (df, o) in batch.diffs().chunks_exact(d + 1).zip(out.iter_mut()) {
             // The augmented layout is (x_1 … x_d, f): the fidelity channel
             // difference is the last entry, the design-space differences
@@ -563,6 +638,35 @@ impl Kernel for NargpKernel {
         let inv_l3: Vec<f64> = p3[1..1 + d].iter().map(|&l| (-l).exp()).collect();
         let mut z2_2 = vec![0.0; d];
         let mut z2_3 = vec![0.0; d];
+        if let Some((be, _)) = batch.simd_rows() {
+            // Vectorized across design dimensions within each pair, scalar
+            // over the single fidelity channel; per-pair accumulation order
+            // into `acc` is unchanged.
+            for (df, &w) in batch.diffs().chunks_exact(d + 1).zip(weights.iter()) {
+                let zf = df[d] * inv_l1;
+                let z2f = zf * zf;
+                let k1v = sf2_1 * (-0.5 * z2f).exp();
+                mfbo_simd::z2_into(be, &df[..d], &inv_l2, &mut z2_2);
+                let mut q2 = 0.0;
+                for &v in &z2_2 {
+                    q2 += v;
+                }
+                let k2v = sf2_2 * (-0.5 * q2).exp();
+                mfbo_simd::z2_into(be, &df[..d], &inv_l3, &mut z2_3);
+                let mut q3 = 0.0;
+                for &v in &z2_3 {
+                    q3 += v;
+                }
+                let k3v = sf2_3 * (-0.5 * q3).exp();
+                acc[0] += w * ((2.0 * k1v) * k2v);
+                acc[1] += w * ((k1v * z2f) * k2v);
+                acc[n1] += w * ((2.0 * k2v) * k1v);
+                mfbo_simd::accum_scaled2(be, &mut acc[n1 + 1..n1 + 1 + d], &z2_2, k2v, k1v, w);
+                acc[n1 + n2] += w * (2.0 * k3v);
+                mfbo_simd::accum_scaled(be, &mut acc[n1 + n2 + 1..], &z2_3, k3v, w);
+            }
+            return;
+        }
         for (df, &w) in batch.diffs().chunks_exact(d + 1).zip(weights.iter()) {
             let zf = df[d] * inv_l1;
             let z2f = zf * zf;

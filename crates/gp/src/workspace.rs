@@ -33,9 +33,48 @@ pub struct DiffBatch<'a> {
     /// per-pair index storage is built (the batch kernel hooks never look at
     /// indices, only the fallback path does).
     index: PairIndex,
-    /// Row-major `len() × dim` tensor: `diffs[q*dim + t] = left[t] - right[t]`
-    /// for pair `q`.
-    diffs: Vec<f64>,
+    /// Backing storage. The first `count*dim` elements are the row-major
+    /// difference tensor: `diffs[q*dim + t] = left[t] - right[t]` for pair
+    /// `q`. When `simd_backend` is set the buffer is twice that size and the
+    /// second half holds the dim-major transpose `rows[t*count + q]`, so a
+    /// vector kernel can stream `lanes` consecutive pairs per load. One
+    /// allocation holds both halves deliberately: batches are rebuilt per
+    /// prediction tile, and two transient multi-hundred-KB allocations per
+    /// build make glibc bounce the second one through fresh `mmap` pages
+    /// every time (measured ~7× the cost of the copies themselves).
+    buf: Vec<f64>,
+    /// Backend the transpose half of `buf` was built for; `None` when the
+    /// backend is scalar and only the diff half exists.
+    simd_backend: Option<mfbo_simd::Backend>,
+}
+
+/// Whether a dim-major transpose should be built for this backend/shape.
+fn simd_wanted(be: mfbo_simd::Backend, count: usize, dim: usize) -> bool {
+    be.lanes() > 1 && count > 0 && dim > 0
+}
+
+/// Fill the second half of `buf` with the dim-major transpose of the
+/// pair-major diff tensor in its first half.
+fn fill_simd_rows(buf: &mut [f64], count: usize, dim: usize) {
+    // Tiled transpose: within each block of pairs the dimension loop is
+    // outer, so writes into every `rows[t·count ..]` row are contiguous
+    // runs while the block of `diffs` being read stays cache-resident
+    // across all `dim` passes. A plain q-outer loop strides writes `count`
+    // elements apart (every store on a fresh, set-conflicting cache line);
+    // a plain t-outer loop re-streams the whole diff buffer `dim` times.
+    const PAIR_BLOCK: usize = 256;
+    let (diffs, rows) = buf.split_at_mut(count * dim);
+    let mut qb = 0;
+    while qb < count {
+        let qe = (qb + PAIR_BLOCK).min(count);
+        for t in 0..dim {
+            let row = &mut rows[t * count..t * count + count];
+            for q in qb..qe {
+                row[q] = diffs[q * dim + t];
+            }
+        }
+        qb = qe;
+    }
 }
 
 /// How pair `q` maps to `(left[i], right[j])` for each constructor layout.
@@ -57,19 +96,33 @@ impl<'a> DiffBatch<'a> {
     ///
     /// Panics if the points have inconsistent dimensions.
     pub fn lower_triangle(xs: &'a [Vec<f64>]) -> Self {
+        Self::lower_triangle_with_backend(xs, mfbo_simd::active())
+    }
+
+    /// [`DiffBatch::lower_triangle`] with an explicit SIMD backend — the
+    /// differential-testing and A/B-bench hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn lower_triangle_with_backend(xs: &'a [Vec<f64>], be: mfbo_simd::Backend) -> Self {
         let n = xs.len();
         let dim = xs.first().map_or(0, Vec::len);
         let count = n * (n + 1) / 2;
-        let mut diffs = vec![0.0; count * dim];
+        let want = simd_wanted(be, count, dim);
+        let mut buf = vec![0.0; count * dim * if want { 2 } else { 1 }];
         let mut idx = 0;
         for (i, a) in xs.iter().enumerate() {
             assert_eq!(a.len(), dim, "inconsistent point dimension");
             for b in &xs[..=i] {
-                for ((o, &at), &bt) in diffs[idx..idx + dim].iter_mut().zip(a).zip(b) {
+                for ((o, &at), &bt) in buf[idx..idx + dim].iter_mut().zip(a).zip(b) {
                     *o = at - bt;
                 }
                 idx += dim;
             }
+        }
+        if want {
+            fill_simd_rows(&mut buf, count, dim);
         }
         DiffBatch {
             left: xs,
@@ -77,7 +130,8 @@ impl<'a> DiffBatch<'a> {
             dim,
             count,
             index: PairIndex::LowerTriangle,
-            diffs,
+            buf,
+            simd_backend: want.then_some(be),
         }
     }
 
@@ -89,21 +143,39 @@ impl<'a> DiffBatch<'a> {
     ///
     /// Panics if the points have inconsistent dimensions.
     pub fn cross(queries: &'a [Vec<f64>], xs: &'a [Vec<f64>]) -> Self {
+        Self::cross_with_backend(queries, xs, mfbo_simd::active())
+    }
+
+    /// [`DiffBatch::cross`] with an explicit SIMD backend — the
+    /// differential-testing and A/B-bench hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn cross_with_backend(
+        queries: &'a [Vec<f64>],
+        xs: &'a [Vec<f64>],
+        be: mfbo_simd::Backend,
+    ) -> Self {
         let dim = queries.first().or_else(|| xs.first()).map_or(0, Vec::len);
         for b in xs {
             assert_eq!(b.len(), dim, "inconsistent point dimension");
         }
         let count = queries.len() * xs.len();
-        let mut diffs = vec![0.0; count * dim];
+        let want = simd_wanted(be, count, dim);
+        let mut buf = vec![0.0; count * dim * if want { 2 } else { 1 }];
         let mut idx = 0;
         for a in queries {
             assert_eq!(a.len(), dim, "inconsistent query dimension");
             for b in xs {
-                for ((o, &at), &bt) in diffs[idx..idx + dim].iter_mut().zip(a).zip(b) {
+                for ((o, &at), &bt) in buf[idx..idx + dim].iter_mut().zip(a).zip(b) {
                     *o = at - bt;
                 }
                 idx += dim;
             }
+        }
+        if want {
+            fill_simd_rows(&mut buf, count, dim);
         }
         DiffBatch {
             left: queries,
@@ -111,7 +183,8 @@ impl<'a> DiffBatch<'a> {
             dim,
             count,
             index: PairIndex::Cross,
-            diffs,
+            buf,
+            simd_backend: want.then_some(be),
         }
     }
 
@@ -126,26 +199,42 @@ impl<'a> DiffBatch<'a> {
     ///
     /// Panics if the points have inconsistent dimensions.
     pub fn diagonal(xs: &'a [Vec<f64>]) -> Self {
+        Self::diagonal_with_backend(xs, mfbo_simd::active())
+    }
+
+    /// [`DiffBatch::diagonal`] with an explicit SIMD backend — the
+    /// differential-testing and A/B-bench hook.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the points have inconsistent dimensions.
+    pub fn diagonal_with_backend(xs: &'a [Vec<f64>], be: mfbo_simd::Backend) -> Self {
         let dim = xs.first().map_or(0, Vec::len);
-        let mut diffs = vec![0.0; xs.len() * dim];
+        let count = xs.len();
+        let want = simd_wanted(be, count, dim);
+        let mut buf = vec![0.0; count * dim * if want { 2 } else { 1 }];
         let mut idx = 0;
         for a in xs {
             assert_eq!(a.len(), dim, "inconsistent point dimension");
             // Deliberately `a − a`, not a constant 0.0: the batch must hold
             // the exact value the scalar path computes for the pair (i, i).
             #[allow(clippy::eq_op)]
-            for (o, &at) in diffs[idx..idx + dim].iter_mut().zip(a) {
+            for (o, &at) in buf[idx..idx + dim].iter_mut().zip(a) {
                 *o = at - at;
             }
             idx += dim;
+        }
+        if want {
+            fill_simd_rows(&mut buf, count, dim);
         }
         DiffBatch {
             left: xs,
             right: xs,
             dim,
-            count: xs.len(),
+            count,
             index: PairIndex::Diagonal,
-            diffs,
+            buf,
+            simd_backend: want.then_some(be),
         }
     }
 
@@ -167,7 +256,17 @@ impl<'a> DiffBatch<'a> {
     /// The flat `len() × dim` difference tensor; pair `q` occupies
     /// `[q*dim, (q+1)*dim)`.
     pub fn diffs(&self) -> &[f64] {
-        &self.diffs
+        &self.buf[..self.count * self.dim]
+    }
+
+    /// The SIMD backend this workspace was built for, and the dim-major
+    /// transpose `rows[t*len() + q]` of [`DiffBatch::diffs`] — `None` when
+    /// the backend is scalar (no transpose is built). Kernel batch hooks use
+    /// this to route to the vector micro-kernels; absence means "run the
+    /// scalar path".
+    pub fn simd_rows(&self) -> Option<(mfbo_simd::Backend, &[f64])> {
+        self.simd_backend
+            .map(|be| (be, &self.buf[self.count * self.dim..]))
     }
 
     /// The original `(a, b)` points of pair `q`, for kernels that cannot be
@@ -251,6 +350,33 @@ mod tests {
         assert_eq!(b.dim(), 2);
         assert_eq!(b.pair_points(1), (&xs[1][..], &xs[1][..]));
         assert!(b.diffs().iter().all(|&d| d == 0.0));
+    }
+
+    #[test]
+    fn simd_rows_is_exact_transpose_of_diffs() {
+        let xs = vec![
+            vec![1.0, 2.0, 3.0],
+            vec![4.0, 8.0, 16.0],
+            vec![0.5, -1.0, 2.5],
+        ];
+        for b in [
+            DiffBatch::lower_triangle_with_backend(&xs, mfbo_simd::Backend::Avx2),
+            DiffBatch::cross_with_backend(&xs[..2], &xs, mfbo_simd::Backend::Avx2),
+            DiffBatch::diagonal_with_backend(&xs, mfbo_simd::Backend::Avx2),
+        ] {
+            let (be, rows) = b.simd_rows().expect("vector backend builds rows");
+            assert_eq!(be, mfbo_simd::Backend::Avx2);
+            for q in 0..b.len() {
+                for t in 0..b.dim() {
+                    assert_eq!(
+                        rows[t * b.len() + q].to_bits(),
+                        b.diffs()[q * b.dim() + t].to_bits()
+                    );
+                }
+            }
+        }
+        let scalar = DiffBatch::lower_triangle_with_backend(&xs, mfbo_simd::Backend::Scalar);
+        assert!(scalar.simd_rows().is_none());
     }
 
     #[test]

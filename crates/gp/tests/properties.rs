@@ -2,7 +2,8 @@
 
 use mfbo_gp::kernel::{Kernel, Matern52, NargpKernel, SquaredExponential};
 use mfbo_gp::{
-    nlml, nlml_cached, nlml_with_grad, nlml_with_grad_cached, Gp, GpConfig, NlmlWorkspace,
+    nlml, nlml_cached, nlml_with_grad, nlml_with_grad_cached, DiffBatch, Gp, GpConfig,
+    NlmlWorkspace,
 };
 use mfbo_linalg::{Cholesky, Matrix};
 use proptest::prelude::*;
@@ -133,6 +134,42 @@ mod bit_identity {
     use super::*;
     use proptest::TestCaseError;
 
+    /// All three batch hooks of `kernel` under the detected backend must
+    /// reproduce the forced-scalar workspace bit for bit.
+    fn check_kernel_backend_invisible<K: Kernel>(
+        kernel: &K,
+        theta: &[f64],
+        xs: &[Vec<f64>],
+    ) -> Result<(), TestCaseError> {
+        let weights: Vec<f64> = (0..xs.len() * (xs.len() + 1) / 2)
+            .map(|i| (i as f64 * 0.37).sin())
+            .collect();
+        let fast = DiffBatch::lower_triangle_with_backend(xs, mfbo_simd::detect());
+        let reference = DiffBatch::lower_triangle_with_backend(xs, mfbo_simd::Backend::Scalar);
+        let mut kf = vec![0.0; fast.len()];
+        let mut kr = vec![0.0; fast.len()];
+        kernel.eval_from_diffs(theta, &fast, &mut kf);
+        kernel.eval_from_diffs(theta, &reference, &mut kr);
+        for (a, b) in kf.iter().zip(&kr) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut gf = vec![0.0; kernel.num_params()];
+        let mut gr = vec![0.0; kernel.num_params()];
+        kernel.grad_from_diffs(theta, &fast, &weights, &mut gf);
+        kernel.grad_from_diffs(theta, &reference, &weights, &mut gr);
+        for (a, b) in gf.iter().zip(&gr) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut gf2 = vec![0.0; kernel.num_params()];
+        let mut gr2 = vec![0.0; kernel.num_params()];
+        kernel.grad_from_diffs_with_values(theta, &fast, &weights, &kf, &mut gf2);
+        kernel.grad_from_diffs_with_values(theta, &reference, &weights, &kr, &mut gr2);
+        for (a, b) in gf2.iter().zip(&gr2) {
+            prop_assert_eq!(a.to_bits(), b.to_bits());
+        }
+        Ok(())
+    }
+
     fn check_nlml_cached<K: Kernel>(
         kernel: &K,
         theta: &[f64],
@@ -212,6 +249,48 @@ mod bit_identity {
                 prop_assert_eq!(p.mean.to_bits(), pr.mean.to_bits());
                 prop_assert_eq!(p.var.to_bits(), pr.var.to_bits());
             }
+        }
+
+        /// The SIMD backend choice must be bit-invisible end to end: forced
+        /// scalar and the detected backend produce identical predictions.
+        /// Query counts sweep the lane-group remainders (0..lanes-1 queries
+        /// left over after the interleaved groups).
+        #[test]
+        fn predict_batch_backend_bit_invisible(
+            xs in points(11, 2),
+            queries in points(9, 2),
+            m in 1usize..9,
+            logl in -1.0f64..0.5,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| (2.0 * x[0]).sin() - x[1]).collect();
+            let gp = Gp::with_params(
+                SquaredExponential::new(2),
+                xs,
+                ys,
+                vec![0.1, logl, logl],
+                -2.0,
+                true,
+            )
+            .unwrap();
+            let queries = &queries[..m];
+            let fast = gp.predict_batch_standardized_with_backend(queries, mfbo_simd::detect());
+            let reference =
+                gp.predict_batch_standardized_with_backend(queries, mfbo_simd::Backend::Scalar);
+            for ((fm, fv), (rm, rv)) in fast.iter().zip(&reference) {
+                prop_assert_eq!(fm.to_bits(), rm.to_bits());
+                prop_assert_eq!(fv.to_bits(), rv.to_bits());
+            }
+        }
+
+        /// Kernel batch hooks under every constructible backend reproduce
+        /// the scalar workspace bit for bit, for all three kernels.
+        #[test]
+        fn kernel_batch_hooks_backend_bit_invisible(xs in points(9, 3)) {
+            check_kernel_backend_invisible(&SquaredExponential::new(3), &[0.2, -0.5, 0.1, -1.0], &xs)?;
+            check_kernel_backend_invisible(&Matern52::new(3), &[0.2, -0.5, 0.1, -1.0], &xs)?;
+            let nargp = NargpKernel::new(2);
+            let theta = nargp.default_params();
+            check_kernel_backend_invisible(&nargp, &theta, &xs)?;
         }
 
         #[test]

@@ -63,12 +63,24 @@ impl Cholesky {
     /// strictly positive, and [`LinalgError::ShapeMismatch`] if `a` is not
     /// square.
     pub fn new(a: &Matrix) -> Result<Self, LinalgError> {
+        Self::new_with_backend(a, mfbo_simd::active())
+    }
+
+    /// [`Cholesky::new`] with an explicit SIMD backend instead of the
+    /// process-wide dispatch decision — the hook the differential tests and
+    /// A/B benches use to pin both paths in one process. Every backend
+    /// yields a bit-identical factor.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Cholesky::new`].
+    pub fn new_with_backend(a: &Matrix, be: mfbo_simd::Backend) -> Result<Self, LinalgError> {
         if !a.is_square() {
             return Err(LinalgError::ShapeMismatch {
                 context: "cholesky",
             });
         }
-        Self::factorize(a, 0.0)
+        Self::factorize(a, 0.0, be)
     }
 
     /// Factorizes `a`, retrying with a diagonal jitter that grows
@@ -89,14 +101,15 @@ impl Cholesky {
                 context: "cholesky",
             });
         }
-        match Self::factorize(a, 0.0) {
+        let be = mfbo_simd::active();
+        match Self::factorize(a, 0.0, be) {
             Ok(c) => Ok(c),
             Err(_) => {
                 let mut jitter = initial.max(f64::MIN_POSITIVE);
                 let mut attempts = 1u64;
                 loop {
                     attempts += 1;
-                    match Self::factorize(a, jitter) {
+                    match Self::factorize(a, jitter, be) {
                         Ok(c) => {
                             mfbo_telemetry::debug_event!(
                                 "cholesky_jitter",
@@ -191,7 +204,7 @@ impl Cholesky {
         cols
     }
 
-    fn factorize(a: &Matrix, jitter: f64) -> Result<Self, LinalgError> {
+    fn factorize(a: &Matrix, jitter: f64, be: mfbo_simd::Backend) -> Result<Self, LinalgError> {
         let n = a.rows();
         // Pack the lower triangle of `a` (jitter folded into the diagonal)
         // into contiguous column-major storage, factor in place, then
@@ -204,7 +217,7 @@ impl Cholesky {
             }
             cols[off] += jitter;
         }
-        Self::factorize_packed(n, &mut cols)?;
+        Self::factorize_packed(n, &mut cols, be)?;
         let mut l = Matrix::zeros(n, n);
         for j in 0..n {
             let off = Self::col_offset(n, j);
@@ -223,51 +236,63 @@ impl Cholesky {
     /// finished panels left to right and columns within a panel left to
     /// right, and the in-panel sweep covers the remaining `k`, so the
     /// per-element operation sequence is exactly that of the reference.
-    /// Blocking changes only the memory-access schedule (each trailing
-    /// column is updated by a whole cached panel at a time), never the
+    /// Blocking changes only the memory-access schedule, never the
     /// arithmetic.
-    fn factorize_packed(n: usize, c: &mut [f64]) -> Result<(), LinalgError> {
+    ///
+    /// The per-column updates are delegated to [`mfbo_simd::fold_cols`],
+    /// which applies a whole panel's worth of source columns to one
+    /// destination column while it sits in registers — the SIMD backends
+    /// vectorize across the column *elements* (independent scalar chains)
+    /// and keep each element's `k`-order ascending, so the factor is
+    /// bit-identical under every backend.
+    fn factorize_packed(
+        n: usize,
+        c: &mut [f64],
+        be: mfbo_simd::Backend,
+    ) -> Result<(), LinalgError> {
         let off = |j: usize| Self::col_offset(n, j);
+        // Reused `(source offset, multiplier)` list: entry `k` points at the
+        // packed sub-column `L[j..n][k]` (which starts `j-k` elements into
+        // column `k`) with multiplier `L[j][k]` — the first element of that
+        // same sub-column.
+        let mut folds: Vec<(usize, f64)> = Vec::with_capacity(PANEL);
         let mut pb = 0;
         while pb < n {
             let pe = (pb + PANEL).min(n);
             // Factor the diagonal panel. Contributions from columns < pb
-            // were applied by the trailing updates of earlier panels.
+            // were applied by the trailing updates of earlier panels, and
+            // columns pb..j of this panel are all finished by the time
+            // column j folds them in.
             for j in pb..pe {
+                let (head, tail) = c.split_at_mut(off(j));
+                let colj = &mut tail[..n - j];
+                folds.clear();
                 for k in pb..j {
-                    let ljk = c[off(k) + (j - k)];
-                    let (head, tail) = c.split_at_mut(off(j));
-                    let colk = &head[off(k)..off(k) + (n - k)];
-                    let colj = &mut tail[..n - j];
-                    let base = j - k;
-                    for (i, cj) in colj.iter_mut().enumerate() {
-                        *cj -= colk[base + i] * ljk;
-                    }
+                    let src = off(k) + (j - k);
+                    folds.push((src, head[src]));
                 }
-                let off_j = off(j);
-                let d = c[off_j];
+                mfbo_simd::fold_cols(be, colj, head, &folds);
+                let d = colj[0];
                 if d <= 0.0 || !d.is_finite() {
                     return Err(LinalgError::NotPositiveDefinite { pivot: j });
                 }
                 let dj = d.sqrt();
-                c[off_j] = dj;
-                for i in 1..n - j {
-                    c[off_j + i] /= dj;
+                colj[0] = dj;
+                for v in colj[1..].iter_mut() {
+                    *v /= dj;
                 }
             }
-            // Fold the finished panel into every trailing column, one
-            // finished column `k` at a time in ascending order.
+            // Fold the finished panel into every trailing column, the
+            // finished columns applied in ascending order per element.
             for j in pe..n {
+                let (head, tail) = c.split_at_mut(off(j));
+                let colj = &mut tail[..n - j];
+                folds.clear();
                 for k in pb..pe {
-                    let ljk = c[off(k) + (j - k)];
-                    let (head, tail) = c.split_at_mut(off(j));
-                    let colk = &head[off(k)..off(k) + (n - k)];
-                    let colj = &mut tail[..n - j];
-                    let base = j - k;
-                    for (i, cj) in colj.iter_mut().enumerate() {
-                        *cj -= colk[base + i] * ljk;
-                    }
+                    let src = off(k) + (j - k);
+                    folds.push((src, head[src]));
                 }
+                mfbo_simd::fold_cols(be, colj, head, &folds);
             }
             pb = pe;
         }
@@ -384,6 +409,40 @@ impl Cholesky {
         }
     }
 
+    /// Interleaved multi-RHS forward substitution: solves `L z = b` for
+    /// `be.lanes()` right-hand sides at once, stored lane-interleaved
+    /// (`b[i*lanes + c]` is row `i` of RHS `c`). Each lane executes exactly
+    /// the scalar [`Cholesky::forward_solve_into`] operation sequence, so
+    /// de-interleaving the output reproduces the per-RHS solves bit for
+    /// bit — while the factor streams through cache once per group instead
+    /// of once per RHS.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differs from
+    /// `self.dim() * be.lanes()`.
+    pub fn forward_solve_interleaved_into(
+        &self,
+        be: mfbo_simd::Backend,
+        b: &[f64],
+        out: &mut [f64],
+    ) {
+        mfbo_simd::forward_solve_interleaved(be, self.l.as_slice(), self.dim(), b, out);
+    }
+
+    /// Interleaved multi-RHS back substitution: solves `Lᵀ x = b` for
+    /// `be.lanes()` lane-interleaved right-hand sides against the packed
+    /// column storage — the multi-RHS counterpart of
+    /// [`Cholesky::back_solve_into`], bit-identical per lane.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `b.len()` or `out.len()` differs from
+    /// `self.dim() * be.lanes()`.
+    pub fn back_solve_interleaved_into(&self, be: mfbo_simd::Backend, b: &[f64], out: &mut [f64]) {
+        mfbo_simd::back_solve_interleaved(be, &self.cols, self.dim(), b, out);
+    }
+
     /// Solves `A x = b` (both triangular solves).
     ///
     /// # Panics
@@ -420,22 +479,63 @@ impl Cholesky {
         out
     }
 
-    /// Solves `A X = B` into a caller-provided matrix, reusing three
-    /// column-length scratch buffers across all columns instead of
-    /// allocating per column.
+    /// Solves `A X = B` into a caller-provided matrix, reusing scratch
+    /// buffers across all columns instead of allocating per column.
+    ///
+    /// Columns are solved in groups of [`mfbo_simd::Backend::lanes`]
+    /// through the interleaved multi-RHS kernels (bit-identical per column
+    /// to the scalar solves), with a scalar per-column pass for the
+    /// remainder.
     ///
     /// # Panics
     ///
     /// Panics if `b.rows() != self.dim()` or `out` is not the shape of `b`.
     pub fn solve_matrix_into(&self, b: &Matrix, out: &mut Matrix) {
+        self.solve_matrix_into_with_backend(b, out, mfbo_simd::active())
+    }
+
+    /// [`Cholesky::solve_matrix_into`] with an explicit SIMD backend — the
+    /// differential-testing and A/B-bench hook.
+    ///
+    /// # Panics
+    ///
+    /// As for [`Cholesky::solve_matrix_into`].
+    pub fn solve_matrix_into_with_backend(
+        &self,
+        b: &Matrix,
+        out: &mut Matrix,
+        be: mfbo_simd::Backend,
+    ) {
         let n = self.dim();
         assert_eq!(b.rows(), n, "solve_matrix shape mismatch");
         assert_eq!(out.rows(), b.rows(), "solve_matrix output shape mismatch");
         assert_eq!(out.cols(), b.cols(), "solve_matrix output shape mismatch");
+        let lanes = be.lanes();
+        let mut j = 0;
+        if lanes > 1 {
+            let mut bi = vec![0.0; n * lanes];
+            let mut zi = vec![0.0; n * lanes];
+            let mut xi = vec![0.0; n * lanes];
+            while j + lanes <= b.cols() {
+                for i in 0..n {
+                    for (c, slot) in bi[i * lanes..(i + 1) * lanes].iter_mut().enumerate() {
+                        *slot = b[(i, j + c)];
+                    }
+                }
+                self.forward_solve_interleaved_into(be, &bi, &mut zi);
+                self.back_solve_interleaved_into(be, &zi, &mut xi);
+                for i in 0..n {
+                    for (c, &v) in xi[i * lanes..(i + 1) * lanes].iter().enumerate() {
+                        out[(i, j + c)] = v;
+                    }
+                }
+                j += lanes;
+            }
+        }
         let mut rhs = vec![0.0; n];
         let mut z = vec![0.0; n];
         let mut x = vec![0.0; n];
-        for j in 0..b.cols() {
+        for j in j..b.cols() {
             for (i, r) in rhs.iter_mut().enumerate() {
                 *r = b[(i, j)];
             }

@@ -54,6 +54,7 @@ struct Options {
     on_non_finite: NonFinitePolicy,
     retries: u32,
     max_evals: Option<u64>,
+    simd: Option<mfbo_simd::SimdMode>,
 }
 
 impl Default for Options {
@@ -79,6 +80,8 @@ impl Default for Options {
             on_non_finite: NonFinitePolicy::Abort,
             retries: 0,
             max_evals: None,
+            // None = defer to MFBO_SIMD (unset → auto detection).
+            simd: None,
         }
     }
 }
@@ -90,7 +93,7 @@ const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de
                 [--threads N|auto]
                 [--journal DIR] [--resume] [--cache] [--warm-start]
                 [--on-non-finite abort|penalize] [--retries N]
-                [--max-evals N]
+                [--max-evals N] [--simd scalar|auto]
 
 problems: forrester, pedagogical, branin, park, pa, charge-pump
 
@@ -105,7 +108,11 @@ continues the run, reproducing the uninterrupted trajectory bit for bit.
 --warm-start additionally seeds the low-fidelity surrogate from it.
 --on-non-finite penalize substitutes a penalty for failing simulations
 (after --retries N attempts) instead of aborting; --max-evals caps fresh
-simulator calls.";
+simulator calls.
+
+--simd picks the vectorized micro-kernel backend (default: auto = best
+runtime-detected instruction set, or the MFBO_SIMD environment variable
+when set). Results are bit-identical for every backend.";
 
 /// Parses arguments; returns an error message on malformed input.
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -176,6 +183,13 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                         .parse()
                         .map_err(|_| "max-evals must be a positive integer".to_string())?,
                 )
+            }
+            "--simd" => {
+                let v = value("--simd")?;
+                opts.simd = Some(
+                    mfbo_simd::SimdMode::parse(&v)
+                        .ok_or_else(|| "simd must be 'scalar' or 'auto'".to_string())?,
+                );
             }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
@@ -326,6 +340,15 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Preflight MFBO_SIMD before any hot path resolves the backend: a
+    // typo'd value exits nonzero with a clean message instead of panicking
+    // mid-run. A --simd flag overrides the variable, so it needs no check.
+    if opts.simd.is_none() {
+        if let Err(msg) = mfbo_simd::backend_from_env() {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    }
     match make_sink(&opts) {
         Ok(Some(sink)) => mfbo_telemetry::set_global_sink(sink),
         Ok(None) => {}
@@ -334,13 +357,20 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
+    // Resolve the SIMD backend after the sink is installed so the
+    // `simd_dispatch` decision event lands in --trace output.
+    let simd_backend = match opts.simd {
+        Some(mode) => mfbo_simd::force(mode),
+        None => mfbo_simd::active(),
+    };
     println!(
-        "running {} on {} (budget {}, seed {}, {} worker thread(s))",
+        "running {} on {} (budget {}, seed {}, {} worker thread(s), simd {})",
         opts.algo,
         problem.name(),
         opts.budget,
         opts.seed,
         opts.threads.workers(),
+        simd_backend.name(),
     );
     let outcome = match run_algo(&opts, problem.as_ref()) {
         Ok(o) => o,
@@ -441,6 +471,18 @@ mod tests {
         assert!(parse_args(args("--budget inf")).is_err());
         assert!(parse_args(args("--on-non-finite shrug")).is_err());
         assert!(parse_args(args("--retries -1")).is_err());
+    }
+
+    #[test]
+    fn parses_simd_flag_and_rejects_unknown() {
+        let o = parse_args(args("--simd scalar")).unwrap();
+        assert_eq!(o.simd, Some(mfbo_simd::SimdMode::Scalar));
+        let o = parse_args(args("--simd auto")).unwrap();
+        assert_eq!(o.simd, Some(mfbo_simd::SimdMode::Auto));
+        assert_eq!(parse_args(args("")).unwrap().simd, None);
+        let e = parse_args(args("--simd avx512")).unwrap_err();
+        assert!(e.contains("'scalar' or 'auto'"), "{e}");
+        assert!(parse_args(args("--simd")).is_err());
     }
 
     #[test]
