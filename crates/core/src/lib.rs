@@ -62,6 +62,7 @@ mod mfbo;
 mod nargp;
 pub mod problem;
 pub mod report;
+pub mod run_report;
 mod sfbo;
 mod surrogate;
 
@@ -74,5 +75,6 @@ pub use mfbo::{MfBayesOpt, MfBoConfig};
 pub use mfbo_pool::Parallelism;
 pub use mfbo_runstore::RunStore;
 pub use nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
+pub use run_report::RunReport;
 pub use sfbo::{SfBayesOpt, SfBoConfig};
 pub use surrogate::{MfBundleThetas, MfSurrogates, SfBundleThetas, SfSurrogates};

@@ -325,6 +325,29 @@ impl MfBayesOpt {
             thetas = Some(surrogates.thetas());
             telemetry.record_stage("surrogate_fit", fit_span.elapsed());
             drop(fit_span);
+            // Hyperparameter trajectory, emitted on the main thread in
+            // iteration order (worker-thread `gp_fit` events interleave
+            // nondeterministically; this one is safe to diff run-to-run).
+            if let Some(t) = &thetas {
+                mfbo_telemetry::debug_event!(
+                    "hyperparams",
+                    iteration = iteration,
+                    objective_low = crate::surrogate::fmt_thetas(&t.objective.low),
+                    objective_high = crate::surrogate::fmt_thetas(&t.objective.high),
+                    constraints = t
+                        .constraints
+                        .iter()
+                        .map(|c| {
+                            format!(
+                                "{}|{}",
+                                crate::surrogate::fmt_thetas(&c.low),
+                                crate::surrogate::fmt_thetas(&c.high)
+                            )
+                        })
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                );
+            }
 
             // Incumbents (values and locations) at each fidelity.
             let best_low = low.best_feasible().or_else(|| low.best_any());
@@ -336,7 +359,7 @@ impl MfBayesOpt {
             let tau_h_val = best_high.map(|(_, v)| v);
             let acq_span = span!("acq_opt", iteration = iteration);
             let drove_feasibility = nc > 0 && !has_feasible_high;
-            let (xt_unit, acq_value) = if drove_feasibility {
+            let (xt_unit, acq_value, landscape) = if drove_feasibility {
                 // §4.2: no feasible point known — minimize Σ max(0, μ_h,i).
                 // A tiny objective-mean tie-break steers the search toward
                 // good designs once the drive term flattens at zero.
@@ -348,8 +371,8 @@ impl MfBayesOpt {
                 let ms = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local.clone())
                     .with_parallelism(cfg.parallelism);
-                let r = ms.minimize(&drive, &unit, rng);
-                (r.x, r.value)
+                let (r, stats) = ms.minimize_with_stats(&drive, &unit, rng);
+                (r.x, r.value, stats)
             } else {
                 // Line 5: optimize the low-fidelity wEI → x*_l.
                 let tau_l = best_low.map(|(_, v)| v).unwrap_or(0.0);
@@ -388,11 +411,26 @@ impl MfBayesOpt {
                     );
                 }
                 let wei_h = |x: &[f64]| surrogates.wei_high(x, tau_h);
-                let r = ms_high.maximize(&wei_h, &unit, rng);
-                (r.x, r.value)
+                let (r, stats) = ms_high.maximize_with_stats(&wei_h, &unit, rng);
+                (r.x, r.value, stats)
             };
             telemetry.record_stage("acq_opt", acq_span.elapsed());
             drop(acq_span);
+            // Acquisition-landscape health: in wEI mode a large frac_zero
+            // means most restarts sat where the model offers no expected
+            // improvement; a near-zero spread means the landscape has
+            // collapsed to a single basin.
+            mfbo_telemetry::debug_event!(
+                "acq_landscape",
+                iteration = iteration,
+                feasibility_drive = drove_feasibility,
+                best_value = landscape.best_value,
+                worst_value = landscape.worst_value,
+                spread = landscape.spread,
+                frac_zero = landscape.frac_zero,
+                starts = landscape.starts,
+                best_start = landscape.best_start,
+            );
 
             // Line 7: fidelity selection (§3.4), with the verification
             // safeguard (see MfBoConfig::max_low_streak).

@@ -88,8 +88,15 @@ pub fn summary(outcome: &Outcome) -> String {
     );
     let st = &outcome.eval_stats;
     if st.replayed + st.cache_hits + st.warm_started + st.retries + st.quarantined > 0 {
+        let served = st.fresh + st.replayed + st.cache_hits;
+        let hit_rate = if served > 0 {
+            100.0 * st.cache_hits as f64 / served as f64
+        } else {
+            0.0
+        };
+        let (low_pct, high_pct) = cost_split_pct(outcome);
         s.push_str(&format!(
-            "\ndurability     : {} fresh (cost {:.2}), {} replayed (cost {:.2}), {} cached (cost {:.2}), {} warm-started, {} retries, {} quarantined",
+            "\ndurability     : {} fresh (cost {:.2}), {} replayed (cost {:.2}), {} cached (cost {:.2}), {} warm-started, {} retries, {} quarantined, cache hit rate {:.1}%, cost split low {:.1}% / high {:.1}%",
             st.fresh,
             st.fresh_cost,
             st.replayed,
@@ -99,9 +106,35 @@ pub fn summary(outcome: &Outcome) -> String {
             st.warm_started,
             st.retries,
             st.quarantined,
+            hit_rate,
+            low_pct,
+            high_pct,
         ));
     }
     s
+}
+
+/// Percentage of total cost charged by each fidelity, from cumulative-cost
+/// differences along the history. `(low_pct, high_pct)`; zeros when the
+/// trace is empty or free.
+fn cost_split_pct(outcome: &Outcome) -> (f64, f64) {
+    let mut low = 0.0;
+    let mut high = 0.0;
+    let mut prev = 0.0;
+    for r in &outcome.history {
+        let delta = r.cost_so_far - prev;
+        prev = r.cost_so_far;
+        match r.fidelity {
+            Fidelity::Low => low += delta,
+            Fidelity::High => high += delta,
+        }
+    }
+    let total = low + high;
+    if total > 0.0 {
+        (100.0 * low / total, 100.0 * high / total)
+    } else {
+        (0.0, 0.0)
+    }
 }
 
 /// Counts evaluations per fidelity in the trace (sanity/reporting helper).
@@ -247,6 +280,10 @@ mod tests {
         assert!(s.contains("durability"));
         assert!(s.contains("9 replayed (cost 4.50)"));
         assert!(s.contains("2 cached"));
+        // 2 hits out of 3 fresh + 9 replayed + 2 cached = 14 served.
+        assert!(s.contains("cache hit rate 14.3%"), "{s}");
+        // toy history: 0.1 low cost, 1.0 high cost.
+        assert!(s.contains("cost split low 9.1% / high 90.9%"), "{s}");
     }
 
     #[test]

@@ -214,33 +214,59 @@ impl SfBayesOpt {
             thetas = Some(surrogates.thetas());
             telemetry.record_stage("surrogate_fit", fit_span.elapsed());
             drop(fit_span);
+            // Main-thread hyperparameter trajectory (see mfbo.rs for why the
+            // worker-thread gp_fit events are not a substitute).
+            if let Some(t) = &thetas {
+                mfbo_telemetry::debug_event!(
+                    "hyperparams",
+                    iteration = iteration,
+                    objective = crate::surrogate::fmt_thetas(&t.objective),
+                    constraints = t
+                        .constraints
+                        .iter()
+                        .map(|c| crate::surrogate::fmt_thetas(c))
+                        .collect::<Vec<_>>()
+                        .join(";"),
+                );
+            }
 
             let local = NelderMead::new().with_max_iters(90);
             let best = data.best_feasible();
             let acq_span = span!("acq_opt", iteration = iteration);
             let drove_feasibility = nc > 0 && best.is_none();
-            let (xt_unit, acq_value) = if drove_feasibility {
+            let (xt_unit, acq_value, landscape) = if drove_feasibility {
                 // Eq. (13): force the search toward feasibility.
                 let drive = |x: &[f64]| {
                     surrogates.feasibility_drive(x) + 1e-4 * surrogates.objective().predict(x).mean
                 };
-                let r = MultiStart::new(cfg.msp_starts)
+                let (r, stats) = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local)
                     .with_parallelism(cfg.parallelism)
-                    .minimize(&drive, &unit, rng);
-                (r.x, r.value)
+                    .minimize_with_stats(&drive, &unit, rng);
+                (r.x, r.value, stats)
             } else {
                 let (k, tau) = best.or_else(|| data.best_any()).expect("data non-empty");
                 let wei = |x: &[f64]| surrogates.wei(x, tau);
-                let r = MultiStart::new(cfg.msp_starts)
+                let (r, stats) = MultiStart::new(cfg.msp_starts)
                     .with_local_search(local)
                     .with_parallelism(cfg.parallelism)
                     .with_anchor(data_u.xs[k].clone(), cfg.frac_around_tau, cfg.anchor_spread)
-                    .maximize(&wei, &unit, rng);
-                (r.x, r.value)
+                    .maximize_with_stats(&wei, &unit, rng);
+                (r.x, r.value, stats)
             };
             telemetry.record_stage("acq_opt", acq_span.elapsed());
             drop(acq_span);
+            mfbo_telemetry::debug_event!(
+                "acq_landscape",
+                iteration = iteration,
+                feasibility_drive = drove_feasibility,
+                best_value = landscape.best_value,
+                worst_value = landscape.worst_value,
+                spread = landscape.spread,
+                frac_zero = landscape.frac_zero,
+                starts = landscape.starts,
+                best_start = landscape.best_start,
+            );
             event!(
                 "sfbo_iteration",
                 iteration = iteration,

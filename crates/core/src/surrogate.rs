@@ -35,6 +35,20 @@ pub struct SfBundleThetas {
     pub constraints: Vec<Vec<f64>>,
 }
 
+/// Serializes a hyperparameter vector for the `hyperparams` trajectory
+/// event: comma-joined shortest-round-trip floats, so the analyzer can parse
+/// the exact `f64` bits back out of a JSONL trace.
+pub(crate) fn fmt_thetas(theta: &[f64]) -> String {
+    let mut out = String::new();
+    for (i, v) in theta.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&mfbo_telemetry::json::Json::Num(*v).to_string());
+    }
+    out
+}
+
 /// Multi-fidelity surrogate bundle: a fusion model for the objective and one
 /// for each constraint.
 #[derive(Debug, Clone)]

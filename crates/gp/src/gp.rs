@@ -260,6 +260,20 @@ impl<K: Kernel> Gp<K> {
         drop(ws);
         let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
         let alpha = chol.solve_vec(&ys_std);
+        // A winning hyperparameter pinned at its search-space boundary
+        // usually means the bound, not the data, chose the value — the
+        // classic symptom of a degenerating surrogate (lengthscale collapsed
+        // to the floor, or noise railed at its cap). Components whose bounds
+        // are pinned (lo == hi, e.g. log_noise with train_noise off) cannot
+        // meaningfully "hit" a bound and are skipped.
+        let bound_hits = theta
+            .iter()
+            .zip(theta_bounds.lower().iter().zip(theta_bounds.upper()))
+            .filter(|&(&t, (&lo, &hi))| {
+                let span = hi - lo;
+                span > 0.0 && ((t - lo).abs() <= 1e-9 * span || (hi - t).abs() <= 1e-9 * span)
+            })
+            .count();
         // Start 0 is always the kernel default; 1 is the warm start when one
         // was supplied — best_start tells which strategy won this refit.
         // `factorizations` counts Cholesky factorization entry points: one
@@ -278,6 +292,7 @@ impl<K: Kernel> Gp<K> {
             log_noise = log_noise,
             jitter = chol.jitter(),
             condition = chol.condition_estimate(),
+            bound_hits = bound_hits,
         );
 
         Ok(Gp {
@@ -897,6 +912,17 @@ mod tests {
         match recs[0].field("nlml") {
             Some(mfbo_telemetry::Value::F64(v)) => assert!((v - gp.nlml()).abs() < 1e-12),
             other => panic!("nlml field missing or mistyped: {other:?}"),
+        }
+        // Health diagnostics ride along on the same event.
+        match recs[0].field("bound_hits") {
+            Some(&mfbo_telemetry::Value::U64(hits)) => {
+                assert!(hits <= 4, "at most one hit per theta component")
+            }
+            other => panic!("bound_hits field missing or mistyped: {other:?}"),
+        }
+        match recs[0].field("condition") {
+            Some(mfbo_telemetry::Value::F64(c)) => assert!(c.is_finite() && *c >= 1.0),
+            other => panic!("condition field missing or mistyped: {other:?}"),
         }
     }
 

@@ -137,6 +137,21 @@ impl MultiStart {
         F: Fn(&[f64]) -> f64 + Sync + ?Sized,
         R: Rng + ?Sized,
     {
+        self.minimize_with_stats(f, bounds, rng).0
+    }
+
+    /// [`MultiStart::minimize`], additionally returning landscape statistics
+    /// over the per-start local optima.
+    pub fn minimize_with_stats<F, R>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        rng: &mut R,
+    ) -> (OptResult, LandscapeStats)
+    where
+        F: Fn(&[f64]) -> f64 + Sync + ?Sized,
+        R: Rng + ?Sized,
+    {
         let starts = self.starting_points(bounds, rng);
         let results = par_map(self.parallelism, &starts, |s| {
             self.local.minimize(f, s, bounds)
@@ -145,9 +160,17 @@ impl MultiStart {
         let mut best_start = 0usize;
         let mut total_evals = 0usize;
         let mut total_iters = 0usize;
+        let mut worst_value = f64::NEG_INFINITY;
+        let mut zero_starts = 0usize;
         for (k, r) in results.into_iter().enumerate() {
             total_evals += r.evaluations;
             total_iters += r.iterations;
+            if r.value == 0.0 {
+                zero_starts += 1;
+            }
+            if r.value.is_finite() && r.value > worst_value {
+                worst_value = r.value;
+            }
             let better = match &best {
                 None => true,
                 Some(b) => r.value < b.value,
@@ -160,9 +183,25 @@ impl MultiStart {
         let mut out = best.expect("at least one start");
         out.evaluations = total_evals;
         out.iterations = total_iters;
+        let stats = LandscapeStats {
+            starts: starts.len(),
+            best_start,
+            best_value: out.value,
+            worst_value,
+            spread: if worst_value.is_finite() && out.value.is_finite() {
+                worst_value - out.value
+            } else {
+                f64::NAN
+            },
+            frac_zero: zero_starts as f64 / starts.len() as f64,
+        };
         // Anchored starts come first in `starting_points`, so a small
         // best_start index means a biased start won — the signal that the
-        // paper's §4.1 start distribution is earning its keep.
+        // paper's §4.1 start distribution is earning its keep. The landscape
+        // fields diagnose acquisition health: a tiny spread means every
+        // restart found the same optimum (a flat or unimodal landscape); a
+        // large frac_zero on a wEI surface means most of the space offers no
+        // expected improvement.
         mfbo_telemetry::debug_event!(
             "msp",
             starts = starts.len(),
@@ -171,8 +210,11 @@ impl MultiStart {
             evaluations = total_evals,
             iterations = total_iters,
             best_value = out.value,
+            worst_value = stats.worst_value,
+            spread = stats.spread,
+            frac_zero = stats.frac_zero,
         );
-        out
+        (out, stats)
     }
 
     /// Maximizes `f` over `bounds` (convenience wrapper that negates the
@@ -182,11 +224,55 @@ impl MultiStart {
         F: Fn(&[f64]) -> f64 + Sync + ?Sized,
         R: Rng + ?Sized,
     {
-        let neg = |x: &[f64]| -f(x);
-        let mut r = self.minimize(&neg, bounds, rng);
-        r.value = -r.value;
-        r
+        self.maximize_with_stats(f, bounds, rng).0
     }
+
+    /// [`MultiStart::maximize`], additionally returning landscape statistics
+    /// with the sign flipped back into the caller's (maximization) frame.
+    pub fn maximize_with_stats<F, R>(
+        &self,
+        f: &F,
+        bounds: &Bounds,
+        rng: &mut R,
+    ) -> (OptResult, LandscapeStats)
+    where
+        F: Fn(&[f64]) -> f64 + Sync + ?Sized,
+        R: Rng + ?Sized,
+    {
+        let neg = |x: &[f64]| -f(x);
+        let (mut r, mut stats) = self.minimize_with_stats(&neg, bounds, rng);
+        r.value = -r.value;
+        // In the maximization frame the internal best (most negative) is the
+        // maximum and the internal worst is the minimum; spread and
+        // frac_zero are sign-invariant.
+        let max = -stats.best_value;
+        let min = -stats.worst_value;
+        stats.best_value = max;
+        stats.worst_value = min;
+        (r, stats)
+    }
+}
+
+/// Statistics over the local optima found by one multi-start solve — the
+/// acquisition-landscape health signal (wEI max, spread, fraction-zero).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LandscapeStats {
+    /// Number of local searches launched.
+    pub starts: usize,
+    /// Index of the start that produced the returned optimum.
+    pub best_start: usize,
+    /// Objective value at the returned optimum, in the caller's frame
+    /// (minimum for `minimize`, maximum for `maximize`).
+    pub best_value: f64,
+    /// The least favorable finite local optimum across starts (maximum for
+    /// `minimize`, minimum for `maximize`; NaN if no start finished finite).
+    pub worst_value: f64,
+    /// `|worst_value - best_value|` — how multimodal the landscape looked.
+    pub spread: f64,
+    /// Fraction of starts whose local optimum was exactly zero. On a wEI
+    /// surface this is the share of restarts stranded where the acquisition
+    /// offers no improvement signal.
+    pub frac_zero: f64,
 }
 
 #[cfg(test)]

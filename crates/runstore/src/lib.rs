@@ -292,6 +292,45 @@ impl RunStore {
         &self.dir
     }
 
+    /// Read-only load of a store's run metadata and journal, for offline
+    /// analysis (`mfbo-cli report`). Touches nothing on disk — no writers
+    /// are opened, the cache is not loaded, and the directory is not
+    /// created.
+    ///
+    /// # Errors
+    ///
+    /// [`StoreError::Mismatch`] when the directory holds no run
+    /// (`meta.json` missing); [`StoreError::Corrupt`] on undecodable meta
+    /// or journal lines; [`StoreError::Io`] on read failures.
+    pub fn load_journal(
+        dir: impl Into<PathBuf>,
+    ) -> Result<(RunMeta, Vec<JournalEntry>), StoreError> {
+        let dir = dir.into();
+        let meta_path = dir.join("meta.json");
+        if !meta_path.exists() {
+            return Err(StoreError::Mismatch {
+                reason: format!("no run found in {} (missing meta.json)", dir.display()),
+            });
+        }
+        let mut text = String::new();
+        File::open(&meta_path)
+            .and_then(|mut f| f.read_to_string(&mut text))
+            .map_err(Self::io(&meta_path))?;
+        let meta = RunMeta::from_json(&text)?;
+        let journal_path = dir.join("journal.jsonl");
+        let mut entries = Vec::new();
+        if journal_path.exists() {
+            let mut text = String::new();
+            File::open(&journal_path)
+                .and_then(|mut f| f.read_to_string(&mut text))
+                .map_err(Self::io(&journal_path))?;
+            for line in text.lines().filter(|l| !l.trim().is_empty()) {
+                entries.push(JournalEntry::from_json_line(line)?);
+            }
+        }
+        Ok((meta, entries))
+    }
+
     fn meta_path(&self) -> PathBuf {
         self.dir.join("meta.json")
     }
@@ -562,6 +601,34 @@ mod tests {
         };
         let err = other.resume_run(&wrong_seed).unwrap_err();
         assert!(err.to_string().contains("RNG"), "{err}");
+        std::fs::remove_dir_all(&dir).unwrap();
+    }
+
+    #[test]
+    fn load_journal_reads_without_writers() {
+        let dir = tmpdir("load");
+        let mut store = RunStore::open(&dir).unwrap();
+        store.begin_run(&meta()).unwrap();
+        store.append(&entry(0, 0.5)).unwrap();
+        store.append(&entry(1, 0.25)).unwrap();
+        drop(store);
+
+        let (m, entries) = RunStore::load_journal(&dir).unwrap();
+        assert_eq!(m, meta());
+        assert_eq!(entries, vec![entry(0, 0.5), entry(1, 0.25)]);
+        // Loading is side-effect free: the journal is still appendable by a
+        // real resume afterwards and no files were created.
+        let names: Vec<_> = std::fs::read_dir(&dir)
+            .unwrap()
+            .map(|e| e.unwrap().file_name().into_string().unwrap())
+            .collect();
+        assert!(names
+            .iter()
+            .all(|n| n == "meta.json" || n == "journal.jsonl"));
+        assert!(matches!(
+            RunStore::load_journal(tmpdir("load-missing")),
+            Err(StoreError::Mismatch { .. })
+        ));
         std::fs::remove_dir_all(&dir).unwrap();
     }
 

@@ -171,14 +171,19 @@ fn value_into(out: &mut String, v: &Value) {
 
 /// Serializes one record as a single JSON object (no trailing newline).
 ///
-/// Schema: `{"t_us":…,"level":"info","kind":"event","name":…,"depth":…,
-/// "fields":{…}}`.
+/// Schema: `{"t_us":…,"wall_us":…,"level":"info","kind":"event","name":…,
+/// "depth":…,"fields":{…}}`. `t_us` is monotonic (durations are computed
+/// from it); `wall_us` is a derived wall-clock annotation
+/// ([`crate::wall_epoch_us`]` + t_us`) that readers may ignore — existing
+/// consumers written against the version-1 schema keep working because the
+/// JSONL contract is "ignore keys you do not know".
 pub fn record_to_json(rec: &Record) -> String {
-    let mut out = String::with_capacity(96);
+    let mut out = String::with_capacity(112);
     let _ = write!(
         out,
-        "{{\"t_us\":{},\"level\":\"{}\",\"kind\":\"{}\",\"name\":",
+        "{{\"t_us\":{},\"wall_us\":{},\"level\":\"{}\",\"kind\":\"{}\",\"name\":",
         rec.t_us,
+        crate::wall_epoch_us().saturating_add(rec.t_us),
         rec.level.as_str(),
         rec.kind.as_str()
     );

@@ -29,6 +29,7 @@
 #![deny(missing_docs)]
 
 pub mod json;
+pub mod metrics;
 pub mod sinks;
 pub mod summary;
 
@@ -209,14 +210,36 @@ thread_local! {
     static SPAN_DEPTH: Cell<usize> = const { Cell::new(0) };
 }
 
-fn epoch() -> &'static Instant {
-    static EPOCH: OnceLock<Instant> = OnceLock::new();
-    EPOCH.get_or_init(Instant::now)
+/// The process telemetry epoch: a monotonic instant paired with the
+/// wall-clock time (UNIX-epoch microseconds) read once at the same moment.
+///
+/// Every timestamp and duration in the record stream is derived from the
+/// monotonic half, so span timings survive NTP step adjustments; the
+/// wall-clock half exists only to *annotate* serialized records (the
+/// `wall_us` key added by [`json::record_to_json`]) for correlation with
+/// external logs.
+fn epoch() -> &'static (Instant, u64) {
+    static EPOCH: OnceLock<(Instant, u64)> = OnceLock::new();
+    EPOCH.get_or_init(|| {
+        let wall = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_micros() as u64)
+            .unwrap_or(0);
+        (Instant::now(), wall)
+    })
 }
 
-/// Microseconds since the first telemetry call in this process.
+/// Microseconds since the first telemetry call in this process (monotonic).
 pub fn now_us() -> u64 {
-    epoch().elapsed().as_micros() as u64
+    epoch().0.elapsed().as_micros() as u64
+}
+
+/// Wall-clock time of the telemetry epoch, in UNIX-epoch microseconds.
+///
+/// `wall_epoch_us() + record.t_us` approximates the wall-clock time of a
+/// record; it is an annotation only and never feeds duration arithmetic.
+pub fn wall_epoch_us() -> u64 {
+    epoch().1
 }
 
 /// Fast check: is any sink interested in records at `level`? The emit macros

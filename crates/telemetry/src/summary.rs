@@ -78,6 +78,10 @@ pub struct RunTelemetry {
     pub decisions: Vec<FidelityDecision>,
     /// Total run wall-clock, microseconds.
     pub wall_us: u64,
+    /// Aggregated metrics snapshot, when a
+    /// [`MetricsRegistry`](crate::metrics::MetricsRegistry) was installed for
+    /// the run (the CLI attaches one for `--metrics`).
+    pub metrics: Option<crate::metrics::MetricsSnapshot>,
 }
 
 impl RunTelemetry {

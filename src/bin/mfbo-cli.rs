@@ -20,16 +20,27 @@
 //! `--warm-start` seeds the low-fidelity surrogate from that cache.
 //! `--on-non-finite penalize` keeps a run alive across failing simulations
 //! (with `--retries N` attempts first) instead of aborting.
+//!
+//! Metrics: `--metrics out.json` aggregates telemetry into the deterministic
+//! metrics registry and writes a JSON snapshot; `--metrics-prom out.txt`
+//! writes the same snapshot in Prometheus text exposition format.
+//!
+//! Offline analysis: `mfbo-cli report --journal DIR [--trace FILE]` joins a
+//! journaled run with its telemetry trace and prints a text report (JSON via
+//! `--report FILE`, shape-checked against a schema via `--schema FILE`).
 
 use analog_mfbo::circuits::testfns;
 use analog_mfbo::prelude::*;
 use mfbo::problem::MultiFidelityProblem;
 use mfbo::report;
+use mfbo::run_report::{self, RunReport};
 use mfbo::{NonFinitePolicy, RunOptions, RunStore};
+use mfbo_telemetry::metrics::MetricsRegistry;
 use mfbo_telemetry::sinks::{JsonlSink, MultiSink, PrettySink};
 use mfbo_telemetry::{Level, Sink};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::Path;
 use std::process::ExitCode;
 use std::sync::Arc;
 
@@ -45,6 +56,8 @@ struct Options {
     csv: Option<String>,
     convergence: Option<String>,
     trace: Option<String>,
+    metrics: Option<String>,
+    metrics_prom: Option<String>,
     verbosity: Option<Level>,
     threads: Parallelism,
     journal: Option<String>,
@@ -69,6 +82,8 @@ impl Default for Options {
             csv: None,
             convergence: None,
             trace: None,
+            metrics: None,
+            metrics_prom: None,
             verbosity: None,
             // Results are bit-identical in every mode, so the CLI defaults
             // to all cores (or the MFBO_THREADS override).
@@ -90,10 +105,13 @@ const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de
                 [--budget N] [--init-low N] [--init-high N]
                 [--seed N] [--csv FILE] [--convergence FILE]
                 [--trace FILE] [--verbosity info|debug|trace]
+                [--metrics FILE] [--metrics-prom FILE]
                 [--threads N|auto]
                 [--journal DIR] [--resume] [--cache] [--warm-start]
                 [--on-non-finite abort|penalize] [--retries N]
                 [--max-evals N] [--simd scalar|auto]
+       mfbo-cli report --journal DIR [--trace FILE] [--report FILE]
+                [--schema FILE]
 
 problems: forrester, pedagogical, branin, park, pa, charge-pump
 
@@ -112,7 +130,18 @@ simulator calls.
 
 --simd picks the vectorized micro-kernel backend (default: auto = best
 runtime-detected instruction set, or the MFBO_SIMD environment variable
-when set). Results are bit-identical for every backend.";
+when set). Results are bit-identical for every backend.
+
+--metrics FILE aggregates telemetry into histograms/counters/gauges with
+deterministic fixed bucket edges and writes the snapshot as JSON;
+--metrics-prom FILE writes the same snapshot as a Prometheus text
+exposition.
+
+The report subcommand analyzes a finished (or interrupted) journaled run
+offline: it prints a text report to stdout and, with --report FILE, writes
+a deterministic JSON report (bit-identical across thread counts, SIMD
+backends, and resume). --schema FILE validates the JSON report against a
+minimal JSON-Schema subset and fails nonzero on a shape break.";
 
 /// Parses arguments; returns an error message on malformed input.
 fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
@@ -151,6 +180,8 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
             "--csv" => opts.csv = Some(value("--csv")?),
             "--convergence" => opts.convergence = Some(value("--convergence")?),
             "--trace" => opts.trace = Some(value("--trace")?),
+            "--metrics" => opts.metrics = Some(value("--metrics")?),
+            "--metrics-prom" => opts.metrics_prom = Some(value("--metrics-prom")?),
             "--verbosity" => {
                 let v = value("--verbosity")?;
                 opts.verbosity = Some(
@@ -287,12 +318,18 @@ fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::
     }
 }
 
-/// Builds the telemetry sink implied by `--trace` / `--verbosity`.
+/// Builds the telemetry sink implied by `--trace` / `--verbosity` /
+/// `--metrics*`.
 ///
 /// The trace file always captures at least Debug (the solver-internals tier)
 /// so a saved trace is useful for post-mortems; `--verbosity trace` raises
-/// it. The stderr mirror only appears when `--verbosity` is given.
-fn make_sink(opts: &Options) -> Result<Option<Arc<dyn Sink>>, String> {
+/// it. The stderr mirror only appears when `--verbosity` is given. When
+/// either metrics flag is set, a [`MetricsRegistry`] joins the fan-out and
+/// is returned separately so the run can snapshot it afterwards.
+#[allow(clippy::type_complexity)]
+fn make_sink(
+    opts: &Options,
+) -> Result<(Option<Arc<dyn Sink>>, Option<Arc<MetricsRegistry>>), String> {
     let mut sinks: Vec<Arc<dyn Sink>> = Vec::new();
     if let Some(path) = &opts.trace {
         let file_level = opts.verbosity.unwrap_or(Level::Debug).max(Level::Debug);
@@ -303,11 +340,19 @@ fn make_sink(opts: &Options) -> Result<Option<Arc<dyn Sink>>, String> {
     if let Some(level) = opts.verbosity {
         sinks.push(Arc::new(PrettySink::stderr(level)));
     }
-    Ok(match sinks.len() {
+    let registry = if opts.metrics.is_some() || opts.metrics_prom.is_some() {
+        let registry = Arc::new(MetricsRegistry::new());
+        sinks.push(registry.clone());
+        Some(registry)
+    } else {
+        None
+    };
+    let sink = match sinks.len() {
         0 => None,
         1 => sinks.pop(),
-        _ => Some(Arc::new(MultiSink::new(sinks))),
-    })
+        _ => Some(Arc::new(MultiSink::new(sinks)) as Arc<dyn Sink>),
+    };
+    Ok((sink, registry))
 }
 
 /// Verifies an output path is writable *before* the (potentially long) run,
@@ -319,8 +364,73 @@ fn preflight_output(path: &str) -> Result<(), String> {
         .map_err(|e| format!("cannot create {path}: {e}"))
 }
 
+/// Options for the `report` subcommand.
+#[derive(Debug, Clone, Default, PartialEq)]
+struct ReportOptions {
+    journal: String,
+    trace: Option<String>,
+    report: Option<String>,
+    schema: Option<String>,
+}
+
+/// Parses `mfbo-cli report ...` arguments (everything after the subcommand).
+fn parse_report_args<I: IntoIterator<Item = String>>(args: I) -> Result<ReportOptions, String> {
+    let mut opts = ReportOptions::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--journal" => opts.journal = value("--journal")?,
+            "--trace" => opts.trace = Some(value("--trace")?),
+            "--report" => opts.report = Some(value("--report")?),
+            "--schema" => opts.schema = Some(value("--schema")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown report flag {other}\n{USAGE}")),
+        }
+    }
+    if opts.journal.is_empty() {
+        return Err(format!("report requires --journal DIR\n{USAGE}"));
+    }
+    Ok(opts)
+}
+
+/// Runs the `report` subcommand: load journal (+ trace), analyze, validate,
+/// print, write. Returns an error message for a nonzero exit.
+fn run_report_command(opts: &ReportOptions) -> Result<(), String> {
+    if let Some(path) = &opts.report {
+        preflight_output(path)?;
+    }
+    let trace_path = opts.trace.as_deref().map(Path::new);
+    let report = RunReport::from_store(&opts.journal, trace_path).map_err(|e| e.to_string())?;
+    if let Some(path) = &opts.schema {
+        let text = std::fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+        let schema = mfbo_telemetry::json::parse(&text)
+            .map_err(|e| format!("invalid schema {path}: {e}"))?;
+        run_report::validate_schema(&schema, report.json())
+            .map_err(|e| format!("report violates schema {path}: {e}"))?;
+    }
+    print!("{}", report.text());
+    if let Some(path) = &opts.report {
+        std::fs::write(path, report.to_json_string())
+            .map_err(|e| format!("failed to write {path}: {e}"))?;
+        println!("json report written to {path}");
+    }
+    Ok(())
+}
+
 fn main() -> ExitCode {
-    let opts = match parse_args(std::env::args().skip(1)) {
+    let mut args = std::env::args().skip(1).peekable();
+    if args.peek().map(String::as_str) == Some("report") {
+        let parsed = parse_report_args(args.skip(1));
+        return match parsed.and_then(|o| run_report_command(&o)) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
+    let opts = match parse_args(args) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("{msg}");
@@ -334,7 +444,13 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    for path in opts.csv.iter().chain(&opts.convergence) {
+    for path in opts
+        .csv
+        .iter()
+        .chain(&opts.convergence)
+        .chain(&opts.metrics)
+        .chain(&opts.metrics_prom)
+    {
         if let Err(msg) = preflight_output(path) {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
@@ -349,14 +465,18 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     }
-    match make_sink(&opts) {
-        Ok(Some(sink)) => mfbo_telemetry::set_global_sink(sink),
-        Ok(None) => {}
+    let registry = match make_sink(&opts) {
+        Ok((sink, registry)) => {
+            if let Some(sink) = sink {
+                mfbo_telemetry::set_global_sink(sink);
+            }
+            registry
+        }
         Err(msg) => {
             eprintln!("{msg}");
             return ExitCode::FAILURE;
         }
-    }
+    };
     // Resolve the SIMD backend after the sink is installed so the
     // `simd_dispatch` decision event lands in --trace output.
     let simd_backend = match opts.simd {
@@ -372,7 +492,7 @@ fn main() -> ExitCode {
         opts.threads.workers(),
         simd_backend.name(),
     );
-    let outcome = match run_algo(&opts, problem.as_ref()) {
+    let mut outcome = match run_algo(&opts, problem.as_ref()) {
         Ok(o) => o,
         Err(msg) => {
             eprintln!("optimization failed: {msg}");
@@ -382,6 +502,30 @@ fn main() -> ExitCode {
     };
     // Flush the trace file before printing the summary.
     mfbo_telemetry::clear_global_sink();
+    if let Some(registry) = &registry {
+        registry.set_gauge("best_objective", outcome.best_objective);
+        registry.set_gauge("total_cost", outcome.total_cost);
+        registry.set_gauge("cost_to_best", outcome.cost_to_best);
+        registry.set_gauge("evals_low", outcome.n_low as f64);
+        registry.set_gauge("evals_high", outcome.n_high as f64);
+        registry.set_gauge("feasible", f64::from(u8::from(outcome.feasible)));
+        let snapshot = registry.snapshot();
+        if let Some(path) = &opts.metrics {
+            if let Err(e) = std::fs::write(path, format!("{}\n", snapshot.to_json())) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("metrics snapshot written to {path}");
+        }
+        if let Some(path) = &opts.metrics_prom {
+            if let Err(e) = std::fs::write(path, snapshot.to_prometheus()) {
+                eprintln!("failed to write {path}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("prometheus metrics written to {path}");
+        }
+        outcome.telemetry.metrics = Some(snapshot);
+    }
     println!("{}", report::summary(&outcome));
     if !outcome.telemetry.stages.is_empty() {
         println!("\n{}", outcome.telemetry.stage_table());
@@ -534,7 +678,51 @@ mod tests {
         assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
         assert_eq!(o.verbosity, Some(Level::Debug));
         // Trace-only runs still get a (file) sink; quiet runs get none.
-        assert!(make_sink(&parse_args(args("")).unwrap()).unwrap().is_none());
+        let (sink, registry) = make_sink(&parse_args(args("")).unwrap()).unwrap();
+        assert!(sink.is_none() && registry.is_none());
+    }
+
+    #[test]
+    fn parses_metrics_flags_and_builds_registry_sink() {
+        let o = parse_args(args("--metrics m.json --metrics-prom m.txt")).unwrap();
+        assert_eq!(o.metrics.as_deref(), Some("m.json"));
+        assert_eq!(o.metrics_prom.as_deref(), Some("m.txt"));
+        let (sink, registry) = make_sink(&o).unwrap();
+        assert!(sink.is_some() && registry.is_some());
+        assert!(parse_args(args("--metrics")).is_err());
+    }
+
+    #[test]
+    fn parses_report_subcommand_args() {
+        let o = parse_report_args(args(
+            "--journal runs/a --trace t.jsonl --report r.json --schema s.json",
+        ))
+        .unwrap();
+        assert_eq!(o.journal, "runs/a");
+        assert_eq!(o.trace.as_deref(), Some("t.jsonl"));
+        assert_eq!(o.report.as_deref(), Some("r.json"));
+        assert_eq!(o.schema.as_deref(), Some("s.json"));
+        let e = parse_report_args(args("--trace t.jsonl")).unwrap_err();
+        assert!(e.contains("--journal"), "{e}");
+        assert!(parse_report_args(args("--journal a --bogus x")).is_err());
+    }
+
+    #[test]
+    fn report_command_preflights_unwritable_output() {
+        let o = ReportOptions {
+            journal: "does-not-matter".into(),
+            report: Some("/nonexistent-dir/report.json".into()),
+            ..ReportOptions::default()
+        };
+        let e = run_report_command(&o).unwrap_err();
+        assert!(e.contains("cannot create"), "{e}");
+        // A missing journal dir fails *after* preflight, with a store error.
+        let o = ReportOptions {
+            journal: "/nonexistent-dir/journal".into(),
+            ..ReportOptions::default()
+        };
+        let e = run_report_command(&o).unwrap_err();
+        assert!(e.contains("no run found"), "{e}");
     }
 
     #[test]

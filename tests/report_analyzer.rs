@@ -1,0 +1,204 @@
+//! Golden/equivalence harness for the offline run-report analyzer: the JSON
+//! report produced from a journal + telemetry trace must be byte-identical
+//! across execution modes that only change *how* the run executed, never
+//! *what* it decided — serial vs. `Threads(4)`, and killed-and-resumed vs.
+//! uninterrupted.
+//!
+//! Worker-thread telemetry (bundle GP fits) only reaches the process-global
+//! sink, and `cargo test` runs `#[test]` functions on parallel threads of
+//! one process. So every scenario that captures a trace lives in the single
+//! sequential test below, which owns the global sink for its whole body.
+//!
+//! To regenerate the pinned report snapshot after an *intentional* behaviour
+//! change:
+//!
+//! ```text
+//! MFBO_REGEN_GOLDEN=1 cargo test --test report_analyzer
+//! ```
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::prelude::*;
+use mfbo::run_report::{validate_schema, RunReport};
+use mfbo::RunOptions;
+use mfbo_telemetry::json::{self, record_to_json, Json};
+use mfbo_telemetry::sinks::CollectSink;
+use mfbo_telemetry::Level;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfbo-report-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn config(parallelism: Parallelism, max_iterations: Option<usize>) -> MfBoConfig {
+    let mut c = MfBoConfig {
+        initial_low: 8,
+        initial_high: 4,
+        budget: 10.0,
+        parallelism,
+        ..MfBoConfig::default()
+    };
+    if let Some(n) = max_iterations {
+        c.max_iterations = n;
+    }
+    c
+}
+
+/// Runs MFBO with the global sink capturing a full Debug-level trace, and
+/// returns that trace as parsed JSONL records (what `--trace` would hold).
+fn traced_run(
+    parallelism: Parallelism,
+    dir: &PathBuf,
+    resume: bool,
+    max_iterations: Option<usize>,
+) -> Vec<Json> {
+    let sink = Arc::new(CollectSink::with_level(Level::Debug));
+    mfbo_telemetry::set_global_sink(sink.clone());
+    let mut opts = if resume {
+        RunOptions::resuming(RunStore::open(dir).unwrap())
+    } else {
+        RunOptions::journaled(RunStore::open(dir).unwrap())
+    };
+    let mut rng = StdRng::seed_from_u64(7);
+    let result = MfBayesOpt::new(config(parallelism, max_iterations)).run_with(
+        &testfns::forrester(),
+        &mut rng,
+        &mut opts,
+    );
+    mfbo_telemetry::clear_global_sink();
+    result.unwrap();
+    sink.records()
+        .iter()
+        .map(|r| json::parse(&record_to_json(r)).unwrap())
+        .collect()
+}
+
+fn report_for(dir: &PathBuf, trace: &[Json]) -> RunReport {
+    let (meta, entries) = RunStore::load_journal(dir).unwrap();
+    RunReport::analyze(&meta, &entries, Some(trace))
+}
+
+#[test]
+fn report_is_identical_across_threads_and_resume() {
+    // Uninterrupted serial baseline.
+    let dir_a = store_dir("serial");
+    let trace_a = traced_run(Parallelism::Serial, &dir_a, false, None);
+    let report_a = report_for(&dir_a, &trace_a);
+    let bytes_a = report_a.to_json_string();
+
+    // Same run under the thread pool: worker gp_fit events arrive in a
+    // different order, pool counters appear — the JSON must not move.
+    let dir_b = store_dir("threads");
+    let trace_b = traced_run(Parallelism::Threads(4), &dir_b, false, None);
+    let bytes_b = report_for(&dir_b, &trace_b).to_json_string();
+    assert_eq!(bytes_a, bytes_b, "serial vs Threads(4) report bytes");
+
+    // Killed after 3 BO iterations, then resumed: the journal carries both
+    // sessions, the trace comes from the resumed session (which replays the
+    // prefix and re-emits its deterministic events).
+    let dir_c = store_dir("resume");
+    traced_run(Parallelism::Serial, &dir_c, false, Some(3));
+    let trace_c = traced_run(Parallelism::Serial, &dir_c, true, None);
+    let bytes_c = report_for(&dir_c, &trace_c).to_json_string();
+    assert_eq!(
+        bytes_a, bytes_c,
+        "uninterrupted vs killed-and-resumed report bytes"
+    );
+
+    // The report must satisfy the checked-in schema the CI smoke job uses.
+    let schema_path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("schemas")
+        .join("report.schema.json");
+    let schema = json::parse(&std::fs::read_to_string(&schema_path).unwrap()).unwrap();
+    validate_schema(&schema, report_a.json()).expect("report matches checked-in schema");
+
+    // Journal-only invocation (no trace) still yields the journal sections.
+    let (meta, entries) = RunStore::load_journal(&dir_a).unwrap();
+    let no_trace = RunReport::analyze(&meta, &entries, None);
+    assert!(no_trace.json().get("health").is_none());
+    assert_eq!(
+        no_trace.json().get("evaluations").map(|j| j.to_string()),
+        report_a.json().get("evaluations").map(|j| j.to_string()),
+    );
+
+    check_report_against_golden("report_forrester_seed7.json", &report_a);
+}
+
+// ---------------------------------------------------------------------------
+// Golden snapshot (tolerant numeric compare so libm ulp differences across
+// platforms don't flake the suite; on one platform the byte-equality
+// assertions above are the exact check).
+// ---------------------------------------------------------------------------
+
+const REL_TOL: f64 = 1e-6;
+
+fn assert_json_close(golden: &Json, actual: &Json, path: &str) {
+    match (golden, actual) {
+        (Json::Num(g), Json::Num(a)) => assert!(
+            (g - a).abs() <= REL_TOL * g.abs().max(a.abs()).max(1.0),
+            "{path}: golden {g}, actual {a}"
+        ),
+        (Json::Arr(g), Json::Arr(a)) => {
+            assert_eq!(g.len(), a.len(), "{path}: array length");
+            for (i, (gv, av)) in g.iter().zip(a).enumerate() {
+                assert_json_close(gv, av, &format!("{path}[{i}]"));
+            }
+        }
+        (Json::Obj(g), Json::Obj(a)) => {
+            let keys = |o: &[(String, Json)]| o.iter().map(|(k, _)| k.clone()).collect::<Vec<_>>();
+            assert_eq!(keys(g), keys(a), "{path}: object keys");
+            for (k, gv) in g {
+                assert_json_close(gv, actual.get(k).unwrap(), &format!("{path}.{k}"));
+            }
+        }
+        // Hyperparameter trajectories are strings of floats; compare them
+        // value-wise under the same tolerance.
+        (Json::Str(g), Json::Str(a)) if g != a => {
+            let parse = |s: &str| -> Option<Vec<f64>> {
+                s.split([',', ';', '|'])
+                    .map(|t| t.parse::<f64>().ok())
+                    .collect()
+            };
+            match (parse(g), parse(a)) {
+                (Some(gs), Some(as_)) if gs.len() == as_.len() => {
+                    for (i, (gv, av)) in gs.iter().zip(&as_).enumerate() {
+                        assert!(
+                            (gv - av).abs() <= REL_TOL * gv.abs().max(av.abs()).max(1.0),
+                            "{path} element {i}: golden {gv}, actual {av}"
+                        );
+                    }
+                }
+                _ => panic!("{path}: golden {g:?}, actual {a:?}"),
+            }
+        }
+        _ => assert_eq!(
+            golden.to_string(),
+            actual.to_string(),
+            "{path}: value changed"
+        ),
+    }
+}
+
+fn check_report_against_golden(name: &str, report: &RunReport) {
+    let path = PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name);
+    if std::env::var("MFBO_REGEN_GOLDEN").is_ok() {
+        std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+        std::fs::write(&path, report.to_json_string()).unwrap();
+        return;
+    }
+    let golden_text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing golden file {} ({e}); run with MFBO_REGEN_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    let golden = json::parse(&golden_text).unwrap();
+    assert_json_close(&golden, report.json(), "$");
+}
