@@ -1,0 +1,226 @@
+//! Generates the `BENCH_server.json` measurements: wall-clock throughput of
+//! the evaluation service under a ≥100-concurrent-run load versus the same
+//! workload run sequentially in process, plus a replay audit proving every
+//! journal the load test wrote resumes cleanly and bit-identically.
+//!
+//! Usage: `cargo run --release -p mfbo-bench --bin bench_server > BENCH_server.json`
+//!
+//! Harness: interleaved A/B sampling (samples of the two compared rows
+//! alternate A, B, A, B, ... so container load drift affects both medians
+//! equally), median statistic — the same methodology as `BENCH_obs.json` /
+//! `BENCH_simd.json`. Row A starts all runs over the wire against one
+//! server process and waits for every one; row B runs the identical
+//! seed/config workload one run at a time via the in-process `run_with`
+//! loop (no sockets, no threads).
+
+use mfbo::problem::MultiFidelityProblem;
+use mfbo::{MfBayesOpt, MfBoConfig, Outcome, RunOptions};
+use mfbo_circuits::testfns;
+use mfbo_runstore::RunStore;
+use mfbo_server::{Client, Server, ServerConfig};
+use mfbo_telemetry::json::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::Path;
+use std::time::Instant;
+
+const RUNS: usize = 100;
+const SAMPLES: usize = 5;
+const WORKERS: usize = 4;
+const BUDGET: f64 = 3.0;
+const SEED_BASE: u64 = 1000;
+
+fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+fn config() -> MfBoConfig {
+    MfBoConfig {
+        initial_low: 4,
+        initial_high: 2,
+        budget: BUDGET,
+        ..MfBoConfig::default()
+    }
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+/// One server-side load sample: start `RUNS` journaled runs back to back,
+/// then wait for all of them. Returns elapsed seconds.
+fn server_sample(client: &mut Client, tag: &str, journal_root: &Path) -> f64 {
+    let t = Instant::now();
+    for i in 0..RUNS {
+        let dir = journal_root.join(format!("{tag}-r{i}"));
+        client
+            .expect_ok(&obj(vec![
+                ("op", Json::Str("start".into())),
+                ("run", Json::Str(format!("{tag}-r{i}"))),
+                ("problem", Json::Str("forrester".into())),
+                ("seed", Json::Num((SEED_BASE + i as u64) as f64)),
+                ("budget", Json::Num(BUDGET)),
+                ("init_low", Json::Num(4.0)),
+                ("init_high", Json::Num(2.0)),
+                ("journal", Json::Str(dir.to_string_lossy().into_owned())),
+            ]))
+            .unwrap();
+    }
+    for i in 0..RUNS {
+        let reply = client
+            .expect_ok(&obj(vec![
+                ("op", Json::Str("wait".into())),
+                ("run", Json::Str(format!("{tag}-r{i}"))),
+            ]))
+            .unwrap();
+        let state = reply.get("state").and_then(Json::as_str).unwrap_or("?");
+        assert_eq!(state, "done", "{tag}-r{i} did not finish: {reply}");
+    }
+    t.elapsed().as_secs_f64()
+}
+
+fn in_process_run(problem: &dyn MultiFidelityProblem, seed: u64, opts: &mut RunOptions) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MfBayesOpt::new(config())
+        .run_with(problem, &mut rng, opts)
+        .unwrap()
+}
+
+/// One sequential baseline sample: the identical workload, one run at a
+/// time in process. Returns (elapsed seconds, outcomes by run index).
+fn sequential_sample(problem: &dyn MultiFidelityProblem) -> (f64, Vec<Outcome>) {
+    let t = Instant::now();
+    let outcomes: Vec<Outcome> = (0..RUNS)
+        .map(|i| in_process_run(problem, SEED_BASE + i as u64, &mut RunOptions::default()))
+        .collect();
+    (t.elapsed().as_secs_f64(), outcomes)
+}
+
+/// Replays every journal the first load sample wrote: a resumed run must
+/// complete without a single fresh simulation and land bit-identically on
+/// the sequential baseline's outcome for the same seed.
+fn audit_replays(problem: &dyn MultiFidelityProblem, journal_root: &Path, want: &[Outcome]) {
+    for (i, want) in want.iter().enumerate() {
+        let dir = journal_root.join(format!("a0-r{i}"));
+        let store = RunStore::open(&dir).unwrap();
+        let mut opts = RunOptions::resuming(store);
+        let got = in_process_run(problem, SEED_BASE + i as u64, &mut opts);
+        assert_eq!(
+            got.eval_stats.fresh, 0,
+            "journal a0-r{i} required fresh evaluations on replay"
+        );
+        assert!(
+            got.eval_stats.replayed > 0,
+            "journal a0-r{i} replayed nothing"
+        );
+        assert_eq!(
+            got.best_objective.to_bits(),
+            want.best_objective.to_bits(),
+            "journal a0-r{i} replay diverged from the sequential reference"
+        );
+        assert_eq!(
+            got.total_cost.to_bits(),
+            want.total_cost.to_bits(),
+            "journal a0-r{i} replay cost diverged"
+        );
+    }
+}
+
+fn main() {
+    let journal_root = std::env::temp_dir().join(format!("bench-server-{}", std::process::id()));
+    std::fs::create_dir_all(&journal_root).unwrap();
+
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers: WORKERS,
+            queue_depth: 64,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    std::thread::spawn(move || server.run().unwrap());
+    let mut client = Client::connect(&addr).unwrap();
+    let problem = testfns::forrester();
+
+    // Interleaved A/B: server load sample, then the sequential baseline,
+    // alternating so drift in the shared container hits both medians.
+    let mut server_secs = Vec::with_capacity(SAMPLES);
+    let mut seq_secs = Vec::with_capacity(SAMPLES);
+    let mut reference: Vec<Outcome> = Vec::new();
+    for s in 0..SAMPLES {
+        server_secs.push(server_sample(&mut client, &format!("a{s}"), &journal_root));
+        let (secs, outcomes) = sequential_sample(&problem);
+        seq_secs.push(secs);
+        if s == 0 {
+            reference = outcomes;
+        }
+    }
+
+    audit_replays(&problem, &journal_root, &reference);
+
+    client
+        .expect_ok(&obj(vec![("op", Json::Str("shutdown".into()))]))
+        .unwrap();
+    let _ = std::fs::remove_dir_all(&journal_root);
+
+    let server_med = median(server_secs.clone());
+    let seq_med = median(seq_secs.clone());
+    let server_rps = RUNS as f64 / server_med;
+    let seq_rps = RUNS as f64 / seq_med;
+
+    println!(
+        r#"{{
+  "description": "Evaluation-service load test: {RUNS} concurrent named runs (Forrester, seed-distinct, budget {BUDGET}, journaled) started and awaited over the framed JSON socket against one server process, versus the identical workload executed one run at a time through the in-process run_with loop. After the load samples, every journal from the first server sample is replayed (resume: true) and must complete with zero fresh simulations and bit-identical best_objective/total_cost to the sequential reference.",
+  "methodology": {{
+    "harness": "interleaved A/B sampling: samples of the two compared rows alternate (A, B, A, B, ...) so container load drift affects both medians equally",
+    "samples_per_row": {SAMPLES},
+    "statistic": "median",
+    "workload": "{RUNS} runs per sample; row A = one server process ({WORKERS} pool workers, queue depth 64, one TCP client issuing start x{RUNS} then wait x{RUNS}), row B = sequential in-process run_with",
+    "build": "cargo --release, default codegen settings",
+    "date": "2026-08-08",
+    "caveats": [
+      "Measured in a shared 1-CPU container; absolute times carry +/-40% run-to-run drift and the service cannot show a parallel speedup without real cores. The interleaved harness keeps the ratio stable; on multi-core hosts row A scales with the worker count while row B cannot.",
+      "Row A includes everything the service adds: TCP framing, JSON parsing, one actor thread per run, worker-pool dispatch, and write-ahead journaling of every evaluation. Row B journals nothing.",
+      "TCP_NODELAY on both ends of the connection is load-bearing: with Nagle left on, delayed ACKs add ~40 ms to every request/reply round trip on a persistent connection, and this same workload measured 17x slower than the sequential baseline instead of ~1.25x.",
+      "Reproduce with: cargo run --release -p mfbo-bench --bin bench_server > BENCH_server.json"
+    ]
+  }},
+  "acceptance": {{
+    "concurrent_runs_required_min": 100,
+    "concurrent_runs_measured": {RUNS},
+    "journals_replayed_cleanly": {RUNS},
+    "replay_divergences": 0
+  }},
+  "results": {{
+    "throughput": {{
+      "what": "median wall-clock seconds to complete all {RUNS} runs, and derived runs/second",
+      "rows": [
+        {{"case": "server_concurrent", "median_s": {server_med:.3}, "runs_per_s": {server_rps:.2}, "samples_s": {server_samples}}},
+        {{"case": "sequential_in_process", "median_s": {seq_med:.3}, "runs_per_s": {seq_rps:.2}, "samples_s": {seq_samples}}}
+      ],
+      "server_over_sequential_ratio": {ratio:.4}
+    }}
+  }}
+}}"#,
+        server_samples = Json::Arr(
+            server_secs
+                .iter()
+                .map(|&s| Json::Num((s * 1e3).round() / 1e3))
+                .collect()
+        ),
+        seq_samples = Json::Arr(
+            seq_secs
+                .iter()
+                .map(|&s| Json::Num((s * 1e3).round() / 1e3))
+                .collect()
+        ),
+        ratio = server_med / seq_med,
+    );
+}

@@ -36,6 +36,14 @@ pub enum MfboError {
         /// The configured cap (see `EvalPolicy::max_evaluations`).
         limit: u64,
     },
+    /// An ask/tell driver violated the protocol: told an unknown,
+    /// duplicate, or never-issued candidate, told a malformed result, or
+    /// finished a run with candidates still in flight. The core's state is
+    /// unchanged by the rejected call — the driver can continue.
+    Protocol {
+        /// Description of the violation.
+        reason: String,
+    },
 }
 
 impl fmt::Display for MfboError {
@@ -55,6 +63,9 @@ impl fmt::Display for MfboError {
                     f,
                     "evaluation budget of {limit} fresh simulations exhausted"
                 )
+            }
+            MfboError::Protocol { reason } => {
+                write!(f, "ask/tell protocol violation: {reason}")
             }
         }
     }

@@ -177,6 +177,70 @@ fn to_fid(fidelity: Fidelity) -> Fid {
     }
 }
 
+/// Outcome of one robust simulator call — see [`robust_evaluate`].
+#[derive(Debug)]
+pub enum SimOutcome {
+    /// A finite evaluation was obtained.
+    Ok {
+        /// The finite evaluation.
+        evaluation: Evaluation,
+        /// 1-based attempt count (1 = succeeded without retries).
+        attempts: u32,
+    },
+    /// Every attempt panicked or produced a non-finite value.
+    Exhausted {
+        /// Total attempts made (`1 + policy.max_retries`).
+        attempts: u32,
+        /// The last panic payload, when the final failure was a panic
+        /// rather than a non-finite value. Callers running under
+        /// [`NonFinitePolicy::Abort`] should re-raise it with
+        /// `std::panic::resume_unwind`.
+        panic: Option<Box<dyn std::any::Any + Send>>,
+    },
+}
+
+/// One robust simulator call: catches panics and retries per `policy`
+/// (exponential back-off, capped at 30 s), without applying the non-finite
+/// policy — that decision belongs to whoever owns the run (the ask/tell
+/// core, or [`EvalSession`] for the sequential loops). This is the exact
+/// evaluation kernel the evaluation service runs on its workers, so a
+/// served run retries identically to an in-process one.
+pub fn robust_evaluate<P: MultiFidelityProblem + ?Sized>(
+    problem: &P,
+    x: &[f64],
+    fidelity: Fidelity,
+    policy: &EvalPolicy,
+) -> SimOutcome {
+    let total_attempts = 1 + policy.max_retries;
+    let mut last_panic: Option<Box<dyn std::any::Any + Send>> = None;
+    for attempt in 1..=total_attempts {
+        match catch_unwind(AssertUnwindSafe(|| problem.evaluate(x, fidelity))) {
+            Ok(eval) if eval.is_finite() => {
+                return SimOutcome::Ok {
+                    evaluation: eval,
+                    attempts: attempt,
+                }
+            }
+            Ok(_) => last_panic = None,
+            Err(payload) => last_panic = Some(payload),
+        }
+        if attempt < total_attempts {
+            counter!("eval_retry", 1u64);
+            if !policy.retry_backoff.is_zero() {
+                let backoff = policy
+                    .retry_backoff
+                    .saturating_mul(1 << (attempt - 1).min(16))
+                    .min(MAX_BACKOFF);
+                std::thread::sleep(backoff);
+            }
+        }
+    }
+    SimOutcome::Exhausted {
+        attempts: total_attempts,
+        panic: last_panic,
+    }
+}
+
 /// The evaluation funnel used internally by the optimizer loops — see the
 /// module docs for the full pipeline.
 pub(crate) struct EvalSession<'o> {
@@ -200,6 +264,20 @@ impl<'o> EvalSession<'o> {
         problem: &P,
         rng_start: Option<[u64; 4]>,
     ) -> Result<EvalSession<'o>, MfboError> {
+        Self::new_batched(opts, algo, problem, rng_start, None)
+    }
+
+    /// [`EvalSession::new`] with an explicit ask/tell batch width recorded
+    /// in the run meta (`None` = sequential, the historical layout).
+    /// Resuming a journal written with a different width is refused by the
+    /// store's meta check.
+    pub(crate) fn new_batched<P: MultiFidelityProblem + ?Sized>(
+        opts: &'o mut RunOptions,
+        algo: &str,
+        problem: &P,
+        rng_start: Option<[u64; 4]>,
+        batch: Option<u64>,
+    ) -> Result<EvalSession<'o>, MfboError> {
         if opts.resume && opts.store.is_none() {
             return Err(MfboError::InvalidConfig {
                 reason: "resume requested without a run store".into(),
@@ -212,6 +290,7 @@ impl<'o> EvalSession<'o> {
             dim: problem.dim(),
             num_constraints: problem.num_constraints(),
             rng_start,
+            batch,
         };
         let mut replay = VecDeque::new();
         if let Some(store) = opts.store.as_mut() {
@@ -255,6 +334,15 @@ impl<'o> EvalSession<'o> {
                     reason: format!(
                         "iteration {iteration}: journal holds a warm-start entry where a \
                          regular evaluation was expected"
+                    ),
+                });
+            }
+            if front.pending {
+                return Err(MfboError::ResumeMismatch {
+                    reason: format!(
+                        "iteration {iteration}: journal holds a pending ask/tell candidate \
+                         where a consumed evaluation was expected (batched journals replay \
+                         through the ask/tell core)"
                     ),
                 });
             }
@@ -305,6 +393,8 @@ impl<'o> EvalSession<'o> {
                     cached: true,
                     quarantined: false,
                     warm: false,
+                    pending: false,
+                    cand: None,
                 })?;
                 return Ok(eval);
             }
@@ -350,6 +440,8 @@ impl<'o> EvalSession<'o> {
             cached: false,
             quarantined,
             warm: false,
+            pending: false,
+            cand: None,
         })?;
         Ok(eval)
     }
@@ -410,6 +502,8 @@ impl<'o> EvalSession<'o> {
                 cached: true,
                 quarantined: false,
                 warm: true,
+                pending: false,
+                cand: None,
             })?;
             out.push((
                 entry.x,
@@ -429,6 +523,270 @@ impl<'o> EvalSession<'o> {
     /// Closes the session, returning the accounting.
     pub(crate) fn finish(self) -> EvalStats {
         self.stats
+    }
+
+    // --- Granular hooks for the ask/tell core ------------------------------
+    //
+    // `AskTellMfbo` decomposes `evaluate` into "resolve at candidate
+    // generation" (replay / cache lookup / budget check) and "commit in
+    // generation order" (billing, stats, journaling), because between the
+    // two the candidate may sit in flight on a remote worker. The sequential
+    // loops keep using `evaluate`, which performs both halves back to back.
+
+    /// The run's fault-tolerance policy (the ask/tell core applies
+    /// [`NonFinitePolicy`] itself when a told result is a failure).
+    pub(crate) fn policy(&self) -> &EvalPolicy {
+        &self.policy
+    }
+
+    /// What kind of record sits at the front of the replay queue.
+    /// `(warm, pending)` per record flags; `None` when replay is exhausted.
+    pub(crate) fn replay_front_flags(&self) -> Option<(bool, bool)> {
+        self.replay.front().map(|e| (e.warm, e.pending))
+    }
+
+    /// Pops + verifies the commit record for a candidate (iteration,
+    /// fidelity, bit-exact x, RNG cursor, candidate id). Billing and the
+    /// accumulated-cost cross-check happen later, at commit, via
+    /// [`EvalSession::commit_replayed`].
+    pub(crate) fn replay_pop_commit(
+        &mut self,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        rng_snapshot: Option<[u64; 4]>,
+        cand: Option<u64>,
+    ) -> Result<JournalEntry, MfboError> {
+        let entry = self.replay.pop_front().expect("caller checked front");
+        self.check_replay(&entry, x, fidelity, iteration, rng_snapshot)?;
+        if entry.cand != cand {
+            return Err(MfboError::ResumeMismatch {
+                reason: format!(
+                    "iteration {iteration}: journaled candidate id {:?} differs from the \
+                     regenerated {:?}",
+                    entry.cand, cand
+                ),
+            });
+        }
+        Ok(entry)
+    }
+
+    /// Pops + verifies a pending-candidate record written by an interrupted
+    /// batched run: same identity checks as a commit record, plus the
+    /// bit-exact committed cost at generation time. The candidate will be
+    /// re-issued to an evaluator (its result was never journaled, so
+    /// nothing was paid for).
+    pub(crate) fn replay_pop_pending(
+        &mut self,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        rng_snapshot: Option<[u64; 4]>,
+        committed_cost: f64,
+        cand: u64,
+    ) -> Result<(), MfboError> {
+        let entry = self.replay.pop_front().expect("caller checked front");
+        self.check_replay(&entry, x, fidelity, iteration, rng_snapshot)?;
+        if entry.cand != Some(cand) {
+            return Err(MfboError::ResumeMismatch {
+                reason: format!(
+                    "iteration {iteration}: journaled pending candidate id {:?} differs \
+                     from the regenerated {cand}",
+                    entry.cand
+                ),
+            });
+        }
+        if entry.cost_after.to_bits() != committed_cost.to_bits() {
+            return Err(MfboError::ResumeMismatch {
+                reason: format!(
+                    "iteration {iteration}: committed cost {committed_cost} at candidate \
+                     generation differs from the journaled {}",
+                    entry.cost_after
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// Commits a replayed evaluation in generation order: bills the cost,
+    /// cross-checks the journaled accumulated cost bit for bit, and updates
+    /// the replay accounting. The counterpart of `evaluate` step 1.
+    pub(crate) fn commit_replayed<P: MultiFidelityProblem + ?Sized>(
+        &mut self,
+        problem: &P,
+        entry: &JournalEntry,
+        fidelity: Fidelity,
+        iteration: usize,
+        cost: &mut f64,
+    ) -> Result<Evaluation, MfboError> {
+        *cost += problem.cost(fidelity);
+        if cost.to_bits() != entry.cost_after.to_bits() {
+            return Err(MfboError::ResumeMismatch {
+                reason: format!(
+                    "iteration {iteration}: accumulated cost {cost} differs from the \
+                     journaled {}",
+                    entry.cost_after
+                ),
+            });
+        }
+        self.stats.replayed += 1;
+        self.stats.replayed_cost += problem.cost(fidelity);
+        counter!("runstore_replayed", 1u64);
+        Ok(Evaluation {
+            objective: entry.objective,
+            constraints: entry.constraints.clone(),
+        })
+    }
+
+    /// Non-mutating cross-run cache lookup (the counterpart of `evaluate`
+    /// step 2's probe). Quarantined keys never hit.
+    pub(crate) fn cache_lookup(&self, x: &[f64], fidelity: Fidelity) -> Option<Evaluation> {
+        if !self.use_cache {
+            return None;
+        }
+        let key = cache_key(&self.problem_name, to_fid(fidelity), x);
+        self.store
+            .as_deref()
+            .and_then(|s| s.cache_get(&key))
+            .map(|hit| Evaluation {
+                objective: hit.objective,
+                constraints: hit.constraints.clone(),
+            })
+    }
+
+    /// Commits a cache-served evaluation in generation order: bills the
+    /// cost (hits are billed like simulations so the trajectory is
+    /// unchanged) and journals the record.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn commit_cached<P: MultiFidelityProblem + ?Sized>(
+        &mut self,
+        problem: &P,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        cost: &mut f64,
+        rng_snapshot: Option<[u64; 4]>,
+        cand: Option<u64>,
+        eval: &Evaluation,
+    ) -> Result<(), MfboError> {
+        *cost += problem.cost(fidelity);
+        self.stats.cache_hits += 1;
+        self.stats.cached_cost += problem.cost(fidelity);
+        counter!("eval_cache_hit", 1u64);
+        self.journal(JournalEntry {
+            iteration: iteration as u64,
+            fid: to_fid(fidelity),
+            x: x.to_vec(),
+            objective: eval.objective,
+            constraints: eval.constraints.clone(),
+            cost_after: *cost,
+            rng: rng_snapshot,
+            attempts: 0,
+            cached: true,
+            quarantined: false,
+            warm: false,
+            pending: false,
+            cand,
+        })
+    }
+
+    /// Enforces the fresh-simulation cap before a candidate is issued:
+    /// `outstanding` counts already-issued candidates that will need a
+    /// fresh simulation when they come back.
+    pub(crate) fn fresh_allowed(&self, outstanding: u64) -> Result<(), MfboError> {
+        if let Some(limit) = self.policy.max_evaluations {
+            if self.stats.fresh + outstanding >= limit {
+                return Err(MfboError::EvalBudgetExhausted { limit });
+            }
+        }
+        Ok(())
+    }
+
+    /// Commits a fresh (told) evaluation in generation order: bills the
+    /// cost, updates stats, feeds the cache or the quarantine set, and
+    /// journals the record. The counterpart of `evaluate` step 3 after the
+    /// simulator ran.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn commit_fresh<P: MultiFidelityProblem + ?Sized>(
+        &mut self,
+        problem: &P,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        cost: &mut f64,
+        rng_snapshot: Option<[u64; 4]>,
+        cand: Option<u64>,
+        eval: &Evaluation,
+        attempts: u32,
+        quarantined: bool,
+    ) -> Result<(), MfboError> {
+        self.stats.fresh += 1;
+        self.stats.fresh_cost += problem.cost(fidelity);
+        self.stats.retries += attempts.saturating_sub(1) as u64;
+        *cost += problem.cost(fidelity);
+        let key = cache_key(&self.problem_name, to_fid(fidelity), x);
+        if quarantined {
+            self.stats.quarantined += 1;
+            counter!("eval_quarantined", 1u64);
+            if let Some(store) = self.store.as_deref_mut() {
+                store.quarantine(key)?;
+            }
+        } else if self.use_cache {
+            if let Some(store) = self.store.as_deref_mut() {
+                store.cache_put(
+                    key,
+                    CacheEntry {
+                        x: x.to_vec(),
+                        objective: eval.objective,
+                        constraints: eval.constraints.clone(),
+                    },
+                )?;
+            }
+        }
+        self.journal(JournalEntry {
+            iteration: iteration as u64,
+            fid: to_fid(fidelity),
+            x: x.to_vec(),
+            objective: eval.objective,
+            constraints: eval.constraints.clone(),
+            cost_after: *cost,
+            rng: rng_snapshot,
+            attempts,
+            cached: false,
+            quarantined,
+            warm: false,
+            pending: false,
+            cand,
+        })
+    }
+
+    /// Write-ahead record of a candidate *issue* in a batched run, flushed
+    /// before the candidate leaves the core, so a crashed server can
+    /// regenerate and verify its in-flight set on resume.
+    pub(crate) fn journal_pending(
+        &mut self,
+        x: &[f64],
+        fidelity: Fidelity,
+        iteration: usize,
+        rng_snapshot: Option<[u64; 4]>,
+        committed_cost: f64,
+        cand: u64,
+    ) -> Result<(), MfboError> {
+        self.journal(JournalEntry {
+            iteration: iteration as u64,
+            fid: to_fid(fidelity),
+            x: x.to_vec(),
+            objective: 0.0,
+            constraints: Vec::new(),
+            cost_after: committed_cost,
+            rng: rng_snapshot,
+            attempts: 0,
+            cached: false,
+            quarantined: false,
+            warm: false,
+            pending: true,
+            cand: Some(cand),
+        })
     }
 
     fn journal(&mut self, entry: JournalEntry) -> Result<(), MfboError> {
@@ -483,8 +841,8 @@ impl<'o> EvalSession<'o> {
         Ok(())
     }
 
-    /// One robust simulator call: catches panics, retries per policy, and
-    /// applies the non-finite policy when attempts are exhausted. Returns
+    /// One robust simulator call: [`robust_evaluate`] plus the non-finite
+    /// policy applied when attempts are exhausted. Returns
     /// `(evaluation, attempts, quarantined)`.
     fn simulate<P: MultiFidelityProblem + ?Sized>(
         &mut self,
@@ -492,37 +850,28 @@ impl<'o> EvalSession<'o> {
         x: &[f64],
         fidelity: Fidelity,
     ) -> Result<(Evaluation, u32, bool), MfboError> {
-        let total_attempts = 1 + self.policy.max_retries;
-        let mut last_panic: Option<Box<dyn std::any::Any + Send>> = None;
-        for attempt in 1..=total_attempts {
-            match catch_unwind(AssertUnwindSafe(|| problem.evaluate(x, fidelity))) {
-                Ok(eval) if eval.is_finite() => return Ok((eval, attempt, false)),
-                Ok(_) => last_panic = None,
-                Err(payload) => last_panic = Some(payload),
+        match robust_evaluate(problem, x, fidelity, &self.policy) {
+            SimOutcome::Ok {
+                evaluation,
+                attempts,
+            } => {
+                self.stats.retries += (attempts - 1) as u64;
+                Ok((evaluation, attempts, false))
             }
-            if attempt < total_attempts {
-                self.stats.retries += 1;
-                counter!("eval_retry", 1u64);
-                if !self.policy.retry_backoff.is_zero() {
-                    let backoff = self
-                        .policy
-                        .retry_backoff
-                        .saturating_mul(1 << (attempt - 1).min(16))
-                        .min(MAX_BACKOFF);
-                    std::thread::sleep(backoff);
+            SimOutcome::Exhausted { attempts, panic } => {
+                self.stats.retries += (attempts - 1) as u64;
+                match self.policy.non_finite {
+                    NonFinitePolicy::Abort => match panic {
+                        Some(payload) => resume_unwind(payload),
+                        None => Err(MfboError::NonFiniteEvaluation { x: x.to_vec() }),
+                    },
+                    NonFinitePolicy::PenalizeAndQuarantine { penalty } => Ok((
+                        Evaluation::penalized(penalty, self.num_constraints),
+                        attempts,
+                        true,
+                    )),
                 }
             }
-        }
-        match self.policy.non_finite {
-            NonFinitePolicy::Abort => match last_panic {
-                Some(payload) => resume_unwind(payload),
-                None => Err(MfboError::NonFiniteEvaluation { x: x.to_vec() }),
-            },
-            NonFinitePolicy::PenalizeAndQuarantine { penalty } => Ok((
-                Evaluation::penalized(penalty, self.num_constraints),
-                total_attempts,
-                true,
-            )),
         }
     }
 }
@@ -534,6 +883,14 @@ pub enum FaultKind {
     Nan,
     /// The evaluation panics.
     Panic,
+    /// The evaluation stalls for `ms` milliseconds before returning a
+    /// correct result — a hung solver or license server from the caller's
+    /// point of view. Used to exercise worker-deadline handling in the
+    /// evaluation service; the sequential loops simply wait it out.
+    Stall {
+        /// Stall duration in milliseconds.
+        ms: u64,
+    },
 }
 
 /// Deterministic fault-injection wrapper around any problem: every `every`-th
@@ -594,6 +951,9 @@ impl<P: MultiFidelityProblem> MultiFidelityProblem for FaultInjector<P> {
                     let mut eval = self.inner.evaluate(x, fidelity);
                     eval.objective = f64::NAN;
                     return eval;
+                }
+                FaultKind::Stall { ms } => {
+                    std::thread::sleep(Duration::from_millis(ms));
                 }
             }
         }

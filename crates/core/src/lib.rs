@@ -19,6 +19,9 @@
 //! * [`MfBayesOpt`] — the full Algorithm 1, with the multiple-starting-point
 //!   acquisition optimization of §4.1 and the first-feasible-point search of
 //!   §4.2.
+//! * [`AskTellMfbo`] — the ask/tell decomposition of Algorithm 1 for
+//!   asynchronous and batched (constant-liar) evaluation; `MfBayesOpt` is a
+//!   thin sequential client of it.
 //! * [`SfBayesOpt`] — the single-fidelity constrained BO loop this paper
 //!   (and its WEIBO baseline) builds upon.
 //!
@@ -54,6 +57,7 @@
 
 pub mod acquisition;
 mod ar1;
+mod asktell;
 mod error;
 mod evaluator;
 mod fidelity;
@@ -67,8 +71,12 @@ mod sfbo;
 mod surrogate;
 
 pub use ar1::{Ar1Config, Ar1Gp};
+pub use asktell::{AskTellMfbo, Candidate, Told};
 pub use error::MfboError;
-pub use evaluator::{EvalPolicy, EvalStats, FaultInjector, FaultKind, NonFinitePolicy, RunOptions};
+pub use evaluator::{
+    robust_evaluate, EvalPolicy, EvalStats, FaultInjector, FaultKind, NonFinitePolicy, RunOptions,
+    SimOutcome,
+};
 pub use fidelity::FidelitySelector;
 pub use history::{EvaluationRecord, FidelityData, Outcome};
 pub use mfbo::{MfBayesOpt, MfBoConfig};

@@ -14,16 +14,14 @@
 //! replaced by the first-feasible-point search of §4.2 (minimize
 //! `Σ max(0, μ_h,i(x))`, eq. 13).
 
-use crate::evaluator::{EvalSession, RunOptions};
-use crate::fidelity::FidelitySelector;
-use crate::history::{EvaluationRecord, FidelityData, Outcome};
+use crate::asktell::{AskTellMfbo, Told};
+use crate::evaluator::{robust_evaluate, RunOptions, SimOutcome};
+use crate::history::Outcome;
 use crate::nargp::MfGpConfig;
 use crate::problem::{Fidelity, MultiFidelityProblem};
-use crate::surrogate::{MfBundleThetas, MfSurrogates};
 use crate::MfboError;
-use mfbo_opt::{msp::MultiStart, neldermead::NelderMead, sampling};
 use mfbo_pool::Parallelism;
-use mfbo_telemetry::{event, span, FidelityDecision, RunTelemetry};
+use mfbo_telemetry::span;
 use rand::Rng;
 use std::time::Instant;
 
@@ -93,6 +91,17 @@ pub struct MfBoConfig {
     /// optimization, Monte-Carlo posterior propagation). Every mode produces
     /// bit-identical optimization histories — see `mfbo_pool`.
     pub parallelism: Parallelism,
+    /// Maximum candidates in flight at once through the ask/tell interface
+    /// (q-batch acquisition). `1` — the default and the paper's sequential
+    /// rule — reproduces the legacy loop bit for bit. With `q > 1`,
+    /// [`crate::AskTellMfbo`] speculates ahead using constant-liar
+    /// fantasizing over the pending points (see DESIGN.md item 14), which
+    /// changes the trajectory: batched runs have their own goldens. The
+    /// sequential drivers ([`MfBayesOpt::run`]/[`MfBayesOpt::run_with`])
+    /// still evaluate one candidate at a time regardless of this knob;
+    /// values > 1 only pay off with a concurrent evaluator such as the
+    /// `mfbo-server` evaluation service. Incompatible with `rank1_appends`.
+    pub max_pending: usize,
 }
 
 impl Default for MfBoConfig {
@@ -113,6 +122,7 @@ impl Default for MfBoConfig {
             winsorize_sigma: None,
             max_low_streak: 25,
             parallelism: Parallelism::Serial,
+            max_pending: 1,
         }
     }
 }
@@ -175,353 +185,62 @@ impl MfBayesOpt {
         P: MultiFidelityProblem + ?Sized,
         R: Rng + ?Sized,
     {
-        let cfg = &self.config;
-        if cfg.initial_low == 0 || cfg.initial_high == 0 {
-            return Err(MfboError::InvalidConfig {
-                reason: "initial designs must be non-empty".into(),
+        // The synchronous loop is a thin ask(1)/tell client of the ask/tell
+        // core: every golden trajectory recorded against the historical
+        // inline loop pins the core's sequential behavior bit for bit.
+        let mut driver = AskTellMfbo::new(self.config.clone(), problem, rng, opts)?;
+        while !driver.is_finished() {
+            let Some(c) = driver.ask(1)?.pop() else {
+                // Unreachable in a single-threaded drive: the pump always
+                // leaves either a finished run or an unissued candidate.
+                return Err(MfboError::Protocol {
+                    reason: "sequential driver starved: ask(1) returned no candidate on an \
+                             unfinished run"
+                        .into(),
+                });
+            };
+            // Replayed and cache-served candidates never surface here — the
+            // core commits them internally — so this span, like the
+            // historical one, wraps real simulator work only. The initial
+            // design is not spanned (it has its own `initial_design` span).
+            let sim_span = (c.iteration > 0).then(|| {
+                span!(
+                    "simulate",
+                    iteration = c.iteration,
+                    high = c.fidelity == Fidelity::High
+                )
             });
-        }
-        if !(cfg.budget > 0.0 && cfg.budget.is_finite()) {
-            return Err(MfboError::InvalidConfig {
-                reason: "budget must be positive and finite".into(),
-            });
-        }
-        if cfg.rank1_appends && cfg.winsorize_sigma.is_some() {
-            return Err(MfboError::InvalidConfig {
-                reason: "rank1_appends is incompatible with winsorize_sigma: \
-                         winsorization re-clips historical targets every \
-                         iteration, which incremental Cholesky extension \
-                         cannot represent"
-                    .into(),
-            });
-        }
-        let mut session = EvalSession::new(opts, "mfbo", problem, rng.state_snapshot())?;
-        let bounds = problem.bounds();
-        let nc = problem.num_constraints();
-        let mut low = FidelityData::new(nc);
-        let mut high = FidelityData::new(nc);
-        let mut history: Vec<EvaluationRecord> = Vec::new();
-        let mut cost = 0.0;
-        let run_start = Instant::now();
-        let mut telemetry = RunTelemetry::default();
-        event!(
-            "run_start",
-            algo = "mfbo",
-            dim = bounds.dim(),
-            num_constraints = nc,
-            budget = cfg.budget,
-            gamma = cfg.gamma,
-            initial_low = cfg.initial_low,
-            initial_high = cfg.initial_high,
-        );
-
-        // --- Initial design (Algorithm 1, line 1). ---
-        let init_span = span!(
-            "initial_design",
-            n_low = cfg.initial_low,
-            n_high = cfg.initial_high
-        );
-        for x in sampling::latin_hypercube(&bounds, cfg.initial_low, rng) {
             let sim_start = Instant::now();
-            let snap = rng.state_snapshot();
-            let eval = session.evaluate(problem, &x, Fidelity::Low, 0, &mut cost, snap)?;
-            telemetry.record_stage("simulate_low", sim_start.elapsed());
-            low.push(x.clone(), &eval);
-            history.push(EvaluationRecord {
-                iteration: 0,
-                x,
-                fidelity: Fidelity::Low,
-                evaluation: eval,
-                cost_so_far: cost,
-            });
-        }
-        for x in sampling::latin_hypercube(&bounds, cfg.initial_high, rng) {
-            let sim_start = Instant::now();
-            let snap = rng.state_snapshot();
-            let eval = session.evaluate(problem, &x, Fidelity::High, 0, &mut cost, snap)?;
-            telemetry.record_stage("simulate_high", sim_start.elapsed());
-            high.push(x.clone(), &eval);
-            history.push(EvaluationRecord {
-                iteration: 0,
-                x,
-                fidelity: Fidelity::High,
-                evaluation: eval,
-                cost_so_far: cost,
-            });
-        }
-        // Cross-run warm start: seed the low-fidelity surrogate with cached
-        // observations from earlier runs (free — they were already paid
-        // for). They enter the training data but not this run's history.
-        for (x, eval) in session.warm_start_points(&low.xs, cost)? {
-            low.push(x, &eval);
-        }
-        drop(init_span);
-
-        let selector = FidelitySelector::new(cfg.gamma);
-        // One knob drives every hot path: model training, frozen refreshes,
-        // MC propagation, and the MSP restarts below.
-        let model_cfg = cfg.model.clone().with_parallelism(cfg.parallelism);
-        let mut low_streak = 0usize;
-        let mut thetas: Option<MfBundleThetas> = None;
-        let mut iterations_since_refit = 0usize;
-        // With `rank1_appends`, the previous iteration's surrogates — already
-        // extended with the newest observation — stand in for the frozen
-        // refit. `None` whenever an append failed or a full refit is due.
-        let mut prev_surrogates: Option<MfSurrogates> = None;
-        // Surrogates and acquisition optimization operate in the unit cube;
-        // the problem is evaluated (and history recorded) in raw units.
-        let unit = mfbo_opt::Bounds::unit(bounds.dim());
-
-        // --- Main loop (Algorithm 1, lines 2–9). ---
-        for iteration in 1..=cfg.max_iterations {
-            if cost >= cfg.budget {
-                break;
-            }
-            let mut low_u = low.to_unit(&bounds);
-            let mut high_u = high.to_unit(&bounds);
-            if let Some(k) = cfg.winsorize_sigma {
-                low_u = low_u.winsorized(k);
-                high_u = high_u.winsorized(k);
-            }
-
-            // Line 3: build the multi-fidelity model. Full hyperparameter
-            // optimization every `refit_every` iterations, frozen refresh in
-            // between; a frozen-refresh failure falls back to a full refit.
-            let fit_span = span!(
-                "surrogate_fit",
-                iteration = iteration,
-                n_low = low.len(),
-                n_high = high.len()
-            );
-            let surrogates = match &thetas {
-                Some(t) if iterations_since_refit < cfg.refit_every => {
-                    // Cheapest first: an already-extended bundle from the
-                    // rank-one append path (O(n²)), else a frozen
-                    // refactorization (O(n³)), else a full refit.
-                    match prev_surrogates.take() {
-                        Some(s) => s,
-                        None => match MfSurrogates::fit_frozen(
-                            &low_u,
-                            &high_u,
-                            t,
-                            model_cfg.mc_samples,
-                            cfg.parallelism,
-                        ) {
-                            Ok(s) => s,
-                            Err(_) => MfSurrogates::fit(&low_u, &high_u, &model_cfg, rng)?,
-                        },
-                    }
-                }
-                Some(t) => {
-                    iterations_since_refit = 0;
-                    MfSurrogates::fit_warm(&low_u, &high_u, &model_cfg, t, rng)?
-                }
-                None => {
-                    iterations_since_refit = 0;
-                    MfSurrogates::fit(&low_u, &high_u, &model_cfg, rng)?
-                }
-            };
-            iterations_since_refit += 1;
-            thetas = Some(surrogates.thetas());
-            telemetry.record_stage("surrogate_fit", fit_span.elapsed());
-            drop(fit_span);
-            // Hyperparameter trajectory, emitted on the main thread in
-            // iteration order (worker-thread `gp_fit` events interleave
-            // nondeterministically; this one is safe to diff run-to-run).
-            if let Some(t) = &thetas {
-                mfbo_telemetry::debug_event!(
-                    "hyperparams",
-                    iteration = iteration,
-                    objective_low = crate::surrogate::fmt_thetas(&t.objective.low),
-                    objective_high = crate::surrogate::fmt_thetas(&t.objective.high),
-                    constraints = t
-                        .constraints
-                        .iter()
-                        .map(|c| {
-                            format!(
-                                "{}|{}",
-                                crate::surrogate::fmt_thetas(&c.low),
-                                crate::surrogate::fmt_thetas(&c.high)
-                            )
-                        })
-                        .collect::<Vec<_>>()
-                        .join(";"),
-                );
-            }
-
-            // Incumbents (values and locations) at each fidelity.
-            let best_low = low.best_feasible().or_else(|| low.best_any());
-            let best_high = high.best_feasible().or_else(|| high.best_any());
-            let has_feasible_high = high.best_feasible().is_some();
-
-            let local = NelderMead::new().with_max_iters(90);
-            let tau_l_val = best_low.map(|(_, v)| v);
-            let tau_h_val = best_high.map(|(_, v)| v);
-            let acq_span = span!("acq_opt", iteration = iteration);
-            let drove_feasibility = nc > 0 && !has_feasible_high;
-            let (xt_unit, acq_value, landscape) = if drove_feasibility {
-                // §4.2: no feasible point known — minimize Σ max(0, μ_h,i).
-                // A tiny objective-mean tie-break steers the search toward
-                // good designs once the drive term flattens at zero.
-                let drive = |x: &[f64]| {
-                    let d = surrogates.feasibility_drive(x);
-                    let obj = surrogates.objective().predict(x).mean;
-                    d + 1e-4 * obj
-                };
-                let ms = MultiStart::new(cfg.msp_starts)
-                    .with_local_search(local.clone())
-                    .with_parallelism(cfg.parallelism);
-                let (r, stats) = ms.minimize_with_stats(&drive, &unit, rng);
-                (r.x, r.value, stats)
-            } else {
-                // Line 5: optimize the low-fidelity wEI → x*_l.
-                let tau_l = best_low.map(|(_, v)| v).unwrap_or(0.0);
-                let tau_h = best_high.map(|(_, v)| v).unwrap_or(0.0);
-                let mut ms_low = MultiStart::new(cfg.msp_starts)
-                    .with_local_search(local.clone())
-                    .with_parallelism(cfg.parallelism);
-                if let Some((k, _)) = best_low {
-                    ms_low = ms_low.with_anchor(
-                        low_u.xs[k].clone(),
-                        cfg.frac_around_tau_l + cfg.frac_around_tau_h,
-                        cfg.anchor_spread,
-                    );
-                }
-                let wei_l = |x: &[f64]| surrogates.wei_low(x, tau_l);
-                let xl_star = ms_low.maximize(&wei_l, &unit, rng).x;
-
-                // Line 6: optimize the high-fidelity wEI seeded with x*_l
-                // and the biased anchors of §4.1.
-                let mut ms_high = MultiStart::new(cfg.msp_starts)
-                    .with_local_search(local)
-                    .with_parallelism(cfg.parallelism)
-                    .with_anchor(xl_star, 0.15, cfg.anchor_spread);
-                if let Some((k, _)) = best_high {
-                    ms_high = ms_high.with_anchor(
-                        high_u.xs[k].clone(),
-                        cfg.frac_around_tau_h,
-                        cfg.anchor_spread,
-                    );
-                }
-                if let Some((k, _)) = best_low {
-                    ms_high = ms_high.with_anchor(
-                        low_u.xs[k].clone(),
-                        cfg.frac_around_tau_l,
-                        cfg.anchor_spread,
-                    );
-                }
-                let wei_h = |x: &[f64]| surrogates.wei_high(x, tau_h);
-                let (r, stats) = ms_high.maximize_with_stats(&wei_h, &unit, rng);
-                (r.x, r.value, stats)
-            };
-            telemetry.record_stage("acq_opt", acq_span.elapsed());
-            drop(acq_span);
-            // Acquisition-landscape health: in wEI mode a large frac_zero
-            // means most restarts sat where the model offers no expected
-            // improvement; a near-zero spread means the landscape has
-            // collapsed to a single basin.
-            mfbo_telemetry::debug_event!(
-                "acq_landscape",
-                iteration = iteration,
-                feasibility_drive = drove_feasibility,
-                best_value = landscape.best_value,
-                worst_value = landscape.worst_value,
-                spread = landscape.spread,
-                frac_zero = landscape.frac_zero,
-                starts = landscape.starts,
-                best_start = landscape.best_start,
-            );
-
-            // Line 7: fidelity selection (§3.4), with the verification
-            // safeguard (see MfBoConfig::max_low_streak).
-            let max_low_var = surrogates.max_low_variance(&xt_unit);
-            let threshold = selector.threshold(nc);
-            let mut fidelity = selector.select(max_low_var, nc);
-            let mut forced = false;
-            if fidelity == Fidelity::Low && low_streak >= cfg.max_low_streak {
-                fidelity = Fidelity::High;
-                forced = true;
-            }
-            match fidelity {
-                Fidelity::Low => low_streak += 1,
-                Fidelity::High => low_streak = 0,
-            }
-            event!(
-                "fidelity_decision",
-                iteration = iteration,
-                max_low_variance = max_low_var,
-                threshold = threshold,
-                chose_high = fidelity == Fidelity::High,
-                forced = forced,
-                feasibility_drive = drove_feasibility,
-                acq_value = acq_value,
-                tau_l = tau_l_val.unwrap_or(f64::NAN),
-                tau_h = tau_h_val.unwrap_or(f64::NAN),
-                cost = cost,
-            );
-
-            // Line 8: simulate and extend the training set.
-            let xt = bounds.from_unit(&xt_unit);
-            let sim_span = span!(
-                "simulate",
-                iteration = iteration,
-                high = fidelity == Fidelity::High
-            );
-            let snap = rng.state_snapshot();
-            let eval = session.evaluate(problem, &xt, fidelity, iteration, &mut cost, snap)?;
-            let sim_stage = match fidelity {
-                Fidelity::Low => "simulate_low",
-                Fidelity::High => "simulate_high",
-            };
-            telemetry.record_stage(sim_stage, sim_span.elapsed());
+            let sim = robust_evaluate(problem, &c.x, c.fidelity, driver.policy());
             drop(sim_span);
-            telemetry.record_decision(FidelityDecision {
-                iteration,
-                max_low_variance: max_low_var,
-                threshold,
-                chose_high: fidelity == Fidelity::High,
-                forced,
-                cost_after: cost,
-            });
-            match fidelity {
-                Fidelity::Low => low.push(xt.clone(), &eval),
-                Fidelity::High => high.push(xt.clone(), &eval),
+            let elapsed = sim_start.elapsed();
+            match sim {
+                SimOutcome::Ok {
+                    evaluation,
+                    attempts,
+                } => driver.tell_timed(
+                    c.id,
+                    Told::Evaluated {
+                        evaluation,
+                        attempts,
+                    },
+                    elapsed,
+                )?,
+                SimOutcome::Exhausted { attempts, panic } => {
+                    let told = driver.tell_timed(c.id, Told::Failed { attempts }, elapsed);
+                    if told.is_err() {
+                        // Historical Abort-policy behavior: a final panic is
+                        // re-raised in preference to the NonFiniteEvaluation
+                        // error.
+                        if let Some(payload) = panic {
+                            std::panic::resume_unwind(payload);
+                        }
+                    }
+                    told?;
+                }
             }
-            // Rank-one path: extend this iteration's bundle with the new
-            // observation (in the unit cube the surrogates train in) so the
-            // next frozen refresh is an O(n²) no-op. A failed append — e.g.
-            // a near-duplicate acquisition point — simply drops the bundle
-            // and the next iteration refactorizes from data.
-            prev_surrogates = if cfg.rank1_appends {
-                let mut s = surrogates;
-                s.append_observation(fidelity, &xt_unit, &eval)
-                    .is_ok()
-                    .then_some(s)
-            } else {
-                None
-            };
-            history.push(EvaluationRecord {
-                iteration,
-                x: xt,
-                fidelity,
-                evaluation: eval,
-                cost_so_far: cost,
-            });
         }
-
-        telemetry.wall_us = run_start.elapsed().as_micros() as u64;
-        event!(
-            "run_end",
-            algo = "mfbo",
-            iterations = history.last().map(|r| r.iteration).unwrap_or(0),
-            cost = cost,
-            high_picks = telemetry.high_count(),
-            decisions = telemetry.decisions.len(),
-        );
-        let mut outcome = Outcome::from_data(high, low, history);
-        outcome.telemetry = telemetry;
-        outcome.eval_stats = session.finish();
-        Ok(outcome)
+        driver.finish()
     }
 }
 

@@ -219,6 +219,14 @@ impl EvalRollup {
         let mut r = EvalRollup::default();
         let mut prev_cost = 0.0;
         for e in entries {
+            // Pending-issue records from batched ask/tell runs are
+            // write-ahead bookkeeping, not consumed evaluations: their
+            // cost_after is the committed cost at issue time and their
+            // objective/constraints are placeholders. Only commit records
+            // describe charges.
+            if e.pending {
+                continue;
+            }
             // The journal stores cumulative cost; successive differences in
             // write order recover what each evaluation actually charged.
             let delta = e.cost_after - prev_cost;
@@ -352,7 +360,7 @@ fn convergence_from_journal(entries: &[JournalEntry]) -> Vec<(f64, f64)> {
     let mut best = f64::INFINITY;
     let mut out = Vec::new();
     for e in entries {
-        if e.warm || e.fid != Fid::High {
+        if e.pending || e.warm || e.fid != Fid::High {
             continue;
         }
         if e.constraints.iter().all(|&c| c < 0.0) {
@@ -437,11 +445,13 @@ struct HealthRollup {
 /// Counters whose totals depend on the execution mode rather than the
 /// configured run: `pool_*` only exist on the threaded path, the
 /// `eval_*` / `runstore_*` sourcing counters change under resume/caching,
+/// `server_*` counters describe service traffic rather than any one run,
 /// and `simd_dispatch` fires once per process, not once per run.
 fn deterministic_counter(name: &str) -> bool {
     !(name.starts_with("pool")
         || name.starts_with("eval_")
         || name.starts_with("runstore")
+        || name.starts_with("server_")
         || name == "simd_dispatch")
 }
 
@@ -834,6 +844,7 @@ mod tests {
             dim: 1,
             num_constraints: 1,
             rng_start: None,
+            batch: None,
         }
     }
 
@@ -850,6 +861,8 @@ mod tests {
             cached: false,
             quarantined: false,
             warm: false,
+            pending: false,
+            cand: None,
         }
     }
 

@@ -1,0 +1,286 @@
+//! Property and protocol tests for the [`AskTellMfbo`] state machine: a
+//! misbehaving or adversarial client must never corrupt the optimizer.
+//!
+//! The contract under test:
+//!
+//! - `tell` with an unknown, duplicate, or never-issued id — or a malformed
+//!   result — returns [`MfboError::Protocol`] and leaves the run state
+//!   unchanged (the correct result can still be told afterwards).
+//! - `ask` never issues more than `max_pending` candidates in flight, and
+//!   returns an empty batch exactly when the run is finished.
+//! - The outcome is a function of the *generation* order only: any
+//!   permutation of tell arrivals within a batch yields a bit-identical run,
+//!   with protocol-violating calls interleaved anywhere.
+//! - `finish` on a run with candidates still in flight is a protocol error.
+
+use mfbo::problem::{Evaluation, Fidelity, FunctionProblem, MultiFidelityProblem};
+use mfbo::{AskTellMfbo, Candidate, MfBoConfig, MfboError, Outcome, RunOptions, Told};
+use mfbo_opt::Bounds;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn forrester() -> FunctionProblem {
+    FunctionProblem::builder("forrester", Bounds::unit(1))
+        .high(|x: &[f64]| (6.0 * x[0] - 2.0).powi(2) * (12.0 * x[0] - 4.0).sin())
+        .low(|x: &[f64]| {
+            0.5 * (6.0 * x[0] - 2.0).powi(2) * (12.0 * x[0] - 4.0).sin() + 10.0 * (x[0] - 0.5) - 5.0
+        })
+        .low_cost(0.1)
+        .build()
+}
+
+fn config(max_pending: usize) -> MfBoConfig {
+    MfBoConfig {
+        initial_low: 6,
+        initial_high: 3,
+        budget: 6.0,
+        max_pending,
+        ..MfBoConfig::default()
+    }
+}
+
+fn evaluate(problem: &FunctionProblem, c: &Candidate) -> Told {
+    Told::Evaluated {
+        evaluation: problem.evaluate(&c.x, c.fidelity),
+        attempts: 1,
+    }
+}
+
+/// Drives a run to completion, telling each batch in the order given by
+/// `permute` (identity = issue order).
+fn run_with_order(
+    problem: &FunctionProblem,
+    max_pending: usize,
+    permute: impl Fn(usize, &mut Vec<Candidate>),
+) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut opts = RunOptions::default();
+    let mut driver = AskTellMfbo::new(config(max_pending), problem, &mut rng, &mut opts).unwrap();
+    let mut round = 0;
+    while !driver.is_finished() {
+        let mut batch = driver.ask(max_pending).unwrap();
+        assert!(!batch.is_empty(), "empty ask on an unfinished run");
+        assert!(
+            batch.len() + (driver.pending_count() - batch.len()) <= max_pending,
+            "more than max_pending candidates in flight"
+        );
+        permute(round, &mut batch);
+        for c in &batch {
+            driver.tell(c.id, evaluate(problem, c)).unwrap();
+        }
+        round += 1;
+    }
+    driver.finish().unwrap()
+}
+
+fn assert_same_run(a: &Outcome, b: &Outcome) {
+    assert_eq!(a.history.len(), b.history.len(), "history length");
+    for (i, (ra, rb)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(ra, rb, "history record {i}");
+    }
+    assert_eq!(a.best_x, b.best_x, "best_x");
+    assert!(
+        a.total_cost.to_bits() == b.total_cost.to_bits(),
+        "total_cost"
+    );
+}
+
+#[test]
+fn unknown_duplicate_and_unissued_tells_are_rejected_without_damage() {
+    let problem = forrester();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut opts = RunOptions::default();
+    let mut driver = AskTellMfbo::new(config(2), &problem, &mut rng, &mut opts).unwrap();
+
+    // Ask one of the two available slots; the second stays unissued.
+    let batch = driver.ask(1).unwrap();
+    assert_eq!(batch.len(), 1);
+    let c = &batch[0];
+
+    // Unknown id.
+    let err = driver.tell(u64::MAX, evaluate(&problem, c)).unwrap_err();
+    assert!(
+        matches!(err, MfboError::Protocol { .. }),
+        "unknown id: {err}"
+    );
+
+    // Unissued id: the pump keeps the queue topped up to max_pending, so a
+    // second slot exists but ask() has not handed it out.
+    assert_eq!(driver.pending_count(), 2);
+    let unissued = c.id + 1;
+    let err = driver.tell(unissued, evaluate(&problem, c)).unwrap_err();
+    assert!(matches!(err, MfboError::Protocol { .. }), "unissued: {err}");
+
+    // Wrong constraint arity.
+    let err = driver
+        .tell(
+            c.id,
+            Told::Evaluated {
+                evaluation: Evaluation {
+                    objective: 0.0,
+                    constraints: vec![0.0, 0.0],
+                },
+                attempts: 1,
+            },
+        )
+        .unwrap_err();
+    assert!(matches!(err, MfboError::Protocol { .. }), "arity: {err}");
+
+    // Non-finite values must go through Told::Failed.
+    let err = driver
+        .tell(
+            c.id,
+            Told::Evaluated {
+                evaluation: Evaluation {
+                    objective: f64::NAN,
+                    constraints: vec![],
+                },
+                attempts: 1,
+            },
+        )
+        .unwrap_err();
+    assert!(
+        matches!(err, MfboError::Protocol { .. }),
+        "non-finite: {err}"
+    );
+
+    // The correct tell still lands, then a duplicate is rejected.
+    driver.tell(c.id, evaluate(&problem, c)).unwrap();
+    let committed = c.id;
+    let err = driver.tell(committed, evaluate(&problem, c)).unwrap_err();
+    assert!(
+        matches!(err, MfboError::Protocol { .. }),
+        "duplicate: {err}"
+    );
+
+    // None of the violations poisoned the run: drive it to completion.
+    while !driver.is_finished() {
+        let batch = driver.ask(2).unwrap();
+        for c in &batch {
+            driver.tell(c.id, evaluate(&problem, c)).unwrap();
+        }
+    }
+    let out = driver.finish().unwrap();
+    assert!(out.total_cost >= 6.0, "run must exhaust its budget");
+}
+
+#[test]
+fn finish_with_candidates_in_flight_is_a_protocol_error() {
+    let problem = forrester();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut opts = RunOptions::default();
+    let mut driver = AskTellMfbo::new(config(2), &problem, &mut rng, &mut opts).unwrap();
+    let batch = driver.ask(2).unwrap();
+    assert!(!batch.is_empty());
+    let err = driver.finish().unwrap_err();
+    assert!(matches!(err, MfboError::Protocol { .. }), "{err}");
+}
+
+#[test]
+fn ask_past_the_budget_returns_empty_batches() {
+    let problem = forrester();
+    let mut rng = StdRng::seed_from_u64(3);
+    let mut opts = RunOptions::default();
+    let mut driver = AskTellMfbo::new(config(1), &problem, &mut rng, &mut opts).unwrap();
+    while !driver.is_finished() {
+        // Over-asking never over-issues: at most one slot exists.
+        let batch = driver.ask(64).unwrap();
+        assert_eq!(batch.len(), 1, "q=1 must issue exactly one candidate");
+        driver
+            .tell(batch[0].id, evaluate(&problem, &batch[0]))
+            .unwrap();
+    }
+    for _ in 0..3 {
+        assert!(driver.ask(64).unwrap().is_empty(), "ask past budget");
+    }
+    assert_eq!(driver.pending_count(), 0);
+    driver.finish().unwrap();
+}
+
+#[test]
+fn batches_interleave_both_fidelities() {
+    // The fidelity-selection rule keeps working inside a batch: across the
+    // run, asked batches must contain low- and high-fidelity candidates.
+    let problem = forrester();
+    let mut rng = StdRng::seed_from_u64(7);
+    let mut opts = RunOptions::default();
+    let mut driver = AskTellMfbo::new(config(4), &problem, &mut rng, &mut opts).unwrap();
+    let (mut low, mut high) = (0usize, 0usize);
+    while !driver.is_finished() {
+        let batch = driver.ask(4).unwrap();
+        for c in &batch {
+            match c.fidelity {
+                Fidelity::Low => low += 1,
+                Fidelity::High => high += 1,
+            }
+            driver.tell(c.id, evaluate(&problem, c)).unwrap();
+        }
+    }
+    driver.finish().unwrap();
+    assert!(
+        low > 0 && high > 0,
+        "saw {low} low / {high} high candidates"
+    );
+}
+
+/// Fisher–Yates driven by a splitmix64 stream — deterministic per seed, no
+/// dependence on the driver's RNG.
+fn shuffle(seed: u64, round: usize, batch: &mut [Candidate]) {
+    let mut s = seed ^ (round as u64).wrapping_mul(0x9e3779b97f4a7c15);
+    let mut next = move || {
+        s = s.wrapping_add(0x9e3779b97f4a7c15);
+        let mut z = s;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58476d1ce4e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d049bb133111eb);
+        z ^ (z >> 31)
+    };
+    for i in (1..batch.len()).rev() {
+        let j = (next() % (i as u64 + 1)) as usize;
+        batch.swap(i, j);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Any arrival order of tells — with protocol-violating calls thrown in
+    /// between — produces the same run as in-order delivery.
+    #[test]
+    fn tell_order_and_protocol_noise_never_change_the_outcome(
+        q in 2usize..5,
+        seed in 0u64..u64::MAX,
+        noise in 0u32..2,
+    ) {
+        let inject_noise = noise == 1;
+        let problem = forrester();
+        let reference = run_with_order(&problem, q, |_, _| {});
+
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut opts = RunOptions::default();
+        let mut driver =
+            AskTellMfbo::new(config(q), &problem, &mut rng, &mut opts).unwrap();
+        let mut round = 0usize;
+        while !driver.is_finished() {
+            let mut batch = driver.ask(q).unwrap();
+            prop_assert!(!batch.is_empty());
+            shuffle(seed, round, &mut batch);
+            for c in &batch {
+                if inject_noise {
+                    // Unknown id, then a duplicate after the real tell —
+                    // both must bounce off without touching state.
+                    prop_assert!(driver
+                        .tell(u64::MAX, evaluate(&problem, c))
+                        .is_err());
+                }
+                driver.tell(c.id, evaluate(&problem, c)).unwrap();
+                if inject_noise {
+                    prop_assert!(driver.tell(c.id, evaluate(&problem, c)).is_err());
+                }
+            }
+            round += 1;
+        }
+        let shuffled = driver.finish().unwrap();
+        assert_same_run(&reference, &shuffled);
+    }
+}

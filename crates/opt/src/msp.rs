@@ -51,6 +51,8 @@ pub struct MultiStart {
     local: NelderMead,
     use_lhs: bool,
     parallelism: Parallelism,
+    taboo: Vec<Vec<f64>>,
+    taboo_radius: f64,
 }
 
 impl MultiStart {
@@ -63,6 +65,8 @@ impl MultiStart {
             local: NelderMead::new().with_max_iters(120),
             use_lhs: true,
             parallelism: Parallelism::Serial,
+            taboo: Vec::new(),
+            taboo_radius: 0.0,
         }
     }
 
@@ -91,6 +95,20 @@ impl MultiStart {
         self
     }
 
+    /// Excludes local optima within an L∞ `radius` of any of `points` from
+    /// the returned best (used by batched BO to keep a q-batch from
+    /// collapsing onto an in-flight candidate). Starting points and local
+    /// searches are unaffected — only the final selection skips excluded
+    /// optima. If *every* start lands in a taboo zone, the overall best is
+    /// returned anyway (a duplicate beats no candidate at all), so the
+    /// result is always well-defined. With no taboo points this is
+    /// bit-identical to the unrestricted selection.
+    pub fn with_taboo(mut self, points: Vec<Vec<f64>>, radius: f64) -> Self {
+        self.taboo = points;
+        self.taboo_radius = radius;
+        self
+    }
+
     /// Replaces the local-search configuration.
     pub fn with_local_search(mut self, nm: NelderMead) -> Self {
         self.local = nm;
@@ -102,6 +120,17 @@ impl MultiStart {
     pub fn with_uniform_starts(mut self) -> Self {
         self.use_lhs = false;
         self
+    }
+
+    /// `true` when `x` sits within the L∞ exclusion radius of any taboo
+    /// point (see [`MultiStart::with_taboo`]).
+    fn is_taboo(&self, x: &[f64]) -> bool {
+        self.taboo.iter().any(|t| {
+            t.len() == x.len()
+                && x.iter()
+                    .zip(t)
+                    .all(|(a, b)| (a - b).abs() <= self.taboo_radius)
+        })
     }
 
     /// Generates the starting points (biased anchors first, then the
@@ -153,16 +182,21 @@ impl MultiStart {
         R: Rng + ?Sized,
     {
         let starts = self.starting_points(bounds, rng);
-        let results = par_map(self.parallelism, &starts, |s| {
+        let mut results = par_map(self.parallelism, &starts, |s| {
             self.local.minimize(f, s, bounds)
         });
-        let mut best: Option<OptResult> = None;
-        let mut best_start = 0usize;
+        // Selection: strictly-better wins, first occurrence kept — taboo'd
+        // optima are skipped unless every start is taboo'd (the fallback
+        // keeps the result well-defined; see `with_taboo`). With no taboo
+        // points `allowed` always equals `overall` and this reduces to the
+        // historical single-pass selection bit for bit.
+        let mut overall: Option<(usize, f64)> = None;
+        let mut allowed: Option<(usize, f64)> = None;
         let mut total_evals = 0usize;
         let mut total_iters = 0usize;
         let mut worst_value = f64::NEG_INFINITY;
         let mut zero_starts = 0usize;
-        for (k, r) in results.into_iter().enumerate() {
+        for (k, r) in results.iter().enumerate() {
             total_evals += r.evaluations;
             total_iters += r.iterations;
             if r.value == 0.0 {
@@ -171,16 +205,15 @@ impl MultiStart {
             if r.value.is_finite() && r.value > worst_value {
                 worst_value = r.value;
             }
-            let better = match &best {
-                None => true,
-                Some(b) => r.value < b.value,
-            };
-            if better {
-                best = Some(r);
-                best_start = k;
+            if overall.is_none_or(|(_, v)| r.value < v) {
+                overall = Some((k, r.value));
+            }
+            if !self.is_taboo(&r.x) && allowed.is_none_or(|(_, v)| r.value < v) {
+                allowed = Some((k, r.value));
             }
         }
-        let mut out = best.expect("at least one start");
+        let (best_start, _) = allowed.or(overall).expect("at least one start");
+        let mut out = results.swap_remove(best_start);
         out.evaluations = total_evals;
         out.iterations = total_iters;
         let stats = LandscapeStats {
@@ -404,6 +437,54 @@ mod tests {
                 assert_eq!(serial.iterations, threaded.iterations);
             }
         }
+    }
+
+    #[test]
+    fn taboo_excludes_optima_near_inflight_points() {
+        // Bimodal: the better valley at 0.8 (value -0.05) is taboo'd, so the
+        // selection must fall back to the valley at -0.7 (value 0.0).
+        let f = |x: &[f64]| {
+            let a = (x[0] - 0.8).powi(2) - 0.05;
+            let b = (x[0] + 0.7).powi(2);
+            a.min(b)
+        };
+        let b = Bounds::symmetric(1, 1.0);
+        let mut rng = StdRng::seed_from_u64(0);
+        let r = MultiStart::new(16)
+            .with_taboo(vec![vec![0.8]], 0.05)
+            .minimize(&f, &b, &mut rng);
+        assert!((r.x[0] + 0.7).abs() < 1e-2, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn taboo_falls_back_to_overall_best_when_everything_is_excluded() {
+        let f = |x: &[f64]| (x[0] - 0.5).powi(2);
+        let b = Bounds::unit(1);
+        let mut rng = StdRng::seed_from_u64(3);
+        // Radius covers the whole box: every optimum is excluded, so the
+        // unrestricted best must come back rather than nothing.
+        let r = MultiStart::new(8)
+            .with_taboo(vec![vec![0.5]], 10.0)
+            .minimize(&f, &b, &mut rng);
+        assert!((r.x[0] - 0.5).abs() < 1e-3, "x = {:?}", r.x);
+    }
+
+    #[test]
+    fn empty_taboo_is_bitwise_neutral() {
+        let b = Bounds::symmetric(2, 3.0);
+        let run = |taboo: bool| {
+            let mut rng = StdRng::seed_from_u64(42);
+            let mut ms = MultiStart::new(12).with_anchor(vec![0.5, 0.5], 0.3, 0.05);
+            if taboo {
+                ms = ms.with_taboo(Vec::new(), 1e-6);
+            }
+            ms.minimize(&rastrigin, &b, &mut rng)
+        };
+        let plain = run(false);
+        let with_empty = run(true);
+        assert_eq!(plain.x, with_empty.x);
+        assert_eq!(plain.value.to_bits(), with_empty.value.to_bits());
+        assert_eq!(plain.evaluations, with_empty.evaluations);
     }
 
     #[test]

@@ -40,6 +40,9 @@
 
 #![deny(missing_docs)]
 
+pub mod service;
+pub use service::WorkerPool;
+
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use std::cell::Cell;

@@ -1,0 +1,169 @@
+//! Long-lived worker pool for the evaluation service.
+//!
+//! The scoped maps in the crate root ([`crate::par_map`] and friends) spin
+//! workers up and down around each call — right for the optimizer's
+//! compute bursts, wrong for a server that evaluates candidates from many
+//! concurrent runs for hours. [`WorkerPool`] keeps a fixed set of named OS
+//! threads alive behind a **bounded** job queue:
+//!
+//! * [`WorkerPool::submit`] blocks once `queue_depth` jobs are waiting —
+//!   natural backpressure that stops a flood of runs from buffering
+//!   unbounded work instead of slowing down.
+//! * A job that panics is caught on the worker (counted by the
+//!   `pool_job_panics` counter) and never takes the thread down; the
+//!   submitting side observes the failure through whatever channel the job
+//!   closure carries, not through pool state.
+//! * Worker threads are marked as pool workers, so any parallel map a job
+//!   issues (e.g. surrogate training inside an evaluation) runs inline
+//!   instead of nesting threads.
+//!
+//! The pool makes **no** determinism promises — jobs complete in scheduling
+//! order. Determinism lives a layer up: the ask/tell core folds results
+//! into the optimizer in generation order no matter when workers deliver
+//! them.
+
+use crate::IN_POOL_WORKER;
+use mfbo_telemetry::counter;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::mpsc::{Receiver, SyncSender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+
+type Job = Box<dyn FnOnce() + Send + 'static>;
+
+/// A fixed-size pool of long-lived worker threads with a bounded queue.
+/// Dropping the pool drains the queue: already-submitted jobs finish, new
+/// submissions are impossible, and the drop blocks until every worker has
+/// exited.
+pub struct WorkerPool {
+    tx: Option<SyncSender<Job>>,
+    handles: Vec<JoinHandle<()>>,
+    workers: usize,
+}
+
+impl WorkerPool {
+    /// Spawns `workers` threads (at least one) behind a queue holding at
+    /// most `queue_depth` waiting jobs (at least one).
+    pub fn new(workers: usize, queue_depth: usize) -> WorkerPool {
+        let workers = workers.max(1);
+        let (tx, rx) = std::sync::mpsc::sync_channel::<Job>(queue_depth.max(1));
+        let rx = Arc::new(Mutex::new(rx));
+        let handles = (0..workers)
+            .map(|i| {
+                let rx = Arc::clone(&rx);
+                std::thread::Builder::new()
+                    .name(format!("mfbo-worker-{i}"))
+                    .spawn(move || worker_loop(&rx))
+                    .expect("failed to spawn pool worker")
+            })
+            .collect();
+        WorkerPool {
+            tx: Some(tx),
+            handles,
+            workers,
+        }
+    }
+
+    /// Number of worker threads.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Enqueues a job, **blocking** while the queue is full. Results travel
+    /// through whatever channel the closure captures.
+    pub fn submit<F: FnOnce() + Send + 'static>(&self, job: F) {
+        counter!("pool_jobs_submitted", 1u64);
+        self.tx
+            .as_ref()
+            .expect("pool already shut down")
+            .send(Box::new(job))
+            .expect("all pool workers exited");
+    }
+}
+
+impl Drop for WorkerPool {
+    fn drop(&mut self) {
+        // Closing the channel ends each worker's recv loop once the queue
+        // is drained.
+        self.tx.take();
+        for h in self.handles.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+fn worker_loop(rx: &Mutex<Receiver<Job>>) {
+    IN_POOL_WORKER.with(|c| c.set(true));
+    loop {
+        // The lock guards only the dequeue; idle workers queue up on the
+        // mutex while one blocks in recv.
+        let job = match rx.lock() {
+            Ok(guard) => guard.recv(),
+            Err(_) => break,
+        };
+        match job {
+            Ok(job) => {
+                if catch_unwind(AssertUnwindSafe(job)).is_err() {
+                    counter!("pool_job_panics", 1u64);
+                }
+            }
+            Err(_) => break, // channel closed: pool dropped
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::mpsc::channel;
+
+    #[test]
+    fn runs_jobs_concurrently_and_returns_results() {
+        let pool = WorkerPool::new(4, 16);
+        let (tx, rx) = channel();
+        for i in 0..32u64 {
+            let tx = tx.clone();
+            pool.submit(move || tx.send(i * i).unwrap());
+        }
+        drop(tx);
+        let mut got: Vec<u64> = rx.iter().collect();
+        got.sort_unstable();
+        assert_eq!(got, (0..32).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn a_panicking_job_does_not_kill_its_worker() {
+        let pool = WorkerPool::new(1, 4);
+        pool.submit(|| panic!("boom"));
+        let (tx, rx) = channel();
+        pool.submit(move || tx.send(42u8).unwrap());
+        assert_eq!(rx.recv().unwrap(), 42);
+    }
+
+    #[test]
+    fn drop_drains_submitted_jobs() {
+        let done = Arc::new(AtomicUsize::new(0));
+        {
+            let pool = WorkerPool::new(2, 64);
+            for _ in 0..50 {
+                let done = Arc::clone(&done);
+                pool.submit(move || {
+                    done.fetch_add(1, Ordering::SeqCst);
+                });
+            }
+        }
+        assert_eq!(done.load(Ordering::SeqCst), 50);
+    }
+
+    #[test]
+    fn jobs_on_workers_run_nested_maps_inline() {
+        let pool = WorkerPool::new(1, 4);
+        let (tx, rx) = channel();
+        pool.submit(move || {
+            // in_worker() gates the nested-parallelism fallback.
+            tx.send(crate::in_worker()).unwrap();
+        });
+        assert!(rx.recv().unwrap(), "pool thread must be marked as a worker");
+    }
+}

@@ -42,6 +42,19 @@ pub struct JournalEntry {
     /// The point was injected by cross-run warm-starting (zero cost, not
     /// part of the regular evaluation sequence).
     pub warm: bool,
+    /// The record is a *pending-candidate issue*, not a consumed
+    /// evaluation: the ask/tell core generated this candidate and handed it
+    /// to an evaluator, but no result has been folded back yet. Pending
+    /// records carry no objective/constraint payload (`obj` is 0, `cons`
+    /// empty) and `cost_after` is the *committed* cost at generation time —
+    /// nothing is billed until the matching commit record lands. Written
+    /// only by batched (q > 1) ask/tell runs; sequential journals are
+    /// byte-identical to format v1. (Optional key, defaults to `false`.)
+    pub pending: bool,
+    /// Ask/tell candidate id this record belongs to, present on pending
+    /// records and their commit records in batched runs. Sequential runs
+    /// omit it. (Optional key.)
+    pub cand: Option<u64>,
 }
 
 /// Formats one RNG state word as a fixed-width hex string.
@@ -76,6 +89,14 @@ impl JournalEntry {
                 "rng",
                 Json::Arr(words.iter().map(|&w| hex_word(w)).collect()),
             ));
+        }
+        // Batched-ask/tell keys are appended only when set, keeping
+        // sequential journals byte-identical to format v1.
+        if self.pending {
+            fields.push(("pending", Json::Bool(true)));
+        }
+        if let Some(id) = self.cand {
+            fields.push(("cand", Json::Num(id as f64)));
         }
         Json::obj(fields).to_string()
     }
@@ -137,6 +158,8 @@ impl JournalEntry {
             cached: flag("cached"),
             quarantined: flag("quarantined"),
             warm: flag("warm"),
+            pending: flag("pending"),
+            cand: v.get("cand").and_then(Json::as_f64).map(|n| n as u64),
         })
     }
 }
@@ -158,6 +181,8 @@ mod tests {
             cached: false,
             quarantined: true,
             warm: false,
+            pending: false,
+            cand: None,
         }
     }
 
@@ -185,6 +210,34 @@ mod tests {
         let line = e.to_json_line();
         assert!(!line.contains("rng"));
         assert_eq!(JournalEntry::from_json_line(&line).unwrap(), e);
+    }
+
+    #[test]
+    fn pending_records_round_trip_and_default_off() {
+        // Sequential entries never mention the batched-ask/tell keys — the
+        // v1 byte layout is untouched.
+        let line = sample().to_json_line();
+        assert!(!line.contains("pending") && !line.contains("cand"));
+
+        let p = JournalEntry {
+            objective: 0.0,
+            constraints: vec![],
+            attempts: 0,
+            quarantined: false,
+            pending: true,
+            cand: Some(17),
+            ..sample()
+        };
+        let back = JournalEntry::from_json_line(&p.to_json_line()).unwrap();
+        assert_eq!(back, p);
+        assert!(back.pending);
+        assert_eq!(back.cand, Some(17));
+        // A v1 reader's unknown-key tolerance is mirrored here: v1 lines
+        // parse with the new fields defaulted.
+        let v1 = sample().to_json_line();
+        let e = JournalEntry::from_json_line(&v1).unwrap();
+        assert!(!e.pending);
+        assert_eq!(e.cand, None);
     }
 
     #[test]

@@ -133,6 +133,12 @@ pub struct RunMeta {
     /// seed check: a resume with a different seed fails here instead of
     /// producing a diverged trajectory.
     pub rng_start: Option<[u64; 4]>,
+    /// Ask/tell batch width (`max_pending`) the journal was written with,
+    /// when batched (q > 1). `None` for sequential runs — the v1 byte layout
+    /// is unchanged. Resuming a batched journal with a different width would
+    /// regenerate a different pending schedule, so it is refused here.
+    /// (Optional key, appended in format v1.)
+    pub batch: Option<u64>,
 }
 
 impl RunMeta {
@@ -154,6 +160,9 @@ impl RunMeta {
                         .collect(),
                 ),
             ));
+        }
+        if let Some(b) = self.batch {
+            fields.push(("batch", Json::Num(b as f64)));
         }
         Json::obj(fields).to_string()
     }
@@ -208,6 +217,7 @@ impl RunMeta {
             dim: num("dim")? as usize,
             num_constraints: num("num_constraints")? as usize,
             rng_start,
+            batch: v.get("batch").and_then(Json::as_f64).map(|n| n as u64),
         })
     }
 }
@@ -405,6 +415,11 @@ impl RunStore {
                 format!("problem {:?} vs {:?}", stored.problem, meta.problem)
             } else if stored.rng_start != meta.rng_start {
                 "RNG seed/state".to_string()
+            } else if stored.batch != meta.batch {
+                format!(
+                    "ask/tell batch width {:?} vs {:?}",
+                    stored.batch, meta.batch
+                )
             } else {
                 "problem shape".to_string()
             };
@@ -539,6 +554,7 @@ mod tests {
             dim: 1,
             num_constraints: 0,
             rng_start: Some([1, 2, 3, 4]),
+            batch: None,
         }
     }
 
@@ -555,6 +571,8 @@ mod tests {
             cached: false,
             quarantined: false,
             warm: false,
+            pending: false,
+            cand: None,
         }
     }
 
@@ -754,5 +772,32 @@ mod tests {
             ..meta()
         };
         assert_eq!(RunMeta::from_json(&no_rng.to_json()).unwrap(), no_rng);
+        // Sequential metas never mention the batch key; batched ones
+        // round-trip it.
+        assert!(!m.to_json().contains("batch"));
+        let batched = RunMeta {
+            batch: Some(4),
+            ..meta()
+        };
+        assert_eq!(RunMeta::from_json(&batched.to_json()).unwrap(), batched);
+    }
+
+    #[test]
+    fn resume_rejects_mismatched_batch_width() {
+        let dir = tmpdir("batch");
+        let mut store = RunStore::open(&dir).unwrap();
+        let batched = RunMeta {
+            batch: Some(4),
+            ..meta()
+        };
+        store.begin_run(&batched).unwrap();
+        drop(store);
+
+        let mut other = RunStore::open(&dir).unwrap();
+        let err = other.resume_run(&meta()).unwrap_err();
+        assert!(err.to_string().contains("batch"), "{err}");
+        let mut same = RunStore::open(&dir).unwrap();
+        assert!(same.resume_run(&batched).is_ok());
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 }

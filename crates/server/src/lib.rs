@@ -1,0 +1,421 @@
+//! Long-lived evaluation service for the ask/tell MFBO core.
+//!
+//! A server owns one shared [`mfbo_pool::WorkerPool`] and any number of
+//! concurrently running named optimization runs. Clients speak a framed
+//! JSON protocol — one request object per line, one response object per
+//! line — over TCP:
+//!
+//! | request | reply |
+//! |---|---|
+//! | `{"op":"ping"}` | `{"ok":true}` |
+//! | `{"op":"start","run":R,"problem":P,…}` | `{"ok":true,"run":R}` |
+//! | `{"op":"status","run":R}` | `{"ok":true,"state":…,"cost":…,…}` |
+//! | `{"op":"wait","run":R}` | blocks, then terminal status + outcome |
+//! | `{"op":"list"}` | `{"ok":true,"runs":[…]}` |
+//! | `{"op":"shutdown"}` | `{"ok":true}`, server stops accepting |
+//!
+//! `start` fields beyond `run` and `problem` (all optional):
+//! `seed`, `budget`, `init_low`, `init_high`, `batch` (ask/tell
+//! `max_pending`), `journal` (directory), `resume`, `retries`,
+//! `on_non_finite` (`"abort"`/`"penalize"`), `max_evals`, `stall_ms`
+//! (worker deadline), and `fault` (`{"kind":"nan"|"panic"|"stall",
+//! "every":N,"ms":N}`) for resilience drills.
+//!
+//! Every failure is a `{"ok":false,"error":…}` reply on the same line; the
+//! connection stays usable. Malformed frames never take the server down.
+//!
+//! Durability matches the in-process loops: a run started with `journal`
+//! write-ahead-logs every candidate and evaluation, so a server killed
+//! mid-run (even `kill -9`) can be restarted and the run resumed with
+//! `resume: true`, reproducing the uninterrupted trajectory bit for bit —
+//! including a byte-identical journal.
+
+#![deny(missing_docs)]
+
+pub mod problems;
+pub mod run;
+
+use mfbo::{EvalPolicy, FaultKind, MfBoConfig, NonFinitePolicy};
+use mfbo_pool::WorkerPool;
+use mfbo_telemetry::counter;
+use mfbo_telemetry::json::{parse, Json};
+use problems::FaultSpec;
+use run::{Phase, RunHandle, RunSpec, Status};
+use std::collections::BTreeMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// Server tunables.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Worker threads evaluating candidates (shared by all runs).
+    pub workers: usize,
+    /// Bounded depth of the worker job queue — the backpressure knob: once
+    /// full, run actors block instead of buffering unbounded work.
+    pub queue_depth: usize,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            workers: std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1),
+            queue_depth: 64,
+        }
+    }
+}
+
+type Registry = Mutex<BTreeMap<String, Arc<RunHandle>>>;
+
+/// The evaluation service: bind, then [`Server::run`] the accept loop.
+pub struct Server {
+    listener: TcpListener,
+    registry: Arc<Registry>,
+    pool: Arc<WorkerPool>,
+    shutdown: Arc<AtomicBool>,
+}
+
+impl Server {
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
+        Ok(Server {
+            listener: TcpListener::bind(addr)?,
+            registry: Arc::new(Mutex::new(BTreeMap::new())),
+            pool: Arc::new(WorkerPool::new(config.workers, config.queue_depth)),
+            shutdown: Arc::new(AtomicBool::new(false)),
+        })
+    }
+
+    /// The bound address (read the ephemeral port from here).
+    pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Accepts connections until a client sends `shutdown`. Each
+    /// connection is served on its own thread; in-flight runs keep their
+    /// actor threads, which the process owns until exit.
+    pub fn run(self) -> std::io::Result<()> {
+        for stream in self.listener.incoming() {
+            if self.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            let stream = match stream {
+                Ok(s) => s,
+                Err(_) => continue,
+            };
+            let registry = Arc::clone(&self.registry);
+            let pool = Arc::clone(&self.pool);
+            let shutdown = Arc::clone(&self.shutdown);
+            let addr = self.listener.local_addr();
+            std::thread::Builder::new()
+                .name("mfbo-conn".into())
+                .spawn(move || {
+                    let wants_shutdown = serve_connection(stream, &registry, &pool);
+                    if wants_shutdown {
+                        shutdown.store(true, Ordering::SeqCst);
+                        // Wake the accept loop with a throwaway connection.
+                        if let Ok(addr) = addr {
+                            let _ = TcpStream::connect(addr);
+                        }
+                    }
+                })
+                .expect("failed to spawn connection thread");
+        }
+        Ok(())
+    }
+}
+
+/// Serves one client connection; returns `true` when the client requested
+/// server shutdown.
+fn serve_connection(stream: TcpStream, registry: &Registry, pool: &Arc<WorkerPool>) -> bool {
+    // The protocol is strict request/reply: every write is the last segment
+    // of a frame, so Nagle only adds delayed-ACK stalls (~40 ms per round
+    // trip on a persistent connection).
+    let _ = stream.set_nodelay(true);
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return false,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        counter!("server_requests", 1u64);
+        let (reply, wants_shutdown) = handle_request(&line, registry, pool);
+        if writeln!(writer, "{reply}")
+            .and_then(|()| writer.flush())
+            .is_err()
+        {
+            break;
+        }
+        if wants_shutdown {
+            return true;
+        }
+    }
+    false
+}
+
+fn ok(fields: Vec<(&str, Json)>) -> Json {
+    let mut all = vec![("ok".to_string(), Json::Bool(true))];
+    all.extend(fields.into_iter().map(|(k, v)| (k.to_string(), v)));
+    Json::Obj(all)
+}
+
+fn err(msg: impl Into<String>) -> Json {
+    Json::Obj(vec![
+        ("ok".to_string(), Json::Bool(false)),
+        ("error".to_string(), Json::Str(msg.into())),
+    ])
+}
+
+/// Dispatches one request line; returns the reply and whether the client
+/// asked the server to shut down.
+fn handle_request(line: &str, registry: &Registry, pool: &Arc<WorkerPool>) -> (Json, bool) {
+    let req = match parse(line) {
+        Ok(j) => j,
+        Err(e) => return (err(format!("malformed request: {e}")), false),
+    };
+    let op = req.get("op").and_then(Json::as_str).unwrap_or("");
+    match op {
+        "ping" => (ok(vec![]), false),
+        "shutdown" => (ok(vec![]), true),
+        "start" => (start_run(&req, registry, pool), false),
+        "status" => (
+            with_run(&req, registry, |name, h| status_json(name, &h.snapshot())),
+            false,
+        ),
+        "wait" => (
+            with_run(&req, registry, |name, h| status_json(name, &h.wait())),
+            false,
+        ),
+        "list" => {
+            let runs = registry.lock().expect("registry lock");
+            let items = runs
+                .iter()
+                .map(|(name, h)| status_json(name, &h.snapshot()))
+                .collect();
+            (ok(vec![("runs", Json::Arr(items))]), false)
+        }
+        "" => (err("missing 'op' field"), false),
+        other => (err(format!("unknown op '{other}'")), false),
+    }
+}
+
+fn with_run(req: &Json, registry: &Registry, f: impl FnOnce(&str, &RunHandle) -> Json) -> Json {
+    let Some(name) = req.get("run").and_then(Json::as_str) else {
+        return err("missing 'run' field");
+    };
+    let handle = registry.lock().expect("registry lock").get(name).cloned();
+    match handle {
+        Some(h) => f(name, &h),
+        None => err(format!("unknown run '{name}'")),
+    }
+}
+
+fn status_json(name: &str, st: &Status) -> Json {
+    let state = match st.phase {
+        Phase::Running => "running",
+        Phase::Done => "done",
+        Phase::Failed => "failed",
+    };
+    let mut fields = vec![
+        ("run", Json::Str(name.to_string())),
+        ("state", Json::Str(state.to_string())),
+        ("cost", Json::Num(st.cost)),
+        ("evals", Json::Num(st.evals as f64)),
+        ("pending", Json::Num(st.pending as f64)),
+        ("stalled", Json::Num(st.stalled as f64)),
+    ];
+    if let Some(out) = &st.outcome {
+        fields.push(("best_objective", Json::Num(out.best_objective)));
+        fields.push(("best_x", Json::nums(out.best_x.iter().copied())));
+        fields.push(("feasible", Json::Bool(out.feasible)));
+        fields.push(("total_cost", Json::Num(out.total_cost)));
+        fields.push(("n_low", Json::Num(out.n_low as f64)));
+        fields.push(("n_high", Json::Num(out.n_high as f64)));
+        fields.push(("quarantined", Json::Num(out.eval_stats.quarantined as f64)));
+        fields.push(("retries", Json::Num(out.eval_stats.retries as f64)));
+    }
+    if let Some(e) = &st.error {
+        fields.push(("error", Json::Str(e.clone())));
+    }
+    ok(fields)
+}
+
+fn start_run(req: &Json, registry: &Registry, pool: &Arc<WorkerPool>) -> Json {
+    let spec = match parse_spec(req) {
+        Ok(s) => s,
+        Err(e) => return err(e),
+    };
+    let mut runs = registry.lock().expect("registry lock");
+    if runs.contains_key(&spec.name) {
+        return err(format!("run '{}' already exists", spec.name));
+    }
+    let name = spec.name.clone();
+    let handle = run::spawn_run(spec, Arc::clone(pool));
+    runs.insert(name.clone(), handle);
+    ok(vec![("run", Json::Str(name))])
+}
+
+fn parse_spec(req: &Json) -> Result<RunSpec, String> {
+    let name = req
+        .get("run")
+        .and_then(Json::as_str)
+        .ok_or("missing 'run' field")?
+        .to_string();
+    if name.is_empty() {
+        return Err("run name must be non-empty".into());
+    }
+    let problem = req
+        .get("problem")
+        .and_then(Json::as_str)
+        .ok_or("missing 'problem' field")?
+        .to_string();
+    // Fail fast on unknown problems so the client hears about it in the
+    // start reply, not through a failed run.
+    problems::make_problem(&problem, None)?;
+
+    let f64_field = |key: &str, default: f64| -> Result<f64, String> {
+        match req.get(key) {
+            None => Ok(default),
+            Some(v) => v.as_f64().ok_or(format!("'{key}' must be a number")),
+        }
+    };
+    let usize_field = |key: &str, default: usize| -> Result<usize, String> {
+        let v = f64_field(key, default as f64)?;
+        if v < 0.0 || v.fract() != 0.0 {
+            return Err(format!("'{key}' must be a non-negative integer"));
+        }
+        Ok(v as usize)
+    };
+    let bool_field = |key: &str| -> Result<bool, String> {
+        match req.get(key) {
+            None => Ok(false),
+            Some(v) => v.as_bool().ok_or(format!("'{key}' must be a boolean")),
+        }
+    };
+
+    let budget = f64_field("budget", 20.0)?;
+    if !(budget > 0.0 && budget.is_finite()) {
+        return Err("'budget' must be positive and finite".into());
+    }
+    let config = MfBoConfig {
+        initial_low: usize_field("init_low", 10)?,
+        initial_high: usize_field("init_high", 5)?,
+        budget,
+        max_pending: usize_field("batch", 1)?,
+        ..MfBoConfig::default()
+    };
+
+    let mut policy = EvalPolicy {
+        max_retries: usize_field("retries", 0)? as u32,
+        ..EvalPolicy::default()
+    };
+    match req.get("on_non_finite").and_then(Json::as_str) {
+        None => {}
+        Some(v) => {
+            policy.non_finite =
+                NonFinitePolicy::parse(v).ok_or("'on_non_finite' must be 'abort' or 'penalize'")?;
+        }
+    }
+    if let Some(v) = req.get("max_evals") {
+        let v = v.as_f64().ok_or("'max_evals' must be a number")?;
+        policy.max_evaluations = Some(v as u64);
+    }
+
+    let stall = match usize_field("stall_ms", 0)? {
+        0 => None,
+        ms => Some(Duration::from_millis(ms as u64)),
+    };
+    let fault = match req.get("fault") {
+        None => None,
+        Some(f) => Some(parse_fault(f)?),
+    };
+
+    Ok(RunSpec {
+        name,
+        problem,
+        fault,
+        seed: usize_field("seed", 0)? as u64,
+        config,
+        policy,
+        journal: req
+            .get("journal")
+            .and_then(Json::as_str)
+            .map(std::path::PathBuf::from),
+        resume: bool_field("resume")?,
+        stall,
+    })
+}
+
+fn parse_fault(f: &Json) -> Result<FaultSpec, String> {
+    let every = f
+        .get("every")
+        .and_then(Json::as_f64)
+        .ok_or("fault needs an 'every' period")? as usize;
+    if every == 0 {
+        return Err("fault 'every' must be positive".into());
+    }
+    let kind = match f.get("kind").and_then(Json::as_str) {
+        Some("nan") => FaultKind::Nan,
+        Some("panic") => FaultKind::Panic,
+        Some("stall") => FaultKind::Stall {
+            ms: f.get("ms").and_then(Json::as_f64).unwrap_or(1000.0) as u64,
+        },
+        _ => return Err("fault 'kind' must be 'nan', 'panic', or 'stall'".into()),
+    };
+    Ok(FaultSpec { kind, every })
+}
+
+/// A tiny blocking client for the framed protocol — what the CLI and the
+/// test/bench harnesses drive the server with.
+pub struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    /// Connects to a running server.
+    pub fn connect(addr: &str) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        let writer = stream.try_clone()?;
+        Ok(Client {
+            reader: BufReader::new(stream),
+            writer,
+        })
+    }
+
+    /// Sends one request object and reads the one-line reply.
+    pub fn request(&mut self, req: &Json) -> Result<Json, String> {
+        writeln!(self.writer, "{req}").map_err(|e| e.to_string())?;
+        self.writer.flush().map_err(|e| e.to_string())?;
+        let mut line = String::new();
+        self.reader
+            .read_line(&mut line)
+            .map_err(|e| e.to_string())?;
+        if line.is_empty() {
+            return Err("server closed the connection".into());
+        }
+        parse(&line)
+    }
+
+    /// `request`, then surfaces `{"ok":false}` replies as `Err(error)`.
+    pub fn expect_ok(&mut self, req: &Json) -> Result<Json, String> {
+        let reply = self.request(req)?;
+        match reply.get("ok").and_then(Json::as_bool) {
+            Some(true) => Ok(reply),
+            _ => Err(reply
+                .get("error")
+                .and_then(Json::as_str)
+                .unwrap_or("request failed")
+                .to_string()),
+        }
+    }
+}

@@ -1,0 +1,80 @@
+//! The server's built-in problem registry: the same names the CLI accepts,
+//! optionally wrapped in a deterministic fault injector for resilience
+//! testing against a live service.
+
+use mfbo::problem::MultiFidelityProblem;
+use mfbo::{FaultInjector, FaultKind};
+use mfbo_circuits::charge_pump::ChargePump;
+use mfbo_circuits::pa::PowerAmplifier;
+use mfbo_circuits::testfns;
+use std::sync::Arc;
+
+/// A deterministic fault schedule applied on top of a named problem: every
+/// `every`-th simulator call fails with `kind`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultSpec {
+    /// What failure to inject.
+    pub kind: FaultKind,
+    /// 1-based period: calls `every`, `2·every`, … fail.
+    pub every: usize,
+}
+
+/// Instantiates a built-in problem by name, shareable across worker
+/// threads. With a [`FaultSpec`], the problem is wrapped in a
+/// [`FaultInjector`].
+pub fn make_problem(
+    name: &str,
+    fault: Option<FaultSpec>,
+) -> Result<Arc<dyn MultiFidelityProblem + Send + Sync>, String> {
+    macro_rules! wrap {
+        ($p:expr) => {
+            match fault {
+                None => Ok(Arc::new($p)),
+                Some(f) => Ok(Arc::new(FaultInjector::new($p, f.kind, f.every))),
+            }
+        };
+    }
+    match name {
+        "forrester" => wrap!(testfns::forrester()),
+        "pedagogical" => wrap!(testfns::pedagogical()),
+        "branin" => wrap!(testfns::branin()),
+        "park" => wrap!(testfns::park()),
+        "pa" => wrap!(PowerAmplifier::new()),
+        "charge-pump" => wrap!(ChargePump::new()),
+        other => Err(format!("unknown problem '{other}'")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_covers_the_cli_names() {
+        for name in [
+            "forrester",
+            "pedagogical",
+            "branin",
+            "park",
+            "pa",
+            "charge-pump",
+        ] {
+            assert!(make_problem(name, None).is_ok(), "{name}");
+        }
+        assert!(make_problem("nope", None).is_err());
+    }
+
+    #[test]
+    fn fault_wrapper_is_applied() {
+        let p = make_problem(
+            "forrester",
+            Some(FaultSpec {
+                kind: FaultKind::Nan,
+                every: 1,
+            }),
+        )
+        .unwrap();
+        let bad = p.evaluate(&[0.5], mfbo::problem::Fidelity::High);
+        assert!(!bad.is_finite(), "every-call NaN injector must fire");
+    }
+}

@@ -1,0 +1,314 @@
+//! End-to-end tests of the evaluation service: concurrent named runs over
+//! the framed JSON protocol, equivalence with in-process runs, and fault
+//! injection (NaN results, panicking simulators, stalled workers) proving
+//! that one sick run never poisons its siblings.
+
+use mfbo::problem::MultiFidelityProblem;
+use mfbo::{MfBayesOpt, MfBoConfig, Outcome, RunOptions};
+use mfbo_circuits::testfns;
+use mfbo_server::{Client, Server, ServerConfig};
+use mfbo_telemetry::json::Json;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Boots a server on an ephemeral port and returns a connected client.
+fn boot(workers: usize) -> (Client, String) {
+    let server = Server::bind(
+        "127.0.0.1:0",
+        ServerConfig {
+            workers,
+            queue_depth: 32,
+        },
+    )
+    .unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    std::thread::spawn(move || server.run().unwrap());
+    (Client::connect(&addr).unwrap(), addr)
+}
+
+fn obj(fields: Vec<(&str, Json)>) -> Json {
+    Json::Obj(
+        fields
+            .into_iter()
+            .map(|(k, v)| (k.to_string(), v))
+            .collect(),
+    )
+}
+
+fn start_req(run: &str, problem: &str, seed: u64, budget: f64) -> Vec<(&'static str, Json)> {
+    vec![
+        ("op", Json::Str("start".into())),
+        ("run", Json::Str(run.into())),
+        ("problem", Json::Str(problem.into())),
+        ("seed", Json::Num(seed as f64)),
+        ("budget", Json::Num(budget)),
+        ("init_low", Json::Num(8.0)),
+        ("init_high", Json::Num(4.0)),
+    ]
+}
+
+fn wait(client: &mut Client, run: &str) -> Json {
+    client
+        .expect_ok(&obj(vec![
+            ("op", Json::Str("wait".into())),
+            ("run", Json::Str(run.into())),
+        ]))
+        .unwrap()
+}
+
+fn num(reply: &Json, key: &str) -> f64 {
+    reply
+        .get(key)
+        .and_then(Json::as_f64)
+        .unwrap_or_else(|| panic!("reply missing numeric '{key}': {reply}"))
+}
+
+fn state(reply: &Json) -> String {
+    reply
+        .get("state")
+        .and_then(Json::as_str)
+        .unwrap()
+        .to_string()
+}
+
+/// The in-process reference a served `batch = 1` run must match exactly.
+fn reference(problem: &dyn MultiFidelityProblem, seed: u64, budget: f64) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MfBayesOpt::new(MfBoConfig {
+        initial_low: 8,
+        initial_high: 4,
+        budget,
+        ..MfBoConfig::default()
+    })
+    .run_with(problem, &mut rng, &mut RunOptions::default())
+    .unwrap()
+}
+
+#[test]
+fn concurrent_runs_match_their_in_process_references() {
+    let (mut client, _addr) = boot(4);
+    let specs: Vec<(String, u64)> = (0..3).map(|i| (format!("run-{i}"), 100 + i)).collect();
+    for (name, seed) in &specs {
+        client
+            .expect_ok(&obj(start_req(name, "forrester", *seed, 8.0)))
+            .unwrap();
+    }
+    let problem = testfns::forrester();
+    for (name, seed) in &specs {
+        let reply = wait(&mut client, name);
+        assert_eq!(state(&reply), "done", "{name}: {reply}");
+        let want = reference(&problem, *seed, 8.0);
+        assert!(
+            num(&reply, "best_objective").to_bits() == want.best_objective.to_bits(),
+            "{name}: served best_objective {} vs in-process {}",
+            num(&reply, "best_objective"),
+            want.best_objective
+        );
+        assert!(
+            num(&reply, "total_cost").to_bits() == want.total_cost.to_bits(),
+            "{name}: served total_cost differs"
+        );
+        assert_eq!(num(&reply, "n_low") as usize, want.n_low, "{name}: n_low");
+        assert_eq!(
+            num(&reply, "n_high") as usize,
+            want.n_high,
+            "{name}: n_high"
+        );
+    }
+}
+
+#[test]
+fn nan_injection_quarantines_without_poisoning_siblings() {
+    let (mut client, _addr) = boot(4);
+    // Sick run: every 7th simulation returns NaN; penalize-and-quarantine
+    // keeps it alive.
+    let mut sick = start_req("sick", "forrester", 3, 6.0);
+    sick.push(("on_non_finite", Json::Str("penalize".into())));
+    sick.push((
+        "fault",
+        obj(vec![
+            ("kind", Json::Str("nan".into())),
+            ("every", Json::Num(7.0)),
+        ]),
+    ));
+    client.expect_ok(&obj(sick)).unwrap();
+    client
+        .expect_ok(&obj(start_req("healthy", "forrester", 42, 8.0)))
+        .unwrap();
+
+    let sick_reply = wait(&mut client, "sick");
+    assert_eq!(state(&sick_reply), "done", "{sick_reply}");
+    assert!(
+        num(&sick_reply, "quarantined") > 0.0,
+        "NaN injections must quarantine points: {sick_reply}"
+    );
+
+    let healthy_reply = wait(&mut client, "healthy");
+    assert_eq!(state(&healthy_reply), "done");
+    let want = reference(&testfns::forrester(), 42, 8.0);
+    assert!(
+        num(&healthy_reply, "best_objective").to_bits() == want.best_objective.to_bits(),
+        "the sick sibling must not perturb the healthy run"
+    );
+}
+
+#[test]
+fn panicking_simulator_recovers_with_retries_and_aborts_without() {
+    let (mut client, _addr) = boot(2);
+    // With retries, the deterministic injector's counter advances on the
+    // failed call, so the retry succeeds.
+    let mut retry = start_req("retry", "forrester", 5, 5.0);
+    retry.push(("retries", Json::Num(2.0)));
+    retry.push((
+        "fault",
+        obj(vec![
+            ("kind", Json::Str("panic".into())),
+            ("every", Json::Num(5.0)),
+        ]),
+    ));
+    client.expect_ok(&obj(retry)).unwrap();
+
+    // Without retries under the default abort policy the run dies — but
+    // only that run.
+    let mut doomed = start_req("doomed", "forrester", 5, 5.0);
+    doomed.push((
+        "fault",
+        obj(vec![
+            ("kind", Json::Str("panic".into())),
+            ("every", Json::Num(3.0)),
+        ]),
+    ));
+    client.expect_ok(&obj(doomed)).unwrap();
+
+    let retry_reply = wait(&mut client, "retry");
+    assert_eq!(state(&retry_reply), "done", "{retry_reply}");
+    assert!(
+        num(&retry_reply, "retries") > 0.0,
+        "panics must have been retried: {retry_reply}"
+    );
+
+    let doomed_reply = wait(&mut client, "doomed");
+    assert_eq!(state(&doomed_reply), "failed", "{doomed_reply}");
+    assert!(
+        doomed_reply.get("error").and_then(Json::as_str).is_some(),
+        "failed runs must carry a reason"
+    );
+
+    // The pool outlives the casualty: a fresh run still completes.
+    client
+        .expect_ok(&obj(start_req("after", "forrester", 9, 5.0)))
+        .unwrap();
+    assert_eq!(state(&wait(&mut client, "after")), "done");
+}
+
+#[test]
+fn stalled_workers_hit_the_deadline_and_the_run_completes() {
+    let (mut client, _addr) = boot(4);
+    // Every 9th simulation hangs for 2 s; the run's 150 ms deadline tells
+    // the candidate as failed (penalized + quarantined) and moves on.
+    let mut stall = start_req("stall", "forrester", 7, 5.0);
+    stall.push(("on_non_finite", Json::Str("penalize".into())));
+    stall.push(("stall_ms", Json::Num(150.0)));
+    stall.push((
+        "fault",
+        obj(vec![
+            ("kind", Json::Str("stall".into())),
+            ("every", Json::Num(9.0)),
+            ("ms", Json::Num(2000.0)),
+        ]),
+    ));
+    client.expect_ok(&obj(stall)).unwrap();
+    client
+        .expect_ok(&obj(start_req("bystander", "forrester", 11, 6.0)))
+        .unwrap();
+
+    let stall_reply = wait(&mut client, "stall");
+    assert_eq!(state(&stall_reply), "done", "{stall_reply}");
+    assert!(
+        num(&stall_reply, "stalled") > 0.0,
+        "deadline must have fired: {stall_reply}"
+    );
+    assert!(
+        num(&stall_reply, "quarantined") > 0.0,
+        "stalled candidates are penalized and quarantined: {stall_reply}"
+    );
+
+    let bystander = wait(&mut client, "bystander");
+    assert_eq!(state(&bystander), "done");
+    let want = reference(&testfns::forrester(), 11, 6.0);
+    assert!(
+        num(&bystander, "best_objective").to_bits() == want.best_objective.to_bits(),
+        "a hung sibling must cost throughput only, never correctness"
+    );
+}
+
+#[test]
+fn protocol_errors_leave_the_connection_usable() {
+    let (mut client, _addr) = boot(1);
+
+    // Malformed frame.
+    let reply = client.request(&Json::Str("not an object".into())).unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+
+    // Unknown op, missing fields, unknown run.
+    for bad in [
+        obj(vec![("op", Json::Str("frobnicate".into()))]),
+        obj(vec![("op", Json::Str("start".into()))]),
+        obj(vec![
+            ("op", Json::Str("status".into())),
+            ("run", Json::Str("ghost".into())),
+        ]),
+        obj(vec![
+            ("op", Json::Str("start".into())),
+            ("run", Json::Str("r".into())),
+            ("problem", Json::Str("no-such-problem".into())),
+        ]),
+    ] {
+        let reply = client.request(&bad).unwrap();
+        assert_eq!(
+            reply.get("ok").and_then(Json::as_bool),
+            Some(false),
+            "{bad} should be rejected: {reply}"
+        );
+    }
+
+    // Duplicate run names are rejected; the original keeps running.
+    client
+        .expect_ok(&obj(start_req("dup", "forrester", 1, 4.0)))
+        .unwrap();
+    let reply = client
+        .request(&obj(start_req("dup", "forrester", 1, 4.0)))
+        .unwrap();
+    assert_eq!(reply.get("ok").and_then(Json::as_bool), Some(false));
+
+    // The connection still works end to end.
+    assert_eq!(state(&wait(&mut client, "dup")), "done");
+    client
+        .expect_ok(&obj(vec![("op", Json::Str("ping".into()))]))
+        .unwrap();
+}
+
+#[test]
+fn batched_runs_complete_and_report_via_list() {
+    let (mut client, _addr) = boot(4);
+    let mut batched = start_req("batched", "forrester", 13, 6.0);
+    batched.push(("batch", Json::Num(4.0)));
+    client.expect_ok(&obj(batched)).unwrap();
+    let reply = wait(&mut client, "batched");
+    assert_eq!(state(&reply), "done", "{reply}");
+    // The batched budget gate sums committed + in-flight cost in a
+    // different float order than the sequential commits, so the final cost
+    // can land one ulp under the budget.
+    assert!(num(&reply, "total_cost") >= 6.0 - 1e-9, "{reply}");
+
+    let list = client
+        .expect_ok(&obj(vec![("op", Json::Str("list".into()))]))
+        .unwrap();
+    let runs = list.get("runs").and_then(Json::as_arr).unwrap();
+    assert_eq!(runs.len(), 1);
+    assert_eq!(
+        runs[0].get("run").and_then(Json::as_str),
+        Some("batched"),
+        "{list}"
+    );
+}

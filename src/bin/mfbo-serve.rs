@@ -1,0 +1,143 @@
+//! The evaluation service daemon: runs many concurrent MFBO optimizations
+//! over a framed JSON socket (see `mfbo-server`'s crate docs for the wire
+//! protocol, and `mfbo-client` for a terminal client).
+//!
+//! ```text
+//! mfbo-serve --addr 127.0.0.1:7877 --workers 8 --queue-depth 64
+//! ```
+//!
+//! The bound address is printed to stdout (`listening on ADDR`) before the
+//! accept loop starts, so scripts can bind port 0 and scrape the ephemeral
+//! port. The process exits after a client sends `{"op":"shutdown"}`.
+//!
+//! Runs started with a `journal` directory survive a hard kill of this
+//! process: restart the server and start the run again with `resume: true`
+//! — the journal replays and the trajectory (and the journal itself)
+//! reproduce bit for bit.
+
+use mfbo_server::{Server, ServerConfig};
+use std::process::ExitCode;
+
+const USAGE: &str = "usage: mfbo-serve [--addr HOST:PORT] [--workers N|auto] [--queue-depth N]
+
+--addr         bind address (default 127.0.0.1:7877; port 0 = ephemeral)
+--workers      evaluation worker threads shared by all runs
+               (default: auto = all cores)
+--queue-depth  bounded worker-queue depth, the backpressure knob
+               (default 64)";
+
+#[derive(Debug, PartialEq)]
+struct Options {
+    addr: String,
+    workers: Option<usize>,
+    queue_depth: usize,
+}
+
+impl Default for Options {
+    fn default() -> Self {
+        Options {
+            addr: "127.0.0.1:7877".into(),
+            workers: None,
+            queue_depth: 64,
+        }
+    }
+}
+
+fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String> {
+    let mut opts = Options::default();
+    let mut it = args.into_iter();
+    while let Some(flag) = it.next() {
+        let mut value = |name: &str| it.next().ok_or_else(|| format!("missing value for {name}"));
+        match flag.as_str() {
+            "--addr" => opts.addr = value("--addr")?,
+            "--workers" => {
+                let v = value("--workers")?;
+                opts.workers = match v.as_str() {
+                    "auto" => None,
+                    n => Some(
+                        n.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or("workers must be a positive integer or 'auto'")?,
+                    ),
+                };
+            }
+            "--queue-depth" => {
+                opts.queue_depth = value("--queue-depth")?
+                    .parse::<usize>()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .ok_or("queue-depth must be a positive integer")?;
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown flag {other}\n{USAGE}")),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let opts = match parse_args(std::env::args().skip(1)) {
+        Ok(o) => o,
+        Err(msg) => {
+            eprintln!("{msg}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let config = ServerConfig {
+        workers: opts.workers.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
+        queue_depth: opts.queue_depth,
+    };
+    let server = match Server::bind(&opts.addr, config) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot bind {}: {e}", opts.addr);
+            return ExitCode::FAILURE;
+        }
+    };
+    match server.local_addr() {
+        Ok(addr) => println!("listening on {addr}"),
+        Err(e) => {
+            eprintln!("cannot read bound address: {e}");
+            return ExitCode::FAILURE;
+        }
+    }
+    match server.run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("server error: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn args(s: &str) -> impl Iterator<Item = String> + '_ {
+        s.split_whitespace().map(String::from)
+    }
+
+    #[test]
+    fn parses_flags() {
+        let o = parse_args(args("--addr 0.0.0.0:9000 --workers 8 --queue-depth 16")).unwrap();
+        assert_eq!(o.addr, "0.0.0.0:9000");
+        assert_eq!(o.workers, Some(8));
+        assert_eq!(o.queue_depth, 16);
+        assert_eq!(parse_args(args("")).unwrap(), Options::default());
+        assert_eq!(parse_args(args("--workers auto")).unwrap().workers, None);
+    }
+
+    #[test]
+    fn rejects_bad_flags() {
+        assert!(parse_args(args("--workers 0")).is_err());
+        assert!(parse_args(args("--queue-depth nope")).is_err());
+        assert!(parse_args(args("--bogus")).is_err());
+        assert!(parse_args(args("--help")).unwrap_err().contains("usage"));
+    }
+}

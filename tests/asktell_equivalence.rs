@@ -1,0 +1,397 @@
+//! Ask/tell equivalence harness: the inverted `AskTellMfbo` core driven by
+//! an external client must reproduce the legacy closed loop exactly.
+//!
+//! - With `max_pending = 1` a manual ask/tell client is **bit-identical** to
+//!   `MfBayesOpt::run_with` (which is itself now a thin ask(1)/tell client):
+//!   same history, same best design, same cost accounting — on unconstrained
+//!   and constrained problems, serial and thread-pooled.
+//! - With `max_pending = 4` (constant-liar batching) the trajectory is a
+//!   *different* optimizer by design, so it gets its own golden snapshot —
+//!   and the result must not depend on the order in which results are told
+//!   back, only on the order candidates were generated.
+//! - A batched run killed mid-flight (pending candidates issued but never
+//!   told) resumes from its write-ahead journal and finishes with the same
+//!   outcome and a byte-identical journal as an uninterrupted run.
+//!
+//! To regenerate the batched golden after an *intentional* change:
+//!
+//! ```text
+//! MFBO_REGEN_GOLDEN=1 cargo test --test asktell_equivalence
+//! ```
+
+use analog_mfbo::circuits::testfns;
+use analog_mfbo::prelude::*;
+use mfbo::report::write_history_csv;
+use mfbo::Outcome;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::{Path, PathBuf};
+
+fn store_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("mfbo-asktell-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn golden_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR"))
+        .join("tests")
+        .join("golden")
+        .join(name)
+}
+
+fn mfbo_config(budget: f64, max_pending: usize, parallelism: Parallelism) -> MfBoConfig {
+    MfBoConfig {
+        initial_low: 8,
+        initial_high: 4,
+        budget,
+        max_pending,
+        parallelism,
+        ..MfBoConfig::default()
+    }
+}
+
+fn constrained_problem() -> FunctionProblem {
+    FunctionProblem::builder("c-toy", Bounds::unit(2))
+        .high(|x: &[f64]| (x[0] - 0.2).powi(2) + (x[1] - 0.2).powi(2))
+        .low(|x: &[f64]| (x[0] - 0.23).powi(2) + (x[1] - 0.17).powi(2) + 0.02)
+        .high_constraints(1, |x: &[f64]| vec![1.0 - x[0] - x[1]])
+        .low_constraints(|x: &[f64]| vec![1.02 - x[0] - x[1]])
+        .low_cost(0.1)
+        .build()
+}
+
+/// Field-wise bit-exact comparison, matching the resume-equivalence suite:
+/// eval-sourcing stats are excluded, optimizer decisions are not.
+fn assert_outcomes_identical(a: &Outcome, b: &Outcome, label: &str) {
+    assert_eq!(a.best_x, b.best_x, "{label}: best_x");
+    assert_eq!(
+        a.best_evaluation, b.best_evaluation,
+        "{label}: best_evaluation"
+    );
+    assert!(
+        a.best_objective.to_bits() == b.best_objective.to_bits(),
+        "{label}: best_objective {} vs {}",
+        a.best_objective,
+        b.best_objective
+    );
+    assert_eq!(a.feasible, b.feasible, "{label}: feasible");
+    assert_eq!(a.n_low, b.n_low, "{label}: n_low");
+    assert_eq!(a.n_high, b.n_high, "{label}: n_high");
+    assert!(
+        a.total_cost.to_bits() == b.total_cost.to_bits(),
+        "{label}: total_cost"
+    );
+    assert_eq!(a.history.len(), b.history.len(), "{label}: history length");
+    for (i, (ra, rb)) in a.history.iter().zip(&b.history).enumerate() {
+        assert_eq!(ra, rb, "{label}: history record {i}");
+    }
+}
+
+fn history_csv(out: &Outcome) -> Vec<u8> {
+    let mut buf = Vec::new();
+    write_history_csv(out, &mut buf).unwrap();
+    buf
+}
+
+/// How the manual client feeds results back within each asked batch.
+#[derive(Clone, Copy)]
+enum TellOrder {
+    /// Issue order — what a sequential driver does.
+    InOrder,
+    /// Last-issued first — the worst case for arrival-order leakage.
+    Reversed,
+}
+
+/// Drives `AskTellMfbo` as an external client: ask a full batch, evaluate
+/// every candidate, tell the results back in `order`.
+fn run_asktell(
+    problem: &dyn MultiFidelityProblem,
+    seed: u64,
+    config: MfBoConfig,
+    opts: &mut RunOptions,
+    order: TellOrder,
+) -> Outcome {
+    let q = config.max_pending;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut driver = AskTellMfbo::new(config, problem, &mut rng, opts).unwrap();
+    while !driver.is_finished() {
+        let batch = driver.ask(q).unwrap();
+        assert!(
+            !batch.is_empty(),
+            "ask returned no work on an unfinished run"
+        );
+        let mut results: Vec<(u64, Told)> = batch
+            .iter()
+            .map(|c| {
+                let evaluation = problem.evaluate(&c.x, c.fidelity);
+                (
+                    c.id,
+                    Told::Evaluated {
+                        evaluation,
+                        attempts: 1,
+                    },
+                )
+            })
+            .collect();
+        if let TellOrder::Reversed = order {
+            results.reverse();
+        }
+        for (id, told) in results {
+            driver.tell(id, told).unwrap();
+        }
+    }
+    driver.finish().unwrap()
+}
+
+fn run_legacy(
+    problem: &dyn MultiFidelityProblem,
+    seed: u64,
+    config: MfBoConfig,
+    opts: &mut RunOptions,
+) -> Outcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    MfBayesOpt::new(config)
+        .run_with(problem, &mut rng, opts)
+        .unwrap()
+}
+
+#[test]
+fn ask1_manual_client_is_bit_identical_to_run_with() {
+    let problem = testfns::forrester();
+    for parallelism in [Parallelism::Serial, Parallelism::Threads(4)] {
+        let label = format!("forrester {parallelism:?}");
+        let legacy = run_legacy(
+            &problem,
+            7,
+            mfbo_config(10.0, 1, parallelism),
+            &mut RunOptions::default(),
+        );
+        let manual = run_asktell(
+            &problem,
+            7,
+            mfbo_config(10.0, 1, parallelism),
+            &mut RunOptions::default(),
+            TellOrder::InOrder,
+        );
+        assert_outcomes_identical(&legacy, &manual, &label);
+        assert_eq!(
+            history_csv(&legacy),
+            history_csv(&manual),
+            "{label}: history CSV bytes"
+        );
+    }
+}
+
+#[test]
+fn ask1_manual_client_matches_run_with_on_constrained_problem() {
+    let problem = constrained_problem();
+    let legacy = run_legacy(
+        &problem,
+        11,
+        mfbo_config(7.0, 1, Parallelism::Serial),
+        &mut RunOptions::default(),
+    );
+    let manual = run_asktell(
+        &problem,
+        11,
+        mfbo_config(7.0, 1, Parallelism::Serial),
+        &mut RunOptions::default(),
+        TellOrder::InOrder,
+    );
+    assert_outcomes_identical(&legacy, &manual, "constrained ask(1)");
+    assert_eq!(
+        history_csv(&legacy),
+        history_csv(&manual),
+        "constrained ask(1): history CSV bytes"
+    );
+}
+
+#[test]
+fn batched_outcome_does_not_depend_on_tell_order() {
+    // Constant-liar batching must be a function of the *generation* order
+    // only: telling results back last-first has to produce the same run.
+    let problem = testfns::forrester();
+    let in_order = run_asktell(
+        &problem,
+        7,
+        mfbo_config(10.0, 4, Parallelism::Serial),
+        &mut RunOptions::default(),
+        TellOrder::InOrder,
+    );
+    let reversed = run_asktell(
+        &problem,
+        7,
+        mfbo_config(10.0, 4, Parallelism::Serial),
+        &mut RunOptions::default(),
+        TellOrder::Reversed,
+    );
+    assert_outcomes_identical(&in_order, &reversed, "forrester q=4 tell order");
+    assert_eq!(
+        history_csv(&in_order),
+        history_csv(&reversed),
+        "forrester q=4: history CSV bytes"
+    );
+
+    // Same with constraints, where the liar also fantasizes constraint
+    // values and low/high candidates interleave inside one batch.
+    let problem = constrained_problem();
+    let in_order = run_asktell(
+        &problem,
+        11,
+        mfbo_config(7.0, 4, Parallelism::Serial),
+        &mut RunOptions::default(),
+        TellOrder::InOrder,
+    );
+    let reversed = run_asktell(
+        &problem,
+        11,
+        mfbo_config(7.0, 4, Parallelism::Serial),
+        &mut RunOptions::default(),
+        TellOrder::Reversed,
+    );
+    assert_outcomes_identical(&in_order, &reversed, "constrained q=4 tell order");
+    assert_eq!(
+        history_csv(&in_order),
+        history_csv(&reversed),
+        "constrained q=4: history CSV bytes"
+    );
+}
+
+/// `(cost_so_far, best feasible high-fidelity objective so far)` after each
+/// evaluation — the same trajectory the golden_trajectories suite pins.
+fn trajectory(out: &Outcome) -> Vec<(f64, f64)> {
+    let mut best = f64::NAN;
+    out.history
+        .iter()
+        .map(|r| {
+            let feasible = r.evaluation.constraints.iter().all(|&c| c <= 0.0);
+            if r.fidelity == Fidelity::High
+                && feasible
+                && (best.is_nan() || r.evaluation.objective < best)
+            {
+                best = r.evaluation.objective;
+            }
+            (r.cost_so_far, best)
+        })
+        .collect()
+}
+
+#[test]
+fn batched_constant_liar_trajectory_matches_golden() {
+    const REL_TOL: f64 = 1e-6;
+    let problem = testfns::forrester();
+    let out = run_asktell(
+        &problem,
+        7,
+        mfbo_config(10.0, 4, Parallelism::Serial),
+        &mut RunOptions::default(),
+        TellOrder::InOrder,
+    );
+    let traj = trajectory(&out);
+    let path = golden_path("forrester_asktell_q4_seed7.csv");
+    if std::env::var("MFBO_REGEN_GOLDEN").is_ok() {
+        let mut s = String::from("step,cost,best_objective\n");
+        for (i, (cost, best)) in traj.iter().enumerate() {
+            s.push_str(&format!("{i},{cost:.12e},{best:.12e}\n"));
+        }
+        std::fs::write(&path, s).unwrap();
+        return;
+    }
+    let golden: Vec<(f64, f64)> = std::fs::read_to_string(&path)
+        .unwrap_or_else(|e| {
+            panic!(
+                "missing golden file {} ({e}); run with MFBO_REGEN_GOLDEN=1 to create it",
+                path.display()
+            )
+        })
+        .lines()
+        .skip(1)
+        .filter(|l| !l.trim().is_empty())
+        .map(|l| {
+            let mut cols = l.split(',').skip(1);
+            (
+                cols.next().unwrap().parse().unwrap(),
+                cols.next().unwrap().parse().unwrap(),
+            )
+        })
+        .collect();
+    assert_eq!(golden.len(), traj.len(), "trajectory length changed");
+    let close = |a: f64, b: f64| {
+        (a.is_nan() && b.is_nan()) || (a - b).abs() <= REL_TOL * a.abs().max(b.abs()).max(1.0)
+    };
+    for (i, ((gc, gb), (ac, ab))) in golden.iter().zip(&traj).enumerate() {
+        assert!(close(*gc, *ac), "cost diverged at step {i}: {gc} vs {ac}");
+        assert!(close(*gb, *ab), "best diverged at step {i}: {gb} vs {ab}");
+    }
+}
+
+fn journal_bytes(dir: &Path) -> Vec<u8> {
+    std::fs::read(dir.join("journal.jsonl")).unwrap()
+}
+
+#[test]
+fn batched_kill_resume_reproduces_the_journal_byte_for_byte() {
+    let problem = testfns::forrester();
+    let config = || mfbo_config(10.0, 4, Parallelism::Serial);
+
+    // Uninterrupted journaled q=4 run: the reference journal.
+    let base_dir = store_dir("q4-base");
+    let mut opts = RunOptions::journaled(RunStore::open(&base_dir).unwrap());
+    let baseline = run_asktell(&problem, 7, config(), &mut opts, TellOrder::InOrder);
+
+    // Same run, killed with a half-told batch in flight: two of the four
+    // issued candidates are never told, so their write-ahead pending
+    // records are the only trace they existed.
+    let kill_dir = store_dir("q4-kill");
+    {
+        let mut opts = RunOptions::journaled(RunStore::open(&kill_dir).unwrap());
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut driver = AskTellMfbo::new(config(), &problem, &mut rng, &mut opts).unwrap();
+        for round in 0..4 {
+            let batch = driver.ask(4).unwrap();
+            assert!(!batch.is_empty(), "run ended before the kill point");
+            let keep = if round == 3 {
+                batch.len() / 2
+            } else {
+                batch.len()
+            };
+            for c in batch.iter().take(keep) {
+                let evaluation = problem.evaluate(&c.x, c.fidelity);
+                driver
+                    .tell(
+                        c.id,
+                        Told::Evaluated {
+                            evaluation,
+                            attempts: 1,
+                        },
+                    )
+                    .unwrap();
+            }
+        }
+        // Dropped without finish(): the kill. Everything told so far is
+        // already flushed write-ahead.
+    }
+
+    let mut opts = RunOptions::resuming(RunStore::open(&kill_dir).unwrap());
+    let resumed = run_asktell(&problem, 7, config(), &mut opts, TellOrder::InOrder);
+
+    assert_outcomes_identical(&baseline, &resumed, "q=4 kill/resume");
+    assert_eq!(
+        history_csv(&baseline),
+        history_csv(&resumed),
+        "q=4 kill/resume: history CSV bytes"
+    );
+    assert!(
+        resumed.eval_stats.replayed > 0,
+        "the resumed run must have replayed the committed prefix"
+    );
+    assert_eq!(
+        journal_bytes(&base_dir),
+        journal_bytes(&kill_dir),
+        "resumed journal must be byte-identical to the uninterrupted one"
+    );
+
+    let _ = std::fs::remove_dir_all(&base_dir);
+    let _ = std::fs::remove_dir_all(&kill_dir);
+}
