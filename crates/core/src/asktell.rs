@@ -222,38 +222,7 @@ where
         mut rng: R,
         opts: &'o mut RunOptions,
     ) -> Result<Self, MfboError> {
-        if cfg.initial_low == 0 || cfg.initial_high == 0 {
-            return Err(MfboError::InvalidConfig {
-                reason: "initial designs must be non-empty".into(),
-            });
-        }
-        if !(cfg.budget > 0.0 && cfg.budget.is_finite()) {
-            return Err(MfboError::InvalidConfig {
-                reason: "budget must be positive and finite".into(),
-            });
-        }
-        if cfg.rank1_appends && cfg.winsorize_sigma.is_some() {
-            return Err(MfboError::InvalidConfig {
-                reason: "rank1_appends is incompatible with winsorize_sigma: \
-                         winsorization re-clips historical targets every \
-                         iteration, which incremental Cholesky extension \
-                         cannot represent"
-                    .into(),
-            });
-        }
-        if cfg.max_pending == 0 {
-            return Err(MfboError::InvalidConfig {
-                reason: "max_pending must be at least 1".into(),
-            });
-        }
-        if cfg.max_pending > 1 && cfg.rank1_appends {
-            return Err(MfboError::InvalidConfig {
-                reason: "rank1_appends requires sequential evaluation \
-                         (max_pending = 1): the incremental bundle extends \
-                         one observation at a time in commit order"
-                    .into(),
-            });
-        }
+        cfg.validate()?;
         let q = cfg.max_pending;
         let session = EvalSession::new_batched(
             opts,
@@ -261,6 +230,7 @@ where
             &problem,
             rng.state_snapshot(),
             (q > 1).then_some(q as u64),
+            (!cfg.gp_inference.is_exact()).then(|| cfg.gp_inference.as_str().to_string()),
         )?;
         let bounds = problem.bounds();
         let nc = problem.num_constraints();
@@ -299,7 +269,11 @@ where
         let init_outstanding = init_plan.len();
 
         let selector = FidelitySelector::new(cfg.gamma);
-        let model_cfg = cfg.model.clone().with_parallelism(cfg.parallelism);
+        let model_cfg = cfg
+            .model
+            .clone()
+            .with_parallelism(cfg.parallelism)
+            .with_inference(cfg.gp_inference);
         let unit = Bounds::unit(bounds.dim());
         let mut core = AskTellMfbo {
             low: FidelityData::new(nc),
@@ -451,6 +425,14 @@ where
     /// Number of candidates currently in flight (issued or not).
     pub fn pending_count(&self) -> usize {
         self.pending.len()
+    }
+
+    /// Committed observation counts `(low, high)` — the training-set sizes
+    /// behind the current surrogates (pending candidates excluded). The
+    /// server's `status`/`list` responses surface these so an operator can
+    /// see batch occupancy and model size without reading the journal.
+    pub fn observation_counts(&self) -> (usize, usize) {
+        (self.low.len(), self.high.len())
     }
 
     /// Accumulated cost of committed evaluations, in equivalent
@@ -659,12 +641,13 @@ where
             Some(t) if self.iterations_since_refit < self.cfg.refit_every => {
                 match self.prev_surrogates.take() {
                     Some(s) => s,
-                    None => match MfSurrogates::fit_frozen(
+                    None => match MfSurrogates::fit_frozen_infer(
                         &low_u,
                         &high_u,
                         t,
                         self.model_cfg.mc_samples,
                         self.cfg.parallelism,
+                        self.cfg.gp_inference,
                     ) {
                         Ok(s) => s,
                         Err(_) => {

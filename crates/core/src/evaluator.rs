@@ -256,27 +256,19 @@ pub(crate) struct EvalSession<'o> {
 }
 
 impl<'o> EvalSession<'o> {
-    /// Opens the session: validates/initializes the store against this run's
-    /// identity and loads the replay queue when resuming.
-    pub(crate) fn new<P: MultiFidelityProblem + ?Sized>(
-        opts: &'o mut RunOptions,
-        algo: &str,
-        problem: &P,
-        rng_start: Option<[u64; 4]>,
-    ) -> Result<EvalSession<'o>, MfboError> {
-        Self::new_batched(opts, algo, problem, rng_start, None)
-    }
-
-    /// [`EvalSession::new`] with an explicit ask/tell batch width recorded
-    /// in the run meta (`None` = sequential, the historical layout).
-    /// Resuming a journal written with a different width is refused by the
-    /// store's meta check.
+    /// Opens the session: validates/initializes the store against this
+    /// run's identity and loads the replay queue when resuming. `batch` is
+    /// the ask/tell width and `inference` the GP engine tag recorded in the
+    /// run meta (`None` = sequential / exact, the historical layout);
+    /// resuming a journal written with a different width or engine is
+    /// refused by the store's meta check.
     pub(crate) fn new_batched<P: MultiFidelityProblem + ?Sized>(
         opts: &'o mut RunOptions,
         algo: &str,
         problem: &P,
         rng_start: Option<[u64; 4]>,
         batch: Option<u64>,
+        inference: Option<String>,
     ) -> Result<EvalSession<'o>, MfboError> {
         if opts.resume && opts.store.is_none() {
             return Err(MfboError::InvalidConfig {
@@ -291,6 +283,7 @@ impl<'o> EvalSession<'o> {
             num_constraints: problem.num_constraints(),
             rng_start,
             batch,
+            inference,
         };
         let mut replay = VecDeque::new();
         if let Some(store) = opts.store.as_mut() {
@@ -982,7 +975,8 @@ mod tests {
     fn plain_session_calls_through() {
         let p = quad();
         let mut opts = RunOptions::default();
-        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut session =
+            EvalSession::new_batched(&mut opts, "test", &p, None, None, None).unwrap();
         let mut cost = 0.0;
         let eval = session
             .evaluate(&p, &[0.25], Fidelity::High, 1, &mut cost, None)
@@ -1003,7 +997,7 @@ mod tests {
             ..RunOptions::default()
         };
         assert!(matches!(
-            EvalSession::new(&mut opts, "test", &p, None),
+            EvalSession::new_batched(&mut opts, "test", &p, None, None, None),
             Err(MfboError::InvalidConfig { .. })
         ));
     }
@@ -1018,7 +1012,8 @@ mod tests {
             },
             ..RunOptions::default()
         };
-        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut session =
+            EvalSession::new_batched(&mut opts, "test", &p, None, None, None).unwrap();
         let mut cost = 0.0;
         for k in 0..2 {
             session
@@ -1042,7 +1037,8 @@ mod tests {
             },
             ..RunOptions::default()
         };
-        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut session =
+            EvalSession::new_batched(&mut opts, "test", &p, None, None, None).unwrap();
         let mut cost = 0.0;
         let e = session.evaluate(&p, &[0.5], Fidelity::High, 1, &mut cost, None);
         assert!(matches!(e, Err(MfboError::NonFiniteEvaluation { .. })));
@@ -1060,7 +1056,8 @@ mod tests {
             },
             ..RunOptions::default()
         };
-        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut session =
+            EvalSession::new_batched(&mut opts, "test", &p, None, None, None).unwrap();
         let mut cost = 0.0;
         // Call 1 succeeds, call 2 panics and is retried as call 3.
         session
@@ -1088,7 +1085,8 @@ mod tests {
             },
             ..RunOptions::default()
         };
-        let mut session = EvalSession::new(&mut opts, "test", &constrained, None).unwrap();
+        let mut session =
+            EvalSession::new_batched(&mut opts, "test", &constrained, None, None, None).unwrap();
         let mut cost = 0.0;
         let eval = session
             .evaluate(&constrained, &[0.5], Fidelity::High, 1, &mut cost, None)
@@ -1104,7 +1102,8 @@ mod tests {
     fn abort_policy_reraises_panics() {
         let p = FaultInjector::new(quad(), FaultKind::Panic, 1);
         let mut opts = RunOptions::default();
-        let mut session = EvalSession::new(&mut opts, "test", &p, None).unwrap();
+        let mut session =
+            EvalSession::new_batched(&mut opts, "test", &p, None, None, None).unwrap();
         let mut cost = 0.0;
         let _ = session.evaluate(&p, &[0.5], Fidelity::High, 1, &mut cost, None);
     }

@@ -80,6 +80,7 @@ pub use evaluator::{
 pub use fidelity::FidelitySelector;
 pub use history::{EvaluationRecord, FidelityData, Outcome};
 pub use mfbo::{MfBayesOpt, MfBoConfig};
+pub use mfbo_gp::InferenceMode;
 pub use mfbo_pool::Parallelism;
 pub use mfbo_runstore::RunStore;
 pub use nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};

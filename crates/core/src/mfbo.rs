@@ -20,6 +20,7 @@ use crate::history::Outcome;
 use crate::nargp::MfGpConfig;
 use crate::problem::{Fidelity, MultiFidelityProblem};
 use crate::MfboError;
+use mfbo_gp::InferenceMode;
 use mfbo_pool::Parallelism;
 use mfbo_telemetry::span;
 use rand::Rng;
@@ -102,6 +103,16 @@ pub struct MfBoConfig {
     /// values > 1 only pay off with a concurrent evaluator such as the
     /// `mfbo-server` evaluation service. Incompatible with `rank1_appends`.
     pub max_pending: usize,
+    /// GP inference engine for every surrogate fit (full and frozen
+    /// refits), applied to both fusion stages. [`InferenceMode::Exact`] —
+    /// the default — reproduces every historical trajectory byte for byte;
+    /// the approximate modes (`iterative`, `subset-of-data`) cap the cubic
+    /// fit cost once a run accumulates more observations than their subset
+    /// size (see DESIGN.md item 15). Approximate runs are still
+    /// deterministic and journal-replayable: subset selection keys off
+    /// committed history order and the CG solves use fixed-order
+    /// reductions. Incompatible with `rank1_appends`.
+    pub gp_inference: InferenceMode,
 }
 
 impl Default for MfBoConfig {
@@ -123,7 +134,65 @@ impl Default for MfBoConfig {
             max_low_streak: 25,
             parallelism: Parallelism::Serial,
             max_pending: 1,
+            gp_inference: InferenceMode::Exact,
         }
+    }
+}
+
+impl MfBoConfig {
+    /// Checks the configuration for internal consistency, returning
+    /// [`MfboError::InvalidConfig`] with a typed reason for the first
+    /// violation. Every driver entry point ([`crate::AskTellMfbo::new`],
+    /// hence [`MfBayesOpt::run`], the CLI, and the server) calls this, so
+    /// inconsistent settings fail loudly at config-build time instead of
+    /// being silently ignored mid-run.
+    ///
+    /// # Errors
+    ///
+    /// [`MfboError::InvalidConfig`] when the settings are inconsistent.
+    pub fn validate(&self) -> Result<(), MfboError> {
+        if self.initial_low == 0 || self.initial_high == 0 {
+            return Err(MfboError::InvalidConfig {
+                reason: "initial designs must be non-empty".into(),
+            });
+        }
+        if !(self.budget > 0.0 && self.budget.is_finite()) {
+            return Err(MfboError::InvalidConfig {
+                reason: "budget must be positive and finite".into(),
+            });
+        }
+        if self.rank1_appends && self.winsorize_sigma.is_some() {
+            return Err(MfboError::InvalidConfig {
+                reason: "rank1_appends is incompatible with winsorize_sigma: \
+                         winsorization re-clips historical targets every \
+                         iteration, which incremental Cholesky extension \
+                         cannot represent"
+                    .into(),
+            });
+        }
+        if self.max_pending == 0 {
+            return Err(MfboError::InvalidConfig {
+                reason: "max_pending must be at least 1".into(),
+            });
+        }
+        if self.max_pending > 1 && self.rank1_appends {
+            return Err(MfboError::InvalidConfig {
+                reason: "rank1_appends requires sequential evaluation \
+                         (max_pending = 1): the incremental bundle extends \
+                         one observation at a time in commit order"
+                    .into(),
+            });
+        }
+        if self.rank1_appends && !self.gp_inference.is_exact() {
+            return Err(MfboError::InvalidConfig {
+                reason: "rank1_appends requires exact GP inference: the \
+                         approximate modes (iterative, subset-of-data) do \
+                         not maintain the full-data Cholesky factor that \
+                         incremental extension updates"
+                    .into(),
+            });
+        }
+        Ok(())
     }
 }
 
@@ -377,6 +446,76 @@ mod tests {
         })
         .run(&p, &mut rng);
         assert!(matches!(e, Err(MfboError::InvalidConfig { .. })));
+    }
+
+    #[test]
+    fn validate_is_typed_and_catches_mode_conflicts() {
+        assert!(MfBoConfig::default().validate().is_ok());
+        let reason = |cfg: MfBoConfig| match cfg.validate() {
+            Err(MfboError::InvalidConfig { reason }) => reason,
+            other => panic!("expected InvalidConfig, got {other:?}"),
+        };
+        let r = reason(MfBoConfig {
+            rank1_appends: true,
+            winsorize_sigma: Some(2.5),
+            ..MfBoConfig::default()
+        });
+        assert!(r.contains("winsorize_sigma"), "{r}");
+        let r = reason(MfBoConfig {
+            rank1_appends: true,
+            max_pending: 4,
+            ..MfBoConfig::default()
+        });
+        assert!(r.contains("max_pending = 1"), "{r}");
+        let r = reason(MfBoConfig {
+            rank1_appends: true,
+            gp_inference: InferenceMode::iterative(),
+            ..MfBoConfig::default()
+        });
+        assert!(r.contains("exact GP inference"), "{r}");
+        let r = reason(MfBoConfig {
+            rank1_appends: true,
+            gp_inference: InferenceMode::subset_of_data(),
+            ..MfBoConfig::default()
+        });
+        assert!(r.contains("exact GP inference"), "{r}");
+        // Approximate inference without rank-one appends is fine.
+        assert!(MfBoConfig {
+            gp_inference: InferenceMode::iterative(),
+            ..MfBoConfig::default()
+        }
+        .validate()
+        .is_ok());
+    }
+
+    #[test]
+    fn approximate_inference_solves_forrester() {
+        // Subset caps far below the observation counts force the
+        // approximate code paths through the whole loop.
+        for mode in [
+            InferenceMode::Iterative {
+                subset: 8,
+                max_iters: 64,
+            },
+            InferenceMode::SubsetOfData { max_points: 8 },
+        ] {
+            let mut rng = StdRng::seed_from_u64(7);
+            let config = MfBoConfig {
+                initial_low: 10,
+                initial_high: 4,
+                budget: 10.0,
+                gp_inference: mode,
+                ..MfBoConfig::default()
+            };
+            let out = MfBayesOpt::new(config).run(&forrester(), &mut rng).unwrap();
+            // A subset cap of 8 points is a deliberately crude surrogate, so
+            // expect progress (true minimum ≈ −6.02), not the optimum.
+            assert!(
+                out.best_objective < -4.0,
+                "{mode:?}: best {}",
+                out.best_objective
+            );
+        }
     }
 
     #[test]

@@ -20,7 +20,7 @@
 
 use crate::problem::Fidelity;
 use mfbo_gp::kernel::{Kernel, NargpKernel, SquaredExponential};
-use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
+use mfbo_gp::{Gp, GpConfig, GpError, InferenceMode, Prediction};
 use mfbo_linalg::norm_inv_cdf;
 use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
@@ -85,6 +85,15 @@ impl MfGpConfig {
         self.parallelism = parallelism;
         self.low.parallelism = parallelism;
         self.high.parallelism = parallelism;
+        self
+    }
+
+    /// Applies one [`InferenceMode`] to both nested GP training configs —
+    /// the single knob the BO drivers expose. [`InferenceMode::Exact`] (the
+    /// default) keeps every historical trajectory byte-identical.
+    pub fn with_inference(mut self, inference: InferenceMode) -> Self {
+        self.low.inference = inference;
+        self.high.inference = inference;
         self
     }
 }
@@ -447,6 +456,38 @@ impl MfGp {
         thetas: &MfGpThetas,
         mc_samples: usize,
     ) -> Result<Self, GpError> {
+        Self::fit_frozen_infer(
+            xl,
+            yl,
+            xh,
+            yh,
+            thetas,
+            mc_samples,
+            InferenceMode::Exact,
+            Parallelism::Serial,
+        )
+    }
+
+    /// [`MfGp::fit_frozen`] with an explicit [`InferenceMode`] for both
+    /// stages — the scalable frozen-refit path for long runs. `parallelism`
+    /// drives the iterative mode's matrix-free CG matvecs (every mode is
+    /// bit-identical); with [`InferenceMode::Exact`] this is byte-identical
+    /// to [`MfGp::fit_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MfGp::fit_frozen`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_frozen_infer(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        thetas: &MfGpThetas,
+        mc_samples: usize,
+        inference: InferenceMode,
+        parallelism: Parallelism,
+    ) -> Result<Self, GpError> {
         if xh.is_empty() {
             return Err(GpError::InvalidTrainingSet {
                 reason: "no high-fidelity training points".into(),
@@ -454,10 +495,28 @@ impl MfGp {
         }
         let dim = xh[0].len();
         let (lp, ln) = split_theta(&thetas.low);
-        let low = Gp::with_params(SquaredExponential::new(dim), xl, yl, lp, ln, true)?;
+        let low = Gp::with_params_inference(
+            SquaredExponential::new(dim),
+            xl,
+            yl,
+            lp,
+            ln,
+            true,
+            inference,
+            parallelism,
+        )?;
         let aug = augment_inputs(&low, &xh);
         let (hp, hn) = split_theta(&thetas.high);
-        let high = Gp::with_params(NargpKernel::new(dim), aug, yh, hp, hn, true)?;
+        let high = Gp::with_params_inference(
+            NargpKernel::new(dim),
+            aug,
+            yh,
+            hp,
+            hn,
+            true,
+            inference,
+            parallelism,
+        )?;
         Ok(MfGp {
             low,
             high,

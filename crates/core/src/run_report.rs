@@ -845,6 +845,7 @@ mod tests {
             num_constraints: 1,
             rng_start: None,
             batch: None,
+            inference: None,
         }
     }
 

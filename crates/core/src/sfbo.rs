@@ -139,7 +139,14 @@ impl SfBayesOpt {
                 reason: "budget must exceed the initial design size".into(),
             });
         }
-        let mut session = EvalSession::new(opts, "sfbo", problem, rng.state_snapshot())?;
+        let mut session = EvalSession::new_batched(
+            opts,
+            "sfbo",
+            problem,
+            rng.state_snapshot(),
+            None,
+            (!cfg.model.inference.is_exact()).then(|| cfg.model.inference.as_str().to_string()),
+        )?;
         let bounds = problem.bounds();
         let nc = problem.num_constraints();
         let mut data = FidelityData::new(nc);
@@ -196,7 +203,12 @@ impl SfBayesOpt {
             let fit_span = span!("surrogate_fit", iteration = iteration, n = data.len());
             let surrogates = match &thetas {
                 Some(t) if since_refit < cfg.refit_every => {
-                    match SfSurrogates::fit_frozen(&data_u, t, cfg.parallelism) {
+                    match SfSurrogates::fit_frozen_infer(
+                        &data_u,
+                        t,
+                        cfg.parallelism,
+                        model_cfg.inference,
+                    ) {
                         Ok(s) => s,
                         Err(_) => SfSurrogates::fit(&data_u, &model_cfg, rng)?,
                     }

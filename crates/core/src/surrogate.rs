@@ -12,7 +12,7 @@ use crate::history::FidelityData;
 use crate::nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
 use crate::problem::{Evaluation, Fidelity};
 use mfbo_gp::kernel::SquaredExponential;
-use mfbo_gp::{Gp, GpConfig, GpError, Prediction};
+use mfbo_gp::{Gp, GpConfig, GpError, InferenceMode, Prediction};
 use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
 
@@ -173,8 +173,34 @@ impl MfSurrogates {
         mc_samples: usize,
         parallelism: Parallelism,
     ) -> Result<Self, GpError> {
+        Self::fit_frozen_infer(
+            low,
+            high,
+            thetas,
+            mc_samples,
+            parallelism,
+            InferenceMode::Exact,
+        )
+    }
+
+    /// [`MfSurrogates::fit_frozen`] with an explicit [`InferenceMode`] for
+    /// every model; `Exact` is byte-identical to [`MfSurrogates::fit_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_frozen_infer(
+        low: &FidelityData,
+        high: &FidelityData,
+        thetas: &MfBundleThetas,
+        mc_samples: usize,
+        parallelism: Parallelism,
+        inference: InferenceMode,
+    ) -> Result<Self, GpError> {
         // Frozen refits consume no randomness at all, so the per-model
-        // factorizations go straight onto the pool.
+        // factorizations go straight onto the pool. The iterative mode's CG
+        // matvecs therefore run serially inside each pool slot — the models
+        // themselves are the unit of parallelism here.
         let n_cons = low.constraints.len().min(high.constraints.len());
         let fitted = par_map_indexed(parallelism, n_cons + 1, |i| {
             let (yl, yh, t) = if i == 0 {
@@ -186,13 +212,15 @@ impl MfSurrogates {
                     &thetas.constraints[i - 1],
                 )
             };
-            MfGp::fit_frozen(
+            MfGp::fit_frozen_infer(
                 low.xs.clone(),
                 yl.clone(),
                 high.xs.clone(),
                 yh.clone(),
                 t,
                 mc_samples,
+                inference,
+                Parallelism::Serial,
             )
             .map(|m| m.with_parallelism(parallelism))
         });
@@ -423,6 +451,21 @@ impl SfSurrogates {
         thetas: &SfBundleThetas,
         parallelism: Parallelism,
     ) -> Result<Self, GpError> {
+        Self::fit_frozen_infer(data, thetas, parallelism, InferenceMode::Exact)
+    }
+
+    /// [`SfSurrogates::fit_frozen`] with an explicit [`InferenceMode`];
+    /// `Exact` is byte-identical to [`SfSurrogates::fit_frozen`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_frozen_infer(
+        data: &FidelityData,
+        thetas: &SfBundleThetas,
+        parallelism: Parallelism,
+        inference: InferenceMode,
+    ) -> Result<Self, GpError> {
         let dim = data
             .xs
             .first()
@@ -443,13 +486,15 @@ impl SfSurrogates {
                 (&data.constraints[i - 1], &thetas.constraints[i - 1])
             };
             let (kp, ln) = split(t);
-            Gp::with_params(
+            Gp::with_params_inference(
                 SquaredExponential::new(dim),
                 data.xs.clone(),
                 ys.clone(),
                 kp,
                 ln,
                 true,
+                inference,
+                Parallelism::Serial,
             )
         });
         let mut models = fitted.into_iter();

@@ -47,5 +47,6 @@ pub mod workspace;
 
 pub use error::GpError;
 pub use gp::{Gp, GpConfig, Prediction};
+pub use mfbo_infer::InferenceMode;
 pub use nlml::{nlml, nlml_cached, nlml_with_grad, nlml_with_grad_cached, NlmlWorkspace};
 pub use workspace::DiffBatch;

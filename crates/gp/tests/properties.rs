@@ -357,3 +357,48 @@ fn training_is_deterministic_given_seed() {
     assert_eq!(a.theta(), b.theta());
     assert_eq!(a.nlml(), b.nlml());
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// The iterative (CG) engine is a drop-in approximation of the exact
+    /// one: identical hyperparameters, means within the CG tolerance, and
+    /// variances no tighter than exact (conditioning on a subset can only
+    /// widen the posterior).
+    #[test]
+    fn iterative_engine_matches_exact_to_tolerance(
+        xs in points(24, 2),
+        q in points(6, 2),
+    ) {
+        use mfbo_gp::InferenceMode;
+        use mfbo_pool::Parallelism;
+        let ys: Vec<f64> = xs
+            .iter()
+            .map(|x| (4.0 * x[0]).sin() + 0.5 * x[1] * x[1])
+            .collect();
+        let params = vec![0.0, -0.5, -0.5];
+        let fit = |mode| {
+            Gp::with_params_inference(
+                SquaredExponential::new(2),
+                xs.clone(),
+                ys.clone(),
+                params.clone(),
+                -3.0,
+                true,
+                mode,
+                Parallelism::Serial,
+            )
+            .unwrap()
+        };
+        let exact = fit(InferenceMode::Exact);
+        let iter = fit(InferenceMode::Iterative { subset: 12, max_iters: 128 });
+        for point in &q {
+            let (em, ev) = exact.predict_standardized(point);
+            let (im, iv) = iter.predict_standardized(point);
+            // The mean uses the full-data CG solve; DEFAULT_CG_RTOL drives
+            // the relative residual far below this assertion's slack.
+            prop_assert!((em - im).abs() <= 1e-5 * (1.0 + em.abs()), "{em} vs {im}");
+            prop_assert!(iv >= ev - 1e-9, "iterative variance {iv} tighter than exact {ev}");
+        }
+    }
+}

@@ -240,5 +240,52 @@ mod bit_identity {
             grown.append_row(&k_new, a[(n - 1, n - 1)] + grown.jitter()).unwrap();
             assert_bits_eq(grown.factor().as_slice(), full.factor().as_slice())?;
         }
+
+        #[test]
+        fn remove_row_inverts_append_row_bit_exactly(a in spd_matrix(14)) {
+            // Downdating away the row just appended must restore the
+            // original factor byte for byte: last-row removal touches no
+            // other entries, so append → remove is the identity.
+            let n = a.rows();
+            let mut leading = Matrix::zeros(n - 1, n - 1);
+            for i in 0..n - 1 {
+                for j in 0..n - 1 {
+                    leading[(i, j)] = a[(i, j)];
+                }
+            }
+            let original = Cholesky::new(&leading).unwrap();
+            let mut working = Cholesky::new(&leading).unwrap();
+            let k_new: Vec<f64> = (0..n - 1).map(|j| a[(n - 1, j)]).collect();
+            working
+                .append_row(&k_new, a[(n - 1, n - 1)] + working.jitter())
+                .unwrap();
+            working.remove_row(n - 1);
+            assert_bits_eq(working.factor().as_slice(), original.factor().as_slice())?;
+        }
+
+        #[test]
+        fn remove_row_matches_refactorization_of_reduced_matrix(
+            a in spd_matrix(9),
+            pick in 0usize..9,
+        ) {
+            // Removing an interior row is a rank-one downdate of the
+            // trailing block; the result must agree with factorizing the
+            // reduced matrix from scratch to rounding accuracy.
+            let n = a.rows();
+            let mut downdated = Cholesky::new(&a).unwrap();
+            downdated.remove_row(pick);
+            let mut reduced = Matrix::zeros(n - 1, n - 1);
+            for i in 0..n - 1 {
+                let si = i + usize::from(i >= pick);
+                for j in 0..n - 1 {
+                    let sj = j + usize::from(j >= pick);
+                    reduced[(i, j)] = a[(si, sj)];
+                }
+            }
+            let fresh = Cholesky::new(&reduced).unwrap();
+            for (d, f) in downdated.factor().as_slice().iter().zip(fresh.factor().as_slice()) {
+                prop_assert!((d - f).abs() <= 1e-8 * (1.0 + f.abs()), "{d} vs {f}");
+            }
+        }
     }
 }

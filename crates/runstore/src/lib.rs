@@ -139,6 +139,12 @@ pub struct RunMeta {
     /// regenerate a different pending schedule, so it is refused here.
     /// (Optional key, appended in format v1.)
     pub batch: Option<u64>,
+    /// GP inference engine tag ("iterative", "subset-of-data") the journal
+    /// was written with, when approximate. `None` for exact runs — the v1
+    /// byte layout is unchanged. An approximate journal replayed under a
+    /// different engine would refit different surrogates and diverge, so a
+    /// mismatch is refused here. (Optional key, appended in format v1.)
+    pub inference: Option<String>,
 }
 
 impl RunMeta {
@@ -163,6 +169,9 @@ impl RunMeta {
         }
         if let Some(b) = self.batch {
             fields.push(("batch", Json::Num(b as f64)));
+        }
+        if let Some(s) = &self.inference {
+            fields.push(("inference", Json::Str(s.clone())));
         }
         Json::obj(fields).to_string()
     }
@@ -218,6 +227,10 @@ impl RunMeta {
             num_constraints: num("num_constraints")? as usize,
             rng_start,
             batch: v.get("batch").and_then(Json::as_f64).map(|n| n as u64),
+            inference: v
+                .get("inference")
+                .and_then(Json::as_str)
+                .map(str::to_string),
         })
     }
 }
@@ -420,6 +433,11 @@ impl RunStore {
                     "ask/tell batch width {:?} vs {:?}",
                     stored.batch, meta.batch
                 )
+            } else if stored.inference != meta.inference {
+                format!(
+                    "GP inference engine {:?} vs {:?}",
+                    stored.inference, meta.inference
+                )
             } else {
                 "problem shape".to_string()
             };
@@ -555,6 +573,7 @@ mod tests {
             num_constraints: 0,
             rng_start: Some([1, 2, 3, 4]),
             batch: None,
+            inference: None,
         }
     }
 

@@ -1,0 +1,175 @@
+//! Property-based tests of the run-store codecs.
+//!
+//! The journal/meta schema is version 1 and append-only: new *optional*
+//! keys may be added over time (as `batch`, `pending`, `cand`, and
+//! `inference` were), and a reader must ignore keys it does not know.
+//! These tests pin that forward-compatibility contract, so a journal
+//! written by a future release with more optional keys still replays on
+//! today's reader.
+
+use mfbo_runstore::{Fid, JournalEntry, RunMeta, RunStore, FORMAT_VERSION};
+use proptest::prelude::*;
+use std::path::PathBuf;
+
+/// Strategy: one arbitrary (finite-valued) journal entry. The vendored
+/// proptest has no bool/option strategies, so flags come from a bitmask
+/// and optional fields from a presence draw.
+fn entries() -> impl Strategy<Value = JournalEntry> {
+    let finite = -1.0e9f64..1.0e9;
+    (
+        (
+            0u64..10_000,
+            0u32..2,
+            prop::collection::vec(finite.clone(), 1..5),
+            finite.clone(),
+            prop::collection::vec(finite.clone(), 0..4),
+            finite,
+        ),
+        (
+            (0u32..2, prop::collection::vec(0u64..u64::MAX, 4..5)),
+            1u32..5,
+            0u32..32,
+            (0u32..2, 0u64..1000),
+        ),
+    )
+        .prop_map(
+            |(
+                (iteration, low, x, objective, constraints, cost_after),
+                ((rng_some, rng_words), attempts, flags, (cand_some, cand)),
+            )| JournalEntry {
+                iteration,
+                fid: if low == 0 { Fid::Low } else { Fid::High },
+                x,
+                objective,
+                constraints,
+                cost_after,
+                rng: (rng_some == 1)
+                    .then(|| [rng_words[0], rng_words[1], rng_words[2], rng_words[3]]),
+                attempts,
+                cached: flags & 1 != 0,
+                quarantined: flags & 2 != 0,
+                warm: flags & 4 != 0,
+                pending: flags & 8 != 0,
+                cand: (cand_some == 1).then_some(cand),
+            },
+        )
+}
+
+/// Splices unknown keys (scalar, nested array, nested object) into a
+/// serialized JSON object right after the opening brace — the shape a
+/// future schema revision would produce.
+fn with_unknown_keys(line: &str) -> String {
+    let rest = line.strip_prefix('{').expect("JSON object");
+    format!(
+        "{{\"zz_future_flag\":true,\"zz_ratio\":0.25,\"zz_tags\":[1,\"a\"],\"zz_ext\":{{\"v\":2}},{rest}"
+    )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The JSONL codec round-trips every field bit-for-bit.
+    #[test]
+    fn journal_line_round_trips(entry in entries()) {
+        let parsed = JournalEntry::from_json_line(&entry.to_json_line()).unwrap();
+        prop_assert_eq!(&parsed, &entry);
+        prop_assert!(parsed.objective.to_bits() == entry.objective.to_bits());
+        prop_assert!(
+            parsed.x.iter().zip(&entry.x).all(|(a, b)| a.to_bits() == b.to_bits())
+        );
+    }
+
+    /// A journal line carrying keys this reader has never heard of parses
+    /// to exactly the same entry as the clean line.
+    #[test]
+    fn journal_reader_ignores_unknown_optional_keys(entry in entries()) {
+        let noisy = with_unknown_keys(&entry.to_json_line());
+        let parsed = JournalEntry::from_json_line(&noisy).unwrap();
+        prop_assert_eq!(parsed, entry);
+    }
+}
+
+fn tmpdir(tag: &str) -> PathBuf {
+    let dir =
+        std::env::temp_dir().join(format!("mfbo-runstore-props-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+fn sample_meta(inference: Option<&str>) -> RunMeta {
+    RunMeta {
+        format_version: FORMAT_VERSION,
+        algo: "mfbo".into(),
+        problem: "forrester".into(),
+        dim: 2,
+        num_constraints: 1,
+        rng_start: Some([1, 2, 3, 4]),
+        batch: None,
+        inference: inference.map(str::to_string),
+    }
+}
+
+/// End-to-end forward compatibility: a store whose `meta.json` and journal
+/// lines carry unknown keys still loads and resumes — today's reader on a
+/// future writer's artifacts.
+#[test]
+fn store_tolerates_unknown_keys_in_meta_and_journal() {
+    let dir = tmpdir("unknown-keys");
+    let meta = sample_meta(None);
+    let entry = JournalEntry {
+        iteration: 3,
+        fid: Fid::High,
+        x: vec![0.25, 0.75],
+        objective: -1.5,
+        constraints: vec![0.1],
+        cost_after: 4.0,
+        rng: Some([5, 6, 7, 8]),
+        attempts: 1,
+        cached: false,
+        quarantined: false,
+        warm: false,
+        pending: false,
+        cand: None,
+    };
+    {
+        let mut store = RunStore::open(&dir).unwrap();
+        store.begin_run(&meta).unwrap();
+        store.append(&entry).unwrap();
+    }
+    for name in ["meta.json", "journal.jsonl"] {
+        let path = dir.join(name);
+        let text = std::fs::read_to_string(&path).unwrap();
+        let noisy: Vec<String> = text.lines().map(with_unknown_keys).collect();
+        std::fs::write(&path, noisy.join("\n") + "\n").unwrap();
+    }
+    let (loaded_meta, loaded) = RunStore::load_journal(&dir).unwrap();
+    assert_eq!(loaded_meta, meta);
+    assert_eq!(loaded, vec![entry.clone()]);
+    let mut store = RunStore::open(&dir).unwrap();
+    assert_eq!(store.resume_run(&meta).unwrap(), vec![entry]);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The `inference` meta key written by approximate-engine runs is honored:
+/// identical tags resume, differing tags are refused.
+#[test]
+fn inference_meta_mismatch_is_refused() {
+    let dir = tmpdir("inference-meta");
+    let meta = sample_meta(Some("iterative"));
+    {
+        let mut store = RunStore::open(&dir).unwrap();
+        store.begin_run(&meta).unwrap();
+    }
+    let mut store = RunStore::open(&dir).unwrap();
+    assert!(store.resume_run(&meta).is_ok());
+    let err = store
+        .resume_run(&sample_meta(Some("subset-of-data")))
+        .unwrap_err();
+    assert!(
+        err.to_string().contains("GP inference engine"),
+        "unexpected mismatch reason: {err}"
+    );
+    let err = store.resume_run(&sample_meta(None)).unwrap_err();
+    assert!(err.to_string().contains("GP inference engine"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}

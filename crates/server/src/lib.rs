@@ -16,7 +16,9 @@
 //!
 //! `start` fields beyond `run` and `problem` (all optional):
 //! `seed`, `budget`, `init_low`, `init_high`, `batch` (ask/tell
-//! `max_pending`), `journal` (directory), `resume`, `retries`,
+//! `max_pending`), `gp_inference` (`"exact"`/`"iterative"`/
+//! `"subset-of-data"` surrogate engine), `journal` (directory), `resume`,
+//! `retries`,
 //! `on_non_finite` (`"abort"`/`"penalize"`), `max_evals`, `stall_ms`
 //! (worker deadline), and `fault` (`{"kind":"nan"|"panic"|"stall",
 //! "every":N,"ms":N}`) for resilience drills.
@@ -35,7 +37,7 @@
 pub mod problems;
 pub mod run;
 
-use mfbo::{EvalPolicy, FaultKind, MfBoConfig, NonFinitePolicy};
+use mfbo::{EvalPolicy, FaultKind, InferenceMode, MfBoConfig, NonFinitePolicy};
 use mfbo_pool::WorkerPool;
 use mfbo_telemetry::counter;
 use mfbo_telemetry::json::{parse, Json};
@@ -231,6 +233,8 @@ fn status_json(name: &str, st: &Status) -> Json {
         ("evals", Json::Num(st.evals as f64)),
         ("pending", Json::Num(st.pending as f64)),
         ("stalled", Json::Num(st.stalled as f64)),
+        ("obs_low", Json::Num(st.obs_low as f64)),
+        ("obs_high", Json::Num(st.obs_high as f64)),
     ];
     if let Some(out) = &st.outcome {
         fields.push(("best_objective", Json::Num(out.best_objective)));
@@ -305,13 +309,20 @@ fn parse_spec(req: &Json) -> Result<RunSpec, String> {
     if !(budget > 0.0 && budget.is_finite()) {
         return Err("'budget' must be positive and finite".into());
     }
-    let config = MfBoConfig {
+    let mut config = MfBoConfig {
         initial_low: usize_field("init_low", 10)?,
         initial_high: usize_field("init_high", 5)?,
         budget,
         max_pending: usize_field("batch", 1)?,
         ..MfBoConfig::default()
     };
+    if let Some(v) = req.get("gp_inference") {
+        let s = v.as_str().ok_or("'gp_inference' must be a string")?;
+        config.gp_inference = InferenceMode::parse(s)?;
+    }
+    // Surface invalid knob combinations in the start reply instead of as a
+    // failed run.
+    config.validate().map_err(|e| e.to_string())?;
 
     let mut policy = EvalPolicy {
         max_retries: usize_field("retries", 0)? as u32,

@@ -82,6 +82,10 @@ pub struct Status {
     pub pending: usize,
     /// Evaluations told as failed after a stall deadline.
     pub stalled: u64,
+    /// Low-fidelity observations committed to the surrogate so far.
+    pub obs_low: usize,
+    /// High-fidelity observations committed to the surrogate so far.
+    pub obs_high: usize,
     /// Final outcome (set once `phase == Done`).
     pub outcome: Option<Arc<Outcome>>,
     /// Failure reason (set once `phase == Failed`).
@@ -103,6 +107,8 @@ impl RunHandle {
                 evals: 0,
                 pending: 0,
                 stalled: 0,
+                obs_low: 0,
+                obs_high: 0,
                 outcome: None,
                 error: None,
             }),
@@ -202,6 +208,7 @@ fn drive(spec: &RunSpec, pool: &WorkerPool, handle: &RunHandle) -> Result<Outcom
         handle.update(|st| {
             st.cost = driver.cost();
             st.pending = driver.pending_count();
+            (st.obs_low, st.obs_high) = driver.observation_counts();
         });
         if in_flight.is_empty() {
             // Everything outstanding resolved inside the core (replay or
@@ -244,6 +251,7 @@ fn drive(spec: &RunSpec, pool: &WorkerPool, handle: &RunHandle) -> Result<Outcom
                 handle.update(|st| {
                     st.cost = driver.cost();
                     st.pending = driver.pending_count();
+                    (st.obs_low, st.obs_high) = driver.observation_counts();
                     st.evals += 1;
                 });
             }
@@ -266,6 +274,7 @@ fn drive(spec: &RunSpec, pool: &WorkerPool, handle: &RunHandle) -> Result<Outcom
                         st.stalled += 1;
                         st.cost = driver.cost();
                         st.pending = driver.pending_count();
+                        (st.obs_low, st.obs_high) = driver.observation_counts();
                     });
                 }
             }

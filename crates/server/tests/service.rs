@@ -311,4 +311,33 @@ fn batched_runs_complete_and_report_via_list() {
         Some("batched"),
         "{list}"
     );
+    // list/status carry in-flight and observation counts per run; a
+    // finished run has nothing pending and its full history committed.
+    assert_eq!(num(&runs[0], "pending"), 0.0, "{list}");
+    assert!(num(&runs[0], "obs_low") >= 8.0, "{list}");
+    assert!(num(&runs[0], "obs_high") >= 4.0, "{list}");
+}
+
+#[test]
+fn gp_inference_field_selects_engine_and_bad_values_are_rejected() {
+    let (mut client, _addr) = boot(2);
+    let mut req = start_req("approx", "forrester", 17, 6.0);
+    req.push(("gp_inference", Json::Str("subset-of-data".into())));
+    client.expect_ok(&obj(req)).unwrap();
+    let reply = wait(&mut client, "approx");
+    assert_eq!(state(&reply), "done", "{reply}");
+    assert!(num(&reply, "obs_high") >= 4.0, "{reply}");
+
+    // An unknown mode fails in the start reply, not as a failed run.
+    let mut bad = start_req("bad", "forrester", 17, 6.0);
+    bad.push(("gp_inference", Json::Str("cholmod".into())));
+    let err = client.request(&obj(bad)).unwrap();
+    assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        err.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("unknown inference mode"),
+        "{err}"
+    );
 }

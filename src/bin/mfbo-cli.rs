@@ -34,7 +34,7 @@ use analog_mfbo::prelude::*;
 use mfbo::problem::MultiFidelityProblem;
 use mfbo::report;
 use mfbo::run_report::{self, RunReport};
-use mfbo::{NonFinitePolicy, RunOptions, RunStore};
+use mfbo::{InferenceMode, NonFinitePolicy, RunOptions, RunStore};
 use mfbo_telemetry::metrics::MetricsRegistry;
 use mfbo_telemetry::sinks::{JsonlSink, MultiSink, PrettySink};
 use mfbo_telemetry::{Level, Sink};
@@ -68,6 +68,7 @@ struct Options {
     retries: u32,
     max_evals: Option<u64>,
     simd: Option<mfbo_simd::SimdMode>,
+    gp_inference: InferenceMode,
 }
 
 impl Default for Options {
@@ -97,6 +98,7 @@ impl Default for Options {
             max_evals: None,
             // None = defer to MFBO_SIMD (unset → auto detection).
             simd: None,
+            gp_inference: InferenceMode::Exact,
         }
     }
 }
@@ -110,6 +112,7 @@ const USAGE: &str = "usage: mfbo-cli [--problem NAME] [--algo mf|weibo|gaspad|de
                 [--journal DIR] [--resume] [--cache] [--warm-start]
                 [--on-non-finite abort|penalize] [--retries N]
                 [--max-evals N] [--simd scalar|auto]
+                [--gp-inference exact|iterative|subset-of-data]
        mfbo-cli report --journal DIR [--trace FILE] [--report FILE]
                 [--schema FILE]
 
@@ -131,6 +134,12 @@ simulator calls.
 --simd picks the vectorized micro-kernel backend (default: auto = best
 runtime-detected instruction set, or the MFBO_SIMD environment variable
 when set). Results are bit-identical for every backend.
+
+--gp-inference picks the GP inference engine for algorithms mf and weibo
+(default: exact). 'iterative' and 'subset-of-data' cap the cubic surrogate
+cost once a run accumulates more observations than the subset size (1024) —
+see the README section on scaling to thousands of observations. Approximate
+runs are still deterministic and journal-replayable.
 
 --metrics FILE aggregates telemetry into histograms/counters/gauges with
 deterministic fixed bucket edges and writes the snapshot as JSON;
@@ -222,6 +231,9 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                         .ok_or_else(|| "simd must be 'scalar' or 'auto'".to_string())?,
                 );
             }
+            "--gp-inference" => {
+                opts.gp_inference = InferenceMode::parse(&value("--gp-inference")?)?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -283,24 +295,35 @@ fn run_algo(opts: &Options, problem: &dyn MultiFidelityProblem) -> Result<mfbo::
     if opts.journal.is_none() && (opts.resume || opts.cache || opts.warm_start) {
         return Err("--resume, --cache, and --warm-start require --journal DIR".into());
     }
+    if !opts.gp_inference.is_exact() && !matches!(opts.algo.as_str(), "mf" | "weibo") {
+        return Err(format!(
+            "--gp-inference is only supported for algorithms 'mf' and 'weibo', not '{}'",
+            opts.algo
+        ));
+    }
     match opts.algo.as_str() {
         "mf" => MfBayesOpt::new(MfBoConfig {
             initial_low: opts.initial_low,
             initial_high: opts.initial_high,
             budget: opts.budget,
             parallelism: opts.threads,
+            gp_inference: opts.gp_inference,
             ..MfBoConfig::default()
         })
         .run_with(&problem, &mut rng, &mut make_run_options(opts)?)
         .map_err(|e| e.to_string()),
-        "weibo" => Weibo::new(WeiboConfig {
-            initial_points: opts.initial_high.max(4),
-            budget: budget_int,
-            parallelism: opts.threads,
-            ..WeiboConfig::default()
-        })
-        .run_with(&problem, &mut rng, &mut make_run_options(opts)?)
-        .map_err(|e| e.to_string()),
+        "weibo" => {
+            let mut cfg = WeiboConfig {
+                initial_points: opts.initial_high.max(4),
+                budget: budget_int,
+                parallelism: opts.threads,
+                ..WeiboConfig::default()
+            };
+            cfg.model.inference = opts.gp_inference;
+            Weibo::new(cfg)
+                .run_with(&problem, &mut rng, &mut make_run_options(opts)?)
+                .map_err(|e| e.to_string())
+        }
         "gaspad" => Gaspad::new(GaspadConfig {
             initial_points: opts.initial_high.max(8),
             budget: budget_int,
@@ -627,6 +650,50 @@ mod tests {
         let e = parse_args(args("--simd avx512")).unwrap_err();
         assert!(e.contains("'scalar' or 'auto'"), "{e}");
         assert!(parse_args(args("--simd")).is_err());
+    }
+
+    #[test]
+    fn parses_gp_inference_flag_and_rejects_unknown() {
+        assert_eq!(
+            parse_args(args("")).unwrap().gp_inference,
+            InferenceMode::Exact
+        );
+        assert_eq!(
+            parse_args(args("--gp-inference exact"))
+                .unwrap()
+                .gp_inference,
+            InferenceMode::Exact
+        );
+        assert_eq!(
+            parse_args(args("--gp-inference iterative"))
+                .unwrap()
+                .gp_inference,
+            InferenceMode::iterative()
+        );
+        assert_eq!(
+            parse_args(args("--gp-inference subset-of-data"))
+                .unwrap()
+                .gp_inference,
+            InferenceMode::subset_of_data()
+        );
+        let e = parse_args(args("--gp-inference cholmod")).unwrap_err();
+        assert!(e.contains("unknown inference mode"), "{e}");
+        assert!(parse_args(args("--gp-inference")).is_err());
+    }
+
+    #[test]
+    fn gp_inference_rejected_for_non_gp_algorithms() {
+        let p = make_problem("forrester").unwrap();
+        let opts = Options {
+            algo: "de".into(),
+            gp_inference: InferenceMode::iterative(),
+            ..Options::default()
+        };
+        let e = run_algo(&opts, p.as_ref()).unwrap_err();
+        assert!(
+            e.contains("only supported for algorithms 'mf' and 'weibo'"),
+            "{e}"
+        );
     }
 
     #[test]

@@ -12,6 +12,7 @@
 //! reply to stdout. The exit code is nonzero when the server replies
 //! `ok:false` or (for `wait`) when the run finished in the `failed` state.
 
+use mfbo::InferenceMode;
 use mfbo_server::Client;
 use mfbo_telemetry::json::Json;
 use std::process::ExitCode;
@@ -35,6 +36,10 @@ start options:
   --journal DIR [--resume]   write-ahead journal / resume after a crash
   --retries N --on-non-finite abort|penalize
   --stall-ms N               deadline before a hung evaluation is failed
+  --gp-inference exact|iterative|subset-of-data
+                             surrogate inference engine (default exact;
+                             the approximate engines cap the cubic GP cost
+                             on long runs)
 
 --addr defaults to 127.0.0.1:7877.";
 
@@ -93,6 +98,11 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                 opts.fields.push(("journal".into(), Json::Str(v)));
             }
             "--resume" => opts.fields.push(("resume".into(), Json::Bool(true))),
+            "--gp-inference" => {
+                let v = value("--gp-inference")?;
+                InferenceMode::parse(&v)?; // reject bad modes before the round trip
+                opts.fields.push(("gp_inference".into(), Json::Str(v)));
+            }
             "--on-non-finite" => {
                 let v = value("--on-non-finite")?;
                 if !matches!(v.as_str(), "abort" | "penalize") {
@@ -105,6 +115,21 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
         }
     }
     Ok(opts)
+}
+
+/// One human-readable line per run status: state, in-flight candidates,
+/// and committed observation counts (the raw JSON stays on the line above
+/// for scripts).
+fn summarize(status: &Json) -> Option<String> {
+    let run = status.get("run")?.as_str()?;
+    let state = status.get("state")?.as_str()?;
+    let count = |key: &str| status.get(key).and_then(Json::as_f64).unwrap_or(0.0) as u64;
+    Some(format!(
+        "{run}: {state}, {} pending, {} low / {} high observations",
+        count("pending"),
+        count("obs_low"),
+        count("obs_high"),
+    ))
 }
 
 fn main() -> ExitCode {
@@ -130,6 +155,23 @@ fn main() -> ExitCode {
         }
     };
     println!("{reply}");
+    match opts.command.as_str() {
+        "status" | "wait" => {
+            if let Some(line) = summarize(&reply) {
+                println!("{line}");
+            }
+        }
+        "list" => {
+            if let Some(Json::Arr(runs)) = reply.get("runs") {
+                for run in runs {
+                    if let Some(line) = summarize(run) {
+                        println!("{line}");
+                    }
+                }
+            }
+        }
+        _ => {}
+    }
     let ok = reply.get("ok").and_then(Json::as_bool) == Some(true);
     let run_failed =
         opts.command == "wait" && reply.get("state").and_then(Json::as_str) == Some("failed");
@@ -179,7 +221,33 @@ mod tests {
         assert!(parse_args(args("frobnicate")).is_err());
         assert!(parse_args(args("start --budget nope")).is_err());
         assert!(parse_args(args("start --on-non-finite maybe")).is_err());
+        assert!(parse_args(args("start --gp-inference cholmod")).is_err());
         assert!(parse_args(args("--help")).unwrap_err().contains("usage"));
+    }
+
+    #[test]
+    fn passes_gp_inference_through() {
+        let o = parse_args(args("start --run r --problem pa --gp-inference iterative")).unwrap();
+        assert_eq!(
+            field(&o, "gp_inference"),
+            Some(&Json::Str("iterative".into()))
+        );
+    }
+
+    #[test]
+    fn summarizes_status_counts() {
+        let status = Json::Obj(vec![
+            ("run".into(), Json::Str("r1".into())),
+            ("state".into(), Json::Str("running".into())),
+            ("pending".into(), Json::Num(2.0)),
+            ("obs_low".into(), Json::Num(40.0)),
+            ("obs_high".into(), Json::Num(12.0)),
+        ]);
+        assert_eq!(
+            summarize(&status).unwrap(),
+            "r1: running, 2 pending, 40 low / 12 high observations"
+        );
+        assert!(summarize(&Json::Obj(vec![])).is_none());
     }
 
     #[test]

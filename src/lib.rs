@@ -45,9 +45,9 @@ pub use mfbo_pool as pool;
 pub mod prelude {
     pub use mfbo::problem::{Evaluation, Fidelity, FunctionProblem, MultiFidelityProblem};
     pub use mfbo::{
-        AskTellMfbo, Candidate, EvalPolicy, EvalStats, FaultInjector, FaultKind, MfBayesOpt,
-        MfBoConfig, MfGp, MfGpConfig, NonFinitePolicy, Outcome, RunOptions, RunStore, SfBayesOpt,
-        SfBoConfig, Told,
+        AskTellMfbo, Candidate, EvalPolicy, EvalStats, FaultInjector, FaultKind, InferenceMode,
+        MfBayesOpt, MfBoConfig, MfGp, MfGpConfig, NonFinitePolicy, Outcome, RunOptions, RunStore,
+        SfBayesOpt, SfBoConfig, Told,
     };
     pub use mfbo_baselines::{
         DeBaselineConfig, DifferentialEvolutionBaseline, Gaspad, GaspadConfig, Weibo, WeiboConfig,
