@@ -1,0 +1,364 @@
+//! Generates the `BENCH_fitcache.json` measurements: end-to-end cost of one
+//! constrained-bundle surrogate refresh (objective + m constraint GPs over
+//! the same X) along the amortized refit path, before and after the
+//! fit-cache subsystem.
+//!
+//! Arm A replicates the pre-fit-cache refresh exactly (the `bench_simd`
+//! legacy-replica idiom): every model of the bundle builds its own
+//! O(n²·d) pairwise-difference batch from scratch, assembles the kernel
+//! matrix and factorizes it for the posterior, then rebuilds the identical
+//! matrix and refactorizes it a second time for the NLML — the operation
+//! sequence of the old `NlmlWorkspace::new` + `Gp::with_params` +
+//! `nlml_cached` per model. Arm B is the shipped default-on path:
+//! `SfSurrogates::fit_frozen_infer_with_cache`, where one persistent
+//! [`FitCache`] grows by an O(n·d) append per iteration, its batch serves
+//! all 1+m models, and the NLML falls out of the factorization already in
+//! hand. Both arms produce bit-identical posteriors (pinned by the golden
+//! trajectories and the surrogate bit-identity tests).
+//!
+//! Usage: `cargo run --release -p mfbo-bench --bin bench_fitcache > BENCH_fitcache.json`
+//! (`MFBO_BENCH_SCALE=quick` restricts to small sizes for smoke runs.)
+//!
+//! Harness: the shared `mfbo-bench` interleaved A/B sampler (samples of the
+//! two compared rows alternate A, B, A, B, ... so container load drift
+//! affects both medians equally), 21 samples per row, median statistic,
+//! iteration counts calibrated to a ~40 ms sample target — the same
+//! methodology as `BENCH_simd.json` / `BENCH_obs.json`.
+
+use mfbo::{FidelityData, SfBundleThetas, SfSurrogates};
+use mfbo_bench::{ab_median_ns, AB_SAMPLES as SAMPLES, AB_TARGET_SAMPLE_MS as TARGET_SAMPLE_MS};
+use mfbo_gp::kernel::{Kernel, SquaredExponential};
+use mfbo_gp::{DiffBatch, FitCache, InferenceMode};
+use mfbo_linalg::{Cholesky, Matrix, Standardizer};
+use mfbo_pool::Parallelism;
+use mfbo_telemetry::metrics::MetricsRegistry;
+use std::hint::black_box;
+use std::sync::Arc;
+
+const DIM: usize = 12;
+const LOG_2PI: f64 = 1.837_877_066_409_345_5;
+
+/// Synthetic constrained training set in [0,1]^DIM — the `BENCH_infer.json`
+/// data shape (dim = 12, middle of the paper's 10–36 design-variable range).
+fn bench_data(n: usize, m: usize) -> FidelityData {
+    let mut fd = FidelityData::new(m);
+    for i in 0..n {
+        let x: Vec<f64> = (0..DIM)
+            .map(|d| ((i * 31 + d * 17) % 97) as f64 / 96.0)
+            .collect();
+        let objective = (7.0 * x[0]).sin() + x.iter().sum::<f64>();
+        let constraints: Vec<f64> = (0..m)
+            .map(|k| (5.0 * x[k % DIM]).cos() + x[(k + 1) % DIM] - 0.8)
+            .collect();
+        fd.push(
+            x,
+            &mfbo::problem::Evaluation {
+                objective,
+                constraints,
+            },
+        );
+    }
+    fd
+}
+
+/// Per-model frozen hyperparameters — slightly different per output, as a
+/// real bundle's independently trained models would be.
+fn bundle_thetas(m: usize) -> SfBundleThetas {
+    let theta = |k: usize| -> Vec<f64> {
+        let mut t = vec![0.1 * k as f64];
+        t.extend((0..DIM).map(|d| -0.5 + 0.02 * ((k + d) % 5) as f64));
+        t.push(-3.0);
+        t
+    };
+    SfBundleThetas {
+        objective: theta(0),
+        constraints: (1..=m).map(theta).collect(),
+    }
+}
+
+/// Replica of the pre-fit-cache frozen refresh for ONE model: fresh
+/// lower-triangle difference batch, kernel-matrix assembly + Cholesky for
+/// the posterior weights, then a second identical assembly + Cholesky for
+/// the NLML (what `nlml_cached` performed on the same workspace).
+fn legacy_model_refresh(kernel: &SquaredExponential, xs: &[Vec<f64>], ys: &[f64], theta: &[f64]) {
+    let n = xs.len();
+    let (params, log_noise) = theta.split_at(theta.len() - 1);
+    let sn2 = (2.0 * log_noise[0]).exp();
+    let stz = Standardizer::fit(ys);
+    let ys_std = stz.transform_all(ys);
+    let batch = DiffBatch::lower_triangle(xs);
+    let assemble = |kv: &[f64]| -> Matrix {
+        let mut k = Matrix::zeros(n, n);
+        let mut q = 0;
+        for i in 0..n {
+            for j in 0..=i {
+                let v = kv[q];
+                q += 1;
+                k[(i, j)] = v;
+                k[(j, i)] = v;
+            }
+            k[(i, i)] += sn2;
+        }
+        k
+    };
+    let mut kv = vec![0.0; batch.len()];
+    kernel.eval_from_diffs(params, &batch, &mut kv);
+    let km = assemble(&kv);
+    let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4).expect("spd");
+    black_box(chol.solve_vec(&ys_std));
+    // The old path re-derived the NLML from scratch on the same workspace.
+    let mut kv2 = vec![0.0; batch.len()];
+    kernel.eval_from_diffs(params, &batch, &mut kv2);
+    let km2 = assemble(&kv2);
+    let chol2 = Cholesky::new_with_jitter(&km2, 1e-10, 1e-4).expect("spd");
+    black_box(0.5 * (chol2.quad_form(&ys_std) + chol2.log_det() + n as f64 * LOG_2PI));
+}
+
+/// One pre-fit-cache bundle refresh: every model rebuilds everything.
+fn legacy_bundle_refresh(data: &FidelityData, thetas: &SfBundleThetas) {
+    let kernel = SquaredExponential::new(DIM);
+    legacy_model_refresh(&kernel, &data.xs, &data.objective, &thetas.objective);
+    for (ys, t) in data.constraints.iter().zip(&thetas.constraints) {
+        legacy_model_refresh(&kernel, &data.xs, ys, t);
+    }
+}
+
+/// One shipped bundle refresh: rewind the persistent cache by the last
+/// point, then let `fit_frozen_infer_with_cache` re-append it — so every
+/// timed iteration pays the real per-iteration O(n·d) append plus the
+/// shared-batch bundle rebuild, exactly as the BO loop does.
+fn cached_bundle_refresh(data: &FidelityData, thetas: &SfBundleThetas, cache: &mut FitCache) {
+    cache.sync(&data.xs[..data.xs.len() - 1]);
+    black_box(
+        SfSurrogates::fit_frozen_infer_with_cache(
+            data,
+            thetas,
+            Parallelism::Serial,
+            InferenceMode::Exact,
+            cache,
+        )
+        .expect("bundle refresh"),
+    );
+}
+
+struct Row {
+    n: usize,
+    m: usize,
+    legacy_ns: f64,
+    cached_ns: f64,
+}
+
+fn measure(n: usize, m: usize) -> Row {
+    let data = bench_data(n, m);
+    let thetas = bundle_thetas(m);
+    let mut cache = FitCache::default();
+    cache.sync(&data.xs);
+    let (legacy_ns, cached_ns) = ab_median_ns(
+        || legacy_bundle_refresh(&data, &thetas),
+        || cached_bundle_refresh(&data, &thetas, &mut cache),
+    );
+    eprintln!(
+        "bundle_refresh n={n} m={m}: legacy {:.2} ms, cached {:.2} ms ({:.2}x)",
+        legacy_ns / 1e6,
+        cached_ns / 1e6,
+        legacy_ns / cached_ns
+    );
+    Row {
+        n,
+        m,
+        legacy_ns,
+        cached_ns,
+    }
+}
+
+/// Counter evidence: over `iters` refreshes of an (1+m)-model bundle at
+/// fixed n, the cached path must do ZERO from-scratch difference builds
+/// (appends only) while serving every model from the shared batch, and the
+/// uncached default path must do exactly ONE build per refresh for the
+/// whole bundle. `kernel_matrix_builds` (theta-dependent assemblies) must
+/// be 1+m per refresh in both — one per model, proving the models share
+/// the single distance build instead of each paying for their own.
+fn counter_evidence(n: usize, m: usize, iters: u64) -> Vec<(String, u64)> {
+    let data = bench_data(n, m);
+    let thetas = bundle_thetas(m);
+
+    let mut cache = FitCache::default();
+    cache.sync(&data.xs);
+    let reg = Arc::new(MetricsRegistry::new());
+    {
+        let _g = mfbo_telemetry::scoped_sink(reg.clone());
+        for _ in 0..iters {
+            cached_bundle_refresh(&data, &thetas, &mut cache);
+        }
+    }
+    let cached = reg.snapshot().counters;
+
+    let reg = Arc::new(MetricsRegistry::new());
+    {
+        let _g = mfbo_telemetry::scoped_sink(reg.clone());
+        for _ in 0..iters {
+            black_box(
+                SfSurrogates::fit_frozen_infer(
+                    &data,
+                    &thetas,
+                    Parallelism::Serial,
+                    InferenceMode::Exact,
+                )
+                .expect("bundle refresh"),
+            );
+        }
+    }
+    let fresh = reg.snapshot().counters;
+
+    let get = |c: &std::collections::BTreeMap<String, u64>, k: &str| c.get(k).copied().unwrap_or(0);
+    let models = 1 + m as u64;
+    assert_eq!(
+        get(&cached, "diffbatch_builds"),
+        0,
+        "cached path must never rebuild the difference batch from scratch"
+    );
+    assert_eq!(
+        get(&cached, "diffbatch_appends"),
+        iters,
+        "cached path must grow by exactly one append per refresh"
+    );
+    assert_eq!(
+        get(&cached, "diffbatch_shared_hits"),
+        iters * models,
+        "every model of the bundle must be served by the shared batch"
+    );
+    assert_eq!(
+        get(&fresh, "diffbatch_builds"),
+        iters,
+        "uncached bundle must build exactly one shared batch per refresh"
+    );
+    assert_eq!(
+        get(&fresh, "kernel_matrix_builds"),
+        iters * models,
+        "one theta-dependent assembly per model per refresh"
+    );
+    assert_eq!(
+        get(&cached, "kernel_matrix_builds"),
+        get(&fresh, "kernel_matrix_builds"),
+        "the shared batch is layout-invisible to kernel-matrix assembly"
+    );
+    vec![
+        ("iterations".into(), iters),
+        ("models_per_bundle".into(), models),
+        (
+            "cached_diffbatch_builds".into(),
+            get(&cached, "diffbatch_builds"),
+        ),
+        (
+            "cached_diffbatch_appends".into(),
+            get(&cached, "diffbatch_appends"),
+        ),
+        (
+            "cached_diffbatch_shared_hits".into(),
+            get(&cached, "diffbatch_shared_hits"),
+        ),
+        (
+            "cached_kernel_matrix_builds".into(),
+            get(&cached, "kernel_matrix_builds"),
+        ),
+        (
+            "fresh_diffbatch_builds".into(),
+            get(&fresh, "diffbatch_builds"),
+        ),
+        (
+            "fresh_kernel_matrix_builds".into(),
+            get(&fresh, "kernel_matrix_builds"),
+        ),
+    ]
+}
+
+fn rows_json(rows: &[Row]) -> String {
+    rows.iter()
+        .map(|r| {
+            format!(
+                "        {{ \"n\": {}, \"m\": {}, \"legacy_ns\": {}, \"cached_ns\": {}, \"speedup\": {:.2} }}",
+                r.n,
+                r.m,
+                r.legacy_ns.round() as u64,
+                r.cached_ns.round() as u64,
+                r.legacy_ns / r.cached_ns
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",\n")
+}
+
+fn main() {
+    let scale = std::env::var("MFBO_BENCH_SCALE").unwrap_or_default();
+    let (sizes, m_sweep, counter_n): (&[usize], &[usize], usize) = match scale.as_str() {
+        "quick" => (&[64, 128], &[2], 128),
+        _ => (&[128, 256, 512], &[1, 2, 4], 512),
+    };
+
+    let mut refit_rows = Vec::new();
+    for &n in sizes {
+        refit_rows.push(measure(n, 2));
+    }
+    let mut m_rows = Vec::new();
+    for &m in m_sweep {
+        m_rows.push(measure(*sizes.last().unwrap(), m));
+    }
+
+    let counters = counter_evidence(counter_n, 2, 4);
+    let headline = refit_rows.last().unwrap();
+    let measured_speedup = headline.legacy_ns / headline.cached_ns;
+
+    let counters_json = counters
+        .iter()
+        .map(|(k, v)| format!("      \"{k}\": {v}"))
+        .collect::<Vec<_>>()
+        .join(",\n");
+
+    println!(
+        r#"{{
+  "description": "End-to-end cost of one constrained-bundle surrogate refresh (objective + m constraint GPs over the same X) on the amortized refit path, before and after the fit-cache subsystem. legacy = replica of the pre-fit-cache path: per model, a fresh O(n^2 d) pairwise-difference build, kernel-matrix assembly + Cholesky for the posterior, then an identical second assembly + Cholesky for the NLML. cached = the shipped default-on path (SfSurrogates::fit_frozen_infer_with_cache): a persistent FitCache grows by an O(n d) append per iteration, one shared batch serves all 1+m models, and the NLML reuses the factorization already in hand. Both paths are bit-identical (pinned by the golden trajectories and the surrogate/workspace bit-identity tests).",
+  "methodology": {{
+    "harness": "shared mfbo-bench interleaved A/B sampler: samples of the two compared rows alternate (A, B, A, B, ...) so container load drift affects both medians equally",
+    "samples_per_row": {SAMPLES},
+    "statistic": "median",
+    "iterations": "calibrated per row to a ~{TARGET_SAMPLE_MS:.0} ms sample target",
+    "build": "cargo --release, default codegen settings",
+    "date": "2026-08-08",
+    "caveats": [
+      "Measured in a shared 1-CPU container; absolute times carry +/-40% run-to-run drift. The interleaved harness makes the *ratios* stable to a few percent, but absolute nanoseconds should not be compared across machines or runs.",
+      "Every cached-arm iteration includes the real per-iteration cache work: the cache is rewound by one point and re-appends it inside the timed region, so the O(n d) incremental growth is part of the measurement, not amortized away.",
+      "dim = 12 (middle of the paper's 10-36 design-variable range); per-model hyperparameters differ slightly, as independently trained bundle models would.",
+      "Reproduce with: cargo run --release -p mfbo-bench --bin bench_fitcache > BENCH_fitcache.json"
+    ]
+  }},
+  "acceptance": {{
+    "refit_path_required_min_speedup_n512_m2": 2.0,
+    "refit_path_measured_speedup_n512_m2": {measured_speedup:.2},
+    "counter_assertions": "pass (asserted at runtime; see results.counters)"
+  }},
+  "results": {{
+    "refit_path": {{
+      "what": "one full bundle refresh (1+m models, m=2 constraints) at growing training-set sizes; legacy vs cached as described above",
+      "rows": [
+{refit_rows}
+      ]
+    }},
+    "constraint_scaling": {{
+      "what": "one full bundle refresh at n={n_top} while the constraint count m grows; the shared batch amortizes the distance build across 1+m models, so the win grows with m",
+      "rows": [
+{m_rows}
+      ]
+    }},
+    "counters": {{
+      "what": "telemetry counters over {iters} refreshes at n={counter_n}, m=2 (asserted, not just reported): the cached path does zero from-scratch difference builds and one append per refresh with every model served from the shared batch; the uncached default builds exactly one shared batch per refresh; kernel_matrix_builds (theta-dependent assemblies) is one per model per refresh in both, proving the bundle shares one distance build per refresh and the cache is layout-invisible",
+{counters_json}
+    }}
+  }}
+}}"#,
+        refit_rows = rows_json(&refit_rows),
+        m_rows = rows_json(&m_rows),
+        n_top = sizes.last().unwrap(),
+        counter_n = counter_n,
+        iters = 4,
+    );
+}

@@ -13,6 +13,7 @@
 //! Hyperparameters are frozen (`with_params_inference`) so the rows compare
 //! pure inference cost, not the L-BFGS restart schedule.
 
+use mfbo_bench::median;
 use mfbo_gp::kernel::SquaredExponential;
 use mfbo_gp::{Gp, InferenceMode};
 use mfbo_pool::Parallelism;
@@ -21,11 +22,6 @@ use std::time::Instant;
 
 const DIM: usize = 12;
 const QUERIES: usize = 256;
-
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(f64::total_cmp);
-    v[v.len() / 2]
-}
 
 /// Training inputs in [0,1]^DIM — the `BENCH_simd.json` data shape
 /// (dim = 12, middle of the paper's 10–36 design-variable range).

@@ -20,49 +20,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
 use std::sync::Arc;
-use std::time::Instant;
 
-const SAMPLES: usize = 21;
-const TARGET_SAMPLE_MS: f64 = 40.0;
-
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(f64::total_cmp);
-    v[v.len() / 2]
-}
-
-/// Interleaved A/B measurement: calibrates an iteration count on `a`, then
-/// alternates 21 samples of each closure and returns the median
-/// per-iteration nanoseconds `(a, b)`.
-fn ab_median_ns(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
-    let mut iters = 1usize;
-    loop {
-        let t = Instant::now();
-        for _ in 0..iters {
-            a();
-        }
-        let ms = t.elapsed().as_secs_f64() * 1e3;
-        if ms >= TARGET_SAMPLE_MS || iters >= 1 << 24 {
-            break;
-        }
-        let scale = (TARGET_SAMPLE_MS / ms.max(1e-3)).ceil() as usize;
-        iters = (iters * scale.clamp(2, 1024)).min(1 << 24);
-    }
-    let mut sa = Vec::with_capacity(SAMPLES);
-    let mut sb = Vec::with_capacity(SAMPLES);
-    for _ in 0..SAMPLES {
-        let t = Instant::now();
-        for _ in 0..iters {
-            a();
-        }
-        sa.push(t.elapsed().as_nanos() as f64 / iters as f64);
-        let t = Instant::now();
-        for _ in 0..iters {
-            b();
-        }
-        sb.push(t.elapsed().as_nanos() as f64 / iters as f64);
-    }
-    (median(sa), median(sb))
-}
+use mfbo_bench::{ab_median_ns, AB_SAMPLES as SAMPLES, AB_TARGET_SAMPLE_MS as TARGET_SAMPLE_MS};
 
 /// Training data matching the `telemetry_overhead` criterion group.
 fn gp_training_data(n: usize) -> (Vec<Vec<f64>>, Vec<f64>) {

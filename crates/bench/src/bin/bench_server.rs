@@ -30,10 +30,7 @@ const WORKERS: usize = 4;
 const BUDGET: f64 = 3.0;
 const SEED_BASE: u64 = 1000;
 
-fn median(mut v: Vec<f64>) -> f64 {
-    v.sort_by(f64::total_cmp);
-    v[v.len() / 2]
-}
+use mfbo_bench::median;
 
 fn config() -> MfBoConfig {
     MfBoConfig {

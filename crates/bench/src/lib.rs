@@ -62,6 +62,56 @@ impl Scale {
     }
 }
 
+/// Samples per row taken by [`ab_median_ns`] for each of the two closures.
+pub const AB_SAMPLES: usize = 21;
+
+/// Per-sample wall-clock target (milliseconds) that [`ab_median_ns`] uses
+/// when calibrating its inner iteration count.
+pub const AB_TARGET_SAMPLE_MS: f64 = 40.0;
+
+/// Median of a sample vector (total order on `f64`, upper median).
+pub fn median(mut v: Vec<f64>) -> f64 {
+    v.sort_by(f64::total_cmp);
+    v[v.len() / 2]
+}
+
+/// Interleaved A/B measurement: calibrates an iteration count on `a` so one
+/// sample takes roughly [`AB_TARGET_SAMPLE_MS`] milliseconds, then
+/// alternates [`AB_SAMPLES`] samples of each closure (A,B,A,B,…) so
+/// container load drift affects both medians equally, and returns the
+/// median per-iteration nanoseconds `(a, b)`.
+pub fn ab_median_ns(mut a: impl FnMut(), mut b: impl FnMut()) -> (f64, f64) {
+    use std::time::Instant;
+    let mut iters = 1usize;
+    loop {
+        let t = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        let ms = t.elapsed().as_secs_f64() * 1e3;
+        if ms >= AB_TARGET_SAMPLE_MS || iters >= 1 << 24 {
+            break;
+        }
+        let scale = (AB_TARGET_SAMPLE_MS / ms.max(1e-3)).ceil() as usize;
+        iters = (iters * scale.clamp(2, 1024)).min(1 << 24);
+    }
+    let mut sa = Vec::with_capacity(AB_SAMPLES);
+    let mut sb = Vec::with_capacity(AB_SAMPLES);
+    for _ in 0..AB_SAMPLES {
+        let t = Instant::now();
+        for _ in 0..iters {
+            a();
+        }
+        sa.push(t.elapsed().as_nanos() as f64 / iters as f64);
+        let t = Instant::now();
+        for _ in 0..iters {
+            b();
+        }
+        sb.push(t.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    (median(sa), median(sb))
+}
+
 /// Thread-pool mode for the benchmark harnesses.
 ///
 /// Defaults to [`Parallelism::Auto`], so benches use every core (or honour

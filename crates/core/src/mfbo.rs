@@ -113,6 +113,27 @@ pub struct MfBoConfig {
     /// committed history order and the CG solves use fixed-order
     /// reductions. Incompatible with `rank1_appends`.
     pub gp_inference: InferenceMode,
+    /// Extends warm-started hyperparameter seeding to the cold fits that
+    /// back frozen-refresh recovery: when a frozen refit fails and the
+    /// driver falls back to a full re-optimization, the previous thetas
+    /// seed one deterministic extra restart (full refits already warm-start
+    /// by default). Off by default — enabling it changes RNG consumption,
+    /// so warm-start runs carry their own golden trajectories.
+    pub warm_start_thetas: bool,
+    /// Adaptive restart shrinking: after the warm-started seed wins this
+    /// many *consecutive* full refits across every model in the bundle
+    /// (tracked via the `theta_warm_wins` telemetry counter), later refits
+    /// halve their cold-restart count (never below one cold start). `0`
+    /// (default) disables the adaptation; any nonzero value changes RNG
+    /// consumption once triggered, so adaptive runs carry their own
+    /// goldens. Requires `refit_every` full refits to ever trigger.
+    pub adaptive_restarts: usize,
+    /// Warm-starts the acquisition search: seeds the high-fidelity MSP
+    /// stage with the previous iteration's accepted acquisition optimum
+    /// (unit-space) in addition to the standard anchor clouds. Off by
+    /// default; seeded runs carry their own goldens because the extra
+    /// deterministic start changes which local optimum each restart finds.
+    pub acq_warm_start: bool,
 }
 
 impl Default for MfBoConfig {
@@ -135,6 +156,9 @@ impl Default for MfBoConfig {
             parallelism: Parallelism::Serial,
             max_pending: 1,
             gp_inference: InferenceMode::Exact,
+            warm_start_thetas: false,
+            adaptive_restarts: 0,
+            acq_warm_start: false,
         }
     }
 }
@@ -173,6 +197,21 @@ impl MfBoConfig {
         if self.max_pending == 0 {
             return Err(MfboError::InvalidConfig {
                 reason: "max_pending must be at least 1".into(),
+            });
+        }
+        if self.refit_every == 0 {
+            return Err(MfboError::InvalidConfig {
+                reason: "refit_every must be at least 1 (1 = re-optimize \
+                         hyperparameters every iteration)"
+                    .into(),
+            });
+        }
+        if self.adaptive_restarts > 0 && self.model.low.restarts < 2 {
+            return Err(MfboError::InvalidConfig {
+                reason: "adaptive_restarts needs at least 2 restarts in the \
+                         low-stage GP config: with a single restart there is \
+                         no cold-start budget left to shrink"
+                    .into(),
             });
         }
         if self.max_pending > 1 && self.rank1_appends {

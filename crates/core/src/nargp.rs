@@ -20,7 +20,7 @@
 
 use crate::problem::Fidelity;
 use mfbo_gp::kernel::{Kernel, NargpKernel, SquaredExponential};
-use mfbo_gp::{Gp, GpConfig, GpError, InferenceMode, Prediction};
+use mfbo_gp::{DiffBatch, Gp, GpConfig, GpError, InferenceMode, Prediction};
 use mfbo_linalg::norm_inv_cdf;
 use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
@@ -185,13 +185,43 @@ impl MfGp {
         config: &MfGpConfig,
         plan: MfGpPlan,
     ) -> Result<Self, GpError> {
+        Self::fit_planned_shared(xl, yl, xh, yh, config, plan, None)
+    }
+
+    /// [`MfGp::fit_planned`] with an optional pre-built lower-triangle
+    /// difference batch over `xl` — the bundle fitters' sharing hook.
+    /// Sharing applies to the **low stage only**: every model of a
+    /// constrained bundle trains its low GP on the same `X_l`, whereas each
+    /// model's high stage sees different augmented inputs (the last
+    /// coordinate is that model's own low posterior mean). Bit-identical to
+    /// [`MfGp::fit_planned`].
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`MfGp::fit`].
+    pub fn fit_planned_shared(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        config: &MfGpConfig,
+        plan: MfGpPlan,
+        low_shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
         if xh.is_empty() {
             return Err(GpError::InvalidTrainingSet {
                 reason: "no high-fidelity training points".into(),
             });
         }
         let dim = xh[0].len();
-        let low = Gp::fit_planned(SquaredExponential::new(dim), xl, yl, &config.low, plan.low)?;
+        let low = Gp::fit_planned_shared(
+            SquaredExponential::new(dim),
+            xl,
+            yl,
+            &config.low,
+            plan.low,
+            low_shared,
+        )?;
 
         // Augment the high-fidelity inputs with the low GP's standardized
         // posterior mean (one batched posterior call).
@@ -204,6 +234,12 @@ impl MfGp {
             mc_samples: config.mc_samples.max(1),
             parallelism: config.parallelism,
         })
+    }
+
+    /// The winning NLML start index of each stage's most recent trained fit
+    /// (see [`Gp::best_start`]); `(low, high)`.
+    pub fn best_starts(&self) -> (Option<usize>, Option<usize>) {
+        (self.low.best_start(), self.high.best_start())
     }
 
     /// Sets the [`Parallelism`] mode used by [`MfGp::predict`]'s Monte-Carlo
@@ -488,6 +524,38 @@ impl MfGp {
         inference: InferenceMode,
         parallelism: Parallelism,
     ) -> Result<Self, GpError> {
+        Self::fit_frozen_infer_shared(
+            xl,
+            yl,
+            xh,
+            yh,
+            thetas,
+            mc_samples,
+            inference,
+            parallelism,
+            None,
+        )
+    }
+
+    /// [`MfGp::fit_frozen_infer`] with an optional pre-built low-stage
+    /// difference batch over `xl` (see [`MfGp::fit_planned_shared`] for the
+    /// sharing contract). Bit-identical to [`MfGp::fit_frozen_infer`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`MfGp::fit_frozen`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_frozen_infer_shared(
+        xl: Vec<Vec<f64>>,
+        yl: Vec<f64>,
+        xh: Vec<Vec<f64>>,
+        yh: Vec<f64>,
+        thetas: &MfGpThetas,
+        mc_samples: usize,
+        inference: InferenceMode,
+        parallelism: Parallelism,
+        low_shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
         if xh.is_empty() {
             return Err(GpError::InvalidTrainingSet {
                 reason: "no high-fidelity training points".into(),
@@ -495,7 +563,7 @@ impl MfGp {
         }
         let dim = xh[0].len();
         let (lp, ln) = split_theta(&thetas.low);
-        let low = Gp::with_params_inference(
+        let low = Gp::with_params_inference_shared(
             SquaredExponential::new(dim),
             xl,
             yl,
@@ -504,6 +572,7 @@ impl MfGp {
             true,
             inference,
             parallelism,
+            low_shared,
         )?;
         let aug = augment_inputs(&low, &xh);
         let (hp, hn) = split_theta(&thetas.high);

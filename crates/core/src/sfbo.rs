@@ -12,7 +12,7 @@ use crate::history::{EvaluationRecord, FidelityData, Outcome};
 use crate::problem::{Fidelity, MultiFidelityProblem};
 use crate::surrogate::{SfBundleThetas, SfSurrogates};
 use crate::MfboError;
-use mfbo_gp::GpConfig;
+use mfbo_gp::{FitCache, GpConfig};
 use mfbo_opt::{msp::MultiStart, neldermead::NelderMead, sampling};
 use mfbo_pool::Parallelism;
 use mfbo_telemetry::{event, span, RunTelemetry};
@@ -188,6 +188,10 @@ impl SfBayesOpt {
             ..cfg.model.clone()
         };
         let mut since_refit = 0usize;
+        // Persistent pairwise-difference cache: refits append only the new
+        // point's diffs instead of rebuilding the full lower triangle, and
+        // one batch serves every model in the bundle (see mfbo_gp::FitCache).
+        let mut fit_cache = FitCache::default();
         // Surrogates and acquisition optimization operate in the unit cube;
         // the problem is evaluated (and history recorded) in raw units.
         let unit = mfbo_opt::Bounds::unit(bounds.dim());
@@ -203,23 +207,26 @@ impl SfBayesOpt {
             let fit_span = span!("surrogate_fit", iteration = iteration, n = data.len());
             let surrogates = match &thetas {
                 Some(t) if since_refit < cfg.refit_every => {
-                    match SfSurrogates::fit_frozen_infer(
+                    match SfSurrogates::fit_frozen_infer_with_cache(
                         &data_u,
                         t,
                         cfg.parallelism,
                         model_cfg.inference,
+                        &mut fit_cache,
                     ) {
                         Ok(s) => s,
-                        Err(_) => SfSurrogates::fit(&data_u, &model_cfg, rng)?,
+                        Err(_) => {
+                            SfSurrogates::fit_with_cache(&data_u, &model_cfg, rng, &mut fit_cache)?
+                        }
                     }
                 }
                 Some(t) => {
                     since_refit = 0;
-                    SfSurrogates::fit_warm(&data_u, &model_cfg, t, rng)?
+                    SfSurrogates::fit_warm_with_cache(&data_u, &model_cfg, t, rng, &mut fit_cache)?
                 }
                 None => {
                     since_refit = 0;
-                    SfSurrogates::fit(&data_u, &model_cfg, rng)?
+                    SfSurrogates::fit_with_cache(&data_u, &model_cfg, rng, &mut fit_cache)?
                 }
             };
             since_refit += 1;

@@ -12,7 +12,7 @@ use crate::history::FidelityData;
 use crate::nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
 use crate::problem::{Evaluation, Fidelity};
 use mfbo_gp::kernel::SquaredExponential;
-use mfbo_gp::{Gp, GpConfig, GpError, InferenceMode, Prediction};
+use mfbo_gp::{DiffBatch, FitCache, Gp, GpConfig, GpError, InferenceMode, Prediction};
 use mfbo_pool::{par_map_indexed, Parallelism};
 use rand::Rng;
 
@@ -83,32 +83,80 @@ impl MfSurrogates {
         // The fits themselves are then pure and run on the pool — the bundle
         // is bit-identical in every parallelism mode.
         let plans: Vec<MfGpPlan> = (0..=n_cons).map(|_| MfGp::plan(dim, config, rng)).collect();
-        Self::fit_all_planned(low, high, config, plans)
+        Self::fit_all_planned(low, high, config, plans, None)
+    }
+
+    /// [`MfSurrogates::fit`] backed by a persistent cross-iteration
+    /// [`FitCache`]: the cache is synced to `low.xs` (computing only the
+    /// pair diffs of newly appended points) and its batch replaces the
+    /// per-fit low-stage difference build. Bit-identical to
+    /// [`MfSurrogates::fit`] and consumes the RNG in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_with_cache<R: Rng + ?Sized>(
+        low: &FidelityData,
+        high: &FidelityData,
+        config: &MfGpConfig,
+        rng: &mut R,
+        cache: &mut FitCache,
+    ) -> Result<Self, GpError> {
+        let dim = match high.xs.first() {
+            Some(x) => x.len(),
+            None => {
+                return Err(GpError::InvalidTrainingSet {
+                    reason: "no high-fidelity training points".into(),
+                })
+            }
+        };
+        let n_cons = low.constraints.len().min(high.constraints.len());
+        let plans: Vec<MfGpPlan> = (0..=n_cons).map(|_| MfGp::plan(dim, config, rng)).collect();
+        cache.sync(&low.xs);
+        let batch = cache.batch();
+        Self::fit_all_planned(low, high, config, plans, Some(&batch))
     }
 
     /// Runs the (pure) per-model fits from pre-drawn plans, distributed over
     /// `config.parallelism`. `plans[0]` trains the objective, `plans[i + 1]`
     /// constraint `i`. Models are reduced in output order, so the first
     /// error in that order is returned, as in the sequential code.
+    ///
+    /// Every model of the bundle trains its low stage on the same `X_l`, so
+    /// one lower-triangle difference batch serves all 1+m low-stage NLML
+    /// workspaces — built here once (or passed in from a persistent
+    /// [`FitCache`]) instead of once per model. The shared batch holds the
+    /// exact diff values each per-model build would compute, so the bundle
+    /// is bit-identical to unshared fitting.
     fn fit_all_planned(
         low: &FidelityData,
         high: &FidelityData,
         config: &MfGpConfig,
         plans: Vec<MfGpPlan>,
+        low_shared: Option<&DiffBatch<'_>>,
     ) -> Result<Self, GpError> {
+        let local;
+        let batch: &DiffBatch<'_> = match low_shared {
+            Some(b) => b,
+            None => {
+                local = DiffBatch::lower_triangle(&low.xs);
+                &local
+            }
+        };
         let fitted = par_map_indexed(config.parallelism, plans.len(), |i| {
             let (yl, yh) = if i == 0 {
                 (&low.objective, &high.objective)
             } else {
                 (&low.constraints[i - 1], &high.constraints[i - 1])
             };
-            MfGp::fit_planned(
+            MfGp::fit_planned_shared(
                 low.xs.clone(),
                 yl.clone(),
                 high.xs.clone(),
                 yh.clone(),
                 config,
                 plans[i].clone(),
+                Some(batch),
             )
         });
         let mut models = fitted.into_iter();
@@ -157,7 +205,49 @@ impl MfSurrogates {
                 MfGp::plan(dim, &cfg, rng)
             })
             .collect();
-        Self::fit_all_planned(low, high, config, plans)
+        Self::fit_all_planned(low, high, config, plans, None)
+    }
+
+    /// [`MfSurrogates::fit_warm`] backed by a persistent [`FitCache`] (see
+    /// [`MfSurrogates::fit_with_cache`]). Bit-identical to
+    /// [`MfSurrogates::fit_warm`] and consumes the RNG in the same order.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_warm_with_cache<R: Rng + ?Sized>(
+        low: &FidelityData,
+        high: &FidelityData,
+        config: &MfGpConfig,
+        warm: &MfBundleThetas,
+        rng: &mut R,
+        cache: &mut FitCache,
+    ) -> Result<Self, GpError> {
+        let dim = match high.xs.first() {
+            Some(x) => x.len(),
+            None => {
+                return Err(GpError::InvalidTrainingSet {
+                    reason: "no high-fidelity training points".into(),
+                })
+            }
+        };
+        let n_cons = low.constraints.len().min(high.constraints.len());
+        let plans: Vec<MfGpPlan> = (0..=n_cons)
+            .map(|i| {
+                let w = if i == 0 {
+                    &warm.objective
+                } else {
+                    &warm.constraints[i - 1]
+                };
+                let mut cfg = config.clone();
+                cfg.low.warm_start = Some(w.low.clone());
+                cfg.high.warm_start = Some(w.high.clone());
+                MfGp::plan(dim, &cfg, rng)
+            })
+            .collect();
+        cache.sync(&low.xs);
+        let batch = cache.batch();
+        Self::fit_all_planned(low, high, config, plans, Some(&batch))
     }
 
     /// Rebuilds every model on new data with frozen hyperparameters (no
@@ -197,6 +287,60 @@ impl MfSurrogates {
         parallelism: Parallelism,
         inference: InferenceMode,
     ) -> Result<Self, GpError> {
+        Self::fit_frozen_infer_planned(low, high, thetas, mc_samples, parallelism, inference, None)
+    }
+
+    /// [`MfSurrogates::fit_frozen_infer`] backed by a persistent
+    /// [`FitCache`] (see [`MfSurrogates::fit_with_cache`]). Bit-identical
+    /// to [`MfSurrogates::fit_frozen_infer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    #[allow(clippy::too_many_arguments)]
+    pub fn fit_frozen_infer_with_cache(
+        low: &FidelityData,
+        high: &FidelityData,
+        thetas: &MfBundleThetas,
+        mc_samples: usize,
+        parallelism: Parallelism,
+        inference: InferenceMode,
+        cache: &mut FitCache,
+    ) -> Result<Self, GpError> {
+        cache.sync(&low.xs);
+        let batch = cache.batch();
+        Self::fit_frozen_infer_planned(
+            low,
+            high,
+            thetas,
+            mc_samples,
+            parallelism,
+            inference,
+            Some(&batch),
+        )
+    }
+
+    /// The frozen-refresh worker behind [`MfSurrogates::fit_frozen_infer`]:
+    /// one shared low-stage difference batch (built here or served by a
+    /// persistent cache) serves all 1+m models.
+    #[allow(clippy::too_many_arguments)]
+    fn fit_frozen_infer_planned(
+        low: &FidelityData,
+        high: &FidelityData,
+        thetas: &MfBundleThetas,
+        mc_samples: usize,
+        parallelism: Parallelism,
+        inference: InferenceMode,
+        low_shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
+        let local;
+        let batch: &DiffBatch<'_> = match low_shared {
+            Some(b) => b,
+            None => {
+                local = DiffBatch::lower_triangle(&low.xs);
+                &local
+            }
+        };
         // Frozen refits consume no randomness at all, so the per-model
         // factorizations go straight onto the pool. The iterative mode's CG
         // matvecs therefore run serially inside each pool slot — the models
@@ -212,7 +356,7 @@ impl MfSurrogates {
                     &thetas.constraints[i - 1],
                 )
             };
-            MfGp::fit_frozen_infer(
+            MfGp::fit_frozen_infer_shared(
                 low.xs.clone(),
                 yl.clone(),
                 high.xs.clone(),
@@ -221,6 +365,7 @@ impl MfSurrogates {
                 mc_samples,
                 inference,
                 Parallelism::Serial,
+                Some(batch),
             )
             .map(|m| m.with_parallelism(parallelism))
         });
@@ -263,6 +408,17 @@ impl MfSurrogates {
             objective: self.objective.thetas(),
             constraints: self.constraints.iter().map(MfGp::thetas).collect(),
         }
+    }
+
+    /// `true` when the warm-start seed (plan index 1; see
+    /// [`mfbo_gp::Gp::best_start`]) won the NLML search in *both* stages of
+    /// *every* model in the bundle. Only meaningful after a warm fit
+    /// ([`MfSurrogates::fit_warm`]); the signal behind the
+    /// `theta_warm_wins` counter and `MfBoConfig::adaptive_restarts`.
+    pub fn warm_seed_won(&self) -> bool {
+        std::iter::once(&self.objective)
+            .chain(self.constraints.iter())
+            .all(|m| m.best_starts() == (Some(1), Some(1)))
     }
 
     /// The objective fusion model.
@@ -363,16 +519,22 @@ impl SfSurrogates {
         let plans: Vec<Vec<Vec<f64>>> = (0..=data.constraints.len())
             .map(|_| Gp::plan_starts(&kernel, config, rng))
             .collect();
-        Self::fit_all_planned(data, config, plans)
+        Self::fit_all_planned(data, config, plans, None)
     }
 
-    /// Runs the (pure) per-model fits from pre-drawn starting points,
-    /// distributed over `config.parallelism`. `plans[0]` trains the
-    /// objective, `plans[i + 1]` constraint `i`.
-    fn fit_all_planned(
+    /// [`SfSurrogates::fit`] backed by a persistent [`FitCache`]: the
+    /// pairwise-difference batch is synced incrementally against `data.xs`
+    /// and shared across every model in the bundle. Bit-identical to
+    /// [`SfSurrogates::fit`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_with_cache<R: Rng + ?Sized>(
         data: &FidelityData,
         config: &GpConfig,
-        plans: Vec<Vec<Vec<f64>>>,
+        rng: &mut R,
+        cache: &mut FitCache,
     ) -> Result<Self, GpError> {
         let dim = data
             .xs
@@ -381,18 +543,56 @@ impl SfSurrogates {
             .ok_or_else(|| GpError::InvalidTrainingSet {
                 reason: "no training points".into(),
             })?;
+        let kernel = SquaredExponential::new(dim);
+        // Plans are drawn before the cache sync so the RNG consumption order
+        // matches `fit` exactly.
+        let plans: Vec<Vec<Vec<f64>>> = (0..=data.constraints.len())
+            .map(|_| Gp::plan_starts(&kernel, config, rng))
+            .collect();
+        cache.sync(&data.xs);
+        let batch = cache.batch();
+        Self::fit_all_planned(data, config, plans, Some(&batch))
+    }
+
+    /// Runs the (pure) per-model fits from pre-drawn starting points,
+    /// distributed over `config.parallelism`. `plans[0]` trains the
+    /// objective, `plans[i + 1]` constraint `i`. One pairwise-difference
+    /// batch over `data.xs` (supplied via `shared`, or built here) serves
+    /// every model.
+    fn fit_all_planned(
+        data: &FidelityData,
+        config: &GpConfig,
+        plans: Vec<Vec<Vec<f64>>>,
+        shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
+        let dim = data
+            .xs
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            })?;
+        let local;
+        let batch: &DiffBatch<'_> = match shared {
+            Some(b) => b,
+            None => {
+                local = DiffBatch::lower_triangle(&data.xs);
+                &local
+            }
+        };
         let fitted = par_map_indexed(config.parallelism, plans.len(), |i| {
             let ys = if i == 0 {
                 &data.objective
             } else {
                 &data.constraints[i - 1]
             };
-            Gp::fit_planned(
+            Gp::fit_planned_shared(
                 SquaredExponential::new(dim),
                 data.xs.clone(),
                 ys.clone(),
                 config,
                 plans[i].clone(),
+                Some(batch),
             )
         });
         let mut models = fitted.into_iter();
@@ -438,7 +638,46 @@ impl SfSurrogates {
                 Gp::plan_starts(&kernel, &cfg, rng)
             })
             .collect();
-        Self::fit_all_planned(data, config, plans)
+        Self::fit_all_planned(data, config, plans, None)
+    }
+
+    /// [`SfSurrogates::fit_warm`] backed by a persistent [`FitCache`]
+    /// (see [`SfSurrogates::fit_with_cache`]). Bit-identical to
+    /// [`SfSurrogates::fit_warm`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_warm_with_cache<R: Rng + ?Sized>(
+        data: &FidelityData,
+        config: &GpConfig,
+        warm: &SfBundleThetas,
+        rng: &mut R,
+        cache: &mut FitCache,
+    ) -> Result<Self, GpError> {
+        let dim = data
+            .xs
+            .first()
+            .map(Vec::len)
+            .ok_or_else(|| GpError::InvalidTrainingSet {
+                reason: "no training points".into(),
+            })?;
+        let kernel = SquaredExponential::new(dim);
+        let plans: Vec<Vec<Vec<f64>>> = (0..=data.constraints.len())
+            .map(|i| {
+                let w = if i == 0 {
+                    &warm.objective
+                } else {
+                    &warm.constraints[i - 1]
+                };
+                let mut cfg = config.clone();
+                cfg.warm_start = Some(w.clone());
+                Gp::plan_starts(&kernel, &cfg, rng)
+            })
+            .collect();
+        cache.sync(&data.xs);
+        let batch = cache.batch();
+        Self::fit_all_planned(data, config, plans, Some(&batch))
     }
 
     /// Rebuilds every model on new data with frozen hyperparameters.
@@ -466,6 +705,37 @@ impl SfSurrogates {
         parallelism: Parallelism,
         inference: InferenceMode,
     ) -> Result<Self, GpError> {
+        Self::fit_frozen_infer_planned(data, thetas, parallelism, inference, None)
+    }
+
+    /// [`SfSurrogates::fit_frozen_infer`] backed by a persistent
+    /// [`FitCache`] (see [`SfSurrogates::fit_with_cache`]). Bit-identical
+    /// to [`SfSurrogates::fit_frozen_infer`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates the first [`GpError`] encountered.
+    pub fn fit_frozen_infer_with_cache(
+        data: &FidelityData,
+        thetas: &SfBundleThetas,
+        parallelism: Parallelism,
+        inference: InferenceMode,
+        cache: &mut FitCache,
+    ) -> Result<Self, GpError> {
+        cache.sync(&data.xs);
+        let batch = cache.batch();
+        Self::fit_frozen_infer_planned(data, thetas, parallelism, inference, Some(&batch))
+    }
+
+    /// The frozen-refresh worker: one shared pairwise-difference batch
+    /// serves every model in the bundle.
+    fn fit_frozen_infer_planned(
+        data: &FidelityData,
+        thetas: &SfBundleThetas,
+        parallelism: Parallelism,
+        inference: InferenceMode,
+        shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
         let dim = data
             .xs
             .first()
@@ -473,6 +743,14 @@ impl SfSurrogates {
             .ok_or_else(|| GpError::InvalidTrainingSet {
                 reason: "no training points".into(),
             })?;
+        let local;
+        let batch: &DiffBatch<'_> = match shared {
+            Some(b) => b,
+            None => {
+                local = DiffBatch::lower_triangle(&data.xs);
+                &local
+            }
+        };
         let split = |t: &[f64]| {
             let (kp, ln) = t.split_at(t.len() - 1);
             (kp.to_vec(), ln[0])
@@ -486,7 +764,7 @@ impl SfSurrogates {
                 (&data.constraints[i - 1], &thetas.constraints[i - 1])
             };
             let (kp, ln) = split(t);
-            Gp::with_params_inference(
+            Gp::with_params_inference_shared(
                 SquaredExponential::new(dim),
                 data.xs.clone(),
                 ys.clone(),
@@ -495,6 +773,7 @@ impl SfSurrogates {
                 true,
                 inference,
                 Parallelism::Serial,
+                Some(batch),
             )
         });
         let mut models = fitted.into_iter();
@@ -674,5 +953,164 @@ mod tests {
             assert!(s.wei_low(&[x], 0.4) >= 0.0);
             assert!(s.wei_high(&[x], 0.4) >= 0.0);
         }
+    }
+
+    fn assert_theta_bits_eq(a: &MfGpThetas, b: &MfGpThetas) {
+        let bits = |v: &[f64]| v.iter().map(|x| x.to_bits()).collect::<Vec<_>>();
+        assert_eq!(bits(&a.low), bits(&b.low));
+        assert_eq!(bits(&a.high), bits(&b.high));
+    }
+
+    /// Simulates the BO loop's growing training set: at every step the
+    /// cache-backed fit must agree bit for bit with the fresh fit — thetas
+    /// and posterior alike — even across truncation (shrinking data mimics
+    /// a constant-liar fantasy point vanishing between iterations).
+    #[test]
+    fn mf_fit_with_cache_bit_identity_across_iterations() {
+        let high = make_data(6, 0.0);
+        let mut cache = FitCache::default();
+        for n in [10usize, 11, 14, 12] {
+            let low = make_data(n, 0.3);
+            let mut rng_a = StdRng::seed_from_u64(9);
+            let mut rng_b = StdRng::seed_from_u64(9);
+            let fresh = MfSurrogates::fit(&low, &high, &MfGpConfig::fast(), &mut rng_a).unwrap();
+            let cached = MfSurrogates::fit_with_cache(
+                &low,
+                &high,
+                &MfGpConfig::fast(),
+                &mut rng_b,
+                &mut cache,
+            )
+            .unwrap();
+            assert_theta_bits_eq(&fresh.thetas().objective, &cached.thetas().objective);
+            for (f, c) in fresh
+                .thetas()
+                .constraints
+                .iter()
+                .zip(&cached.thetas().constraints)
+            {
+                assert_theta_bits_eq(f, c);
+            }
+            for &x in &[0.07, 0.52, 0.93] {
+                let (pf, cf) = fresh.predict_high(&[x]);
+                let (pc, cc) = cached.predict_high(&[x]);
+                assert_eq!(pf.mean.to_bits(), pc.mean.to_bits());
+                assert_eq!(pf.var.to_bits(), pc.var.to_bits());
+                for (a, b) in cf.iter().zip(&cc) {
+                    assert_eq!(a.mean.to_bits(), b.mean.to_bits());
+                    assert_eq!(a.var.to_bits(), b.var.to_bits());
+                }
+            }
+        }
+    }
+
+    /// Frozen refreshes through the cache match the fresh frozen build bit
+    /// for bit.
+    #[test]
+    fn mf_frozen_with_cache_bit_identity() {
+        let low = make_data(18, 0.3);
+        let high = make_data(7, 0.0);
+        let mut rng = StdRng::seed_from_u64(12);
+        let s = MfSurrogates::fit(&low, &high, &MfGpConfig::fast(), &mut rng).unwrap();
+        let t = s.thetas();
+        let cfg = MfGpConfig::fast();
+        let fresh = MfSurrogates::fit_frozen_infer(
+            &low,
+            &high,
+            &t,
+            cfg.mc_samples,
+            Parallelism::Serial,
+            InferenceMode::Exact,
+        )
+        .unwrap();
+        let mut cache = FitCache::default();
+        let cached = MfSurrogates::fit_frozen_infer_with_cache(
+            &low,
+            &high,
+            &t,
+            cfg.mc_samples,
+            Parallelism::Serial,
+            InferenceMode::Exact,
+            &mut cache,
+        )
+        .unwrap();
+        for &x in &[0.11, 0.66] {
+            let (pf, _) = fresh.predict_high(&[x]);
+            let (pc, _) = cached.predict_high(&[x]);
+            assert_eq!(pf.mean.to_bits(), pc.mean.to_bits());
+            assert_eq!(pf.var.to_bits(), pc.var.to_bits());
+        }
+    }
+
+    /// The whole point of the shared bundle batch: one from-scratch
+    /// lower-triangle build per low fusion stage instead of one per model,
+    /// while the theta-dependent `kernel_matrix_builds` count — which layout
+    /// sharing cannot touch — stays exactly what the per-model NLML search
+    /// demands.
+    #[test]
+    fn mf_bundle_sharing_counters() {
+        use std::sync::Arc;
+        let low = make_data(16, 0.3);
+        let high = make_data(6, 0.0);
+
+        let count = |f: &dyn Fn()| -> (u64, u64, u64) {
+            let reg = Arc::new(mfbo_telemetry::metrics::MetricsRegistry::new());
+            {
+                let _g = mfbo_telemetry::scoped_sink(reg.clone());
+                f();
+            }
+            let snap = reg.snapshot();
+            let get = |k: &str| snap.counters.get(k).copied().unwrap_or(0);
+            (
+                get("diffbatch_builds"),
+                get("diffbatch_shared_hits"),
+                get("kernel_matrix_builds"),
+            )
+        };
+
+        // Shared (the default `fit`): one low-stage build for the whole
+        // bundle, plus one per-model high-stage build (the augmented high X
+        // differs per model and cannot be shared).
+        let (builds_shared, hits, kmb_shared) = count(&|| {
+            let mut rng = StdRng::seed_from_u64(21);
+            MfSurrogates::fit(&low, &high, &MfGpConfig::fast(), &mut rng).unwrap();
+        });
+        // Unshared baseline: every model builds its own low batch.
+        let (builds_owned, _, kmb_owned) = count(&|| {
+            let mut rng = StdRng::seed_from_u64(21);
+            let cfg = MfGpConfig::fast();
+            let plan_o = MfGp::plan(1, &cfg, &mut rng);
+            let plan_c = MfGp::plan(1, &cfg, &mut rng);
+            MfGp::fit_planned(
+                low.xs.clone(),
+                low.objective.clone(),
+                high.xs.clone(),
+                high.objective.clone(),
+                &cfg,
+                plan_o,
+            )
+            .unwrap();
+            MfGp::fit_planned(
+                low.xs.clone(),
+                low.constraints[0].clone(),
+                high.xs.clone(),
+                high.constraints[0].clone(),
+                &cfg,
+                plan_c,
+            )
+            .unwrap();
+        });
+        // 1 objective + 1 constraint: sharing saves exactly one low-stage
+        // build (the (1+m)× drop for m = 1), and every model's workspace
+        // registers a shared hit.
+        assert_eq!(
+            builds_owned - builds_shared,
+            1,
+            "owned {builds_owned}, shared {builds_shared}"
+        );
+        assert_eq!(hits, 2);
+        // Layout invisibility: the theta-dependent assembly count is
+        // untouched by who owns the difference buffers.
+        assert_eq!(kmb_shared, kmb_owned);
     }
 }

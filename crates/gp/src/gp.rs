@@ -1,7 +1,7 @@
 //! Gaussian-process regression model: training and posterior prediction.
 
 use crate::kernel::Kernel;
-use crate::nlml::{kernel_matrix_cached, nlml_cached, nlml_with_grad_cached, NlmlWorkspace};
+use crate::nlml::{kernel_matrix_cached, nlml_with_grad_cached, NlmlWorkspace};
 use crate::workspace::DiffBatch;
 use crate::GpError;
 use mfbo_infer::InferenceMode;
@@ -129,6 +129,10 @@ pub struct Gp<K: Kernel> {
     nlml: f64,
     /// Present iff the model was built by [`InferenceMode::Iterative`].
     iter_state: Option<IterState>,
+    /// Index into the planned starts of the restart that won the NLML
+    /// search (0 = kernel default, 1 = warm start when one was supplied);
+    /// `None` for frozen-hyperparameter builds, which run no search.
+    best_start: Option<usize>,
 }
 
 impl<K: Kernel> Gp<K> {
@@ -248,19 +252,49 @@ impl<K: Kernel> Gp<K> {
         config: &GpConfig,
         starts: Vec<Vec<f64>>,
     ) -> Result<Self, GpError> {
+        Self::fit_planned_shared(kernel, xs, ys, config, starts, None)
+    }
+
+    /// [`Gp::fit_planned`] with an optional pre-built lower-triangle
+    /// difference batch over `xs` — the bundle fitters' sharing hook (the
+    /// objective and constraint GPs of one bundle train on the same `X`, so
+    /// one batch serves every model's NLML workspace). The batch must hold
+    /// the exact diffs a fresh build over `xs` would (bit-identical
+    /// results); a batch whose shape does not match `xs` is ignored and a
+    /// fresh build is used. Only the exact path consumes the batch — the
+    /// subset/iterative engines train on reduced point sets.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Gp::fit`].
+    pub fn fit_planned_shared(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        config: &GpConfig,
+        starts: Vec<Vec<f64>>,
+        shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
         Self::validate(&kernel, &xs, &ys)?;
         match config.inference {
             InferenceMode::SubsetOfData { max_points } if xs.len() > max_points => {
                 let keep = mfbo_infer::select_subset(&xs, max_points, 0);
                 let xs_sub: Vec<Vec<f64>> = keep.iter().map(|&i| xs[i].clone()).collect();
                 let ys_sub: Vec<f64> = keep.iter().map(|&i| ys[i]).collect();
-                Self::fit_planned_exact(kernel, xs_sub, ys_sub, config, starts)
+                Self::fit_planned_exact(kernel, xs_sub, ys_sub, config, starts, None)
             }
             InferenceMode::Iterative { subset, max_iters } if xs.len() > subset => {
                 Self::fit_planned_iterative(kernel, xs, ys, config, starts, subset, max_iters)
             }
-            _ => Self::fit_planned_exact(kernel, xs, ys, config, starts),
+            _ => Self::fit_planned_exact(kernel, xs, ys, config, starts, shared),
         }
+    }
+
+    /// Whether `batch` is a usable lower-triangle difference tensor for
+    /// `xs` (right pair count and dimensionality).
+    fn shared_usable(batch: &DiffBatch<'_>, xs: &[Vec<f64>]) -> bool {
+        let n = xs.len();
+        batch.len() == n * (n + 1) / 2 && batch.dim() == xs.first().map_or(0, Vec::len)
     }
 
     /// The historical exact training path: full-data hyperopt, one final
@@ -272,6 +306,7 @@ impl<K: Kernel> Gp<K> {
         ys: Vec<f64>,
         config: &GpConfig,
         starts: Vec<Vec<f64>>,
+        shared: Option<&DiffBatch<'_>>,
     ) -> Result<Self, GpError> {
         Self::validate(&kernel, &xs, &ys)?;
 
@@ -285,8 +320,12 @@ impl<K: Kernel> Gp<K> {
 
         // One distance workspace for the whole fit: every NLML evaluation
         // of every restart reuses the pairwise difference tensor (the
-        // workspace is read-only, so parallel restarts share it).
-        let ws = NlmlWorkspace::new(&xs);
+        // workspace is read-only, so parallel restarts share it). A shared
+        // bundle batch replaces even that single build.
+        let ws = match shared {
+            Some(b) if Self::shared_usable(b, &xs) => NlmlWorkspace::from_batch(b, xs.len()),
+            _ => NlmlWorkspace::new(&xs),
+        };
         let objective = |theta: &[f64]| nlml_with_grad_cached(&kernel, theta, &ws, &ys_std);
         let optimizer = Lbfgs::new()
             .with_max_iters(config.max_iters)
@@ -366,6 +405,7 @@ impl<K: Kernel> Gp<K> {
             alpha,
             nlml: best_nlml,
             iter_state: None,
+            best_start: Some(best_start),
         })
     }
 
@@ -401,7 +441,7 @@ impl<K: Kernel> Gp<K> {
             inference: InferenceMode::Exact,
             ..config.clone()
         };
-        let sub = Self::fit_planned_exact(kernel, xs_sub, ys_sub, &sub_cfg, starts)?;
+        let sub = Self::fit_planned_exact(kernel, xs_sub, ys_sub, &sub_cfg, starts, None)?;
         Self::finish_iterative(
             sub,
             xs,
@@ -436,6 +476,7 @@ impl<K: Kernel> Gp<K> {
             chol,
             alpha: sub_alpha,
             nlml,
+            best_start,
             ..
         } = sub;
         let sn2 = (2.0 * log_noise).exp();
@@ -479,6 +520,7 @@ impl<K: Kernel> Gp<K> {
                 alpha,
                 nlml,
                 iter_state: None,
+                best_start,
             });
         }
         mfbo_telemetry::debug_event!(
@@ -505,6 +547,7 @@ impl<K: Kernel> Gp<K> {
                 sub_alpha,
                 cg_iters: outcome.iters,
             }),
+            best_start,
         })
     }
 
@@ -563,6 +606,26 @@ impl<K: Kernel> Gp<K> {
         log_noise: f64,
         standardize: bool,
     ) -> Result<Self, GpError> {
+        Self::with_params_shared(kernel, xs, ys, params, log_noise, standardize, None)
+    }
+
+    /// [`Gp::with_params`] with an optional pre-built lower-triangle
+    /// difference batch over `xs` (see [`Gp::fit_planned_shared`]) — the
+    /// frozen-refresh bundle path builds the batch once and rebuilds every
+    /// model of the bundle from it. Bit-identical to [`Gp::with_params`].
+    ///
+    /// # Errors
+    ///
+    /// As for [`Gp::with_params`].
+    pub fn with_params_shared(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        params: Vec<f64>,
+        log_noise: f64,
+        standardize: bool,
+        shared: Option<&DiffBatch<'_>>,
+    ) -> Result<Self, GpError> {
         if xs.is_empty() || xs.len() != ys.len() {
             return Err(GpError::InvalidTrainingSet {
                 reason: "empty or mismatched training set".into(),
@@ -579,20 +642,21 @@ impl<K: Kernel> Gp<K> {
             Standardizer::identity()
         };
         let ys_std = standardizer.transform_all(&ys);
-        let ws = NlmlWorkspace::new(&xs);
+        let ws = match shared {
+            Some(b) if Self::shared_usable(b, &xs) => NlmlWorkspace::from_batch(b, xs.len()),
+            _ => NlmlWorkspace::new(&xs),
+        };
         let km = kernel_matrix_cached(&kernel, &params, log_noise, &ws);
         let chol = Cholesky::new_with_jitter(&km, 1e-10, 1e-4)?;
         let alpha = chol.solve_vec(&ys_std);
-        let nlml = nlml_cached(
-            &kernel,
-            &{
-                let mut t = params.clone();
-                t.push(log_noise);
-                t
-            },
-            &ws,
-            &ys_std,
-        );
+        // The frozen θ's NLML falls out of the factorization already in
+        // hand: `nlml_cached` would rebuild the identical kernel matrix and
+        // refactorize it, doubling the cost of every frozen refresh for
+        // bit-identical output (same workspace + same θ ⇒ same matrix ⇒
+        // same factor, and this is the same quad-form/log-det expression).
+        let nlml = 0.5
+            * (chol.quad_form(&ys_std) + chol.log_det() + xs.len() as f64 * crate::nlml::LOG_2PI);
+        mfbo_telemetry::counter!("nlml_evals", 1u64);
         drop(ws);
         Ok(Gp {
             kernel,
@@ -606,6 +670,7 @@ impl<K: Kernel> Gp<K> {
             alpha,
             nlml,
             iter_state: None,
+            best_start: None,
         })
     }
 
@@ -628,6 +693,38 @@ impl<K: Kernel> Gp<K> {
         standardize: bool,
         inference: InferenceMode,
         parallelism: Parallelism,
+    ) -> Result<Self, GpError> {
+        Self::with_params_inference_shared(
+            kernel,
+            xs,
+            ys,
+            params,
+            log_noise,
+            standardize,
+            inference,
+            parallelism,
+            None,
+        )
+    }
+
+    /// [`Gp::with_params_inference`] with an optional pre-built
+    /// lower-triangle difference batch over `xs` (see
+    /// [`Gp::fit_planned_shared`]); only the exact path consumes it.
+    ///
+    /// # Errors
+    ///
+    /// As for [`Gp::with_params`].
+    #[allow(clippy::too_many_arguments)]
+    pub fn with_params_inference_shared(
+        kernel: K,
+        xs: Vec<Vec<f64>>,
+        ys: Vec<f64>,
+        params: Vec<f64>,
+        log_noise: f64,
+        standardize: bool,
+        inference: InferenceMode,
+        parallelism: Parallelism,
+        shared: Option<&DiffBatch<'_>>,
     ) -> Result<Self, GpError> {
         if xs.is_empty() || xs.len() != ys.len() {
             return Err(GpError::InvalidTrainingSet {
@@ -663,7 +760,7 @@ impl<K: Kernel> Gp<K> {
                     parallelism,
                 )
             }
-            _ => Self::with_params(kernel, xs, ys, params, log_noise, standardize),
+            _ => Self::with_params_shared(kernel, xs, ys, params, log_noise, standardize, shared),
         }
     }
 
@@ -992,6 +1089,14 @@ impl<K: Kernel> Gp<K> {
     /// Final negative log marginal likelihood of the trained model.
     pub fn nlml(&self) -> f64 {
         self.nlml
+    }
+
+    /// Index of the planned start that won the NLML search (0 = kernel
+    /// default, 1 = warm start when one was supplied); `None` for
+    /// frozen-hyperparameter builds. The adaptive-restart policy uses this
+    /// to detect refits where the warm seed keeps winning.
+    pub fn best_start(&self) -> Option<usize> {
+        self.best_start
     }
 
     /// Leave-one-out cross-validation residuals and predictive variances in

@@ -49,4 +49,4 @@ pub use error::GpError;
 pub use gp::{Gp, GpConfig, Prediction};
 pub use mfbo_infer::InferenceMode;
 pub use nlml::{nlml, nlml_cached, nlml_with_grad, nlml_with_grad_cached, NlmlWorkspace};
-pub use workspace::DiffBatch;
+pub use workspace::{DiffBatch, FitCache};

@@ -26,16 +26,54 @@ pub(crate) const LOG_2PI: f64 = 1.837_877_066_409_345_5;
 /// The workspace is read-only after construction and `Sync`: parallel
 /// restarts share one instance.
 pub struct NlmlWorkspace<'a> {
-    batch: DiffBatch<'a>,
+    batch: WsBatch<'a>,
     n: usize,
+}
+
+/// The difference tensor behind an [`NlmlWorkspace`]: built fresh for this
+/// fit, or a reference to a batch shared across a bundle of fits over the
+/// same point set.
+enum WsBatch<'a> {
+    Owned(DiffBatch<'a>),
+    Shared(&'a DiffBatch<'a>),
 }
 
 impl<'a> NlmlWorkspace<'a> {
     /// Builds the lower-triangle difference tensor over `xs`.
     pub fn new(xs: &'a [Vec<f64>]) -> Self {
         NlmlWorkspace {
-            batch: DiffBatch::lower_triangle(xs),
+            batch: WsBatch::Owned(DiffBatch::lower_triangle(xs)),
             n: xs.len(),
+        }
+    }
+
+    /// A workspace over a pre-built lower-triangle batch — the bundle
+    /// fitters' sharing hook: the objective GP and every constraint GP train
+    /// on the same `X`, so one difference tensor serves all of their NLML
+    /// workspaces. Bit-identical to [`NlmlWorkspace::new`] over the same
+    /// points (the batch holds the exact values a fresh build computes).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `batch` does not cover the lower triangle of `n` points.
+    pub fn from_batch(batch: &'a DiffBatch<'a>, n: usize) -> Self {
+        assert_eq!(
+            batch.len(),
+            n * (n + 1) / 2,
+            "shared batch pair count does not match the training set"
+        );
+        mfbo_telemetry::counter!("diffbatch_shared_hits", 1u64);
+        NlmlWorkspace {
+            batch: WsBatch::Shared(batch),
+            n,
+        }
+    }
+
+    /// The underlying difference tensor.
+    fn batch(&self) -> &DiffBatch<'a> {
+        match &self.batch {
+            WsBatch::Owned(b) => b,
+            WsBatch::Shared(b) => b,
         }
     }
 
@@ -80,8 +118,8 @@ pub(crate) fn kernel_matrix_cached<K: Kernel>(
     log_noise: f64,
     ws: &NlmlWorkspace<'_>,
 ) -> Matrix {
-    let mut kv = vec![0.0; ws.batch.len()];
-    kernel.eval_from_diffs(p, &ws.batch, &mut kv);
+    let mut kv = vec![0.0; ws.batch().len()];
+    kernel.eval_from_diffs(p, ws.batch(), &mut kv);
     assemble_from_lower(ws.n, &kv, (2.0 * log_noise).exp())
 }
 
@@ -247,8 +285,8 @@ pub fn nlml_with_grad_cached<K: Kernel>(
     // Keep the raw (noise-free) kernel values of the eval pass alive: the
     // gradient hook below reuses them, saving kernels whose gradient
     // factors through the value a second per-pair `exp` sweep.
-    let mut kv = vec![0.0; ws.batch.len()];
-    kernel.eval_from_diffs(kp, &ws.batch, &mut kv);
+    let mut kv = vec![0.0; ws.batch().len()];
+    kernel.eval_from_diffs(kp, ws.batch(), &mut kv);
     let sn2 = (2.0 * log_noise[0]).exp();
     let km = assemble_from_lower(n, &kv, sn2);
     mfbo_telemetry::counter!("nlml_evals", 1u64);
@@ -264,7 +302,7 @@ pub fn nlml_with_grad_cached<K: Kernel>(
     // of K⁻¹ is read, so the early-stopped inverse suffices — its computed
     // entries are bit-identical to the full inverse.
     let kinv = chol.inverse_lower();
-    let mut weights = vec![0.0; ws.batch.len()];
+    let mut weights = vec![0.0; ws.batch().len()];
     let mut q = 0;
     for i in 0..n {
         for j in 0..=i {
@@ -274,7 +312,7 @@ pub fn nlml_with_grad_cached<K: Kernel>(
         }
     }
     let mut grad = vec![0.0; theta.len()];
-    kernel.grad_from_diffs_with_values(kp, &ws.batch, &weights, &kv, &mut grad[..np]);
+    kernel.grad_from_diffs_with_values(kp, ws.batch(), &weights, &kv, &mut grad[..np]);
     for i in 0..n {
         // Diagonal pair (i, i) sits at lower-triangle index i(i+3)/2.
         let weight = weights[i * (i + 3) / 2];
@@ -371,6 +409,27 @@ mod tests {
             let (cv, cg) = nlml_with_grad_cached(&k, &theta, &ws, &ys);
             assert_eq!(nv.to_bits(), cv.to_bits());
             for (a, b) in ng.iter().zip(&cg) {
+                assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn shared_workspace_bit_identical_to_owned() {
+        let (xs, ys) = toy_data();
+        let k = SquaredExponential::new(1);
+        let owned = NlmlWorkspace::new(&xs);
+        let batch = DiffBatch::lower_triangle(&xs);
+        let shared = NlmlWorkspace::from_batch(&batch, xs.len());
+        for theta in [[0.2, -0.8, -1.5], [0.0, -1.0, -3.0]] {
+            assert_eq!(
+                nlml_cached(&k, &theta, &owned, &ys).to_bits(),
+                nlml_cached(&k, &theta, &shared, &ys).to_bits()
+            );
+            let (ov, og) = nlml_with_grad_cached(&k, &theta, &owned, &ys);
+            let (sv, sg) = nlml_with_grad_cached(&k, &theta, &shared, &ys);
+            assert_eq!(ov.to_bits(), sv.to_bits());
+            for (a, b) in og.iter().zip(&sg) {
                 assert_eq!(a.to_bits(), b.to_bits());
             }
         }

@@ -192,6 +192,78 @@ mod bit_identity {
     proptest! {
         #![proptest_config(ProptestConfig::with_cases(24))]
 
+        /// Differential oracle for the cross-iteration fit cache: a cache
+        /// grown by arbitrary append/truncate/sync sequences must serve a
+        /// batch bit-identical to a fresh `lower_triangle` build over the
+        /// same points — diffs and SIMD transpose alike, under both the
+        /// detected backend and forced scalar (exercised by the
+        /// `MFBO_SIMD` CI matrix).
+        #[test]
+        fn fit_cache_append_bit_identity_vs_fresh(
+            xs in points(12, 3),
+            split in 1usize..11,
+            resync_at in 1usize..11,
+        ) {
+            let mut cache = mfbo_gp::FitCache::new();
+            cache.append_points(&xs[..split]);
+            cache.append_points(&xs[split..]);
+            for be in [mfbo_simd::detect(), mfbo_simd::Backend::Scalar] {
+                let fresh = DiffBatch::lower_triangle_with_backend(&xs, be);
+                let view = cache.batch_with_backend(be);
+                prop_assert_eq!(view.len(), fresh.len());
+                for (a, b) in view.diffs().iter().zip(fresh.diffs()) {
+                    prop_assert_eq!(a.to_bits(), b.to_bits());
+                }
+                match (view.simd_rows(), fresh.simd_rows()) {
+                    (None, None) => {}
+                    (Some((ba, ra)), Some((bb, rb))) => {
+                        prop_assert_eq!(ba, bb);
+                        for (a, b) in ra.iter().zip(rb) {
+                            prop_assert_eq!(a.to_bits(), b.to_bits());
+                        }
+                    }
+                    _ => prop_assert!(false, "simd_rows presence mismatch"),
+                }
+            }
+            // Sync to a prefix + divergent tail (the constant-liar flow).
+            let mut target = xs[..resync_at].to_vec();
+            target.push(vec![0.123, 0.456, 0.789]);
+            cache.sync(&target);
+            let fresh = DiffBatch::lower_triangle_with_backend(&target, mfbo_simd::detect());
+            let view = cache.batch_with_backend(mfbo_simd::detect());
+            prop_assert_eq!(view.len(), fresh.len());
+            for (a, b) in view.diffs().iter().zip(fresh.diffs()) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
+        /// A shared-workspace NLML (value + gradient) is bit-identical to
+        /// the per-model owned workspace — the invariant behind the
+        /// default-on bundle distance-cache sharing.
+        #[test]
+        fn shared_workspace_nlml_bit_identity(
+            xs in points(9, 2),
+            logsf in -0.5f64..0.5,
+            logl in -1.5f64..0.5,
+        ) {
+            let ys: Vec<f64> = xs.iter().map(|x| (4.0 * x[0] - x[1]).sin()).collect();
+            let k = SquaredExponential::new(2);
+            let theta = [logsf, logl, -1.0, -2.0];
+            let owned = NlmlWorkspace::new(&xs);
+            let batch = DiffBatch::lower_triangle(&xs);
+            let shared = NlmlWorkspace::from_batch(&batch, xs.len());
+            prop_assert_eq!(
+                nlml_cached(&k, &theta, &owned, &ys).to_bits(),
+                nlml_cached(&k, &theta, &shared, &ys).to_bits()
+            );
+            let (ov, og) = nlml_with_grad_cached(&k, &theta, &owned, &ys);
+            let (sv, sg) = nlml_with_grad_cached(&k, &theta, &shared, &ys);
+            prop_assert_eq!(ov.to_bits(), sv.to_bits());
+            for (a, b) in og.iter().zip(&sg) {
+                prop_assert_eq!(a.to_bits(), b.to_bits());
+            }
+        }
+
         #[test]
         fn cached_nlml_bit_identical_se(
             xs in points(9, 2),

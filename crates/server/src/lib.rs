@@ -17,7 +17,10 @@
 //! `start` fields beyond `run` and `problem` (all optional):
 //! `seed`, `budget`, `init_low`, `init_high`, `batch` (ask/tell
 //! `max_pending`), `gp_inference` (`"exact"`/`"iterative"`/
-//! `"subset-of-data"` surrogate engine), `journal` (directory), `resume`,
+//! `"subset-of-data"` surrogate engine), `refit_every` (full
+//! hyperparameter refits every N iterations), `warm_start_thetas`,
+//! `adaptive_restarts`, `acq_warm_start` (warm-started refit/acquisition
+//! knobs; see `MfBoConfig`), `journal` (directory), `resume`,
 //! `retries`,
 //! `on_non_finite` (`"abort"`/`"penalize"`), `max_evals`, `stall_ms`
 //! (worker deadline), and `fault` (`{"kind":"nan"|"panic"|"stall",
@@ -314,6 +317,10 @@ fn parse_spec(req: &Json) -> Result<RunSpec, String> {
         initial_high: usize_field("init_high", 5)?,
         budget,
         max_pending: usize_field("batch", 1)?,
+        refit_every: usize_field("refit_every", 1)?,
+        warm_start_thetas: bool_field("warm_start_thetas")?,
+        adaptive_restarts: usize_field("adaptive_restarts", 0)?,
+        acq_warm_start: bool_field("acq_warm_start")?,
         ..MfBoConfig::default()
     };
     if let Some(v) = req.get("gp_inference") {

@@ -319,6 +319,46 @@ fn batched_runs_complete_and_report_via_list() {
 }
 
 #[test]
+fn refit_and_warm_start_fields_are_threaded_and_validated() {
+    let (mut client, _addr) = boot(2);
+    // A run with the whole amortized-refit knob set completes.
+    let mut req = start_req("amortized", "forrester", 11, 6.0);
+    req.push(("refit_every", Json::Num(4.0)));
+    req.push(("warm_start_thetas", Json::Bool(true)));
+    req.push(("adaptive_restarts", Json::Num(2.0)));
+    req.push(("acq_warm_start", Json::Bool(true)));
+    client.expect_ok(&obj(req)).unwrap();
+    let reply = wait(&mut client, "amortized");
+    assert_eq!(state(&reply), "done", "{reply}");
+
+    // refit_every = 0 is an invalid config and fails in the start reply.
+    let mut bad = start_req("bad-refit", "forrester", 11, 6.0);
+    bad.push(("refit_every", Json::Num(0.0)));
+    let err = client.request(&obj(bad)).unwrap();
+    assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        err.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("refit_every"),
+        "{err}"
+    );
+
+    // Mis-typed knobs are rejected with a field-specific message.
+    let mut bad = start_req("bad-warm", "forrester", 11, 6.0);
+    bad.push(("warm_start_thetas", Json::Num(1.0)));
+    let err = client.request(&obj(bad)).unwrap();
+    assert_eq!(err.get("ok").and_then(Json::as_bool), Some(false));
+    assert!(
+        err.get("error")
+            .and_then(Json::as_str)
+            .unwrap()
+            .contains("must be a boolean"),
+        "{err}"
+    );
+}
+
+#[test]
 fn gp_inference_field_selects_engine_and_bad_values_are_rejected() {
     let (mut client, _addr) = boot(2);
     let mut req = start_req("approx", "forrester", 17, 6.0);
