@@ -670,21 +670,37 @@ where
                         // thetas (warm_start_thetas). The warm seed draws no
                         // extra randomness, so both arms consume the RNG
                         // identically; only the winning start can differ.
-                        Err(_) if self.cfg.warm_start_thetas => MfSurrogates::fit_warm_with_cache(
-                            &low_u,
-                            &high_u,
-                            &self.model_cfg,
-                            t,
-                            &mut self.rng,
-                            &mut self.fit_cache,
-                        )?,
-                        Err(_) => MfSurrogates::fit_with_cache(
-                            &low_u,
-                            &high_u,
-                            &self.model_cfg,
-                            &mut self.rng,
-                            &mut self.fit_cache,
-                        )?,
+                        Err(_) if self.cfg.warm_start_thetas => {
+                            let s = MfSurrogates::fit_warm_with_cache(
+                                &low_u,
+                                &high_u,
+                                &self.model_cfg,
+                                t,
+                                &mut self.rng,
+                                &mut self.fit_cache,
+                            )?;
+                            // This is a full refit like the scheduled one, so
+                            // it must feed the same win-streak evidence.
+                            if s.warm_seed_won() {
+                                self.warm_win_streak += 1;
+                                mfbo_telemetry::counter!("theta_warm_wins", 1);
+                            } else {
+                                self.warm_win_streak = 0;
+                            }
+                            s
+                        }
+                        Err(_) => {
+                            // A full refit with no warm seed breaks the
+                            // consecutive-win evidence chain.
+                            self.warm_win_streak = 0;
+                            MfSurrogates::fit_with_cache(
+                                &low_u,
+                                &high_u,
+                                &self.model_cfg,
+                                &mut self.rng,
+                                &mut self.fit_cache,
+                            )?
+                        }
                     },
                 }
             }

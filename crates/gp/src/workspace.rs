@@ -353,8 +353,10 @@ pub struct FitCache {
     diffs: Vec<f64>,
     /// Dim-major transpose of `diffs`, rebuilt lazily when stale.
     rows: Vec<f64>,
-    /// Number of points `rows` currently covers (0 = never built).
-    rows_points: usize,
+    /// Number of points `rows` currently covers; `None` means stale (never
+    /// built, or invalidated by a mutation that can rewind the point count —
+    /// a count match alone does not prove the contents match).
+    rows_points: Option<usize>,
 }
 
 impl FitCache {
@@ -414,6 +416,10 @@ impl FitCache {
         }
         self.xs.truncate(n);
         self.diffs.truncate(n * (n + 1) / 2 * self.dim);
+        // A later append can bring the point count back to exactly
+        // `rows_points` with different contents (constant-liar resync), so
+        // the transpose must be marked stale on any rewind.
+        self.rows_points = None;
     }
 
     /// Makes the cache match `xs` exactly: keeps the longest
@@ -423,6 +429,10 @@ impl FitCache {
         if !xs.is_empty() && !self.xs.is_empty() && dim != self.dim {
             self.xs.clear();
             self.diffs.clear();
+            // `rows` is sized for the old dim; the `truncate(0)` below
+            // early-returns on the now-empty set, so invalidate here.
+            self.rows.clear();
+            self.rows_points = None;
         }
         let keep = self
             .xs
@@ -452,11 +462,11 @@ impl FitCache {
         let n = self.xs.len();
         let count = n * (n + 1) / 2;
         let want = simd_wanted(be, count, self.dim);
-        if want && self.rows_points != n {
+        if want && self.rows_points != Some(n) {
             self.rows.clear();
             self.rows.resize(count * self.dim, 0.0);
             transpose_rows(&self.diffs, &mut self.rows, count, self.dim);
-            self.rows_points = n;
+            self.rows_points = Some(n);
         }
         DiffBatch {
             left: &self.xs,
@@ -644,6 +654,39 @@ mod tests {
         let flat: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64]).collect();
         cache.sync(&flat);
         assert_matches_fresh(&mut cache, &flat, mfbo_simd::Backend::Scalar);
+    }
+
+    #[test]
+    fn fit_cache_sync_to_same_count_invalidates_simd_rows() {
+        // Regression: a sync that rewinds the cache and re-appends back to
+        // the *same* point count must not serve the previous transpose —
+        // the count matches but the contents don't (constant-liar flow
+        // where one fantasy point is replaced by a different point).
+        let xs = cache_points(6);
+        let mut cache = FitCache::new();
+        cache.append_points(&xs);
+        // Build the transpose for the original set under a SIMD backend.
+        assert_matches_fresh(&mut cache, &xs, mfbo_simd::Backend::Avx2);
+        let mut swapped = xs.clone();
+        swapped[5] = vec![0.9, 0.8, 0.7];
+        cache.sync(&swapped);
+        assert_eq!(cache.len(), xs.len());
+        assert_matches_fresh(&mut cache, &swapped, mfbo_simd::Backend::Avx2);
+    }
+
+    #[test]
+    fn fit_cache_dim_change_to_same_count_rebuilds_simd_rows() {
+        // Regression: a dimension-change sync landing on the same point
+        // count must rebuild the transpose for the new dim instead of
+        // slicing the old-dim buffer (out-of-bounds when the dim grows).
+        let flat: Vec<Vec<f64>> = (0..4).map(|i| vec![i as f64 / 10.0]).collect();
+        let mut cache = FitCache::new();
+        cache.append_points(&flat);
+        assert_matches_fresh(&mut cache, &flat, mfbo_simd::Backend::Avx2);
+        let wide = cache_points(4);
+        cache.sync(&wide);
+        assert_eq!(cache.len(), 4);
+        assert_matches_fresh(&mut cache, &wide, mfbo_simd::Backend::Avx2);
     }
 
     #[test]
