@@ -75,6 +75,15 @@ pub fn median(mut v: Vec<f64>) -> f64 {
     v[v.len() / 2]
 }
 
+/// Percentile of a sample vector by nearest-rank on the sorted data
+/// (`p` in `[0, 1]`; `p = 0.5` agrees with [`median`] on odd lengths).
+pub fn percentile(mut v: Vec<f64>, p: f64) -> f64 {
+    assert!(!v.is_empty(), "percentile of an empty sample");
+    v.sort_by(f64::total_cmp);
+    let idx = ((v.len() as f64 - 1.0) * p.clamp(0.0, 1.0)).round() as usize;
+    v[idx]
+}
+
 /// Interleaved A/B measurement: calibrates an iteration count on `a` so one
 /// sample takes roughly [`AB_TARGET_SAMPLE_MS`] milliseconds, then
 /// alternates [`AB_SAMPLES`] samples of each closure (A,B,A,B,…) so
@@ -309,6 +318,20 @@ mod tests {
         assert_eq!(Scale::Ci.pick3(1, 2, 3), 1);
         assert_eq!(Scale::Mid.pick3(1, 2, 3), 2);
         assert_eq!(Scale::Paper.pick3(1, 2, 3), 3);
+    }
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let v: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(v.clone(), 0.0), 1.0);
+        assert_eq!(percentile(v.clone(), 0.5), 51.0);
+        assert_eq!(percentile(v.clone(), 0.99), 99.0);
+        assert_eq!(percentile(v, 1.0), 100.0);
+        assert_eq!(percentile(vec![3.0], 0.99), 3.0);
+        assert_eq!(
+            percentile(vec![2.0, 1.0, 3.0], 0.5),
+            median(vec![1.0, 2.0, 3.0])
+        );
     }
 
     #[test]

@@ -164,11 +164,11 @@ enum Gen {
 ///
 /// Construct with [`AskTellMfbo::new`]; drive with [`AskTellMfbo::ask`] /
 /// [`AskTellMfbo::tell`]; close with [`AskTellMfbo::finish`].
-pub struct AskTellMfbo<'o, P, R> {
+pub struct AskTellMfbo<P, R> {
     cfg: MfBoConfig,
     problem: P,
     rng: R,
-    session: EvalSession<'o>,
+    session: EvalSession,
     bounds: Bounds,
     unit: Bounds,
     nc: usize,
@@ -213,7 +213,7 @@ pub struct AskTellMfbo<'o, P, R> {
     fatal: Option<MfboError>,
 }
 
-impl<'o, P, R> AskTellMfbo<'o, P, R>
+impl<P, R> AskTellMfbo<P, R>
 where
     P: MultiFidelityProblem,
     R: Rng,
@@ -231,7 +231,7 @@ where
         cfg: MfBoConfig,
         problem: P,
         mut rng: R,
-        opts: &'o mut RunOptions,
+        opts: &mut RunOptions,
     ) -> Result<Self, MfboError> {
         cfg.validate()?;
         let q = cfg.max_pending;
@@ -464,6 +464,29 @@ where
     /// The run configuration.
     pub fn config(&self) -> &MfBoConfig {
         &self.cfg
+    }
+
+    /// Blocks until every journal entry written so far is durable.
+    ///
+    /// With a direct (flush-per-append) store this is a no-op — every
+    /// append already reached the OS before the core acted on it. Under
+    /// group-commit journaling, appends are buffered into a shared linger
+    /// window; an external scheduler must place this barrier between
+    /// [`AskTellMfbo::ask`] and handing the returned candidates to
+    /// evaluators, preserving the write-ahead invariant that a pending
+    /// record is durable before its evaluation is dispatched.
+    ///
+    /// # Errors
+    ///
+    /// [`MfboError::Store`] when the deferred group write failed; the error
+    /// is latched as fatal like any other store failure.
+    pub fn sync_journal(&mut self) -> Result<(), MfboError> {
+        self.check_fatal()?;
+        let r = self.session.sync_journal();
+        if let Err(e) = &r {
+            self.fatal = Some(e.clone());
+        }
+        r
     }
 
     /// Closes the run and returns the [`Outcome`].

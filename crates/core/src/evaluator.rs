@@ -243,9 +243,16 @@ pub fn robust_evaluate<P: MultiFidelityProblem + ?Sized>(
 
 /// The evaluation funnel used internally by the optimizer loops — see the
 /// module docs for the full pipeline.
-pub(crate) struct EvalSession<'o> {
+///
+/// The session *owns* the run store for the duration of the run (it is
+/// taken out of [`RunOptions`] at construction): every driver — the
+/// sequential loops, the ask/tell core, and the service's shard scheduler —
+/// can hold its session in long-lived state without borrowing the options
+/// struct. The store (and its buffered journal tail, under group commit)
+/// is flushed and released when the session is dropped.
+pub(crate) struct EvalSession {
     policy: EvalPolicy,
-    store: Option<&'o mut RunStore>,
+    store: Option<RunStore>,
     use_cache: bool,
     warm_start: bool,
     resuming: bool,
@@ -255,7 +262,7 @@ pub(crate) struct EvalSession<'o> {
     stats: EvalStats,
 }
 
-impl<'o> EvalSession<'o> {
+impl EvalSession {
     /// Opens the session: validates/initializes the store against this
     /// run's identity and loads the replay queue when resuming. `batch` is
     /// the ask/tell width and `inference` the GP engine tag recorded in the
@@ -263,13 +270,13 @@ impl<'o> EvalSession<'o> {
     /// resuming a journal written with a different width or engine is
     /// refused by the store's meta check.
     pub(crate) fn new_batched<P: MultiFidelityProblem + ?Sized>(
-        opts: &'o mut RunOptions,
+        opts: &mut RunOptions,
         algo: &str,
         problem: &P,
         rng_start: Option<[u64; 4]>,
         batch: Option<u64>,
         inference: Option<String>,
-    ) -> Result<EvalSession<'o>, MfboError> {
+    ) -> Result<EvalSession, MfboError> {
         if opts.resume && opts.store.is_none() {
             return Err(MfboError::InvalidConfig {
                 reason: "resume requested without a run store".into(),
@@ -286,7 +293,8 @@ impl<'o> EvalSession<'o> {
             inference,
         };
         let mut replay = VecDeque::new();
-        if let Some(store) = opts.store.as_mut() {
+        let mut store = opts.store.take();
+        if let Some(store) = store.as_mut() {
             if opts.resume {
                 replay = store.resume_run(&meta)?.into();
                 counter!("runstore_replay_loaded", replay.len() as u64);
@@ -296,7 +304,7 @@ impl<'o> EvalSession<'o> {
         }
         Ok(EvalSession {
             policy: opts.policy.clone(),
-            store: opts.store.as_mut(),
+            store,
             use_cache: opts.cache,
             warm_start: opts.warm_start,
             resuming: opts.resume,
@@ -363,7 +371,7 @@ impl<'o> EvalSession<'o> {
         // 2. Cross-run cache.
         let key = cache_key(&self.problem_name, to_fid(fidelity), x);
         if self.use_cache {
-            if let Some(hit) = self.store.as_deref().and_then(|s| s.cache_get(&key)) {
+            if let Some(hit) = self.store.as_ref().and_then(|s| s.cache_get(&key)) {
                 let eval = Evaluation {
                     objective: hit.objective,
                     constraints: hit.constraints.clone(),
@@ -406,11 +414,11 @@ impl<'o> EvalSession<'o> {
         if quarantined {
             self.stats.quarantined += 1;
             counter!("eval_quarantined", 1u64);
-            if let Some(store) = self.store.as_deref_mut() {
+            if let Some(store) = self.store.as_mut() {
                 store.quarantine(key)?;
             }
         } else if self.use_cache {
-            if let Some(store) = self.store.as_deref_mut() {
+            if let Some(store) = self.store.as_mut() {
                 store.cache_put(
                     key,
                     CacheEntry {
@@ -474,7 +482,7 @@ impl<'o> EvalSession<'o> {
             .collect();
         let picked: Vec<(String, CacheEntry)> = self
             .store
-            .as_deref()
+            .as_ref()
             .expect("checked above")
             .cached_low_entries(&self.problem_name)
             .into_iter()
@@ -639,7 +647,7 @@ impl<'o> EvalSession<'o> {
         }
         let key = cache_key(&self.problem_name, to_fid(fidelity), x);
         self.store
-            .as_deref()
+            .as_ref()
             .and_then(|s| s.cache_get(&key))
             .map(|hit| Evaluation {
                 objective: hit.objective,
@@ -721,11 +729,11 @@ impl<'o> EvalSession<'o> {
         if quarantined {
             self.stats.quarantined += 1;
             counter!("eval_quarantined", 1u64);
-            if let Some(store) = self.store.as_deref_mut() {
+            if let Some(store) = self.store.as_mut() {
                 store.quarantine(key)?;
             }
         } else if self.use_cache {
-            if let Some(store) = self.store.as_deref_mut() {
+            if let Some(store) = self.store.as_mut() {
                 store.cache_put(
                     key,
                     CacheEntry {
@@ -783,8 +791,19 @@ impl<'o> EvalSession<'o> {
     }
 
     fn journal(&mut self, entry: JournalEntry) -> Result<(), MfboError> {
-        if let Some(store) = self.store.as_deref_mut() {
+        if let Some(store) = self.store.as_mut() {
             store.append(&entry)?;
+        }
+        Ok(())
+    }
+
+    /// Blocks until every journal entry appended so far is durable. A no-op
+    /// for direct (flush-per-append) stores; under group-commit journaling
+    /// this is the barrier the evaluation service places between journaling
+    /// a candidate issue and dispatching its evaluation to a worker.
+    pub(crate) fn sync_journal(&mut self) -> Result<(), MfboError> {
+        if let Some(store) = self.store.as_mut() {
+            store.sync()?;
         }
         Ok(())
     }

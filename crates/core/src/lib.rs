@@ -82,7 +82,7 @@ pub use history::{EvaluationRecord, FidelityData, Outcome};
 pub use mfbo::{MfBayesOpt, MfBoConfig};
 pub use mfbo_gp::InferenceMode;
 pub use mfbo_pool::Parallelism;
-pub use mfbo_runstore::RunStore;
+pub use mfbo_runstore::{GroupCommitter, RunStore};
 pub use nargp::{MfGp, MfGpConfig, MfGpPlan, MfGpThetas};
 pub use run_report::RunReport;
 pub use sfbo::{SfBayesOpt, SfBoConfig};

@@ -105,6 +105,27 @@ pub trait MultiFidelityProblem {
     }
 }
 
+// Allow a shared `Arc<P>` wherever a problem is expected — the evaluation
+// service's shard scheduler owns its drivers, so the problem must be owned
+// (and shareable with the worker pool) rather than borrowed.
+impl<P: MultiFidelityProblem + ?Sized> MultiFidelityProblem for std::sync::Arc<P> {
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+    fn bounds(&self) -> Bounds {
+        (**self).bounds()
+    }
+    fn num_constraints(&self) -> usize {
+        (**self).num_constraints()
+    }
+    fn evaluate(&self, x: &[f64], fidelity: Fidelity) -> Evaluation {
+        (**self).evaluate(x, fidelity)
+    }
+    fn cost(&self, fidelity: Fidelity) -> f64 {
+        (**self).cost(fidelity)
+    }
+}
+
 // Allow passing `&P` wherever a problem is expected.
 impl<P: MultiFidelityProblem + ?Sized> MultiFidelityProblem for &P {
     fn name(&self) -> &str {

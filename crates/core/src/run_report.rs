@@ -446,12 +446,15 @@ struct HealthRollup {
 /// configured run: `pool_*` only exist on the threaded path, the
 /// `eval_*` / `runstore_*` sourcing counters change under resume/caching,
 /// `server_*` counters describe service traffic rather than any one run,
-/// and `simd_dispatch` fires once per process, not once per run.
+/// `journal_*` group-commit counters depend on flush timing (how many
+/// appends share a linger window), and `simd_dispatch` fires once per
+/// process, not once per run.
 fn deterministic_counter(name: &str) -> bool {
     !(name.starts_with("pool")
         || name.starts_with("eval_")
         || name.starts_with("runstore")
         || name.starts_with("server_")
+        || name.starts_with("journal_")
         || name == "simd_dispatch")
 }
 

@@ -23,7 +23,7 @@ pub mod cache;
 pub mod journal;
 
 pub use cache::CacheEntry;
-pub use journal::JournalEntry;
+pub use journal::{GroupCommitter, GroupFile, JournalEntry};
 
 use mfbo_telemetry::json::Json;
 use std::collections::{BTreeMap, BTreeSet};
@@ -257,6 +257,31 @@ pub fn cache_key(problem: &str, fid: Fid, x: &[f64]) -> String {
     key
 }
 
+/// How journal appends reach the OS.
+enum JournalSink {
+    /// Historical behavior: every append is written and flushed before
+    /// [`RunStore::append`] returns.
+    Direct(BufWriter<File>),
+    /// Appends are enqueued with a shared [`GroupCommitter`] and written in
+    /// gathered batches; [`RunStore::sync`] awaits durability.
+    Grouped {
+        file: std::sync::Arc<GroupFile>,
+        /// Sequence number of this journal's newest enqueued append.
+        last_seq: u64,
+    },
+}
+
+impl std::fmt::Debug for JournalSink {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            JournalSink::Direct(_) => f.write_str("Direct"),
+            JournalSink::Grouped { last_seq, .. } => {
+                write!(f, "Grouped {{ last_seq: {last_seq} }}")
+            }
+        }
+    }
+}
+
 /// A durable run store rooted at one directory.
 ///
 /// See the crate docs for the directory layout. A store is opened once per
@@ -265,7 +290,10 @@ pub fn cache_key(problem: &str, fid: Fid, x: &[f64]) -> String {
 #[derive(Debug)]
 pub struct RunStore {
     dir: PathBuf,
-    journal: Option<BufWriter<File>>,
+    journal: Option<JournalSink>,
+    /// When set (see [`RunStore::open_grouped`]), journals opened by
+    /// `begin_run`/`resume_run` append through this group committer.
+    group: Option<std::sync::Arc<GroupCommitter>>,
     cache_writer: Option<BufWriter<File>>,
     quarantine_writer: Option<BufWriter<File>>,
     cache: BTreeMap<String, CacheEntry>,
@@ -284,11 +312,35 @@ impl RunStore {
     /// persistent cache and quarantine sets. Does not touch the journal —
     /// call [`RunStore::begin_run`] or [`RunStore::resume_run`] next.
     pub fn open(dir: impl Into<PathBuf>) -> Result<RunStore, StoreError> {
-        let dir = dir.into();
+        Self::open_inner(dir.into(), None)
+    }
+
+    /// [`RunStore::open`], with journal appends routed through a shared
+    /// [`GroupCommitter`] instead of being flushed one by one.
+    ///
+    /// Byte-for-byte, the journal is identical to one written by a direct
+    /// store — group commit batches *when* lines reach the OS, never their
+    /// content or per-file order. Call [`RunStore::sync`] wherever the
+    /// write-ahead contract needs an entry durable *now* (the evaluation
+    /// service does this before dispatching each journaled candidate). The
+    /// cache and quarantine writers stay synchronous — they are warm-path
+    /// artifacts, not write-ahead state.
+    pub fn open_grouped(
+        dir: impl Into<PathBuf>,
+        committer: std::sync::Arc<GroupCommitter>,
+    ) -> Result<RunStore, StoreError> {
+        Self::open_inner(dir.into(), Some(committer))
+    }
+
+    fn open_inner(
+        dir: PathBuf,
+        group: Option<std::sync::Arc<GroupCommitter>>,
+    ) -> Result<RunStore, StoreError> {
         std::fs::create_dir_all(&dir).map_err(Self::io(&dir))?;
         let mut store = RunStore {
             dir,
             journal: None,
+            group,
             cache_writer: None,
             quarantine_writer: None,
             cache: BTreeMap::new(),
@@ -394,8 +446,19 @@ impl RunStore {
         std::fs::write(&meta_path, meta.to_json()).map_err(Self::io(&meta_path))?;
         let journal_path = self.journal_path();
         let file = File::create(&journal_path).map_err(Self::io(&journal_path))?;
-        self.journal = Some(BufWriter::new(file));
+        self.journal = Some(self.make_sink(file));
         Ok(())
+    }
+
+    /// Wraps a freshly opened journal file in the configured sink kind.
+    fn make_sink(&self, file: File) -> JournalSink {
+        match &self.group {
+            Some(gc) => JournalSink::Grouped {
+                file: gc.register(file),
+                last_seq: 0,
+            },
+            None => JournalSink::Direct(BufWriter::new(file)),
+        }
     }
 
     /// Validates `meta` against the stored copy, loads the journal for
@@ -456,21 +519,49 @@ impl RunStore {
             .create(true)
             .open(&journal_path)
             .map_err(Self::io(&journal_path))?;
-        self.journal = Some(BufWriter::new(file));
+        self.journal = Some(self.make_sink(file));
         Ok(entries)
     }
 
-    /// Appends one entry to the journal and flushes it to the OS before
-    /// returning — the write-ahead guarantee the resume machinery depends
-    /// on.
+    /// Appends one entry to the journal. On a direct store the line is
+    /// written and flushed to the OS before returning — the historical
+    /// write-ahead guarantee. On a group-committed store the line is
+    /// enqueued for the next linger-window flush; call [`RunStore::sync`]
+    /// before acting on anything whose entry must be durable first.
     pub fn append(&mut self, entry: &JournalEntry) -> Result<(), StoreError> {
         let path = self.journal_path();
-        let writer = self.journal.as_mut().ok_or_else(|| StoreError::Mismatch {
+        let gc = self.group.clone();
+        let sink = self.journal.as_mut().ok_or_else(|| StoreError::Mismatch {
             reason: "journal not open (begin_run/resume_run not called)".into(),
         })?;
-        writeln!(writer, "{}", entry.to_json_line())
-            .and_then(|_| writer.flush())
-            .map_err(Self::io(&path))
+        match sink {
+            JournalSink::Direct(writer) => writeln!(writer, "{}", entry.to_json_line())
+                .and_then(|_| writer.flush())
+                .map_err(Self::io(&path)),
+            JournalSink::Grouped { file, last_seq } => {
+                let gc = gc.expect("grouped sink implies a committer");
+                let mut bytes = entry.to_json_line().into_bytes();
+                bytes.push(b'\n');
+                *last_seq = gc.enqueue(file, bytes);
+                Ok(())
+            }
+        }
+    }
+
+    /// Blocks until every appended entry is durable (written out to the
+    /// OS). A no-op on direct stores; on group-committed stores this waits
+    /// at most one linger window and surfaces any deferred write error.
+    pub fn sync(&mut self) -> Result<(), StoreError> {
+        let path = self.journal_path();
+        match (&self.journal, &self.group) {
+            (Some(JournalSink::Grouped { file, last_seq }), Some(gc)) => {
+                gc.sync(file, *last_seq).map_err(|reason| StoreError::Io {
+                    path,
+                    source: std::io::Error::other(reason),
+                })
+            }
+            _ => Ok(()),
+        }
     }
 
     /// Looks up a cached evaluation. Quarantined keys never hit.
@@ -540,6 +631,14 @@ impl RunStore {
             .count()
     }
 
+    /// Best-effort flush of the journal tail when the store is released —
+    /// a finished run's journal is complete on disk as soon as its store is
+    /// dropped, group-committed or not. Errors are deliberately swallowed:
+    /// anyone who needs them calls [`RunStore::sync`] explicitly first.
+    fn sync_on_release(&mut self) {
+        let _ = self.sync();
+    }
+
     /// All non-quarantined low-fidelity cache entries for `problem`, in
     /// deterministic (BTreeMap key) order — the feedstock for cross-run
     /// warm-starting of the low-fidelity surrogate.
@@ -550,6 +649,12 @@ impl RunStore {
             .filter(|(k, _)| k.starts_with(&prefix) && !self.quarantined.contains(*k))
             .map(|(k, v)| (k.as_str(), v))
             .collect()
+    }
+}
+
+impl Drop for RunStore {
+    fn drop(&mut self) {
+        self.sync_on_release();
     }
 }
 

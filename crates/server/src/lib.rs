@@ -29,29 +29,72 @@
 //! Every failure is a `{"ok":false,"error":…}` reply on the same line; the
 //! connection stays usable. Malformed frames never take the server down.
 //!
+//! ## Execution model
+//!
+//! Runs are driven by a fixed pool of *shard* threads (see
+//! [`crate::shard`]): each run is hashed to one shard, whose event loop
+//! multiplexes ask → dispatch → tell for every run it owns. Serving
+//! thousands of concurrent runs therefore costs `shards + workers`
+//! threads, not one thread per run. Connections are likewise served by a
+//! small fixed reader pool over reusable per-connection scratch buffers
+//! ([`FrameBuf`]); a `wait` request parks the connection on the run handle
+//! instead of pinning a thread, and the thread that finishes the run
+//! writes the reply. The legacy one-actor-thread-per-run scheduler
+//! remains available via [`Scheduler::ActorPerRun`] as the benchmark
+//! baseline.
+//!
 //! Durability matches the in-process loops: a run started with `journal`
 //! write-ahead-logs every candidate and evaluation, so a server killed
 //! mid-run (even `kill -9`) can be restarted and the run resumed with
 //! `resume: true`, reproducing the uninterrupted trajectory bit for bit —
-//! including a byte-identical journal.
+//! including a byte-identical journal. With a nonzero
+//! [`ServerConfig::journal_linger`], journal appends from all runs are
+//! group-committed — batched into one vectored write and flush per linger
+//! window — without weakening that contract: an evaluation is never
+//! dispatched before its write-ahead entry is durable, and a journal cut
+//! short by a crash is always a prefix of the uninterrupted one, which
+//! resume regenerates byte-identically.
 
 #![deny(missing_docs)]
 
 pub mod problems;
 pub mod run;
+mod shard;
 
 use mfbo::{EvalPolicy, FaultKind, InferenceMode, MfBoConfig, NonFinitePolicy};
 use mfbo_pool::WorkerPool;
-use mfbo_telemetry::counter;
+use mfbo_runstore::GroupCommitter;
 use mfbo_telemetry::json::{parse, Json};
+use mfbo_telemetry::{counter, event};
 use problems::FaultSpec;
 use run::{Phase, RunHandle, RunSpec, Status};
-use std::collections::BTreeMap;
-use std::io::{BufRead, BufReader, Write};
-use std::net::{TcpListener, TcpStream};
+use shard::ShardPool;
+use std::collections::{BTreeMap, VecDeque};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::{Arc, Mutex};
-use std::time::Duration;
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+/// Connection-reader threads multiplexing all client sockets.
+const READERS: usize = 4;
+/// Bytes asked from the socket per read into the scratch buffer.
+const READ_CHUNK: usize = 8 * 1024;
+/// Socket read timeout when other connections are waiting for a reader.
+const BUSY_READ_TIMEOUT: Duration = Duration::from_millis(1);
+/// Socket read timeout when this reader has the queue to itself.
+const IDLE_READ_TIMEOUT: Duration = Duration::from_millis(20);
+
+/// Which engine drives run state machines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scheduler {
+    /// Fixed pool of shard event-loop threads, each multiplexing the runs
+    /// hashed to it (the default).
+    Sharded,
+    /// One actor thread per run — the pre-sharding scheduler, kept as the
+    /// A/B baseline for throughput benchmarks.
+    ActorPerRun,
+}
 
 /// Server tunables.
 #[derive(Debug, Clone)]
@@ -59,111 +102,408 @@ pub struct ServerConfig {
     /// Worker threads evaluating candidates (shared by all runs).
     pub workers: usize,
     /// Bounded depth of the worker job queue — the backpressure knob: once
-    /// full, run actors block instead of buffering unbounded work.
+    /// full, schedulers block instead of buffering unbounded work.
     pub queue_depth: usize,
+    /// Shard threads driving run state machines (ignored by
+    /// [`Scheduler::ActorPerRun`]). Must be nonzero.
+    pub shards: usize,
+    /// Group-commit linger window for journaled runs: appends across all
+    /// runs within a window share one vectored write + flush. Zero (the
+    /// default) keeps the flush-per-append behavior, byte- and
+    /// syscall-identical to prior releases.
+    pub journal_linger: Duration,
+    /// Which scheduler drives runs.
+    pub scheduler: Scheduler,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
+        let cores = std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1);
         ServerConfig {
-            workers: std::thread::available_parallelism()
-                .map(|n| n.get())
-                .unwrap_or(1),
+            workers: cores,
             queue_depth: 64,
+            shards: cores.min(8),
+            journal_linger: Duration::ZERO,
+            scheduler: Scheduler::Sharded,
         }
     }
 }
 
 type Registry = Mutex<BTreeMap<String, Arc<RunHandle>>>;
 
+/// Run-scheduling backend picked at bind time.
+enum Sched {
+    Sharded(ShardPool),
+    Actors {
+        committer: Option<Arc<GroupCommitter>>,
+    },
+}
+
+/// State shared by the accept loop, the reader pool, and parked waiters.
+struct ServeCtx {
+    registry: Registry,
+    pool: Arc<WorkerPool>,
+    sched: Sched,
+    conns: ConnQueue,
+    shutdown: AtomicBool,
+    /// Our own address, used to poke the accept loop awake on shutdown.
+    addr: SocketAddr,
+}
+
 /// The evaluation service: bind, then [`Server::run`] the accept loop.
 pub struct Server {
     listener: TcpListener,
-    registry: Arc<Registry>,
-    pool: Arc<WorkerPool>,
-    shutdown: Arc<AtomicBool>,
+    ctx: Arc<ServeCtx>,
 }
 
 impl Server {
-    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port).
+    /// Binds to `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and
+    /// spawns the shard and reader pools.
     pub fn bind(addr: &str, config: ServerConfig) -> std::io::Result<Server> {
-        Ok(Server {
-            listener: TcpListener::bind(addr)?,
-            registry: Arc::new(Mutex::new(BTreeMap::new())),
-            pool: Arc::new(WorkerPool::new(config.workers, config.queue_depth)),
-            shutdown: Arc::new(AtomicBool::new(false)),
-        })
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let pool = Arc::new(WorkerPool::new(config.workers, config.queue_depth));
+        let committer = (!config.journal_linger.is_zero())
+            .then(|| Arc::new(GroupCommitter::new(config.journal_linger)));
+        let sched = match config.scheduler {
+            Scheduler::Sharded => Sched::Sharded(ShardPool::new(
+                config.shards.max(1),
+                Arc::clone(&pool),
+                committer,
+            )),
+            Scheduler::ActorPerRun => Sched::Actors { committer },
+        };
+        let ctx = Arc::new(ServeCtx {
+            registry: Mutex::new(BTreeMap::new()),
+            pool,
+            sched,
+            conns: ConnQueue::new(),
+            shutdown: AtomicBool::new(false),
+            addr: local,
+        });
+        for i in 0..READERS {
+            let ctx = Arc::clone(&ctx);
+            std::thread::Builder::new()
+                .name(format!("mfbo-reader-{i}"))
+                .spawn(move || reader_loop(&ctx))
+                .expect("failed to spawn reader thread");
+        }
+        Ok(Server { listener, ctx })
     }
 
     /// The bound address (read the ephemeral port from here).
     pub fn local_addr(&self) -> std::io::Result<std::net::SocketAddr> {
-        self.listener.local_addr()
+        Ok(self.ctx.addr)
     }
 
-    /// Accepts connections until a client sends `shutdown`. Each
-    /// connection is served on its own thread; in-flight runs keep their
-    /// actor threads, which the process owns until exit.
+    /// Accepts connections until a client sends `shutdown`, handing each
+    /// socket to the shared reader pool. In-flight runs keep their shard
+    /// (or actor) threads, which the process owns until exit.
     pub fn run(self) -> std::io::Result<()> {
         for stream in self.listener.incoming() {
-            if self.shutdown.load(Ordering::SeqCst) {
+            if self.ctx.shutdown.load(Ordering::SeqCst) {
                 break;
             }
             let stream = match stream {
                 Ok(s) => s,
                 Err(_) => continue,
             };
-            let registry = Arc::clone(&self.registry);
-            let pool = Arc::clone(&self.pool);
-            let shutdown = Arc::clone(&self.shutdown);
-            let addr = self.listener.local_addr();
-            std::thread::Builder::new()
-                .name("mfbo-conn".into())
-                .spawn(move || {
-                    let wants_shutdown = serve_connection(stream, &registry, &pool);
-                    if wants_shutdown {
-                        shutdown.store(true, Ordering::SeqCst);
-                        // Wake the accept loop with a throwaway connection.
-                        if let Ok(addr) = addr {
-                            let _ = TcpStream::connect(addr);
-                        }
-                    }
-                })
-                .expect("failed to spawn connection thread");
+            // The protocol is strict request/reply: every write is the
+            // last segment of a frame, so Nagle only adds delayed-ACK
+            // stalls (~40 ms per round trip on a persistent connection).
+            let _ = stream.set_nodelay(true);
+            self.ctx.conns.push(Conn::new(stream));
         }
         Ok(())
     }
 }
 
-/// Serves one client connection; returns `true` when the client requested
-/// server shutdown.
-fn serve_connection(stream: TcpStream, registry: &Registry, pool: &Arc<WorkerPool>) -> bool {
-    // The protocol is strict request/reply: every write is the last segment
-    // of a frame, so Nagle only adds delayed-ACK stalls (~40 ms per round
-    // trip on a persistent connection).
-    let _ = stream.set_nodelay(true);
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return false,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
-        }
-        counter!("server_requests", 1u64);
-        let (reply, wants_shutdown) = handle_request(&line, registry, pool);
-        if writeln!(writer, "{reply}")
-            .and_then(|()| writer.flush())
-            .is_err()
-        {
-            break;
-        }
-        if wants_shutdown {
-            return true;
+/// One client connection with its reusable scratch buffers: frames are
+/// extracted in place from the read scratch and replies are serialized
+/// into the write scratch, so a warmed-up connection serves requests
+/// without per-request allocation in the I/O path.
+struct Conn {
+    stream: TcpStream,
+    frames: FrameBuf,
+    wbuf: String,
+    /// The socket hit EOF; serve what is buffered, then drop.
+    eof: bool,
+}
+
+impl Conn {
+    fn new(stream: TcpStream) -> Conn {
+        Conn {
+            stream,
+            frames: FrameBuf::new(),
+            wbuf: String::with_capacity(512),
+            eof: false,
         }
     }
-    false
+}
+
+/// Reusable line-frame extractor over a byte scratch buffer, decoding the
+/// exact framing of `BufRead::lines()`: frames end at `\n`, a trailing
+/// `\r` is stripped, and a non-UTF-8 frame is an error (the connection is
+/// dropped). Bytes may arrive in any chunking — split mid-frame,
+/// coalesced across frames — without changing the decoded sequence.
+#[derive(Debug, Default)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// Consumed prefix: bytes before `pos` belong to already-yielded
+    /// frames and are reclaimed on the next fill.
+    pos: usize,
+}
+
+impl FrameBuf {
+    /// An empty buffer.
+    pub fn new() -> FrameBuf {
+        FrameBuf {
+            buf: Vec::with_capacity(READ_CHUNK),
+            pos: 0,
+        }
+    }
+
+    /// Appends raw bytes (the test entry point; the server reads sockets
+    /// via [`FrameBuf::read_from`]).
+    pub fn push(&mut self, bytes: &[u8]) {
+        self.compact();
+        self.buf.extend_from_slice(bytes);
+    }
+
+    /// Reads one chunk from `r` onto the scratch tail; returns the byte
+    /// count (0 = EOF). The scratch is reused across reads — steady-state
+    /// traffic allocates nothing.
+    pub fn read_from(&mut self, r: &mut impl Read) -> std::io::Result<usize> {
+        self.compact();
+        let len = self.buf.len();
+        self.buf.resize(len + READ_CHUNK, 0);
+        let got = r.read(&mut self.buf[len..]);
+        self.buf.truncate(len + *got.as_ref().unwrap_or(&0));
+        got
+    }
+
+    /// Yields the next complete frame, or `None` until more bytes arrive.
+    pub fn next_frame(&mut self) -> Option<Result<&str, std::str::Utf8Error>> {
+        let rel = self.buf[self.pos..].iter().position(|&b| b == b'\n')?;
+        let start = self.pos;
+        let mut end = start + rel;
+        self.pos = end + 1;
+        if end > start && self.buf[end - 1] == b'\r' {
+            end -= 1;
+        }
+        Some(std::str::from_utf8(&self.buf[start..end]))
+    }
+
+    /// At EOF, the final unterminated frame — what `lines()` would still
+    /// yield (no `\r` stripping without a `\n`).
+    pub fn take_tail(&mut self) -> Option<Result<&str, std::str::Utf8Error>> {
+        if self.pos >= self.buf.len() {
+            return None;
+        }
+        let start = self.pos;
+        self.pos = self.buf.len();
+        Some(std::str::from_utf8(&self.buf[start..]))
+    }
+
+    /// Current scratch capacity in bytes — lets tests pin that a reused
+    /// buffer stays bounded instead of growing with traffic served.
+    pub fn capacity(&self) -> usize {
+        self.buf.capacity()
+    }
+
+    fn compact(&mut self) {
+        if self.pos > 0 {
+            self.buf.drain(..self.pos);
+            self.pos = 0;
+        }
+    }
+}
+
+/// FIFO of connections awaiting a reader thread.
+struct ConnQueue {
+    q: Mutex<VecDeque<Conn>>,
+    cv: Condvar,
+}
+
+impl ConnQueue {
+    fn new() -> ConnQueue {
+        ConnQueue {
+            q: Mutex::new(VecDeque::new()),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn push(&self, c: Conn) {
+        self.q.lock().expect("conn queue lock").push_back(c);
+        self.cv.notify_one();
+    }
+
+    fn backlog(&self) -> usize {
+        self.q.lock().expect("conn queue lock").len()
+    }
+
+    /// Blocks for the next connection; `None` once `stop` is set and the
+    /// queue has drained (still-open connections keep being served until
+    /// their clients hang up).
+    fn pop(&self, stop: &AtomicBool) -> Option<Conn> {
+        let mut q = self.q.lock().expect("conn queue lock");
+        loop {
+            if let Some(c) = q.pop_front() {
+                return Some(c);
+            }
+            if stop.load(Ordering::SeqCst) {
+                return None;
+            }
+            // Timed wait so the stop flag is observed even without a
+            // final push.
+            let (guard, _) = self
+                .cv
+                .wait_timeout(q, Duration::from_millis(50))
+                .expect("conn queue lock");
+            q = guard;
+        }
+    }
+}
+
+/// A reader thread: pop a connection, serve whatever is readable, put it
+/// back (or park/close it), repeat.
+fn reader_loop(ctx: &Arc<ServeCtx>) {
+    while let Some(conn) = ctx.conns.pop(&ctx.shutdown) {
+        if let Some(conn) = serve_turn(conn, ctx) {
+            ctx.conns.push(conn);
+        }
+    }
+}
+
+/// What `handle_request` wants done with the connection.
+enum Action {
+    /// Write the reply and keep serving.
+    Reply(Json),
+    /// Write the reply, then stop accepting and close this connection.
+    Shutdown(Json),
+    /// Park the connection on the run; the thread that finishes the run
+    /// writes the terminal status reply and re-queues the connection.
+    Wait {
+        name: String,
+        handle: Arc<RunHandle>,
+    },
+}
+
+/// Serves one scheduling turn of a connection: drain buffered frames,
+/// then read more bytes (bounded by a short timeout so one idle socket
+/// never monopolizes a reader). Returns the connection if it should be
+/// re-queued; `None` when it was closed or parked on a run.
+fn serve_turn(mut conn: Conn, ctx: &Arc<ServeCtx>) -> Option<Conn> {
+    // Frames served before yielding the reader to waiting connections.
+    const FRAME_BUDGET: usize = 64;
+    let mut served = 0usize;
+    loop {
+        // Drain complete frames already in the scratch buffer.
+        loop {
+            let t0 = Instant::now();
+            let act = match conn.frames.next_frame() {
+                None => break,
+                Some(Err(_)) => return None,
+                Some(Ok(line)) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    counter!("server_requests", 1u64);
+                    handle_request(line, ctx)
+                }
+            };
+            served += 1;
+            conn = apply_action(conn, act, t0, ctx)?;
+        }
+        if served >= FRAME_BUDGET && ctx.conns.backlog() > 0 {
+            return Some(conn);
+        }
+        if conn.eof {
+            // Serve the final unterminated frame like `lines()` would,
+            // then drop the connection.
+            let t0 = Instant::now();
+            let act = match conn.frames.take_tail() {
+                None | Some(Err(_)) => return None,
+                Some(Ok(line)) => {
+                    if line.trim().is_empty() {
+                        return None;
+                    }
+                    counter!("server_requests", 1u64);
+                    handle_request(line, ctx)
+                }
+            };
+            apply_action(conn, act, t0, ctx);
+            return None;
+        }
+
+        // Need more bytes. Use a short timeout when other connections are
+        // waiting for a reader, a longer one when we have the queue to
+        // ourselves.
+        let timeout = if ctx.conns.backlog() > 0 {
+            BUSY_READ_TIMEOUT
+        } else {
+            IDLE_READ_TIMEOUT
+        };
+        let _ = conn.stream.set_read_timeout(Some(timeout));
+        match conn.frames.read_from(&mut conn.stream) {
+            Ok(0) => conn.eof = true,
+            Ok(_) => {}
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock
+                        | std::io::ErrorKind::TimedOut
+                        | std::io::ErrorKind::Interrupted
+                ) =>
+            {
+                return Some(conn);
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// Executes one [`Action`]; returns the connection unless it was closed,
+/// parked, or handed off.
+fn apply_action(mut conn: Conn, act: Action, t0: Instant, ctx: &Arc<ServeCtx>) -> Option<Conn> {
+    match act {
+        Action::Reply(reply) => {
+            if write_reply(&mut conn, &reply).is_err() {
+                return None;
+            }
+            event!("server_request", dur_us = t0.elapsed().as_micros() as u64);
+            Some(conn)
+        }
+        Action::Shutdown(reply) => {
+            let _ = write_reply(&mut conn, &reply);
+            event!("server_request", dur_us = t0.elapsed().as_micros() as u64);
+            ctx.shutdown.store(true, Ordering::SeqCst);
+            // Wake the accept loop with a throwaway connection.
+            let _ = TcpStream::connect(ctx.addr);
+            None
+        }
+        Action::Wait { name, handle } => {
+            let ctx2 = Arc::clone(ctx);
+            handle.on_terminal(Box::new(move |st| {
+                let mut conn = conn;
+                if write_reply(&mut conn, &status_json(&name, st)).is_ok() {
+                    ctx2.conns.push(conn);
+                }
+            }));
+            None
+        }
+    }
+}
+
+/// Serializes `reply` into the connection's write scratch and writes it
+/// as one frame.
+fn write_reply(conn: &mut Conn, reply: &Json) -> std::io::Result<()> {
+    use std::fmt::Write as _;
+    conn.wbuf.clear();
+    let _ = writeln!(conn.wbuf, "{reply}");
+    conn.stream.write_all(conn.wbuf.as_bytes())
 }
 
 fn ok(fields: Vec<(&str, Json)>) -> Json {
@@ -179,36 +519,48 @@ fn err(msg: impl Into<String>) -> Json {
     ])
 }
 
-/// Dispatches one request line; returns the reply and whether the client
-/// asked the server to shut down.
-fn handle_request(line: &str, registry: &Registry, pool: &Arc<WorkerPool>) -> (Json, bool) {
+/// Dispatches one request line.
+fn handle_request(line: &str, ctx: &ServeCtx) -> Action {
     let req = match parse(line) {
         Ok(j) => j,
-        Err(e) => return (err(format!("malformed request: {e}")), false),
+        Err(e) => return Action::Reply(err(format!("malformed request: {e}"))),
     };
     let op = req.get("op").and_then(Json::as_str).unwrap_or("");
     match op {
-        "ping" => (ok(vec![]), false),
-        "shutdown" => (ok(vec![]), true),
-        "start" => (start_run(&req, registry, pool), false),
-        "status" => (
-            with_run(&req, registry, |name, h| status_json(name, &h.snapshot())),
-            false,
-        ),
-        "wait" => (
-            with_run(&req, registry, |name, h| status_json(name, &h.wait())),
-            false,
-        ),
+        "ping" => Action::Reply(ok(vec![])),
+        "shutdown" => Action::Shutdown(ok(vec![])),
+        "start" => Action::Reply(start_run(&req, ctx)),
+        "status" => Action::Reply(with_run(&req, &ctx.registry, |name, h| {
+            status_json(name, &h.snapshot())
+        })),
+        "wait" => {
+            let Some(name) = req.get("run").and_then(Json::as_str) else {
+                return Action::Reply(err("missing 'run' field"));
+            };
+            let handle = ctx
+                .registry
+                .lock()
+                .expect("registry lock")
+                .get(name)
+                .cloned();
+            match handle {
+                Some(handle) => Action::Wait {
+                    name: name.to_string(),
+                    handle,
+                },
+                None => Action::Reply(err(format!("unknown run '{name}'"))),
+            }
+        }
         "list" => {
-            let runs = registry.lock().expect("registry lock");
+            let runs = ctx.registry.lock().expect("registry lock");
             let items = runs
                 .iter()
                 .map(|(name, h)| status_json(name, &h.snapshot()))
                 .collect();
-            (ok(vec![("runs", Json::Arr(items))]), false)
+            Action::Reply(ok(vec![("runs", Json::Arr(items))]))
         }
-        "" => (err("missing 'op' field"), false),
-        other => (err(format!("unknown op '{other}'")), false),
+        "" => Action::Reply(err("missing 'op' field")),
+        other => Action::Reply(err(format!("unknown op '{other}'"))),
     }
 }
 
@@ -255,17 +607,22 @@ fn status_json(name: &str, st: &Status) -> Json {
     ok(fields)
 }
 
-fn start_run(req: &Json, registry: &Registry, pool: &Arc<WorkerPool>) -> Json {
+fn start_run(req: &Json, ctx: &ServeCtx) -> Json {
     let spec = match parse_spec(req) {
         Ok(s) => s,
         Err(e) => return err(e),
     };
-    let mut runs = registry.lock().expect("registry lock");
+    let mut runs = ctx.registry.lock().expect("registry lock");
     if runs.contains_key(&spec.name) {
         return err(format!("run '{}' already exists", spec.name));
     }
     let name = spec.name.clone();
-    let handle = run::spawn_run(spec, Arc::clone(pool));
+    let handle = match &ctx.sched {
+        Sched::Sharded(shards) => shards.submit(spec),
+        Sched::Actors { committer } => {
+            run::spawn_run(spec, Arc::clone(&ctx.pool), committer.clone())
+        }
+    };
     runs.insert(name.clone(), handle);
     ok(vec![("run", Json::Str(name))])
 }

@@ -1,7 +1,13 @@
-//! One served optimization run: a per-run actor thread that drives an
+//! One served optimization run as a per-run actor thread driving an
 //! [`AskTellMfbo`] core, dispatching candidate evaluations onto the shared
 //! [`WorkerPool`] and folding results back in whatever order workers
 //! deliver them.
+//!
+//! This is the *legacy* scheduler (one OS thread per run) — the default is
+//! the sharded event-loop scheduler in [`crate::shard`], which drives the
+//! same state machines on a fixed thread pool. The actor path is kept as
+//! the A/B baseline for the throughput benchmarks and selectable via
+//! [`crate::Scheduler::ActorPerRun`].
 //!
 //! The actor is the only thread touching the optimizer and the journal, so
 //! a served run keeps the exact determinism and durability contracts of an
@@ -25,6 +31,7 @@ use mfbo::{
     SimOutcome, Told,
 };
 use mfbo_pool::WorkerPool;
+use mfbo_runstore::GroupCommitter;
 use mfbo_telemetry::counter;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -92,14 +99,19 @@ pub struct Status {
     pub error: Option<String>,
 }
 
+/// A parked observer fired exactly once with the terminal status — how
+/// `wait` connections sleep without holding a thread.
+pub type TerminalWaiter = Box<dyn FnOnce(&Status) + Send>;
+
 /// Shared handle the registry and client connections observe a run through.
 pub struct RunHandle {
     status: Mutex<Status>,
     cv: Condvar,
+    waiters: Mutex<Vec<TerminalWaiter>>,
 }
 
 impl RunHandle {
-    fn new() -> RunHandle {
+    pub(crate) fn new() -> RunHandle {
         RunHandle {
             status: Mutex::new(Status {
                 phase: Phase::Running,
@@ -113,6 +125,7 @@ impl RunHandle {
                 error: None,
             }),
             cv: Condvar::new(),
+            waiters: Mutex::new(Vec::new()),
         }
     }
 
@@ -131,21 +144,56 @@ impl RunHandle {
         st.clone()
     }
 
-    fn update(&self, f: impl FnOnce(&mut Status)) {
-        let mut st = self.status.lock().expect("run status lock");
-        f(&mut st);
-        self.cv.notify_all();
+    /// Runs `f` with the terminal status: immediately if the run already
+    /// finished, otherwise later on the thread that finishes it. The
+    /// registration happens under the status lock, so a concurrent
+    /// terminal transition cannot slip between the check and the park.
+    pub fn on_terminal(&self, f: TerminalWaiter) {
+        let snapshot = {
+            let st = self.status.lock().expect("run status lock");
+            if st.phase == Phase::Running {
+                self.waiters.lock().expect("run waiters lock").push(f);
+                return;
+            }
+            st.clone()
+        };
+        f(&snapshot);
+    }
+
+    pub(crate) fn update(&self, f: impl FnOnce(&mut Status)) {
+        let fired = {
+            let mut st = self.status.lock().expect("run status lock");
+            f(&mut st);
+            self.cv.notify_all();
+            if st.phase == Phase::Running {
+                None
+            } else {
+                let drained = std::mem::take(&mut *self.waiters.lock().expect("run waiters lock"));
+                Some((st.clone(), drained))
+            }
+        };
+        // Waiter callbacks (reply writes, connection re-queues) run outside
+        // both locks.
+        if let Some((st, waiters)) = fired {
+            for w in waiters {
+                w(&st);
+            }
+        }
     }
 }
 
 /// Starts the actor thread for `spec`; returns the observation handle.
-pub fn spawn_run(spec: RunSpec, pool: Arc<WorkerPool>) -> Arc<RunHandle> {
+pub fn spawn_run(
+    spec: RunSpec,
+    pool: Arc<WorkerPool>,
+    committer: Option<Arc<GroupCommitter>>,
+) -> Arc<RunHandle> {
     let handle = Arc::new(RunHandle::new());
     let h = Arc::clone(&handle);
     counter!("server_runs_started", 1u64);
     std::thread::Builder::new()
         .name(format!("mfbo-run-{}", spec.name))
-        .spawn(move || match drive(&spec, &pool, &h) {
+        .spawn(move || match drive(&spec, &pool, &h, committer.as_ref()) {
             Ok(outcome) => {
                 counter!("server_runs_done", 1u64);
                 h.update(|st| {
@@ -170,7 +218,12 @@ pub fn spawn_run(spec: RunSpec, pool: Arc<WorkerPool>) -> Arc<RunHandle> {
 
 /// The actor body: ask → dispatch to workers → tell, until the budget is
 /// spent. Returns the outcome or a human-readable failure reason.
-fn drive(spec: &RunSpec, pool: &WorkerPool, handle: &RunHandle) -> Result<Outcome, String> {
+fn drive(
+    spec: &RunSpec,
+    pool: &WorkerPool,
+    handle: &RunHandle,
+    committer: Option<&Arc<GroupCommitter>>,
+) -> Result<Outcome, String> {
     let problem = make_problem(&spec.problem, spec.fault)?;
     let mut opts = RunOptions {
         policy: spec.policy.clone(),
@@ -178,7 +231,11 @@ fn drive(spec: &RunSpec, pool: &WorkerPool, handle: &RunHandle) -> Result<Outcom
         ..RunOptions::default()
     };
     if let Some(dir) = &spec.journal {
-        opts.store = Some(RunStore::open(dir).map_err(|e| e.to_string())?);
+        let store = match committer {
+            Some(gc) => RunStore::open_grouped(dir, Arc::clone(gc)),
+            None => RunStore::open(dir),
+        };
+        opts.store = Some(store.map_err(|e| e.to_string())?);
     }
     let mut rng = StdRng::seed_from_u64(spec.seed);
     let mut driver = AskTellMfbo::new(spec.config.clone(), &*problem, &mut rng, &mut opts)
@@ -192,7 +249,14 @@ fn drive(spec: &RunSpec, pool: &WorkerPool, handle: &RunHandle) -> Result<Outcom
     let mut abandoned: HashSet<u64> = HashSet::new();
 
     while !driver.is_finished() {
-        for c in driver.ask(batch).map_err(|e| e.to_string())? {
+        let cands = driver.ask(batch).map_err(|e| e.to_string())?;
+        if !cands.is_empty() {
+            // Durability barrier: the write-ahead entries for these
+            // candidates must be on disk before their evaluations leave
+            // this thread. A no-op for direct (flush-per-append) stores.
+            driver.sync_journal().map_err(|e| e.to_string())?;
+        }
+        for c in cands {
             in_flight.insert(c.id, Instant::now());
             let problem = Arc::clone(&problem);
             let policy = driver.policy().clone();

@@ -18,6 +18,7 @@ fn boot(workers: usize) -> (Client, String) {
         ServerConfig {
             workers,
             queue_depth: 32,
+            ..ServerConfig::default()
         },
     )
     .unwrap();

@@ -3,7 +3,8 @@
 //! protocol, and `mfbo-client` for a terminal client).
 //!
 //! ```text
-//! mfbo-serve --addr 127.0.0.1:7877 --workers 8 --queue-depth 64
+//! mfbo-serve --addr 127.0.0.1:7877 --workers 8 --queue-depth 64 \
+//!            --shards 4 --journal-linger-ms 1
 //! ```
 //!
 //! The bound address is printed to stdout (`listening on ADDR`) before the
@@ -13,24 +14,36 @@
 //! Runs started with a `journal` directory survive a hard kill of this
 //! process: restart the server and start the run again with `resume: true`
 //! — the journal replays and the trajectory (and the journal itself)
-//! reproduce bit for bit.
+//! reproduce bit for bit. This holds with group-commit journaling
+//! (`--journal-linger-ms > 0`) too: a crash mid-window loses at most the
+//! un-flushed suffix, which resume regenerates byte-identically.
 
 use mfbo_server::{Server, ServerConfig};
 use std::process::ExitCode;
+use std::time::Duration;
 
 const USAGE: &str = "usage: mfbo-serve [--addr HOST:PORT] [--workers N|auto] [--queue-depth N]
+                  [--shards N|auto] [--journal-linger-ms N]
 
---addr         bind address (default 127.0.0.1:7877; port 0 = ephemeral)
---workers      evaluation worker threads shared by all runs
-               (default: auto = all cores)
---queue-depth  bounded worker-queue depth, the backpressure knob
-               (default 64)";
+--addr               bind address (default 127.0.0.1:7877; port 0 = ephemeral)
+--workers            evaluation worker threads shared by all runs
+                     (default: auto = all cores)
+--queue-depth        bounded worker-queue depth, the backpressure knob
+                     (default 64)
+--shards             run-scheduler shard threads, each multiplexing the runs
+                     hashed to it (default: auto = min(cores, 8))
+--journal-linger-ms  group-commit window for journaled runs: appends across
+                     runs within the window share one vectored write + flush
+                     (default 0 = flush every append, byte- and
+                     syscall-identical to prior releases)";
 
 #[derive(Debug, PartialEq)]
 struct Options {
     addr: String,
     workers: Option<usize>,
     queue_depth: usize,
+    shards: Option<usize>,
+    journal_linger_ms: u64,
 }
 
 impl Default for Options {
@@ -39,6 +52,8 @@ impl Default for Options {
             addr: "127.0.0.1:7877".into(),
             workers: None,
             queue_depth: 64,
+            shards: None,
+            journal_linger_ms: 0,
         }
     }
 }
@@ -69,6 +84,23 @@ fn parse_args<I: IntoIterator<Item = String>>(args: I) -> Result<Options, String
                     .filter(|&n| n > 0)
                     .ok_or("queue-depth must be a positive integer")?;
             }
+            "--shards" => {
+                let v = value("--shards")?;
+                opts.shards = match v.as_str() {
+                    "auto" => None,
+                    n => Some(
+                        n.parse::<usize>()
+                            .ok()
+                            .filter(|&n| n > 0)
+                            .ok_or("shards must be a positive integer or 'auto'")?,
+                    ),
+                };
+            }
+            "--journal-linger-ms" => {
+                opts.journal_linger_ms = value("--journal-linger-ms")?
+                    .parse::<u64>()
+                    .map_err(|_| "journal-linger-ms must be a non-negative integer")?;
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag {other}\n{USAGE}")),
         }
@@ -84,6 +116,7 @@ fn main() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let defaults = ServerConfig::default();
     let config = ServerConfig {
         workers: opts.workers.unwrap_or_else(|| {
             std::thread::available_parallelism()
@@ -91,6 +124,9 @@ fn main() -> ExitCode {
                 .unwrap_or(1)
         }),
         queue_depth: opts.queue_depth,
+        shards: opts.shards.unwrap_or(defaults.shards),
+        journal_linger: Duration::from_millis(opts.journal_linger_ms),
+        ..defaults
     };
     let server = match Server::bind(&opts.addr, config) {
         Ok(s) => s,
@@ -125,12 +161,24 @@ mod tests {
 
     #[test]
     fn parses_flags() {
-        let o = parse_args(args("--addr 0.0.0.0:9000 --workers 8 --queue-depth 16")).unwrap();
+        let o = parse_args(args(
+            "--addr 0.0.0.0:9000 --workers 8 --queue-depth 16 --shards 4 --journal-linger-ms 2",
+        ))
+        .unwrap();
         assert_eq!(o.addr, "0.0.0.0:9000");
         assert_eq!(o.workers, Some(8));
         assert_eq!(o.queue_depth, 16);
+        assert_eq!(o.shards, Some(4));
+        assert_eq!(o.journal_linger_ms, 2);
         assert_eq!(parse_args(args("")).unwrap(), Options::default());
         assert_eq!(parse_args(args("--workers auto")).unwrap().workers, None);
+        assert_eq!(parse_args(args("--shards auto")).unwrap().shards, None);
+        assert_eq!(
+            parse_args(args("--journal-linger-ms 0"))
+                .unwrap()
+                .journal_linger_ms,
+            0
+        );
     }
 
     #[test]
@@ -139,5 +187,16 @@ mod tests {
         assert!(parse_args(args("--queue-depth nope")).is_err());
         assert!(parse_args(args("--bogus")).is_err());
         assert!(parse_args(args("--help")).unwrap_err().contains("usage"));
+        // Typed validation for the new knobs: zero shards and negative or
+        // non-numeric linger windows fail with a readable message.
+        assert!(parse_args(args("--shards 0"))
+            .unwrap_err()
+            .contains("shards must be a positive integer"));
+        assert!(parse_args(args("--shards -1")).is_err());
+        assert!(parse_args(args("--journal-linger-ms -1"))
+            .unwrap_err()
+            .contains("non-negative"));
+        assert!(parse_args(args("--journal-linger-ms nope")).is_err());
+        assert!(parse_args(args("--shards")).is_err());
     }
 }
